@@ -1,0 +1,217 @@
+// Package aecodes implements alpha entanglement codes AE(α, s, p) — the
+// practical erasure codes for archival storage in unreliable environments
+// introduced by Estrada-Galiñanes, Miller, Felber and Pâris (DSN 2018).
+//
+// Alpha entanglement codes propagate redundancy instead of grouping blocks
+// into fixed stripes: every data block is XOR-tangled into α strands of a
+// helical lattice, so its information spreads to an ever-growing mesh of
+// interdependent blocks. Single failures always repair with one XOR of two
+// blocks, regardless of parameters; the parameters s and p raise fault
+// tolerance without any extra storage; and α can be increased later
+// without re-encoding existing data.
+//
+// # Quick start
+//
+//	code, err := aecodes.New(aecodes.Params{Alpha: 3, S: 2, P: 5}, 4096)
+//	if err != nil { ... }
+//	store := aecodes.NewMemoryStore(4096)
+//	ent, err := code.Entangle(block)        // α parities for this block
+//	for _, p := range ent.Parities {
+//		store.PutParity(p.Edge, p.Data)     // place them anywhere durable
+//	}
+//	store.PutData(ent.Index, block)
+//	...
+//	repaired, err := code.RepairData(store, ent.Index) // one XOR
+//
+// Whole-system recovery after correlated failures uses Repair, which runs
+// synchronous repair rounds until every reachable block is regenerated.
+// Audit verifies a block against all of its strands, exposing the code's
+// anti-tampering property.
+//
+// The internal packages contain the full evaluation apparatus of the
+// paper: a Reed–Solomon baseline, the disaster simulator behind Figs
+// 11–13, the minimal-erasure-pattern searcher behind Figs 6–9, the
+// entangled-mirror reliability study, and a cooperative backup system with
+// a TCP block transport. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package aecodes
+
+import (
+	"aecodes/internal/entangle"
+	"aecodes/internal/lattice"
+	"aecodes/internal/mep"
+)
+
+// Params holds the three code parameters of AE(α, s, p): α parities per
+// block, s horizontal strands, p helical strands per class. Valid settings
+// are α = 1 with s = 1, p = 0, and α ∈ {2, 3} with 1 ≤ s ≤ p.
+type Params = lattice.Params
+
+// Class identifies a strand class (horizontal, right-handed, left-handed).
+type Class = lattice.Class
+
+// The strand classes of the helical lattice.
+const (
+	Horizontal  = lattice.Horizontal
+	RightHanded = lattice.RightHanded
+	LeftHanded  = lattice.LeftHanded
+)
+
+// Edge identifies a parity block p_{Left,Right} on one strand.
+type Edge = lattice.Edge
+
+// Lattice answers geometry queries (strand membership, repair tuples) for
+// a parameter set.
+type Lattice = lattice.Lattice
+
+// Parity is one encoder output: the parity block on Edge.
+type Parity = entangle.Parity
+
+// Entanglement is the result of entangling one data block.
+type Entanglement = entangle.Entanglement
+
+// Source is the read view the repair engine needs: block content plus
+// availability.
+type Source = entangle.Source
+
+// Store extends Source with writes and missing-block enumeration, enough
+// for round-based whole-system repair.
+type Store = entangle.Store
+
+// MemoryStore is an in-memory Store for tests, tools and examples.
+type MemoryStore = entangle.MemoryStore
+
+// NewMemoryStore returns an empty in-memory store for blocks of the given
+// size.
+func NewMemoryStore(blockSize int) *MemoryStore { return entangle.NewMemoryStore(blockSize) }
+
+// RepairOptions configures round-based repair.
+type RepairOptions = entangle.Options
+
+// RepairStats summarises a Repair run: rounds, blocks repaired per round,
+// and what remained unrepairable.
+type RepairStats = entangle.Stats
+
+// AuditResult reports a block's consistency against its α strands.
+type AuditResult = entangle.AuditResult
+
+// StrandHead is a snapshot of one strand's current head parity, used to
+// resume encoding after a crash.
+type StrandHead = entangle.StrandHead
+
+// ErasurePattern is a set of blocks whose simultaneous loss is
+// irrecoverable; see MinimalErasure.
+type ErasurePattern = mep.Pattern
+
+// Code is an alpha entanglement codec: a streaming encoder plus a repair
+// engine over one helical lattice. The encoder side carries state (the
+// strand heads) and is not safe for concurrent use; the repair side is
+// stateless.
+type Code struct {
+	enc *entangle.Encoder
+	rep *entangle.Repairer
+}
+
+// New returns a codec for the given parameters and block size in bytes.
+func New(params Params, blockSize int) (*Code, error) {
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := entangle.NewRepairer(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Code{enc: enc, rep: rep}, nil
+}
+
+// Params returns the code parameters.
+func (c *Code) Params() Params { return c.enc.Lattice().Params() }
+
+// BlockSize returns the configured block size in bytes.
+func (c *Code) BlockSize() int { return c.enc.BlockSize() }
+
+// Lattice exposes the lattice geometry for placement decisions and
+// diagnostics.
+func (c *Code) Lattice() *Lattice { return c.enc.Lattice() }
+
+// Next returns the lattice position the next Entangle call will assign.
+func (c *Code) Next() int { return c.enc.Next() }
+
+// WriteCost returns the write penalty α+1: blocks written per logical
+// write.
+func (c *Code) WriteCost() int { return c.enc.WriteCost() }
+
+// Entangle assigns the next lattice position to data and returns the α
+// parities created. Store all of them: they are the block's redundancy.
+func (c *Code) Entangle(data []byte) (Entanglement, error) {
+	return c.enc.Entangle(data)
+}
+
+// SetPuncture installs a puncture policy: parities for which the policy
+// returns false are computed (strands must grow) but flagged unstored,
+// trading fault tolerance for storage (§III "Reducing Storage Overhead").
+// A nil policy stores everything.
+func (c *Code) SetPuncture(policy func(Edge) bool) {
+	if policy == nil {
+		c.enc.SetPuncture(nil)
+		return
+	}
+	c.enc.SetPuncture(entangle.PuncturePolicy(policy))
+}
+
+// Heads snapshots the encoder state (next position plus one head parity
+// per strand) for crash recovery.
+func (c *Code) Heads() (next int, heads []StrandHead) { return c.enc.Heads() }
+
+// RestoreHeads reinstates encoder state captured with Heads, or rebuilt by
+// re-fetching each strand's last parity from storage.
+func (c *Code) RestoreHeads(next int, heads []StrandHead) error {
+	return c.enc.RestoreHeads(next, heads)
+}
+
+// RepairData rebuilds data block i from the first complete pp-tuple among
+// its α strands — always a single XOR of two parity blocks.
+func (c *Code) RepairData(src Source, i int) ([]byte, error) {
+	return c.rep.RepairData(src, i)
+}
+
+// RepairParity rebuilds the parity on edge e from either of its two
+// dp-tuples (an adjacent data block plus that block's neighbouring parity
+// on the same strand).
+func (c *Code) RepairParity(src Source, e Edge) ([]byte, error) {
+	return c.rep.RepairParity(src, e)
+}
+
+// Repair runs synchronous repair rounds over the store until every missing
+// block is rebuilt or no more progress is possible.
+func (c *Code) Repair(store Store, opts RepairOptions) (RepairStats, error) {
+	return c.rep.Repair(store, opts)
+}
+
+// Audit verifies data block i against each of its α strands; a block that
+// disagrees with a strand has been modified after entanglement.
+func (c *Code) Audit(src Source, i int) (AuditResult, error) {
+	return c.rep.Audit(src, i)
+}
+
+// TamperScope returns the parities an attacker would have to recompute to
+// modify data block i undetectably, given that n blocks have been encoded:
+// every parity from the block to the growing end of each of its α strands
+// (§III "Anti-tampering Property"). The scope grows with the archive.
+func (c *Code) TamperScope(i, n int) ([]Edge, error) {
+	return c.enc.Lattice().TamperScope(i, n)
+}
+
+// ErrUnrepairable is returned by RepairData and RepairParity when no
+// complete repair tuple is currently available.
+var ErrUnrepairable = entangle.ErrUnrepairable
+
+// MinimalErasure finds a smallest irreducible erasure pattern containing
+// exactly x data blocks for the given parameters — the |ME(x)| fault-
+// tolerance metric of the paper's §V.A. It is exhaustive within a window
+// that covers all known pattern families; expect exponential cost for
+// large x.
+func MinimalErasure(params Params, x int) (ErasurePattern, error) {
+	return mep.MinimalErasure(params, x, mep.Options{})
+}

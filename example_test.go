@@ -1,0 +1,119 @@
+package aecodes_test
+
+import (
+	"fmt"
+
+	"aecodes"
+)
+
+// The basic lifecycle: entangle blocks, place the parities, repair a
+// single failure with one XOR.
+func ExampleCode_Entangle() {
+	code, err := aecodes.New(aecodes.Params{Alpha: 3, S: 2, P: 5}, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	store := aecodes.NewMemoryStore(8)
+
+	block := []byte("8 bytes!")
+	ent, err := code.Entangle(block)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	store.PutData(ent.Index, block)
+	for _, p := range ent.Parities {
+		store.PutParity(p.Edge, p.Data)
+	}
+	fmt.Printf("block %d entangled into %d strands\n", ent.Index, len(ent.Parities))
+
+	store.LoseData(ent.Index)
+	repaired, err := code.RepairData(store, ent.Index)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("repaired: %s\n", repaired)
+	// Output:
+	// block 1 entangled into 3 strands
+	// repaired: 8 bytes!
+}
+
+// Whole-system recovery runs synchronous rounds until a fixpoint.
+func ExampleCode_Repair() {
+	code, err := aecodes.New(aecodes.Params{Alpha: 2, S: 2, P: 5}, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	store := aecodes.NewMemoryStore(4)
+	for i := 0; i < 50; i++ {
+		block := []byte{byte(i), 1, 2, 3}
+		ent, err := code.Entangle(block)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		store.PutData(ent.Index, block)
+		for _, p := range ent.Parities {
+			store.PutParity(p.Edge, p.Data)
+		}
+	}
+	for i := 10; i <= 20; i++ {
+		store.LoseData(i)
+	}
+	stats, err := code.Repair(store, aecodes.RepairOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("repaired %d blocks, lost %d\n", stats.DataRepaired, stats.DataLoss())
+	// Output:
+	// repaired 11 blocks, lost 0
+}
+
+// MinimalErasure quantifies fault tolerance: the smallest set of blocks
+// whose simultaneous loss is irrecoverable.
+func ExampleMinimalErasure() {
+	for _, params := range []aecodes.Params{
+		{Alpha: 2, S: 1, P: 1},
+		{Alpha: 3, S: 1, P: 4},
+		{Alpha: 3, S: 4, P: 4},
+	} {
+		pat, err := aecodes.MinimalErasure(params, 2)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%v: %d blocks must fail together to lose 2 data blocks\n",
+			params, pat.Size())
+	}
+	// Output:
+	// AE(2,1,1): 4 blocks must fail together to lose 2 data blocks
+	// AE(3,1,4): 8 blocks must fail together to lose 2 data blocks
+	// AE(3,4,4): 14 blocks must fail together to lose 2 data blocks
+}
+
+// TamperScope shows why undetected modification gets harder as the
+// archive grows.
+func ExampleCode_TamperScope() {
+	code, err := aecodes.New(aecodes.Params{Alpha: 3, S: 5, P: 5}, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, n := range []int{40, 400, 4000} {
+		edges, err := code.TamperScope(26, n)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("hiding a change to d26 in a %4d-block archive: rewrite %d parities\n",
+			n, len(edges))
+	}
+	// Output:
+	// hiding a change to d26 in a   40-block archive: rewrite 9 parities
+	// hiding a change to d26 in a  400-block archive: rewrite 225 parities
+	// hiding a change to d26 in a 4000-block archive: rewrite 2385 parities
+}

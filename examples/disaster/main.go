@@ -1,0 +1,111 @@
+// Disaster recovery on a location-aware cluster: the §V.C experiment in
+// miniature and with real block content. 10,000 blocks are entangled with
+// AE(3,2,5) and spread over 100 locations; a disaster knocks out 30% of
+// the locations; round-based repair regenerates everything reachable onto
+// the surviving nodes.
+//
+// Run with:
+//
+//	go run ./examples/disaster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aecodes"
+	"aecodes/internal/blockstore"
+	"aecodes/internal/failure"
+	"aecodes/internal/placement"
+)
+
+const (
+	blockSize = 256
+	locations = 100
+	dataCount = 10_000
+	disaster  = 0.30
+)
+
+func main() {
+	cluster, err := blockstore.NewCluster(locations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	place, err := placement.NewKeyHash(locations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := blockstore.NewLatticeView(cluster, blockSize, func(key string) int {
+		// Repaired blocks must land on healthy nodes: probe from the
+		// key's home location.
+		loc := place.PlaceKey(key)
+		for off := 0; off < locations; off++ {
+			if cluster.Available((loc + off) % locations) {
+				return (loc + off) % locations
+			}
+		}
+		return loc
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	code, err := aecodes.New(aecodes.Params{Alpha: 3, S: 2, P: 5}, blockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Entangle and place.
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]byte, blockSize)
+	for i := 1; i <= dataCount; i++ {
+		rng.Read(buf)
+		ent, err := code.Entangle(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := view.PutData(ent.Index, buf); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range ent.Parities {
+			if err := view.PutParity(p.Edge, p.Data); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("placed %d data + %d parity blocks over %d locations\n",
+		dataCount, 3*dataCount, locations)
+
+	// Disaster: 30% of locations become unavailable at once.
+	d, err := failure.NewDisaster(rng, locations, disaster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, loc := range d.Failed {
+		if err := cluster.SetAvailable(loc, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+	missData := view.MissingData()
+	missPar := view.MissingParities()
+	fmt.Printf("disaster hit %d locations: %d data blocks and %d parities unavailable\n",
+		len(d.Failed), len(missData), len(missPar))
+
+	// Round-based repair regenerates everything onto surviving locations.
+	stats, err := code.Repair(view, aecodes.RepairOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair finished in %d rounds: %d data + %d parity blocks regenerated\n",
+		stats.Rounds, stats.DataRepaired, stats.ParityRepaired)
+	for _, rs := range stats.PerRound {
+		fmt.Printf("  round %2d: %5d data  %5d parities\n",
+			rs.Round, rs.DataRepaired, rs.ParityRepaired)
+	}
+	fmt.Printf("data loss: %d of %d blocks (%.4f%%)\n",
+		stats.DataLoss(), dataCount, 100*float64(stats.DataLoss())/dataCount)
+	if stats.DataLoss() == 0 {
+		fmt.Println("every data block survived a 30% correlated disaster")
+	}
+}

@@ -1,0 +1,53 @@
+// Entangled mirror disk arrays (§IV.B.1): same hardware budget as
+// mirroring — one parity drive per data drive — but the parity drives hold
+// a simple entanglement chain instead of copies. A 5-year Monte Carlo
+// compares mirroring with the open- and closed-chain layouts and
+// reproduces the ≈90% / ≈98% loss-probability reductions of [16].
+//
+// Run with:
+//
+//	go run ./examples/entangledmirror
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aecodes/internal/entmirror"
+	"aecodes/internal/failure"
+)
+
+func main() {
+	params := entmirror.Params{
+		Pairs:   20, // 20 data + 20 parity drives
+		Disks:   failure.DiskLifetimes{MTTF: 100_000, MTTR: 2_000},
+		Horizon: entmirror.FiveYearHours,
+		Trials:  8000,
+		Seed:    42,
+	}
+	fmt.Printf("array: %d data + %d parity drives, MTTF %.0fh, rebuild %.0fh, 5-year mission, %d trials\n",
+		params.Pairs, params.Pairs, params.Disks.MTTF, params.Disks.MTTR, params.Trials)
+
+	results, err := entmirror.Compare(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %12s %12s\n", "layout", "P(loss)", "vs mirror")
+	for _, layout := range []entmirror.Layout{entmirror.Mirror, entmirror.OpenChain, entmirror.ClosedChain} {
+		r := results[layout]
+		if layout == entmirror.Mirror {
+			fmt.Printf("%-14s %12.4f %12s\n", layout, r.LossProbability(), "—")
+			continue
+		}
+		red, err := entmirror.Reduction(results, layout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.4f %11.1f%%\n", layout, r.LossProbability(), red*100)
+	}
+	fmt.Println("\npaper recap: open chain ≈ −90%, closed chain ≈ −98% vs mirroring")
+
+	fmt.Printf("\nextremity exposure (open chains): full partition %d bytes vs striping %d bytes\n",
+		entmirror.ExtremityExposure(true, 4<<40, 4096),
+		entmirror.ExtremityExposure(false, 4<<40, 4096))
+}

@@ -1,0 +1,156 @@
+package blockstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aecodes/internal/entangle"
+	"aecodes/internal/lattice"
+)
+
+// LatticeView adapts a Cluster to the entangle.Store interface so the
+// entanglement repair engine can rebuild blocks spread across storage
+// locations. Repaired blocks are written back through the placement
+// function, which decides where regenerated blocks land (they may move to a
+// healthy node, as when "other nodes can do repairs on their behalf",
+// §IV.A).
+type LatticeView struct {
+	cluster   *Cluster
+	blockSize int
+	// place chooses the node for a (re)written block key.
+	place func(key string) int
+}
+
+var _ entangle.Store = (*LatticeView)(nil)
+
+// NewLatticeView returns a view over cluster for blocks of the given size,
+// using place to position writes. place must return a valid node id for any
+// key.
+func NewLatticeView(cluster *Cluster, blockSize int, place func(key string) int) (*LatticeView, error) {
+	if cluster == nil {
+		return nil, fmt.Errorf("blockstore: nil cluster")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("blockstore: block size must be positive, got %d", blockSize)
+	}
+	if place == nil {
+		return nil, fmt.Errorf("blockstore: nil placement function")
+	}
+	return &LatticeView{cluster: cluster, blockSize: blockSize, place: place}, nil
+}
+
+// Data implements entangle.Source.
+func (v *LatticeView) Data(i int) ([]byte, bool) {
+	return v.cluster.Get(DataKey(i))
+}
+
+// Parity implements entangle.Source; virtual edges read as zero.
+func (v *LatticeView) Parity(e lattice.Edge) ([]byte, bool) {
+	if e.IsVirtual() {
+		return entangle.ZeroBlock(v.blockSize), true
+	}
+	return v.cluster.Get(ParityKey(e))
+}
+
+// PutData implements entangle.Store.
+func (v *LatticeView) PutData(i int, b []byte) error {
+	if len(b) != v.blockSize {
+		return fmt.Errorf("blockstore: data block %d has %d bytes, want %d", i, len(b), v.blockSize)
+	}
+	key := DataKey(i)
+	return v.cluster.Put(v.place(key), key, b)
+}
+
+// PutParity implements entangle.Store.
+func (v *LatticeView) PutParity(e lattice.Edge, b []byte) error {
+	if e.IsVirtual() {
+		return fmt.Errorf("blockstore: cannot store virtual edge %v", e)
+	}
+	if len(b) != v.blockSize {
+		return fmt.Errorf("blockstore: parity %v has %d bytes, want %d", e, len(b), v.blockSize)
+	}
+	key := ParityKey(e)
+	return v.cluster.Put(v.place(key), key, b)
+}
+
+// MissingData implements entangle.Store: data blocks whose node is down.
+func (v *LatticeView) MissingData() []int {
+	var out []int
+	for _, key := range v.cluster.UnavailableKeys() {
+		i, ok := parseDataKey(key)
+		if !ok {
+			continue
+		}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MissingParities implements entangle.Store: parity blocks whose node is
+// down.
+func (v *LatticeView) MissingParities() []lattice.Edge {
+	var out []lattice.Edge
+	for _, key := range v.cluster.UnavailableKeys() {
+		e, ok := parseParityKey(key)
+		if !ok {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		if out[a].Left != out[b].Left {
+			return out[a].Left < out[b].Left
+		}
+		return out[a].Right < out[b].Right
+	})
+	return out
+}
+
+func parseDataKey(key string) (int, bool) {
+	rest, ok := strings.CutPrefix(key, "d:")
+	if !ok {
+		return 0, false
+	}
+	i, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+func parseParityKey(key string) (lattice.Edge, bool) {
+	rest, ok := strings.CutPrefix(key, "p:")
+	if !ok {
+		return lattice.Edge{}, false
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 3 {
+		return lattice.Edge{}, false
+	}
+	var class lattice.Class
+	switch parts[0] {
+	case "h":
+		class = lattice.Horizontal
+	case "rh":
+		class = lattice.RightHanded
+	case "lh":
+		class = lattice.LeftHanded
+	default:
+		return lattice.Edge{}, false
+	}
+	left, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return lattice.Edge{}, false
+	}
+	right, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return lattice.Edge{}, false
+	}
+	return lattice.Edge{Class: class, Left: left, Right: right}, true
+}

@@ -1,0 +1,426 @@
+// Package cooperative implements the geo-replicated backup use case of
+// §IV.A: a two-tier community storage network where users keep their data
+// blocks on their own computers and spread entangled parity blocks over
+// remote storage nodes.
+//
+// The upper tier is the Broker: it splits files into d-blocks, entangles
+// them (keeping the strand heads in memory — the §IV.A footprint of one
+// p-block per strand), and uploads the α parities of every block to storage
+// nodes chosen by hashing the block key. The lower tier is any set of
+// NodeStore implementations — in-memory nodes for tests and simulations, or
+// transport.Client values for real TCP storage nodes.
+//
+// Repair follows Table III: to regenerate a parity lost with a faulty node,
+// the broker obtains the dp-tuple ids from the lattice, chooses a p-block,
+// computes its location key, fetches it from the responsible node, and
+// XORs it with the local d-block. Data blocks lost with the user's machine
+// are regenerated from pp-tuples fetched from two nodes. Whole-lattice
+// repair reuses the round-based engine of internal/entangle through a
+// network-backed store adapter.
+package cooperative
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"aecodes/internal/blockstore"
+	"aecodes/internal/entangle"
+	"aecodes/internal/lattice"
+	"aecodes/internal/placement"
+)
+
+// ErrNotFound is returned by NodeStore implementations for missing blocks.
+var ErrNotFound = errors.New("cooperative: block not found")
+
+// NodeStore is one remote storage node. transport.Client satisfies this
+// interface up to error mapping; InMemoryNode provides a local test double.
+type NodeStore interface {
+	// Get fetches a block; implementations return ErrNotFound (or any
+	// error) when the block is unavailable.
+	Get(key string) ([]byte, error)
+	// Put stores a block.
+	Put(key string, data []byte) error
+}
+
+// InMemoryNode is a NodeStore backed by a map, with a switchable
+// availability flag to simulate node failures. It is safe for concurrent
+// use.
+type InMemoryNode struct {
+	mu     sync.RWMutex
+	blocks map[string][]byte
+	down   bool
+}
+
+var _ NodeStore = (*InMemoryNode)(nil)
+
+// NewInMemoryNode returns an empty, available node.
+func NewInMemoryNode() *InMemoryNode {
+	return &InMemoryNode{blocks: make(map[string][]byte)}
+}
+
+// SetDown toggles the node's availability.
+func (n *InMemoryNode) SetDown(down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = down
+}
+
+// Get implements NodeStore.
+func (n *InMemoryNode) Get(key string) ([]byte, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down {
+		return nil, fmt.Errorf("cooperative: node unavailable")
+	}
+	b, ok := n.blocks[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// Put implements NodeStore.
+func (n *InMemoryNode) Put(key string, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return fmt.Errorf("cooperative: node unavailable")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.blocks[key] = cp
+	return nil
+}
+
+// Len returns the number of blocks held (even while down).
+func (n *InMemoryNode) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.blocks)
+}
+
+// Broker is a user's encoding/decoding agent. Brokers are not safe for
+// concurrent use; serialise access externally if needed.
+type Broker struct {
+	user      string
+	params    lattice.Params
+	blockSize int
+	enc       *entangle.Encoder
+	rep       *entangle.Repairer
+	nodes     []NodeStore
+	placer    *placement.KeyHash
+	local     map[int][]byte // the user's own d-blocks
+	count     int            // blocks backed up so far
+}
+
+// NewBroker returns a broker for one user's lattice over the given nodes.
+// user namespaces all keys so multiple lattices coexist in the system.
+func NewBroker(user string, params lattice.Params, blockSize int, nodes []NodeStore) (*Broker, error) {
+	if user == "" {
+		return nil, errors.New("cooperative: empty user")
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("cooperative: need at least one storage node")
+	}
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := entangle.NewRepairer(params)
+	if err != nil {
+		return nil, err
+	}
+	placer, err := placement.NewKeyHash(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	return &Broker{
+		user:      user,
+		params:    params,
+		blockSize: blockSize,
+		enc:       enc,
+		rep:       rep,
+		nodes:     nodes,
+		placer:    placer,
+		local:     make(map[int][]byte),
+	}, nil
+}
+
+// BlockSize returns the broker's block size.
+func (b *Broker) BlockSize() int { return b.blockSize }
+
+// Count returns the number of blocks backed up.
+func (b *Broker) Count() int { return b.count }
+
+// dataKey and parityKey derive the system-wide block names: "a value
+// derived from the node id and the block position in the lattice" (§IV.A).
+func (b *Broker) dataKey(i int) string { return b.user + "/" + blockstore.DataKey(i) }
+
+func (b *Broker) parityKey(e lattice.Edge) string {
+	return b.user + "/" + blockstore.ParityKey(e)
+}
+
+// nodeFor returns the storage node responsible for a key (Table III step
+// 3, "compute location key").
+func (b *Broker) nodeFor(key string) NodeStore {
+	return b.nodes[b.placer.PlaceKey(key)]
+}
+
+// Backup entangles one data block: the block stays local, its α parities
+// are uploaded to their responsible nodes. It returns the lattice position.
+func (b *Broker) Backup(data []byte) (int, error) {
+	if len(data) != b.blockSize {
+		return 0, fmt.Errorf("cooperative: block has %d bytes, want %d", len(data), b.blockSize)
+	}
+	ent, err := b.enc.Entangle(data)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range ent.Parities {
+		key := b.parityKey(p.Edge)
+		if err := b.nodeFor(key).Put(key, p.Data); err != nil {
+			return 0, fmt.Errorf("cooperative: uploading %s: %w", key, err)
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.local[ent.Index] = cp
+	b.count = ent.Index
+	return ent.Index, nil
+}
+
+// BackupStream splits r into blockSize blocks (zero-padding the tail) and
+// backs up each. It returns the positions written and the total bytes read.
+func (b *Broker) BackupStream(r io.Reader) (positions []int, n int64, err error) {
+	buf := make([]byte, b.blockSize)
+	for {
+		read, rerr := io.ReadFull(r, buf)
+		if rerr == io.EOF {
+			return positions, n, nil
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			for i := read; i < len(buf); i++ {
+				buf[i] = 0
+			}
+			rerr = nil
+			pos, berr := b.Backup(buf)
+			if berr != nil {
+				return positions, n, berr
+			}
+			return append(positions, pos), n + int64(read), nil
+		}
+		if rerr != nil {
+			return positions, n, fmt.Errorf("cooperative: reading stream: %w", rerr)
+		}
+		pos, berr := b.Backup(buf)
+		if berr != nil {
+			return positions, n, berr
+		}
+		positions = append(positions, pos)
+		n += int64(read)
+	}
+}
+
+// DropLocal simulates the loss of the user's machine: local d-blocks are
+// forgotten and must be decoded from remote parities.
+func (b *Broker) DropLocal(positions ...int) {
+	if len(positions) == 0 {
+		b.local = make(map[int]([]byte))
+		return
+	}
+	for _, i := range positions {
+		delete(b.local, i)
+	}
+}
+
+// Read returns block i: from the local store in the failure-free case
+// ("users can access their data directly from their local computers,
+// decoding is not required"), otherwise decoded from remote parities via
+// the first complete pp-tuple, falling back to multi-round repair.
+func (b *Broker) Read(i int) ([]byte, error) {
+	if i < 1 || i > b.count {
+		return nil, fmt.Errorf("cooperative: position %d out of range [1,%d]", i, b.count)
+	}
+	if d, ok := b.local[i]; ok {
+		out := make([]byte, len(d))
+		copy(out, d)
+		return out, nil
+	}
+	store := b.netStore()
+	if data, err := b.rep.RepairData(store, i); err == nil {
+		b.local[i] = data
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	}
+	// Single XOR failed: run rounds over the whole lattice, then retry.
+	if _, err := b.rep.Repair(store, entangle.Options{}); err != nil {
+		return nil, err
+	}
+	if d, ok := b.local[i]; ok {
+		out := make([]byte, len(d))
+		copy(out, d)
+		return out, nil
+	}
+	return nil, fmt.Errorf("cooperative: block %d is unrecoverable", i)
+}
+
+// RepairParity regenerates one parity block following the Table III steps
+// and re-uploads it. It returns the node index now holding the block.
+func (b *Broker) RepairParity(e lattice.Edge) (int, error) {
+	data, err := b.rep.RepairParity(b.netStore(), e)
+	if err != nil {
+		return 0, err
+	}
+	key := b.parityKey(e)
+	idx := b.placer.PlaceKey(key)
+	if err := b.nodes[idx].Put(key, data); err != nil {
+		return 0, fmt.Errorf("cooperative: re-uploading %s: %w", key, err)
+	}
+	return idx, nil
+}
+
+// RepairLattice runs round-based repair over the user's whole lattice,
+// regenerating every reachable missing data and parity block ("all users
+// will be interested in the regeneration of their lattices to maintain the
+// same level of redundancy", §IV.A). It returns the engine statistics.
+func (b *Broker) RepairLattice() (entangle.Stats, error) {
+	return b.rep.Repair(b.netStore(), entangle.Options{})
+}
+
+// Recover rebuilds a broker's encoder state after a crash: the strand
+// heads are re-fetched from the storage nodes (§IV.A: "it only needs to
+// retrieve the p-blocks from the remote nodes"). count tells the recovered
+// broker how many blocks had been backed up; local data blocks are those
+// still present on the user's machine.
+func (b *Broker) Recover(count int, local map[int][]byte) error {
+	if count < 0 {
+		return fmt.Errorf("cooperative: negative count %d", count)
+	}
+	b.count = count
+	b.local = make(map[int][]byte, len(local))
+	for i, d := range local {
+		cp := make([]byte, len(d))
+		copy(cp, d)
+		b.local[i] = cp
+	}
+	next := count + 1
+	lat := b.enc.Lattice()
+	heads := make([]entangle.StrandHead, 0, b.params.StrandCount())
+	seen := make(map[int]bool, b.params.StrandCount())
+	// The head of a strand is the out-edge of the last node ≤ count on it;
+	// scan backwards until every strand is covered or positions run out.
+	for i := count; i >= 1 && len(seen) < b.params.StrandCount(); i-- {
+		for _, class := range lat.Classes() {
+			sid, err := lat.StrandID(class, i)
+			if err != nil {
+				return err
+			}
+			if seen[sid] {
+				continue
+			}
+			seen[sid] = true
+			out, err := lat.OutEdge(class, i)
+			if err != nil {
+				return err
+			}
+			key := b.parityKey(out)
+			data, err := b.nodeFor(key).Get(key)
+			if err != nil {
+				return fmt.Errorf("cooperative: recovering head %s: %w", key, err)
+			}
+			heads = append(heads, entangle.StrandHead{StrandID: sid, Data: data})
+		}
+	}
+	// Strands never touched (count small) keep their zero seed.
+	return b.enc.RestoreHeads(next, heads)
+}
+
+// netStore adapts the broker's view of the network to entangle.Store so
+// the generic repair engine can drive repairs.
+type netStore struct {
+	b *Broker
+}
+
+var _ entangle.Store = (*netStore)(nil)
+
+func (b *Broker) netStore() *netStore { return &netStore{b: b} }
+
+// Data implements entangle.Source: the user's local block store.
+func (s *netStore) Data(i int) ([]byte, bool) {
+	d, ok := s.b.local[i]
+	return d, ok
+}
+
+// Parity implements entangle.Source: a remote fetch (Table III step 4).
+func (s *netStore) Parity(e lattice.Edge) ([]byte, bool) {
+	if e.IsVirtual() {
+		return entangle.ZeroBlock(s.b.blockSize), true
+	}
+	if e.Left > s.b.count {
+		return nil, false // never created
+	}
+	key := s.b.parityKey(e)
+	data, err := s.b.nodeFor(key).Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutData implements entangle.Store: repaired data returns to the user.
+func (s *netStore) PutData(i int, b []byte) error {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	s.b.local[i] = cp
+	return nil
+}
+
+// PutParity implements entangle.Store: repaired parities are re-uploaded
+// (Table III step 5).
+func (s *netStore) PutParity(e lattice.Edge, data []byte) error {
+	key := s.b.parityKey(e)
+	return s.b.nodeFor(key).Put(key, data)
+}
+
+// MissingData implements entangle.Store.
+func (s *netStore) MissingData() []int {
+	var out []int
+	for i := 1; i <= s.b.count; i++ {
+		if _, ok := s.b.local[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MissingParities implements entangle.Store: every parity the lattice says
+// should exist but no node serves.
+func (s *netStore) MissingParities() []lattice.Edge {
+	lat := s.b.rep.Lattice()
+	var out []lattice.Edge
+	for i := 1; i <= s.b.count; i++ {
+		for _, class := range lat.Classes() {
+			e, err := lat.OutEdge(class, i)
+			if err != nil {
+				continue
+			}
+			key := s.b.parityKey(e)
+			if _, err := s.b.nodeFor(key).Get(key); err != nil {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		return out[a].Left < out[b].Left
+	})
+	return out
+}

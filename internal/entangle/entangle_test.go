@@ -1,0 +1,360 @@
+package entangle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/xorblock"
+)
+
+// buildSystem encodes n random data blocks with the given parameters and
+// returns the populated store plus the original data for reference.
+func buildSystem(t *testing.T, params lattice.Params, n, blockSize int, seed int64) (*MemoryStore, [][]byte) {
+	t.Helper()
+	enc, err := NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	store := NewMemoryStore(blockSize)
+	originals := make([][]byte, n+1) // 1-based
+	for i := 1; i <= n; i++ {
+		data := make([]byte, blockSize)
+		rng.Read(data)
+		originals[i] = data
+		ent, err := enc.Entangle(data)
+		if err != nil {
+			t.Fatalf("Entangle(%d): %v", i, err)
+		}
+		if ent.Index != i {
+			t.Fatalf("Entangle assigned index %d, want %d", ent.Index, i)
+		}
+		if err := store.PutData(i, data); err != nil {
+			t.Fatalf("PutData(%d): %v", i, err)
+		}
+		for _, p := range ent.Parities {
+			if !p.Stored {
+				continue
+			}
+			if err := store.PutParity(p.Edge, p.Data); err != nil {
+				t.Fatalf("PutParity(%v): %v", p.Edge, err)
+			}
+		}
+	}
+	return store, originals
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(lattice.Params{Alpha: 3, S: 5, P: 2}, 64); err == nil {
+		t.Error("NewEncoder accepted deformed lattice")
+	}
+	if _, err := NewEncoder(lattice.Params{Alpha: 2, S: 2, P: 5}, 0); err == nil {
+		t.Error("NewEncoder accepted zero block size")
+	}
+	if _, err := NewEncoder(lattice.Params{Alpha: 2, S: 2, P: 5}, -8); err == nil {
+		t.Error("NewEncoder accepted negative block size")
+	}
+}
+
+func TestEntangleProducesAlphaParities(t *testing.T) {
+	for _, params := range []lattice.Params{
+		{Alpha: 1, S: 1, P: 0},
+		{Alpha: 2, S: 2, P: 5},
+		{Alpha: 3, S: 2, P: 5},
+		{Alpha: 3, S: 5, P: 5},
+	} {
+		t.Run(params.String(), func(t *testing.T) {
+			enc, err := NewEncoder(params, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := bytes.Repeat([]byte{0xAB}, 32)
+			ent, err := enc.Entangle(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ent.Parities) != params.Alpha {
+				t.Errorf("got %d parities, want α=%d", len(ent.Parities), params.Alpha)
+			}
+			if enc.WriteCost() != params.Alpha+1 {
+				t.Errorf("WriteCost = %d, want %d", enc.WriteCost(), params.Alpha+1)
+			}
+		})
+	}
+}
+
+func TestEntangleRejectsWrongSize(t *testing.T) {
+	enc, err := NewEncoder(lattice.Params{Alpha: 2, S: 1, P: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Entangle(make([]byte, 8)); err == nil {
+		t.Error("Entangle accepted short block")
+	}
+	if _, err := enc.Entangle(make([]byte, 32)); err == nil {
+		t.Error("Entangle accepted long block")
+	}
+}
+
+// TestEncodingIdentity checks p_{i,j} = d_i XOR p_{h,i} for every parity the
+// encoder emits, by reconstructing the strand-head sequence independently.
+func TestEncodingIdentity(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	const n, blockSize = 200, 24
+	lat, err := lattice.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	// Independent bookkeeping: parityAt[edge] = expected content.
+	type ek struct {
+		class       lattice.Class
+		left, right int
+	}
+	expected := make(map[ek][]byte)
+	parityOf := func(e lattice.Edge) []byte {
+		if e.IsVirtual() {
+			return make([]byte, blockSize)
+		}
+		b, ok := expected[ek{e.Class, e.Left, e.Right}]
+		if !ok {
+			t.Fatalf("missing expected parity %v", e)
+		}
+		return b
+	}
+
+	for i := 1; i <= n; i++ {
+		data := make([]byte, blockSize)
+		rng.Read(data)
+		ent, err := enc.Entangle(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ent.Parities {
+			in, err := lat.InEdge(p.Edge.Class, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := xorblock.Xor(data, parityOf(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(p.Data, want) {
+				t.Fatalf("node %d class %v: parity %v does not satisfy p=d XOR p_in",
+					i, p.Edge.Class, p.Edge)
+			}
+			expected[ek{p.Edge.Class, p.Edge.Left, p.Edge.Right}] = want
+		}
+	}
+}
+
+func TestHeadsRestoreResumesEncoding(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 5, P: 5}
+	const blockSize = 16
+	rng := rand.New(rand.NewSource(42))
+	blocks := make([][]byte, 60)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockSize)
+		rng.Read(blocks[i])
+	}
+
+	// Reference: encode everything in one encoder.
+	ref, err := NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refParities [][]Parity
+	for _, b := range blocks {
+		ent, err := ref.Entangle(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refParities = append(refParities, ent.Parities)
+	}
+
+	// Crash after 25 blocks, snapshot, resume in a new encoder (§IV.A).
+	first, err := NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks[:25] {
+		if _, err := first.Entangle(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next, heads := first.Heads()
+	if next != 26 {
+		t.Fatalf("Heads next = %d, want 26", next)
+	}
+	if len(heads) != params.StrandCount() {
+		t.Fatalf("Heads returned %d strands, want %d", len(heads), params.StrandCount())
+	}
+
+	second, err := NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.RestoreHeads(next, heads); err != nil {
+		t.Fatalf("RestoreHeads: %v", err)
+	}
+	for bi, b := range blocks[25:] {
+		ent, err := second.Entangle(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refParities[25+bi]
+		for pi := range ent.Parities {
+			if ent.Parities[pi].Edge != want[pi].Edge {
+				t.Fatalf("block %d parity %d edge = %v, want %v",
+					26+bi, pi, ent.Parities[pi].Edge, want[pi].Edge)
+			}
+			if !bytes.Equal(ent.Parities[pi].Data, want[pi].Data) {
+				t.Fatalf("block %d parity %d content diverged after restore", 26+bi, pi)
+			}
+		}
+	}
+}
+
+func TestRestoreHeadsValidation(t *testing.T) {
+	enc, err := NewEncoder(lattice.Params{Alpha: 2, S: 2, P: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.RestoreHeads(0, nil); err == nil {
+		t.Error("RestoreHeads accepted next=0")
+	}
+	if err := enc.RestoreHeads(1, []StrandHead{{StrandID: 99, Data: make([]byte, 8)}}); err == nil {
+		t.Error("RestoreHeads accepted out-of-range strand id")
+	}
+	if err := enc.RestoreHeads(1, []StrandHead{{StrandID: 0, Data: make([]byte, 4)}}); err == nil {
+		t.Error("RestoreHeads accepted wrong-size head")
+	}
+}
+
+func TestPuncturing(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	enc, err := NewEncoder(params, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Puncture every LH parity.
+	enc.SetPuncture(func(e lattice.Edge) bool { return e.Class != lattice.LeftHanded })
+	data := make([]byte, 16)
+	ent, err := enc.Entangle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, punctured := 0, 0
+	for _, p := range ent.Parities {
+		if p.Stored {
+			stored++
+		} else {
+			punctured++
+			if p.Edge.Class != lattice.LeftHanded {
+				t.Errorf("punctured %v, policy only targets LH", p.Edge)
+			}
+		}
+	}
+	if stored != 2 || punctured != 1 {
+		t.Errorf("stored=%d punctured=%d, want 2/1", stored, punctured)
+	}
+	// Punctured parities must still advance the strand: the next LH parity
+	// on the same strand must incorporate the punctured content (identity
+	// holds even though the block was not stored).
+	enc.SetPuncture(nil)
+	ent2, err := enc.Entangle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ent2.Parities) != 3 {
+		t.Fatalf("second entanglement has %d parities", len(ent2.Parities))
+	}
+	for _, p := range ent2.Parities {
+		if !p.Stored {
+			t.Errorf("nil policy punctured %v", p.Edge)
+		}
+	}
+}
+
+func TestMemoryStoreVirtualEdges(t *testing.T) {
+	store := NewMemoryStore(8)
+	b, ok := store.Parity(lattice.Edge{Class: lattice.Horizontal, Left: -3, Right: 2})
+	if !ok {
+		t.Fatal("virtual edge unavailable")
+	}
+	if !xorblock.IsZero(b) {
+		t.Error("virtual edge is non-zero")
+	}
+	err := store.PutParity(lattice.Edge{Class: lattice.Horizontal, Left: 0, Right: 1}, make([]byte, 8))
+	if err == nil {
+		t.Error("PutParity accepted a virtual edge")
+	}
+}
+
+func TestMemoryStoreLoseAndRestore(t *testing.T) {
+	store := NewMemoryStore(4)
+	if err := store.PutData(1, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Data(1); !ok {
+		t.Fatal("fresh block unavailable")
+	}
+	store.LoseData(1)
+	if _, ok := store.Data(1); ok {
+		t.Fatal("lost block still available")
+	}
+	if got := store.MissingData(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("MissingData = %v, want [1]", got)
+	}
+	if err := store.PutData(1, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Data(1); !ok {
+		t.Fatal("restored block unavailable")
+	}
+	if got := store.MissingData(); len(got) != 0 {
+		t.Fatalf("MissingData after restore = %v, want empty", got)
+	}
+
+	// Losing a block never stored is a no-op.
+	store.LoseData(99)
+	if got := store.MissingData(); len(got) != 0 {
+		t.Fatalf("MissingData after no-op lose = %v", got)
+	}
+}
+
+func TestMemoryStoreValidation(t *testing.T) {
+	store := NewMemoryStore(4)
+	if err := store.PutData(0, make([]byte, 4)); err == nil {
+		t.Error("PutData accepted position 0")
+	}
+	if err := store.PutData(1, make([]byte, 3)); err == nil {
+		t.Error("PutData accepted wrong size")
+	}
+	e := lattice.Edge{Class: lattice.Horizontal, Left: 1, Right: 2}
+	if err := store.PutParity(e, make([]byte, 5)); err == nil {
+		t.Error("PutParity accepted wrong size")
+	}
+	if err := store.CorruptData(1, make([]byte, 4)); err == nil {
+		t.Error("CorruptData succeeded on absent block")
+	}
+}
+
+func TestStoreCounts(t *testing.T) {
+	params := lattice.Params{Alpha: 2, S: 2, P: 5}
+	store, _ := buildSystem(t, params, 100, 8, 1)
+	if store.DataCount() != 100 {
+		t.Errorf("DataCount = %d, want 100", store.DataCount())
+	}
+	// α parities per data block, every one stored.
+	if store.ParityCount() != 200 {
+		t.Errorf("ParityCount = %d, want 200", store.ParityCount())
+	}
+}

@@ -1,0 +1,350 @@
+package entangle
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/xorblock"
+)
+
+// ErrUnrepairable is returned by the single-block repair functions when no
+// complete tuple is available this round. Round-based repair treats it as
+// "try again next round".
+var ErrUnrepairable = errors.New("entangle: no complete repair tuple available")
+
+// Repairer rebuilds missing blocks using the lattice geometry. Repairers are
+// stateless and safe for concurrent use.
+type Repairer struct {
+	lat *lattice.Lattice
+}
+
+// NewRepairer returns a repairer for the given code parameters.
+func NewRepairer(params lattice.Params) (*Repairer, error) {
+	lat, err := lattice.New(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Repairer{lat: lat}, nil
+}
+
+// Lattice returns the geometry this repairer operates on.
+func (r *Repairer) Lattice() *lattice.Lattice { return r.lat }
+
+// RepairData rebuilds data block i from the first complete pp-tuple among
+// its α strands — "the decoder uses the shortest available path", and the
+// one-hop paths are exactly the pp-tuples. The repair cost is always one
+// XOR of two blocks, regardless of the code parameters (§III: none of the
+// three parameters change the cost of a single failure).
+//
+// It returns ErrUnrepairable when every tuple is incomplete.
+func (r *Repairer) RepairData(src Source, i int) ([]byte, error) {
+	tuples, err := r.lat.Tuples(i)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tuples {
+		in, okIn := src.Parity(t.In)
+		if !okIn {
+			continue
+		}
+		out, okOut := src.Parity(t.Out)
+		if !okOut {
+			continue
+		}
+		return xorblock.Xor(in, out)
+	}
+	return nil, ErrUnrepairable
+}
+
+// RepairParity rebuilds the parity on edge e from either of its two
+// dp-tuples: p_{i,j} = d_i XOR p_{h,i} = d_j XOR p_{j,k} (§III.B: "there are
+// always two options").
+//
+// It returns ErrUnrepairable when both options are incomplete.
+func (r *Repairer) RepairParity(src Source, e lattice.Edge) ([]byte, error) {
+	opts, err := r.lat.ParityOptions(e)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		d, okD := src.Data(opt.Data)
+		if !okD {
+			continue
+		}
+		p, okP := src.Parity(opt.Parity)
+		if !okP {
+			continue
+		}
+		return xorblock.Xor(d, p)
+	}
+	return nil, ErrUnrepairable
+}
+
+// Options configures round-based repair.
+type Options struct {
+	// MaxRounds caps the number of repair rounds; 0 means run until
+	// fixpoint.
+	MaxRounds int
+	// DataOnly restricts repair to data blocks ("minimal maintenance",
+	// §V.C.2): missing parities are left unrepaired.
+	DataOnly bool
+	// Workers sets the number of goroutines planning repairs within a
+	// round ("the decoder can repair multiple single failures in
+	// parallel", §III.A). Values below 2 select the serial planner. The
+	// result is identical for any worker count: planning is read-only
+	// against the frozen pre-round state and commits stay ordered.
+	Workers int
+}
+
+// RoundStats records what one synchronous repair round achieved.
+type RoundStats struct {
+	Round          int
+	DataRepaired   int
+	ParityRepaired int
+}
+
+// Stats summarises a full Repair run.
+type Stats struct {
+	// Rounds is the number of rounds that performed at least one repair.
+	Rounds int
+	// DataRepaired and ParityRepaired count successfully rebuilt blocks.
+	DataRepaired   int
+	ParityRepaired int
+	// FirstRoundData counts data blocks rebuilt in round 1 — the paper's
+	// "single failures solved at the first round" numerator (Fig 13).
+	FirstRoundData int
+	// PerRound holds one entry per executed round.
+	PerRound []RoundStats
+	// UnrepairedData and UnrepairedParities list blocks that remained
+	// missing at fixpoint (irrecoverable under the current availability).
+	UnrepairedData     []int
+	UnrepairedParities []lattice.Edge
+}
+
+// DataLoss returns the number of data blocks the engine failed to repair —
+// the paper's data-loss metric (Fig 11).
+func (s Stats) DataLoss() int { return len(s.UnrepairedData) }
+
+// Repair runs synchronous repair rounds over the store until every missing
+// block is rebuilt, a fixpoint without progress is reached, or MaxRounds is
+// hit. Within a round every repair reads only blocks that were available
+// when the round started, so the round count matches the paper's Table VI
+// semantics; newly repaired blocks become usable in the next round.
+func (r *Repairer) Repair(store Store, opts Options) (Stats, error) {
+	var stats Stats
+	for round := 1; ; round++ {
+		if opts.MaxRounds > 0 && round > opts.MaxRounds {
+			break
+		}
+		missingData := store.MissingData()
+		var missingPar []lattice.Edge
+		if !opts.DataOnly {
+			missingPar = store.MissingParities()
+		}
+		if len(missingData) == 0 && len(missingPar) == 0 {
+			break
+		}
+
+		// Plan the whole round against the frozen pre-round state...
+		dataFixes, parFixes, err := r.planRound(store, missingData, missingPar, opts.Workers)
+		if err != nil {
+			return stats, err
+		}
+
+		if len(dataFixes) == 0 && len(parFixes) == 0 {
+			break // fixpoint: nothing more is repairable
+		}
+
+		// ...then commit, making this round's repairs visible to the next.
+		for _, f := range dataFixes {
+			if err := store.PutData(f.pos, f.buf); err != nil {
+				return stats, fmt.Errorf("entangle: storing repaired d%d: %w", f.pos, err)
+			}
+		}
+		for _, f := range parFixes {
+			if err := store.PutParity(f.edge, f.buf); err != nil {
+				return stats, fmt.Errorf("entangle: storing repaired %v: %w", f.edge, err)
+			}
+		}
+
+		rs := RoundStats{Round: round, DataRepaired: len(dataFixes), ParityRepaired: len(parFixes)}
+		stats.PerRound = append(stats.PerRound, rs)
+		stats.Rounds = round
+		stats.DataRepaired += rs.DataRepaired
+		stats.ParityRepaired += rs.ParityRepaired
+		if round == 1 {
+			stats.FirstRoundData = rs.DataRepaired
+		}
+	}
+	stats.UnrepairedData = store.MissingData()
+	stats.UnrepairedParities = store.MissingParities()
+	return stats, nil
+}
+
+// dataFix and parFix are planned repairs awaiting commit.
+type dataFix struct {
+	pos int
+	buf []byte
+}
+
+type parFix struct {
+	edge lattice.Edge
+	buf  []byte
+}
+
+// planRound computes every repair possible against the current store
+// state without committing anything. With workers ≥ 2 the planning fans
+// out over goroutines; results keep the input order either way, so the
+// round outcome is identical.
+func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattice.Edge, workers int) ([]dataFix, []parFix, error) {
+	if workers < 2 {
+		return r.planSerial(store, missingData, missingPar)
+	}
+	dataBufs := make([][]byte, len(missingData))
+	parBufs := make([][]byte, len(missingPar))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := w; idx < len(missingData); idx += workers {
+				buf, err := r.RepairData(store, missingData[idx])
+				if errors.Is(err, ErrUnrepairable) {
+					continue
+				}
+				if err != nil {
+					errs[w] = fmt.Errorf("entangle: repairing d%d: %w", missingData[idx], err)
+					return
+				}
+				dataBufs[idx] = buf
+			}
+			for idx := w; idx < len(missingPar); idx += workers {
+				buf, err := r.RepairParity(store, missingPar[idx])
+				if errors.Is(err, ErrUnrepairable) {
+					continue
+				}
+				if err != nil {
+					errs[w] = fmt.Errorf("entangle: repairing %v: %w", missingPar[idx], err)
+					return
+				}
+				parBufs[idx] = buf
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var dataFixes []dataFix
+	for idx, buf := range dataBufs {
+		if buf != nil {
+			dataFixes = append(dataFixes, dataFix{pos: missingData[idx], buf: buf})
+		}
+	}
+	var parFixes []parFix
+	for idx, buf := range parBufs {
+		if buf != nil {
+			parFixes = append(parFixes, parFix{edge: missingPar[idx], buf: buf})
+		}
+	}
+	return dataFixes, parFixes, nil
+}
+
+func (r *Repairer) planSerial(store Store, missingData []int, missingPar []lattice.Edge) ([]dataFix, []parFix, error) {
+	dataFixes := make([]dataFix, 0, len(missingData))
+	parFixes := make([]parFix, 0, len(missingPar))
+	for _, i := range missingData {
+		buf, err := r.RepairData(store, i)
+		if errors.Is(err, ErrUnrepairable) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("entangle: repairing d%d: %w", i, err)
+		}
+		dataFixes = append(dataFixes, dataFix{pos: i, buf: buf})
+	}
+	for _, e := range missingPar {
+		buf, err := r.RepairParity(store, e)
+		if errors.Is(err, ErrUnrepairable) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("entangle: repairing %v: %w", e, err)
+		}
+		parFixes = append(parFixes, parFix{edge: e, buf: buf})
+	}
+	return dataFixes, parFixes, nil
+}
+
+// AuditResult reports the consistency of one data block against its α
+// strands, the observable side of the anti-tampering property (§III): a
+// modified block disagrees with every strand the attacker did not rewrite.
+type AuditResult struct {
+	Index int
+	// Consistent[c] is true when d XOR p_{h,i} == p_{i,j} holds on strand
+	// class c. Checked[c] is false when either parity was unavailable.
+	Consistent map[lattice.Class]bool
+	Checked    map[lattice.Class]bool
+}
+
+// Clean reports whether every checked strand agreed with the block.
+func (a AuditResult) Clean() bool {
+	for class, checked := range a.Checked {
+		if checked && !a.Consistent[class] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckedStrands returns how many strands could be verified.
+func (a AuditResult) CheckedStrands() int {
+	n := 0
+	for _, ok := range a.Checked {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Audit verifies data block i against each of its α strands. A block that
+// fails the audit on some strand has been modified after entanglement (or
+// the strand has): to tamper undetectably an attacker must recompute "all
+// the parities computed from its position to the closest strand extremity"
+// on every one of the α strands (§III).
+func (r *Repairer) Audit(src Source, i int) (AuditResult, error) {
+	res := AuditResult{
+		Index:      i,
+		Consistent: make(map[lattice.Class]bool, r.lat.Params().Alpha),
+		Checked:    make(map[lattice.Class]bool, r.lat.Params().Alpha),
+	}
+	d, ok := src.Data(i)
+	if !ok {
+		return res, fmt.Errorf("entangle: data block %d unavailable for audit", i)
+	}
+	tuples, err := r.lat.Tuples(i)
+	if err != nil {
+		return res, err
+	}
+	for _, t := range tuples {
+		in, okIn := src.Parity(t.In)
+		out, okOut := src.Parity(t.Out)
+		if !okIn || !okOut {
+			res.Checked[t.In.Class] = false
+			continue
+		}
+		want, err := xorblock.Xor(d, in)
+		if err != nil {
+			return res, err
+		}
+		res.Checked[t.In.Class] = true
+		res.Consistent[t.In.Class] = xorblock.Equal(want, out)
+	}
+	return res, nil
+}

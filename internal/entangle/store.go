@@ -1,0 +1,223 @@
+package entangle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aecodes/internal/lattice"
+)
+
+// Source is the read view the repair engine needs: content plus
+// availability for data and parity blocks. Implementations must treat
+// virtual edges (Edge.IsVirtual) as always available with all-zero content;
+// ZeroBlock helps with that.
+type Source interface {
+	// Data returns the content of data block i and whether it is available.
+	Data(i int) ([]byte, bool)
+	// Parity returns the content of the parity on edge e and whether it is
+	// available.
+	Parity(e lattice.Edge) ([]byte, bool)
+}
+
+// Store extends Source with mutation: the repair engine writes repaired
+// blocks back and enumerates what is missing.
+type Store interface {
+	Source
+	// PutData stores a repaired data block.
+	PutData(i int, b []byte) error
+	// PutParity stores a repaired parity block.
+	PutParity(e lattice.Edge, b []byte) error
+	// MissingData lists the positions of unavailable data blocks, ascending.
+	MissingData() []int
+	// MissingParities lists the unavailable parity edges in a deterministic
+	// order.
+	MissingParities() []lattice.Edge
+}
+
+// ZeroBlock returns a shared all-zero block of the given size. Callers must
+// not mutate the returned slice; it backs every virtual-edge read.
+func ZeroBlock(size int) []byte {
+	return make([]byte, size)
+}
+
+// edgeKey uniquely identifies a stored parity: (class, left) determines the
+// right endpoint, but keeping Right in the key lets us detect inconsistent
+// writes early.
+type edgeKey struct {
+	Class lattice.Class
+	Left  int
+	Right int
+}
+
+func keyOf(e lattice.Edge) edgeKey { return edgeKey{Class: e.Class, Left: e.Left, Right: e.Right} }
+
+// MemoryStore is an in-memory Store for tests, examples and the cooperative
+// broker. A block is "available" when present and not marked lost. The
+// zero value is not usable; construct with NewMemoryStore.
+//
+// MemoryStore is safe for concurrent use.
+type MemoryStore struct {
+	mu        sync.RWMutex
+	blockSize int
+	data      map[int][]byte
+	parity    map[edgeKey][]byte
+	lostData  map[int]bool
+	lostPar   map[edgeKey]bool
+}
+
+var _ Store = (*MemoryStore)(nil)
+
+// NewMemoryStore returns an empty store for blocks of the given size.
+func NewMemoryStore(blockSize int) *MemoryStore {
+	return &MemoryStore{
+		blockSize: blockSize,
+		data:      make(map[int][]byte),
+		parity:    make(map[edgeKey][]byte),
+		lostData:  make(map[int]bool),
+		lostPar:   make(map[edgeKey]bool),
+	}
+}
+
+// Data implements Source.
+func (m *MemoryStore) Data(i int) ([]byte, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.lostData[i] {
+		return nil, false
+	}
+	b, ok := m.data[i]
+	return b, ok
+}
+
+// Parity implements Source. Virtual edges read as zero blocks.
+func (m *MemoryStore) Parity(e lattice.Edge) ([]byte, bool) {
+	if e.IsVirtual() {
+		return ZeroBlock(m.blockSize), true
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	k := keyOf(e)
+	if m.lostPar[k] {
+		return nil, false
+	}
+	b, ok := m.parity[k]
+	return b, ok
+}
+
+// PutData stores (or restores) a data block and clears its lost mark.
+func (m *MemoryStore) PutData(i int, b []byte) error {
+	if i < 1 {
+		return fmt.Errorf("entangle: data position must be >= 1, got %d", i)
+	}
+	if len(b) != m.blockSize {
+		return fmt.Errorf("entangle: data block %d has %d bytes, want %d", i, len(b), m.blockSize)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data[i] = cp
+	delete(m.lostData, i)
+	return nil
+}
+
+// PutParity stores (or restores) a parity block and clears its lost mark.
+func (m *MemoryStore) PutParity(e lattice.Edge, b []byte) error {
+	if e.IsVirtual() {
+		return fmt.Errorf("entangle: cannot store virtual edge %v", e)
+	}
+	if len(b) != m.blockSize {
+		return fmt.Errorf("entangle: parity %v has %d bytes, want %d", e, len(b), m.blockSize)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parity[keyOf(e)] = cp
+	delete(m.lostPar, keyOf(e))
+	return nil
+}
+
+// LoseData marks data block i unavailable without forgetting that it should
+// exist, simulating a failed location.
+func (m *MemoryStore) LoseData(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.data[i]; ok {
+		m.lostData[i] = true
+	}
+}
+
+// LoseParity marks the parity on e unavailable.
+func (m *MemoryStore) LoseParity(e lattice.Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := keyOf(e)
+	if _, ok := m.parity[k]; ok {
+		m.lostPar[k] = true
+	}
+}
+
+// CorruptData overwrites the stored content of data block i without marking
+// it lost — the tampering scenario of §III's anti-tampering discussion.
+func (m *MemoryStore) CorruptData(i int, b []byte) error {
+	if len(b) != m.blockSize {
+		return fmt.Errorf("entangle: corrupt block has %d bytes, want %d", len(b), m.blockSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.data[i]; !ok {
+		return fmt.Errorf("entangle: no data block at %d", i)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	m.data[i] = cp
+	return nil
+}
+
+// MissingData implements Store.
+func (m *MemoryStore) MissingData() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, 0, len(m.lostData))
+	for i := range m.lostData {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MissingParities implements Store. Order: by class, then left index.
+func (m *MemoryStore) MissingParities() []lattice.Edge {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]lattice.Edge, 0, len(m.lostPar))
+	for k := range m.lostPar {
+		out = append(out, lattice.Edge{Class: k.Class, Left: k.Left, Right: k.Right})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		if out[a].Left != out[b].Left {
+			return out[a].Left < out[b].Left
+		}
+		return out[a].Right < out[b].Right
+	})
+	return out
+}
+
+// DataCount returns the number of data blocks ever stored (available or not).
+func (m *MemoryStore) DataCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// ParityCount returns the number of parity blocks ever stored.
+func (m *MemoryStore) ParityCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.parity)
+}

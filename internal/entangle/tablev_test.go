@@ -1,0 +1,95 @@
+package entangle
+
+import (
+	"bytes"
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+// TestTableVWalkthrough reproduces the paper's Table V scenario exactly:
+// in an AE(3,5,5) lattice, block d26 and its six adjacent parities are
+//
+//	 i   j  type/strand  location  available  repaired
+//	26  26  d            56        FALSE      TRUE
+//	21  26  h             3        FALSE      TRUE
+//	26  31  h            47        FALSE      FALSE
+//	22  26  lh           12        FALSE      FALSE
+//	26  35  lh           28        TRUE       –
+//	25  26  rh           91        TRUE       –
+//	26  32  rh           39        TRUE       –
+//
+// Locations 3, 12, 47 and 56 are unavailable; "Block d26 is repaired via
+// RH strand's p-blocks" — the only complete pp-tuple is (p25,26, p26,32).
+func TestTableVWalkthrough(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 5, P: 5}
+	store, originals := buildSystem(t, params, 60, 16, 2605)
+	r := mustRepairer(t, params)
+	lat := r.Lattice()
+
+	// Map Table V's unavailable locations onto the named blocks.
+	store.LoseData(26)
+	store.LoseParity(lattice.Edge{Class: lattice.Horizontal, Left: 21, Right: 26}) // loc 3
+	store.LoseParity(lattice.Edge{Class: lattice.Horizontal, Left: 26, Right: 31}) // loc 47
+	store.LoseParity(lattice.Edge{Class: lattice.LeftHanded, Left: 22, Right: 26}) // loc 12
+
+	// The H tuple is fully gone and the LH tuple half gone; only the RH
+	// tuple (p25,26, p26,32) is complete, so the repair must succeed and
+	// must be the XOR of exactly those two blocks.
+	p2526, ok := store.Parity(lattice.Edge{Class: lattice.RightHanded, Left: 25, Right: 26})
+	if !ok {
+		t.Fatal("p25,26 should be available (location 91)")
+	}
+	p2632, ok := store.Parity(lattice.Edge{Class: lattice.RightHanded, Left: 26, Right: 32})
+	if !ok {
+		t.Fatal("p26,32 should be available (location 39)")
+	}
+	want := make([]byte, len(p2526))
+	for i := range want {
+		want[i] = p2526[i] ^ p2632[i]
+	}
+
+	got, err := r.RepairData(store, 26)
+	if err != nil {
+		t.Fatalf("RepairData(26): %v", err)
+	}
+	if !bytes.Equal(got, originals[26]) {
+		t.Error("repaired d26 does not match the original")
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("repaired d26 is not XOR(p25,26, p26,32) — wrong strand used")
+	}
+
+	// Table III's parity-repair flow on the same lattice: regenerate
+	// p21,26 from the dp-tuple (d21, p16,21) after d26 is restored.
+	if err := store.PutData(26, got); err != nil {
+		t.Fatal(err)
+	}
+	e2126 := lattice.Edge{Class: lattice.Horizontal, Left: 21, Right: 26}
+	opts, err := lat.ParityOptions(e2126)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[0].Data != 21 || opts[0].Parity != (lattice.Edge{Class: lattice.Horizontal, Left: 16, Right: 21}) {
+		t.Fatalf("Table III step 1 ids wrong: %+v", opts[0])
+	}
+	rebuilt, err := r.RepairParity(store, e2126)
+	if err != nil {
+		t.Fatalf("RepairParity(p21,26): %v", err)
+	}
+	d21, ok := store.Data(21)
+	if !ok {
+		t.Fatal("d21 unavailable")
+	}
+	p1621, ok := store.Parity(lattice.Edge{Class: lattice.Horizontal, Left: 16, Right: 21})
+	if !ok {
+		t.Fatal("p16,21 unavailable")
+	}
+	wantPar := make([]byte, len(d21))
+	for i := range wantPar {
+		wantPar[i] = d21[i] ^ p1621[i]
+	}
+	if !bytes.Equal(rebuilt, wantPar) {
+		t.Error("p21,26 is not XOR(d21, p16,21) — Table III flow broken")
+	}
+}

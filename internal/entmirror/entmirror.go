@@ -1,0 +1,241 @@
+// Package entmirror implements the entangled-mirror disk arrays of
+// §IV.B.1 and the 5-year reliability study the paper recaps from [16]:
+// array organisations built from simple (α = 1) entanglements that use the
+// same space as mirroring — equal numbers of data and parity drives — but
+// survive many more failure combinations.
+//
+// Three layouts are compared:
+//
+//   - Mirror: n data drives, each with a dedicated mirror. Data is lost as
+//     soon as both drives of any pair are down simultaneously.
+//   - OpenChain: n data and n parity drives interleaved in an open simple-
+//     entanglement chain d1 p1 d2 p2 … dn pn with p_i = d_i ⊕ p_{i−1}
+//     (p_1 = d_1). Interior data loss needs a triple {d_i, p_i, d_{i+1}};
+//     the chain tail {d_n, p_n} is a 2-failure weakness — "blocks that are
+//     located at the extremities have less redundancy".
+//   - ClosedChain: the same chain closed into a ring, removing the tail
+//     weakness so every minimal failure pattern is a triple.
+//
+// Reliability is estimated by an event-driven Monte Carlo over exponential
+// drive lifetimes and repair times; [16] reports that full-partition open
+// and closed chains reduce the 5-year probability of data loss versus
+// mirroring by about 90% and 98% respectively.
+package entmirror
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aecodes/internal/failure"
+)
+
+// Layout selects an array organisation.
+type Layout int
+
+// The array organisations of §IV.B.1.
+const (
+	Mirror Layout = iota + 1
+	OpenChain
+	ClosedChain
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Mirror:
+		return "mirror"
+	case OpenChain:
+		return "open-chain"
+	case ClosedChain:
+		return "closed-chain"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Params configures a reliability simulation.
+type Params struct {
+	// Pairs is the number of data drives n; the array has 2n drives in
+	// every layout (space overhead identical to mirroring).
+	Pairs int
+	// Disks is the failure/repair model for every drive.
+	Disks failure.DiskLifetimes
+	// Horizon is the mission time in the same unit as the disk model
+	// (hours, conventionally; the paper's studies use 5 years ≈ 43800 h).
+	Horizon float64
+	// Trials is the number of Monte-Carlo missions.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Pairs < 2 {
+		return fmt.Errorf("entmirror: need at least 2 pairs, got %d", p.Pairs)
+	}
+	if err := p.Disks.Validate(); err != nil {
+		return err
+	}
+	if p.Horizon <= 0 {
+		return fmt.Errorf("entmirror: horizon must be positive, got %v", p.Horizon)
+	}
+	if p.Trials < 1 {
+		return fmt.Errorf("entmirror: need at least one trial, got %d", p.Trials)
+	}
+	return nil
+}
+
+// Result is the outcome of a reliability simulation.
+type Result struct {
+	Layout Layout
+	Params Params
+	// Losses is the number of missions that experienced data loss.
+	Losses int
+}
+
+// LossProbability returns the estimated probability of data loss within
+// the mission time.
+func (r Result) LossProbability() float64 {
+	return float64(r.Losses) / float64(r.Params.Trials)
+}
+
+// FiveYearHours is the conventional 5-year mission horizon in hours.
+const FiveYearHours = 5 * 365 * 24
+
+// Simulate estimates the data-loss probability of a layout.
+func Simulate(layout Layout, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if layout != Mirror && layout != OpenChain && layout != ClosedChain {
+		return Result{}, fmt.Errorf("entmirror: unknown layout %v", layout)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	losses := 0
+	for trial := 0; trial < p.Trials; trial++ {
+		if missionLoses(layout, p, rng) {
+			losses++
+		}
+	}
+	return Result{Layout: layout, Params: p, Losses: losses}, nil
+}
+
+// missionLoses runs one event-driven mission: every drive alternates
+// exponential up-times and repair-times; the mission fails when the set of
+// simultaneously down drives contains an irrecoverable pattern for the
+// layout.
+func missionLoses(layout Layout, p Params, rng *rand.Rand) bool {
+	// Drive indexing: data drive i ↦ 2i, its partner (mirror or parity
+	// p_i) ↦ 2i+1, for i in [0, n).
+	n := p.Pairs
+	drives := 2 * n
+	down := make([]bool, drives)
+	next := make([]float64, drives) // time of each drive's next transition
+	for d := range next {
+		next[d] = p.Disks.NextFailure(rng)
+	}
+	for {
+		// Find the earliest transition.
+		who, when := -1, math.Inf(1)
+		for d, t := range next {
+			if t < when {
+				who, when = d, t
+			}
+		}
+		if when > p.Horizon {
+			return false
+		}
+		if down[who] {
+			// Repair completes.
+			down[who] = false
+			next[who] = when + p.Disks.NextFailure(rng)
+			continue
+		}
+		// Drive fails.
+		down[who] = true
+		next[who] = when + p.Disks.RepairTime(rng)
+		if lost(layout, n, down, who) {
+			return true
+		}
+	}
+}
+
+// lost reports whether the failure of drive `who` completed an
+// irrecoverable pattern.
+func lost(layout Layout, n int, down []bool, who int) bool {
+	pair := who / 2
+	switch layout {
+	case Mirror:
+		// Both drives of the pair down.
+		return down[2*pair] && down[2*pair+1]
+	case OpenChain, ClosedChain:
+		// Interior minimal erasure: {d_i, p_i, d_{i+1}} — data drive i,
+		// parity i, data drive i+1 all down. The failed drive can
+		// participate as any of the three elements.
+		for _, i := range []int{pair - 1, pair} {
+			j := i + 1
+			if layout == ClosedChain {
+				i = ((i % n) + n) % n
+				j = (i + 1) % n
+			} else if i < 0 || j >= n {
+				continue
+			}
+			if down[2*i] && down[2*i+1] && down[2*j] {
+				return true
+			}
+		}
+		if layout == OpenChain {
+			// Tail weakness: {d_n, p_n} (last pair) is closed because p_n
+			// has no right-hand repair option.
+			if down[2*(n-1)] && down[2*(n-1)+1] {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Compare runs all three layouts under identical parameters and returns
+// the loss probabilities keyed by layout — the §IV.B.1 recap experiment.
+func Compare(p Params) (map[Layout]Result, error) {
+	out := make(map[Layout]Result, 3)
+	for _, layout := range []Layout{Mirror, OpenChain, ClosedChain} {
+		r, err := Simulate(layout, p)
+		if err != nil {
+			return nil, err
+		}
+		out[layout] = r
+	}
+	return out, nil
+}
+
+// Reduction returns how much a layout reduces the loss probability versus
+// mirroring, as a fraction in [0, 1]: the paper reports ≈0.90 for open and
+// ≈0.98 for closed chains. It returns an error when the mirror baseline
+// recorded no losses (increase Trials or failure rates).
+func Reduction(results map[Layout]Result, layout Layout) (float64, error) {
+	mirror, ok := results[Mirror]
+	if !ok || mirror.Losses == 0 {
+		return 0, fmt.Errorf("entmirror: mirror baseline has no losses; cannot compute reduction")
+	}
+	r, ok := results[layout]
+	if !ok {
+		return 0, fmt.Errorf("entmirror: no result for layout %v", layout)
+	}
+	return 1 - r.LossProbability()/mirror.LossProbability(), nil
+}
+
+// ExtremityExposure returns the amount of data (in bytes) exposed by the
+// open chain's weak extremity for the two §IV.B.1 organisations: a full
+// partition exposes one whole drive, block-level striping only one block —
+// the reason the paper prefers striping when the chain must stay open.
+func ExtremityExposure(fullPartition bool, driveBytes, blockBytes int64) int64 {
+	if fullPartition {
+		return driveBytes
+	}
+	return blockBytes
+}

@@ -1,0 +1,206 @@
+package entmirror
+
+import (
+	"math"
+	"testing"
+
+	"aecodes/internal/failure"
+)
+
+// paperParams approximates the drive population of the [16] study: drives
+// with 100k-hour MTTF and long (2000 h) rebuild windows, a 5-year mission.
+func paperParams(trials int) Params {
+	return Params{
+		Pairs:   20,
+		Disks:   failure.DiskLifetimes{MTTF: 100_000, MTTR: 2_000},
+		Horizon: FiveYearHours,
+		Trials:  trials,
+		Seed:    42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := paperParams(10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := good
+	bad.Pairs = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted 1 pair")
+	}
+	bad = good
+	bad.Horizon = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero horizon")
+	}
+	bad = good
+	bad.Trials = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero trials")
+	}
+	bad = good
+	bad.Disks.MTTF = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero MTTF")
+	}
+	if _, err := Simulate(Layout(99), good); err == nil {
+		t.Error("accepted unknown layout")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if Mirror.String() != "mirror" || OpenChain.String() != "open-chain" || ClosedChain.String() != "closed-chain" {
+		t.Errorf("layout names wrong: %v %v %v", Mirror, OpenChain, ClosedChain)
+	}
+}
+
+// TestLostPatterns unit-tests the pattern detector directly.
+func TestLostPatterns(t *testing.T) {
+	const n = 5
+	mk := func(idx ...int) []bool {
+		down := make([]bool, 2*n)
+		for _, d := range idx {
+			down[d] = true
+		}
+		return down
+	}
+	// Mirror: both drives of pair 2 (drives 4, 5).
+	if !lost(Mirror, n, mk(4, 5), 5) {
+		t.Error("mirror pair failure not detected")
+	}
+	if lost(Mirror, n, mk(4, 7), 7) {
+		t.Error("mirror cross-pair failure falsely detected")
+	}
+	// Chain triple: d1 p1 d2 ↦ drives 2,3,4 (pairs 1 and 2).
+	if !lost(OpenChain, n, mk(2, 3, 4), 4) {
+		t.Error("open-chain triple not detected")
+	}
+	if !lost(ClosedChain, n, mk(2, 3, 4), 4) {
+		t.Error("closed-chain triple not detected")
+	}
+	// Two non-adjacent failures: recoverable in both chains.
+	if lost(OpenChain, n, mk(2, 4), 4) {
+		t.Error("open chain: {d1,d2} falsely fatal")
+	}
+	// The mirror-fatal pair {d2, p2} (drives 4,5) is innocuous mid-chain.
+	if lost(OpenChain, n, mk(4, 5), 5) {
+		t.Error("open chain: interior {d,p} falsely fatal")
+	}
+	// Open-chain tail: {d_n, p_n} = drives 8, 9.
+	if !lost(OpenChain, n, mk(8, 9), 9) {
+		t.Error("open-chain tail weakness not detected")
+	}
+	// The closed chain has no tail: same pattern is recoverable…
+	if lost(ClosedChain, n, mk(8, 9), 9) {
+		t.Error("closed chain: tail pair falsely fatal")
+	}
+	// …but its wrap-around triple {d_{n−1}, p_{n−1}, d_0} is fatal:
+	// drives 8, 9 and 0.
+	if !lost(ClosedChain, n, mk(8, 9, 0), 0) {
+		t.Error("closed-chain wrap triple not detected")
+	}
+}
+
+// TestFiveYearReliabilityRecap reproduces the §IV.B.1 recap: both chain
+// layouts beat mirroring by a large margin, the closed chain beats the
+// open chain, and the reductions approach the 90%/98% of [16].
+func TestFiveYearReliabilityRecap(t *testing.T) {
+	trials := 6000
+	if testing.Short() {
+		trials = 1500
+	}
+	results, err := Compare(paperParams(trials))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := results[Mirror].LossProbability()
+	open := results[OpenChain].LossProbability()
+	closed := results[ClosedChain].LossProbability()
+	t.Logf("5-year loss probabilities: mirror=%.4f open=%.4f closed=%.4f", mirror, open, closed)
+
+	if mirror < 0.05 {
+		t.Fatalf("mirror baseline loss %v too small for a meaningful comparison", mirror)
+	}
+	openRed, err := Reduction(results, OpenChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedRed, err := Reduction(results, ClosedChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reductions vs mirroring: open=%.1f%% closed=%.1f%%", openRed*100, closedRed*100)
+	if openRed < 0.6 {
+		t.Errorf("open chain reduction = %.2f, want ≥ 0.6 (paper: ≈0.90)", openRed)
+	}
+	if closedRed < 0.8 {
+		t.Errorf("closed chain reduction = %.2f, want ≥ 0.8 (paper: ≈0.98)", closedRed)
+	}
+	if closedRed <= openRed {
+		t.Errorf("closed (%.2f) should beat open (%.2f)", closedRed, openRed)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := paperParams(500)
+	a, err := Simulate(Mirror, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(Mirror, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Losses != b.Losses {
+		t.Errorf("same seed, different losses: %d vs %d", a.Losses, b.Losses)
+	}
+}
+
+func TestReductionErrors(t *testing.T) {
+	if _, err := Reduction(map[Layout]Result{}, OpenChain); err == nil {
+		t.Error("Reduction without mirror baseline succeeded")
+	}
+	results := map[Layout]Result{
+		Mirror: {Layout: Mirror, Params: paperParams(10), Losses: 5},
+	}
+	if _, err := Reduction(results, OpenChain); err == nil {
+		t.Error("Reduction without target layout succeeded")
+	}
+}
+
+func TestNoFailuresNoLoss(t *testing.T) {
+	// Astronomically reliable drives: no losses expected in any layout.
+	p := Params{
+		Pairs:   4,
+		Disks:   failure.DiskLifetimes{MTTF: 1e12, MTTR: 1},
+		Horizon: FiveYearHours,
+		Trials:  200,
+		Seed:    7,
+	}
+	for _, layout := range []Layout{Mirror, OpenChain, ClosedChain} {
+		r, err := Simulate(layout, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Losses != 0 {
+			t.Errorf("%v: %d losses with immortal drives", layout, r.Losses)
+		}
+	}
+}
+
+func TestExtremityExposure(t *testing.T) {
+	if got := ExtremityExposure(true, 1<<40, 4096); got != 1<<40 {
+		t.Errorf("full partition exposure = %d, want a whole drive", got)
+	}
+	if got := ExtremityExposure(false, 1<<40, 4096); got != 4096 {
+		t.Errorf("striping exposure = %d, want one block", got)
+	}
+}
+
+func TestLossProbabilityRange(t *testing.T) {
+	r := Result{Params: paperParams(100), Losses: 25}
+	if got := r.LossProbability(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("LossProbability = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,130 @@
+// Package failure models the fault processes of the paper's evaluation:
+// location disasters (§V.C "Disaster Recovery": 10–50% of locations become
+// unavailable at once), independent per-block failures, and the exponential
+// disk-lifetime process used by the entangled-mirror reliability study
+// (§IV.B.1).
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Disaster describes a correlated location failure: a fraction of all
+// storage locations becomes unavailable simultaneously.
+type Disaster struct {
+	// Locations is the total number of locations n.
+	Locations int
+	// Failed holds the failed location ids.
+	Failed []int
+}
+
+// Size returns the disaster size as a fraction of locations, the x-axis of
+// Figs 11–13.
+func (d Disaster) Size() float64 {
+	if d.Locations == 0 {
+		return 0
+	}
+	return float64(len(d.Failed)) / float64(d.Locations)
+}
+
+// FailedSet returns membership as a dense boolean slice indexed by location.
+func (d Disaster) FailedSet() []bool {
+	set := make([]bool, d.Locations)
+	for _, loc := range d.Failed {
+		set[loc] = true
+	}
+	return set
+}
+
+// NewDisaster fails ⌊frac·n⌋ distinct locations chosen uniformly at random.
+// It returns an error when n is not positive or frac is outside [0, 1].
+func NewDisaster(rng *rand.Rand, n int, frac float64) (Disaster, error) {
+	if n <= 0 {
+		return Disaster{}, fmt.Errorf("failure: need at least one location, got %d", n)
+	}
+	if frac < 0 || frac > 1 {
+		return Disaster{}, fmt.Errorf("failure: disaster fraction %v outside [0,1]", frac)
+	}
+	count := int(frac * float64(n))
+	perm := rng.Perm(n)
+	failed := make([]int, count)
+	copy(failed, perm[:count])
+	return Disaster{Locations: n, Failed: failed}, nil
+}
+
+// IIDBlocks flips each of n blocks to failed independently with probability
+// q, returning the failed indices. It models uncorrelated block loss, the
+// assumption the paper criticises ("the assumption that failures are
+// independent … is not valid", §IV.B) but that remains useful as a
+// best-case reference in tests and benchmarks.
+func IIDBlocks(rng *rand.Rand, n int, q float64) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("failure: negative block count %d", n)
+	}
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("failure: probability %v outside [0,1]", q)
+	}
+	var failed []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < q {
+			failed = append(failed, i)
+		}
+	}
+	return failed, nil
+}
+
+// DiskLifetimes draws n exponential lifetimes with the given mean time to
+// failure — the standard reliability model behind the 5-year entangled-
+// mirror study (§IV.B.1, [16]).
+type DiskLifetimes struct {
+	// MTTF is the mean time to failure.
+	MTTF float64
+	// MTTR is the mean time to repair (rebuild window) after a failure.
+	MTTR float64
+}
+
+// Validate reports whether the model parameters are usable.
+func (m DiskLifetimes) Validate() error {
+	if m.MTTF <= 0 {
+		return fmt.Errorf("failure: MTTF must be positive, got %v", m.MTTF)
+	}
+	if m.MTTR < 0 {
+		return fmt.Errorf("failure: MTTR must be non-negative, got %v", m.MTTR)
+	}
+	return nil
+}
+
+// NextFailure draws the time until the next failure of one disk.
+func (m DiskLifetimes) NextFailure(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() * m.MTTF
+}
+
+// RepairTime draws the rebuild duration after a failure. A zero MTTR makes
+// repairs instantaneous.
+func (m DiskLifetimes) RepairTime(rng *rand.Rand) float64 {
+	if m.MTTR == 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * m.MTTR
+}
+
+// Sweep enumerates the disaster sizes of Figs 11–13: 10%, 20%, …, maxPct%.
+func Sweep(maxPct int) ([]float64, error) {
+	if maxPct < 10 || maxPct > 100 {
+		return nil, fmt.Errorf("failure: sweep bound %d%% outside [10,100]", maxPct)
+	}
+	var out []float64
+	for pct := 10; pct <= maxPct; pct += 10 {
+		out = append(out, float64(pct)/100)
+	}
+	return out, nil
+}
+
+// ProbabilityAllCopiesFail returns q^n, the loss probability of an n-way
+// replicated block under iid location failure probability q — the closed-
+// form curve replication follows in Fig 11.
+func ProbabilityAllCopiesFail(q float64, n int) float64 {
+	return math.Pow(q, float64(n))
+}

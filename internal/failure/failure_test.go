@@ -1,0 +1,174 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDisasterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDisaster(rng, 0, 0.5); err == nil {
+		t.Error("NewDisaster accepted n=0")
+	}
+	if _, err := NewDisaster(rng, 10, -0.1); err == nil {
+		t.Error("NewDisaster accepted negative fraction")
+	}
+	if _, err := NewDisaster(rng, 10, 1.1); err == nil {
+		t.Error("NewDisaster accepted fraction > 1")
+	}
+}
+
+func TestNewDisasterSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		d, err := NewDisaster(rng, 100, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(frac * 100)
+		if len(d.Failed) != want {
+			t.Errorf("frac %v: %d failed locations, want %d", frac, len(d.Failed), want)
+		}
+		if got := d.Size(); math.Abs(got-frac) > 1e-9 {
+			t.Errorf("Size() = %v, want %v", got, frac)
+		}
+		// All distinct, all in range.
+		seen := make(map[int]bool)
+		for _, loc := range d.Failed {
+			if loc < 0 || loc >= 100 {
+				t.Errorf("failed location %d out of range", loc)
+			}
+			if seen[loc] {
+				t.Errorf("location %d failed twice", loc)
+			}
+			seen[loc] = true
+		}
+	}
+}
+
+func TestFailedSet(t *testing.T) {
+	d := Disaster{Locations: 5, Failed: []int{1, 3}}
+	set := d.FailedSet()
+	want := []bool{false, true, false, true, false}
+	for i, w := range want {
+		if set[i] != w {
+			t.Errorf("FailedSet[%d] = %v, want %v", i, set[i], w)
+		}
+	}
+}
+
+func TestDisasterSizeEmpty(t *testing.T) {
+	if got := (Disaster{}).Size(); got != 0 {
+		t.Errorf("empty disaster Size = %v, want 0", got)
+	}
+}
+
+func TestIIDBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	failed, err := IIDBlocks(rng, 100000, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(failed)) / 100000
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("failure rate %v, want ≈0.25", got)
+	}
+	if _, err := IIDBlocks(rng, -1, 0.5); err == nil {
+		t.Error("IIDBlocks accepted negative n")
+	}
+	if _, err := IIDBlocks(rng, 10, 2); err == nil {
+		t.Error("IIDBlocks accepted q>1")
+	}
+	none, err := IIDBlocks(rng, 1000, 0)
+	if err != nil || len(none) != 0 {
+		t.Errorf("q=0 failed %d blocks, err=%v", len(none), err)
+	}
+}
+
+func TestDiskLifetimesValidate(t *testing.T) {
+	if err := (DiskLifetimes{MTTF: 0, MTTR: 1}).Validate(); err == nil {
+		t.Error("accepted zero MTTF")
+	}
+	if err := (DiskLifetimes{MTTF: 1, MTTR: -1}).Validate(); err == nil {
+		t.Error("accepted negative MTTR")
+	}
+	if err := (DiskLifetimes{MTTF: 1e5, MTTR: 24}).Validate(); err != nil {
+		t.Errorf("rejected valid model: %v", err)
+	}
+}
+
+func TestDiskLifetimesMeans(t *testing.T) {
+	m := DiskLifetimes{MTTF: 1000, MTTR: 10}
+	rng := rand.New(rand.NewSource(4))
+	const n = 200000
+	var sumF, sumR float64
+	for i := 0; i < n; i++ {
+		sumF += m.NextFailure(rng)
+		sumR += m.RepairTime(rng)
+	}
+	if got := sumF / n; math.Abs(got-1000) > 20 {
+		t.Errorf("mean failure time %v, want ≈1000", got)
+	}
+	if got := sumR / n; math.Abs(got-10) > 0.5 {
+		t.Errorf("mean repair time %v, want ≈10", got)
+	}
+	instant := DiskLifetimes{MTTF: 1000, MTTR: 0}
+	if instant.RepairTime(rng) != 0 {
+		t.Error("zero MTTR should give instant repairs")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	got, err := Sweep(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("Sweep(50) = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Sweep[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Sweep(5); err == nil {
+		t.Error("Sweep(5) succeeded")
+	}
+	if _, err := Sweep(101); err == nil {
+		t.Error("Sweep(101) succeeded")
+	}
+}
+
+func TestProbabilityAllCopiesFail(t *testing.T) {
+	if got := ProbabilityAllCopiesFail(0.5, 2); got != 0.25 {
+		t.Errorf("q=0.5 n=2: %v, want 0.25", got)
+	}
+	if got := ProbabilityAllCopiesFail(0.1, 3); math.Abs(got-0.001) > 1e-15 {
+		t.Errorf("q=0.1 n=3: %v, want 0.001", got)
+	}
+}
+
+func TestPropertyDisasterDistinct(t *testing.T) {
+	prop := func(seed int64, pct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frac := float64(pct%101) / 100
+		d, err := NewDisaster(rng, 64, frac)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, loc := range d.Failed {
+			if loc < 0 || loc >= 64 || seen[loc] {
+				return false
+			}
+			seen[loc] = true
+		}
+		return len(d.Failed) == int(frac*64)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

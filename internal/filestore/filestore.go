@@ -1,0 +1,242 @@
+// Package filestore persists an entangled lattice as plain files in a
+// directory — the storage backend for the aefile archival tool. Every
+// block is one file (data blocks d_<i>, parities p_<class>_<left>_<right>)
+// plus a manifest.json describing the code parameters, block size, block
+// count and original payload length, so a directory is a self-contained
+// archive.
+package filestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aecodes/internal/entangle"
+	"aecodes/internal/lattice"
+)
+
+// Manifest describes the archive in a directory.
+type Manifest struct {
+	Alpha      int   `json:"alpha"`
+	S          int   `json:"s"`
+	P          int   `json:"p"`
+	BlockSize  int   `json:"block_size"`
+	Blocks     int   `json:"blocks"`
+	PayloadLen int64 `json:"payload_len"`
+}
+
+// Params returns the lattice parameters of the manifest.
+func (m Manifest) Params() lattice.Params {
+	return lattice.Params{Alpha: m.Alpha, S: m.S, P: m.P}
+}
+
+// manifestName is the archive metadata file.
+const manifestName = "manifest.json"
+
+// Store is an entangle.Store backed by a directory. It is not safe for
+// concurrent use.
+type Store struct {
+	dir      string
+	manifest Manifest
+	lat      *lattice.Lattice
+}
+
+var _ entangle.Store = (*Store)(nil)
+
+// Create initialises a new archive directory (creating it if necessary)
+// and writes the manifest.
+func Create(dir string, m Manifest) (*Store, error) {
+	lat, err := lattice.New(m.Params())
+	if err != nil {
+		return nil, err
+	}
+	if m.BlockSize <= 0 {
+		return nil, fmt.Errorf("filestore: block size must be positive, got %d", m.BlockSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filestore: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, manifest: m, lat: lat}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open loads an existing archive directory.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("filestore: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("filestore: parsing manifest: %w", err)
+	}
+	lat, err := lattice.New(m.Params())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, manifest: m, lat: lat}, nil
+}
+
+// Manifest returns the archive metadata.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// SetPayload records the original payload length and block count.
+func (s *Store) SetPayload(blocks int, payloadLen int64) error {
+	s.manifest.Blocks = blocks
+	s.manifest.PayloadLen = payloadLen
+	return s.writeManifest()
+}
+
+func (s *Store) writeManifest() error {
+	raw, err := json.MarshalIndent(s.manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("filestore: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, manifestName), raw, 0o644); err != nil {
+		return fmt.Errorf("filestore: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// dataPath and parityPath name the block files.
+func (s *Store) dataPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("d_%d", i))
+}
+
+func (s *Store) parityPath(e lattice.Edge) string {
+	return filepath.Join(s.dir, fmt.Sprintf("p_%s_%d_%d", e.Class, e.Left, e.Right))
+}
+
+// Data implements entangle.Source.
+func (s *Store) Data(i int) ([]byte, bool) {
+	b, err := os.ReadFile(s.dataPath(i))
+	if err != nil || len(b) != s.manifest.BlockSize {
+		return nil, false
+	}
+	return b, true
+}
+
+// Parity implements entangle.Source.
+func (s *Store) Parity(e lattice.Edge) ([]byte, bool) {
+	if e.IsVirtual() {
+		return entangle.ZeroBlock(s.manifest.BlockSize), true
+	}
+	b, err := os.ReadFile(s.parityPath(e))
+	if err != nil || len(b) != s.manifest.BlockSize {
+		return nil, false
+	}
+	return b, true
+}
+
+// PutData implements entangle.Store.
+func (s *Store) PutData(i int, b []byte) error {
+	if len(b) != s.manifest.BlockSize {
+		return fmt.Errorf("filestore: data block %d has %d bytes, want %d", i, len(b), s.manifest.BlockSize)
+	}
+	return os.WriteFile(s.dataPath(i), b, 0o644)
+}
+
+// PutParity implements entangle.Store.
+func (s *Store) PutParity(e lattice.Edge, b []byte) error {
+	if e.IsVirtual() {
+		return fmt.Errorf("filestore: cannot store virtual edge %v", e)
+	}
+	if len(b) != s.manifest.BlockSize {
+		return fmt.Errorf("filestore: parity %v has %d bytes, want %d", e, len(b), s.manifest.BlockSize)
+	}
+	return os.WriteFile(s.parityPath(e), b, 0o644)
+}
+
+// MissingData implements entangle.Store: data positions in [1, Blocks]
+// whose file is absent or truncated.
+func (s *Store) MissingData() []int {
+	var out []int
+	for i := 1; i <= s.manifest.Blocks; i++ {
+		if _, ok := s.Data(i); !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MissingParities implements entangle.Store.
+func (s *Store) MissingParities() []lattice.Edge {
+	var out []lattice.Edge
+	for i := 1; i <= s.manifest.Blocks; i++ {
+		for _, class := range s.lat.Classes() {
+			e, err := s.lat.OutEdge(class, i)
+			if err != nil {
+				continue
+			}
+			if _, ok := s.Parity(e); !ok {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		return out[a].Left < out[b].Left
+	})
+	return out
+}
+
+// Delete removes a block file by its file name (as listed by List),
+// simulating device damage.
+func (s *Store) Delete(name string) error {
+	if name == manifestName || strings.Contains(name, string(os.PathSeparator)) {
+		return fmt.Errorf("filestore: refusing to delete %q", name)
+	}
+	return os.Remove(filepath.Join(s.dir, name))
+}
+
+// List returns the block file names in the archive, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: listing %s: %w", s.dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == manifestName {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ParseParityName recovers the edge from a parity file name, for tools
+// that need to reason about damaged archives.
+func ParseParityName(name string) (lattice.Edge, bool) {
+	parts := strings.Split(name, "_")
+	if len(parts) != 4 || parts[0] != "p" {
+		return lattice.Edge{}, false
+	}
+	var class lattice.Class
+	switch parts[1] {
+	case "h":
+		class = lattice.Horizontal
+	case "rh":
+		class = lattice.RightHanded
+	case "lh":
+		class = lattice.LeftHanded
+	default:
+		return lattice.Edge{}, false
+	}
+	left, err1 := strconv.Atoi(parts[2])
+	right, err2 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil {
+		return lattice.Edge{}, false
+	}
+	return lattice.Edge{Class: class, Left: left, Right: right}, true
+}

@@ -1,0 +1,124 @@
+// Package gf256 implements arithmetic over the finite field GF(2⁸).
+//
+// The field is constructed with the primitive polynomial
+// x⁸ + x⁴ + x³ + x² + 1 (0x11d), the polynomial conventionally used by
+// storage-oriented Reed–Solomon implementations. Multiplication and division
+// are table-driven via log/antilog tables built once at package
+// initialisation; the construction is fully deterministic, performs no I/O
+// and has no environment dependence.
+package gf256
+
+import "fmt"
+
+// Order is the number of elements of the field.
+const Order = 256
+
+// polynomial is the primitive reduction polynomial (0x11d) without the x⁸ term
+// folded in during table construction.
+const polynomial = 0x11d
+
+var (
+	logTable [Order]byte        // logTable[x] = log_g(x), undefined for x=0
+	expTable [2 * Order]byte    // expTable[i] = g^i, doubled to skip a mod
+	invTable [Order]byte        // invTable[x] = x⁻¹, undefined for x=0
+	mulTable [Order][Order]byte // full multiplication table
+)
+
+func init() {
+	// Generator g = 2 is primitive for 0x11d.
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= polynomial
+		}
+	}
+	for i := Order - 1; i < 2*Order; i++ {
+		expTable[i] = expTable[i-(Order-1)]
+	}
+	for a := 1; a < Order; a++ {
+		invTable[a] = expTable[Order-1-int(logTable[a])]
+	}
+	for a := 1; a < Order; a++ {
+		for b := 1; b < Order; b++ {
+			mulTable[a][b] = expTable[int(logTable[a])+int(logTable[b])]
+		}
+	}
+}
+
+// Add returns a + b in GF(2⁸), which is XOR.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a − b in GF(2⁸); identical to Add in characteristic 2.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a · b in GF(2⁸).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a / b in GF(2⁸). It returns an error when b is zero.
+func Div(a, b byte) (byte, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	return expTable[int(logTable[a])+Order-1-int(logTable[b])], nil
+}
+
+// Inv returns the multiplicative inverse of a.
+// It returns an error when a is zero.
+func Inv(a byte) (byte, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("gf256: zero has no inverse")
+	}
+	return invTable[a], nil
+}
+
+// Exp returns g^n for the field generator g=2; n may be any non-negative int.
+func Exp(n int) byte {
+	return expTable[n%(Order-1)]
+}
+
+// Pow returns a^n.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	logA := int(logTable[a])
+	return expTable[(logA*n)%(Order-1)]
+}
+
+// MulSlice computes dst[i] = c·src[i] for every i. dst and src must have the
+// same length; dst may alias src.
+func MulSlice(c byte, dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("gf256: length mismatch dst=%d src=%d", len(dst), len(src))
+	}
+	row := &mulTable[c]
+	for i, v := range src {
+		dst[i] = row[v]
+	}
+	return nil
+}
+
+// MulAddSlice computes dst[i] ^= c·src[i] for every i — the fundamental
+// row-operation of matrix-based erasure coding.
+func MulAddSlice(c byte, dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("gf256: length mismatch dst=%d src=%d", len(dst), len(src))
+	}
+	if c == 0 {
+		return nil
+	}
+	row := &mulTable[c]
+	for i, v := range src {
+		dst[i] ^= row[v]
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// slowMul is a bitwise reference implementation (Russian peasant) used to
+// validate the table-driven fast path.
+func slowMul(a, b byte) byte {
+	var r byte
+	for b > 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		hi := a&0x80 != 0
+		a <<= 1
+		if hi {
+			a ^= byte(polynomial & 0xff)
+		}
+		b >>= 1
+	}
+	return r
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		for b := 0; b < Order; b++ {
+			if got, want := Mul(byte(a), byte(b)), slowMul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsExhaustiveIdentities(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		x := byte(a)
+		if Mul(x, 1) != x {
+			t.Fatalf("1 is not multiplicative identity for %d", a)
+		}
+		if Mul(x, 0) != 0 {
+			t.Fatalf("0 does not annihilate %d", a)
+		}
+		if Add(x, x) != 0 {
+			t.Fatalf("characteristic-2 addition broken for %d", a)
+		}
+		if a != 0 {
+			inv, err := Inv(x)
+			if err != nil {
+				t.Fatalf("Inv(%d): %v", a, err)
+			}
+			if Mul(x, inv) != 1 {
+				t.Fatalf("x·x⁻¹ != 1 for %d", a)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	commutes := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(commutes, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	associates := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(associates, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	distributes := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(distributes, cfg); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+	divInvertsMul := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		q, err := Div(Mul(a, b), b)
+		return err == nil && q == a
+	}
+	if err := quick.Check(divInvertsMul, cfg); err != nil {
+		t.Errorf("division: %v", err)
+	}
+}
+
+func TestDivErrors(t *testing.T) {
+	if _, err := Div(5, 0); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+	if _, err := Inv(0); err == nil {
+		t.Fatal("expected zero-inverse error")
+	}
+	q, err := Div(0, 7)
+	if err != nil || q != 0 {
+		t.Fatalf("Div(0,7) = %d, %v; want 0, nil", q, err)
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	seen := make(map[byte]bool, Order-1)
+	for i := 0; i < Order-1; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("generator cycle repeats at exponent %d (value %d)", i, v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != Order-1 {
+		t.Fatalf("generator spans %d elements, want %d", len(seen), Order-1)
+	}
+}
+
+func TestPow(t *testing.T) {
+	tests := []struct {
+		a    byte
+		n    int
+		want byte
+	}{
+		{a: 0, n: 0, want: 1}, // convention: 0⁰ = 1
+		{a: 0, n: 5, want: 0},
+		{a: 7, n: 0, want: 1},
+		{a: 2, n: 1, want: 2},
+		{a: 2, n: 8, want: 0x1d}, // x⁸ ≡ x⁴+x³+x²+1 mod poly
+	}
+	for _, tt := range tests {
+		if got := Pow(tt.a, tt.n); got != tt.want {
+			t.Errorf("Pow(%d,%d) = %#x, want %#x", tt.a, tt.n, got, tt.want)
+		}
+	}
+	// Pow must agree with iterated Mul.
+	for _, a := range []byte{1, 2, 3, 29, 117, 255} {
+		acc := byte(1)
+		for n := 0; n < 20; n++ {
+			if got := Pow(a, n); got != acc {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, n, got, acc)
+			}
+			acc = Mul(acc, a)
+		}
+	}
+}
+
+func TestMulSliceAndMulAddSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 255, 254, 17}
+	dst := make([]byte, len(src))
+	if err := MulSlice(3, dst, src); err != nil {
+		t.Fatalf("MulSlice: %v", err)
+	}
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Fatalf("MulSlice[%d] = %d, want %d", i, dst[i], Mul(3, src[i]))
+		}
+	}
+	acc := make([]byte, len(src))
+	copy(acc, dst)
+	if err := MulAddSlice(7, acc, src); err != nil {
+		t.Fatalf("MulAddSlice: %v", err)
+	}
+	for i := range src {
+		want := dst[i] ^ Mul(7, src[i])
+		if acc[i] != want {
+			t.Fatalf("MulAddSlice[%d] = %d, want %d", i, acc[i], want)
+		}
+	}
+	// c=0 must be a no-op.
+	before := append([]byte(nil), acc...)
+	if err := MulAddSlice(0, acc, src); err != nil {
+		t.Fatalf("MulAddSlice(0): %v", err)
+	}
+	for i := range acc {
+		if acc[i] != before[i] {
+			t.Fatal("MulAddSlice with c=0 modified dst")
+		}
+	}
+	if err := MulSlice(1, make([]byte, 2), src); err == nil {
+		t.Fatal("expected length mismatch error from MulSlice")
+	}
+	if err := MulAddSlice(1, make([]byte, 2), src); err == nil {
+		t.Fatal("expected length mismatch error from MulAddSlice")
+	}
+}
+
+func BenchmarkMulAddSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MulAddSlice(29, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

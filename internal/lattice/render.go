@@ -1,0 +1,110 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderOptions configures the ASCII lattice renderer.
+type RenderOptions struct {
+	// From and Columns select the window: Columns lattice columns
+	// starting at the column containing node From.
+	From, Columns int
+	// MarkNodes and MarkEdges are drawn highlighted ("[d26]" and "xx"),
+	// which visualises erasure patterns on the grid.
+	MarkNodes []int
+	MarkEdges []Edge
+}
+
+// Render draws a Fig 4-style ASCII diagram of the lattice: nodes in an
+// s×Columns grid with horizontal edges between them; helical edges are
+// listed below the grid (drawing their wraps inline is hopeless in ASCII).
+// Marked nodes render in brackets and marked horizontal edges as "xx".
+func (l *Lattice) Render(opts RenderOptions) (string, error) {
+	if opts.From < 1 {
+		opts.From = 1
+	}
+	if opts.Columns < 1 {
+		opts.Columns = 8
+	}
+	s := l.params.S
+	startCol := l.Col(opts.From)
+
+	markedNode := make(map[int]bool, len(opts.MarkNodes))
+	for _, n := range opts.MarkNodes {
+		markedNode[n] = true
+	}
+	markedEdge := make(map[Edge]bool, len(opts.MarkEdges))
+	for _, e := range opts.MarkEdges {
+		markedEdge[e] = true
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v  columns %d..%d\n", l.params, startCol, startCol+opts.Columns-1)
+	cellWidth := len(fmt.Sprintf("[%d]", (startCol+opts.Columns)*s+s))
+	for r := 0; r < s; r++ {
+		var row strings.Builder
+		for c := startCol; c < startCol+opts.Columns; c++ {
+			i := c*s + r + 1
+			cell := fmt.Sprintf("%d", i)
+			if markedNode[i] {
+				cell = "[" + cell + "]"
+			}
+			row.WriteString(pad(cell, cellWidth))
+			if c < startCol+opts.Columns-1 {
+				h, err := l.OutEdge(Horizontal, i)
+				if err != nil {
+					return "", err
+				}
+				if markedEdge[h] {
+					row.WriteString("xx")
+				} else {
+					row.WriteString("--")
+				}
+			}
+		}
+		sb.WriteString(strings.TrimRight(row.String(), " "))
+		sb.WriteByte('\n')
+	}
+
+	// Helical edges in the window, one line per class.
+	for _, class := range l.classes {
+		if class == Horizontal {
+			continue
+		}
+		var edges []Edge
+		for c := startCol; c < startCol+opts.Columns; c++ {
+			for r := 0; r < s; r++ {
+				i := c*s + r + 1
+				if i < 1 {
+					continue
+				}
+				e, err := l.OutEdge(class, i)
+				if err != nil {
+					return "", err
+				}
+				edges = append(edges, e)
+			}
+		}
+		sort.Slice(edges, func(a, b int) bool { return edges[a].Left < edges[b].Left })
+		var parts []string
+		for _, e := range edges {
+			txt := fmt.Sprintf("%d-%d", e.Left, e.Right)
+			if markedEdge[e] {
+				txt = "[" + txt + "]"
+			}
+			parts = append(parts, txt)
+		}
+		fmt.Fprintf(&sb, "%-2s: %s\n", class, strings.Join(parts, " "))
+	}
+	return sb.String(), nil
+}
+
+// pad right-pads a cell to the given width.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}

@@ -1,0 +1,55 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicGrid(t *testing.T) {
+	l := mustLattice(t, 3, 5, 5)
+	out, err := l.Render(RenderOptions{From: 21, Columns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig 4 window: nodes 21..40 in 5 rows, 4 columns.
+	for _, want := range []string{"AE(3,5,5)", "21", "26", "31", "36", "25", "40", "rh:", "lh:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Five node rows plus header plus two helical lines.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+5+2 {
+		t.Errorf("render has %d lines, want 8:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMarks(t *testing.T) {
+	l := mustLattice(t, 1, 1, 0)
+	out, err := l.Render(RenderOptions{
+		From:      50,
+		Columns:   4,
+		MarkNodes: []int{50, 51},
+		MarkEdges: []Edge{{Class: Horizontal, Left: 50, Right: 51}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[50]") || !strings.Contains(out, "[51]") {
+		t.Errorf("marked nodes not bracketed:\n%s", out)
+	}
+	if !strings.Contains(out, "xx") {
+		t.Errorf("marked edge not drawn as xx:\n%s", out)
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	l := mustLattice(t, 2, 2, 3)
+	out, err := l.Render(RenderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "columns 0..7") {
+		t.Errorf("defaults not applied:\n%s", out)
+	}
+}

@@ -1,0 +1,279 @@
+// Package matrix implements dense matrices over GF(2⁸) with the operations
+// needed by matrix-based erasure codes: multiplication, Gaussian inversion,
+// sub-matrix extraction, and the Vandermonde / Cauchy constructions used to
+// derive systematic Reed–Solomon generator matrices.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"aecodes/internal/gf256"
+)
+
+// Matrix is a rows×cols dense matrix over GF(2⁸). The zero value is not
+// usable; construct values with New, Identity, Vandermonde or Cauchy.
+type Matrix struct {
+	rows, cols int
+	data       [][]byte
+}
+
+// New returns a zeroed rows×cols matrix.
+// It returns an error for non-positive dimensions.
+func New(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid dimensions %dx%d", rows, cols)
+	}
+	data := make([][]byte, rows)
+	backing := make([]byte, rows*cols)
+	for r := range data {
+		data[r], backing = backing[:cols:cols], backing[cols:]
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
+// FromRows builds a matrix from explicit row data, copying the input.
+// All rows must have equal, positive length.
+func FromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("matrix: empty row data")
+	}
+	m, err := New(len(rows), len(rows[0]))
+	if err != nil {
+		return nil, err
+	}
+	for r, row := range rows {
+		if len(row) != m.cols {
+			return nil, fmt.Errorf("matrix: row %d has %d cols, want %d", r, len(row), m.cols)
+		}
+		copy(m.data[r], row)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) (*Matrix, error) {
+	m, err := New(n, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		m.data[i][i] = 1
+	}
+	return m, nil
+}
+
+// Vandermonde returns the rows×cols matrix with entry (r,c) = r^c, the
+// classic construction whose leading square sub-matrices are invertible for
+// distinct evaluation points.
+func Vandermonde(rows, cols int) (*Matrix, error) {
+	m, err := New(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.data[r][c] = gf256.Pow(byte(r), c)
+		}
+	}
+	return m, nil
+}
+
+// Cauchy returns the rows×cols Cauchy matrix with entry
+// (r,c) = 1/(x_r + y_c) for x_r = r+cols and y_c = c. Every square
+// sub-matrix of a Cauchy matrix is invertible, which makes it a valid
+// erasure-code generator without further fixing.
+func Cauchy(rows, cols int) (*Matrix, error) {
+	if rows+cols > gf256.Order {
+		return nil, fmt.Errorf("matrix: cauchy %dx%d exceeds field size", rows, cols)
+	}
+	m, err := New(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			inv, err := gf256.Inv(byte(r+cols) ^ byte(c))
+			if err != nil {
+				return nil, fmt.Errorf("matrix: cauchy cell (%d,%d): %w", r, c, err)
+			}
+			m.data[r][c] = inv
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r][c] }
+
+// Set assigns the entry at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r][c] = v }
+
+// Row returns a copy of row r.
+func (m *Matrix) Row(r int) []byte {
+	out := make([]byte, m.cols)
+	copy(out, m.data[r])
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c, err := New(m.rows, m.cols)
+	if err != nil {
+		// New only fails on non-positive dimensions, which m cannot have.
+		panic("matrix: clone of invalid matrix: " + err.Error())
+	}
+	for r := range m.data {
+		copy(c.data[r], m.data[r])
+	}
+	return c
+}
+
+// Mul returns m · other.
+// It returns an error when the inner dimensions disagree.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	out, err := New(m.rows, other.cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[r][k]
+			if a == 0 {
+				continue
+			}
+			if err := gf256.MulAddSlice(a, out.data[r], other.data[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec multiplies m by a column vector of byte-slices: out[r] is the
+// GF(2⁸) linear combination Σ_c m[r][c]·vec[c], where each vec[c] is a data
+// shard. All shards must share one length. This is the encode primitive for
+// matrix-based codes.
+func (m *Matrix) MulVec(vec [][]byte) ([][]byte, error) {
+	if len(vec) != m.cols {
+		return nil, fmt.Errorf("matrix: vector has %d shards, want %d", len(vec), m.cols)
+	}
+	shardLen := len(vec[0])
+	for i, s := range vec {
+		if len(s) != shardLen {
+			return nil, fmt.Errorf("matrix: shard %d has length %d, want %d", i, len(s), shardLen)
+		}
+	}
+	out := make([][]byte, m.rows)
+	for r := 0; r < m.rows; r++ {
+		acc := make([]byte, shardLen)
+		for c := 0; c < m.cols; c++ {
+			if err := gf256.MulAddSlice(m.data[r][c], acc, vec[c]); err != nil {
+				return nil, err
+			}
+		}
+		out[r] = acc
+	}
+	return out, nil
+}
+
+// SubMatrix returns the matrix formed by the given row indices (all columns).
+func (m *Matrix) SubMatrix(rowIdx []int) (*Matrix, error) {
+	if len(rowIdx) == 0 {
+		return nil, fmt.Errorf("matrix: empty row selection")
+	}
+	out, err := New(len(rowIdx), m.cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rowIdx {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("matrix: row index %d out of range [0,%d)", r, m.rows)
+		}
+		copy(out.data[i], m.data[r])
+	}
+	return out, nil
+}
+
+// Invert returns m⁻¹ computed by Gauss–Jordan elimination with partial
+// pivoting. It returns ErrSingular when the matrix is singular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert non-square %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.Clone()
+	inv, err := Identity(n)
+	if err != nil {
+		return nil, err
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.data[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work.data[col], work.data[pivot] = work.data[pivot], work.data[col]
+		inv.data[col], inv.data[pivot] = inv.data[pivot], inv.data[col]
+
+		p := work.data[col][col]
+		pInv, err := gf256.Inv(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := gf256.MulSlice(pInv, work.data[col], work.data[col]); err != nil {
+			return nil, err
+		}
+		if err := gf256.MulSlice(pInv, inv.data[col], inv.data[col]); err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.data[r][col]
+			if factor == 0 {
+				continue
+			}
+			if err := gf256.MulAddSlice(factor, work.data[r], work.data[col]); err != nil {
+				return nil, err
+			}
+			if err := gf256.MulAddSlice(factor, inv.data[r], inv.data[col]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inv, nil
+}
+
+// ErrSingular is returned by Invert for singular matrices.
+var ErrSingular = fmt.Errorf("matrix: singular")
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if c > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%02x", m.data[r][c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,257 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aecodes/internal/gf256"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Fatal("expected error for negative cols")
+	}
+	m, err := New(2, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dimensions = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := FromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	m, err := FromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %d, want 3", m.At(1, 0))
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	id, err := Identity(4)
+	if err != nil {
+		t.Fatalf("Identity: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	m, err := New(4, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			m.Set(r, c, byte(rng.Intn(256)))
+		}
+	}
+	left, err := id.Mul(m)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	right, err := m.Mul(id)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if left.At(r, c) != m.At(r, c) || right.At(r, c) != m.At(r, c) {
+				t.Fatalf("identity multiplication altered entry (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a, _ := New(2, 3)
+	b, _ := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("expected inner-dimension error")
+	}
+}
+
+func TestInvertRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	id, _ := Identity(6)
+	inverted := 0
+	for trial := 0; trial < 50; trial++ {
+		m, _ := New(6, 6)
+		for r := 0; r < 6; r++ {
+			for c := 0; c < 6; c++ {
+				m.Set(r, c, byte(rng.Intn(256)))
+			}
+		}
+		inv, err := m.Invert()
+		if errors.Is(err, ErrSingular) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Invert: %v", err)
+		}
+		inverted++
+		prod, err := m.Mul(inv)
+		if err != nil {
+			t.Fatalf("Mul: %v", err)
+		}
+		for r := 0; r < 6; r++ {
+			for c := 0; c < 6; c++ {
+				if prod.At(r, c) != id.At(r, c) {
+					t.Fatalf("trial %d: m·m⁻¹ != I at (%d,%d)", trial, r, c)
+				}
+			}
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("no random matrix was invertible; RNG setup broken")
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m, _ := FromRows([][]byte{
+		{1, 2, 3},
+		{2, 4, 6}, // 2 * row 0 in GF(2^8): 2*1=2, 2*2=4, 2*3=6
+		{0, 0, 1},
+	})
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert singular = %v, want ErrSingular", err)
+	}
+	rect, _ := New(2, 3)
+	if _, err := rect.Invert(); err == nil {
+		t.Fatal("expected error inverting non-square matrix")
+	}
+}
+
+func TestCauchyAllSquareSubmatricesInvertible(t *testing.T) {
+	// For a 4x6 Cauchy matrix, every single entry is non-zero and every 2x2
+	// minor is invertible. Spot-check all 2x2 minors.
+	m, err := Cauchy(4, 6)
+	if err != nil {
+		t.Fatalf("Cauchy: %v", err)
+	}
+	for r1 := 0; r1 < 4; r1++ {
+		for r2 := r1 + 1; r2 < 4; r2++ {
+			for c1 := 0; c1 < 6; c1++ {
+				for c2 := c1 + 1; c2 < 6; c2++ {
+					sub, err := FromRows([][]byte{
+						{m.At(r1, c1), m.At(r1, c2)},
+						{m.At(r2, c1), m.At(r2, c2)},
+					})
+					if err != nil {
+						t.Fatalf("FromRows: %v", err)
+					}
+					if _, err := sub.Invert(); err != nil {
+						t.Fatalf("2x2 minor (%d,%d)x(%d,%d) singular: %v", r1, r2, c1, c2, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCauchyFieldLimit(t *testing.T) {
+	if _, err := Cauchy(200, 100); err == nil {
+		t.Fatal("expected error for Cauchy matrix exceeding field size")
+	}
+}
+
+func TestVandermonde(t *testing.T) {
+	m, err := Vandermonde(5, 3)
+	if err != nil {
+		t.Fatalf("Vandermonde: %v", err)
+	}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 3; c++ {
+			if got, want := m.At(r, c), gf256.Pow(byte(r), c); got != want {
+				t.Fatalf("V(%d,%d) = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	// Encode two shards with a known matrix and verify entries by hand.
+	m, _ := FromRows([][]byte{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+		{2, 3},
+	})
+	shards := [][]byte{{10, 20}, {30, 40}}
+	out, err := m.MulVec(shards)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if !equalBytes(out[0], shards[0]) || !equalBytes(out[1], shards[1]) {
+		t.Fatal("identity rows must reproduce inputs")
+	}
+	for i := 0; i < 2; i++ {
+		if out[2][i] != shards[0][i]^shards[1][i] {
+			t.Fatalf("xor row mismatch at %d", i)
+		}
+		want := gf256.Mul(2, shards[0][i]) ^ gf256.Mul(3, shards[1][i])
+		if out[3][i] != want {
+			t.Fatalf("coefficient row mismatch at %d: got %d want %d", i, out[3][i], want)
+		}
+	}
+	if _, err := m.MulVec([][]byte{{1}}); err == nil {
+		t.Fatal("expected shard-count mismatch error")
+	}
+	if _, err := m.MulVec([][]byte{{1}, {1, 2}}); err == nil {
+		t.Fatal("expected shard-length mismatch error")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m, _ := FromRows([][]byte{{1, 2}, {3, 4}, {5, 6}})
+	sub, err := m.SubMatrix([]int{2, 0})
+	if err != nil {
+		t.Fatalf("SubMatrix: %v", err)
+	}
+	if sub.At(0, 0) != 5 || sub.At(1, 1) != 2 {
+		t.Fatalf("SubMatrix content wrong:\n%s", sub)
+	}
+	if _, err := m.SubMatrix(nil); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+	if _, err := m.SubMatrix([]int{3}); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m, _ := FromRows([][]byte{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m, _ := FromRows([][]byte{{0, 255}})
+	if got, want := m.String(), "00 ff\n"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package mep
+
+import (
+	"fmt"
+
+	"aecodes/internal/lattice"
+)
+
+// blockSet is membership for a candidate erasure pattern.
+type blockSet struct {
+	lat   *lattice.Lattice
+	nodes map[int]bool
+	edges map[lattice.Edge]bool
+}
+
+func newBlockSet(p Pattern) (*blockSet, error) {
+	lat, err := lattice.New(p.Params)
+	if err != nil {
+		return nil, err
+	}
+	s := &blockSet{
+		lat:   lat,
+		nodes: make(map[int]bool, len(p.Nodes)),
+		edges: make(map[lattice.Edge]bool, len(p.Edges)),
+	}
+	for _, n := range p.Nodes {
+		if n < 1 {
+			return nil, fmt.Errorf("mep: node position %d out of range", n)
+		}
+		if s.nodes[n] {
+			return nil, fmt.Errorf("mep: duplicate node %d", n)
+		}
+		s.nodes[n] = true
+	}
+	for _, e := range p.Edges {
+		if e.IsVirtual() {
+			return nil, fmt.Errorf("mep: virtual edge %v cannot be erased", e)
+		}
+		// Confirm e is a genuine lattice edge.
+		want, err := lat.OutEdge(e.Class, e.Left)
+		if err != nil {
+			return nil, err
+		}
+		if want != e {
+			return nil, fmt.Errorf("mep: %v is not a lattice edge (out-edge of %d is %v)", e, e.Left, want)
+		}
+		if s.edges[e] {
+			return nil, fmt.Errorf("mep: duplicate edge %v", e)
+		}
+		s.edges[e] = true
+	}
+	return s, nil
+}
+
+// edgeAvailable reports whether an edge is outside the erased set (virtual
+// edges are always available).
+func (s *blockSet) edgeAvailable(e lattice.Edge) bool {
+	return e.IsVirtual() || !s.edges[e]
+}
+
+// nodeRepairable reports whether erased data node n has a complete
+// pp-tuple.
+func (s *blockSet) nodeRepairable(n int) (bool, error) {
+	tuples, err := s.lat.Tuples(n)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range tuples {
+		if s.edgeAvailable(t.In) && s.edgeAvailable(t.Out) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// edgeRepairable reports whether erased edge e has a complete dp-tuple.
+func (s *blockSet) edgeRepairable(e lattice.Edge) (bool, error) {
+	opts, err := s.lat.ParityOptions(e)
+	if err != nil {
+		return false, err
+	}
+	for _, o := range opts {
+		if !s.nodes[o.Data] && s.edgeAvailable(o.Parity) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// anyRepairable reports whether any erased block has a complete repair
+// tuple, skipping the given excluded block (used for irreducibility).
+func (s *blockSet) anyRepairable(skipNode int, skipEdge *lattice.Edge) (bool, error) {
+	for n := range s.nodes {
+		if n == skipNode {
+			continue
+		}
+		ok, err := s.nodeRepairable(n)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	for e := range s.edges {
+		if skipEdge != nil && e == *skipEdge {
+			continue
+		}
+		ok, err := s.edgeRepairable(e)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Closed verifies that the pattern is irrecoverable: no erased block has a
+// repair tuple that avoids the erased set. It returns a descriptive error
+// naming the first repairable block otherwise.
+func Closed(p Pattern) error {
+	s, err := newBlockSet(p)
+	if err != nil {
+		return err
+	}
+	for _, n := range p.Nodes {
+		ok, err := s.nodeRepairable(n)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("mep: pattern not closed: d%d is repairable", n)
+		}
+	}
+	for _, e := range p.Edges {
+		ok, err := s.edgeRepairable(e)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("mep: pattern not closed: %v is repairable", e)
+		}
+	}
+	return nil
+}
+
+// Irreducible verifies Wylie-style minimality: restoring any single block
+// of the pattern makes at least one remaining erased block repairable.
+func Irreducible(p Pattern) error {
+	s, err := newBlockSet(p)
+	if err != nil {
+		return err
+	}
+	for _, n := range p.Nodes {
+		delete(s.nodes, n)
+		ok, err := s.anyRepairable(n, nil)
+		if err != nil {
+			return err
+		}
+		s.nodes[n] = true
+		if !ok {
+			return fmt.Errorf("mep: pattern not irreducible: removing d%d unlocks nothing", n)
+		}
+	}
+	for _, e := range p.Edges {
+		delete(s.edges, e)
+		ok, err := s.anyRepairable(0, &e)
+		if err != nil {
+			return err
+		}
+		s.edges[e] = true
+		if !ok {
+			return fmt.Errorf("mep: pattern not irreducible: removing %v unlocks nothing", e)
+		}
+	}
+	return nil
+}
+
+// Check verifies that the pattern is a well-formed minimal erasure: closed
+// and irreducible.
+func Check(p Pattern) error {
+	if err := Closed(p); err != nil {
+		return err
+	}
+	return Irreducible(p)
+}

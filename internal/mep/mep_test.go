@@ -1,0 +1,332 @@
+package mep
+
+import (
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+func search(t *testing.T, alpha, s, p, x int) Pattern {
+	t.Helper()
+	pat, err := MinimalErasure(lattice.Params{Alpha: alpha, S: s, P: p}, x, Options{})
+	if err != nil {
+		t.Fatalf("MinimalErasure(AE(%d,%d,%d), x=%d): %v", alpha, s, p, x, err)
+	}
+	return pat
+}
+
+// TestPaperME2Values asserts every |ME(2)| the paper states explicitly:
+// Fig 6 primitive form I, Fig 7 complex forms A–D, and the §I example pair
+// AE(3,1,4) → 8 vs AE(3,4,4) → 14.
+func TestPaperME2Values(t *testing.T) {
+	tests := []struct {
+		alpha, s, p int
+		want        int
+	}{
+		{1, 1, 0, 3},  // Fig 6 form I: two adjacent nodes + shared edge
+		{2, 1, 1, 4},  // Fig 7 form A
+		{3, 1, 1, 5},  // Fig 7 form B
+		{3, 1, 4, 8},  // Fig 7 form C (= §I example)
+		{3, 4, 4, 14}, // Fig 7 form D (= §I example)
+	}
+	for _, tt := range tests {
+		pat := search(t, tt.alpha, tt.s, tt.p, 2)
+		if pat.Size() != tt.want {
+			t.Errorf("AE(%d,%d,%d): |ME(2)| = %d, want %d",
+				tt.alpha, tt.s, tt.p, pat.Size(), tt.want)
+		}
+		if pat.DataLoss() != 2 {
+			t.Errorf("AE(%d,%d,%d): pattern has %d data nodes, want 2",
+				tt.alpha, tt.s, tt.p, pat.DataLoss())
+		}
+	}
+}
+
+// TestFig8ME2Sweep reproduces Fig 8: |ME(2)| as a function of p for the
+// four plotted settings. The closed form implied by the lattice geometry is
+// |ME(2)| = 2 + p + (α−1)·s: the two data nodes must share all α strands,
+// which puts them one revolution (s·p positions) apart, costing p edges on
+// the horizontal strand and s edges on each helical strand.
+func TestFig8ME2Sweep(t *testing.T) {
+	type setting struct{ alpha, s int }
+	for _, st := range []setting{{2, 2}, {2, 3}, {3, 2}, {3, 3}} {
+		for p := st.s; p <= 8; p++ {
+			pat, err := MinimalErasure(lattice.Params{Alpha: st.alpha, S: st.s, P: p}, 2, Options{})
+			if err != nil {
+				t.Fatalf("AE(%d,%d,%d): %v", st.alpha, st.s, p, err)
+			}
+			want := 2 + p + (st.alpha-1)*st.s
+			if pat.Size() != want {
+				t.Errorf("AE(%d,%d,%d): |ME(2)| = %d, want %d",
+					st.alpha, st.s, p, pat.Size(), want)
+			}
+		}
+	}
+}
+
+// TestFig8MinimalAtSEqualsP asserts the paper's headline observation:
+// "|ME(x)| is minimal when s = p" for fixed α and s.
+func TestFig8MinimalAtSEqualsP(t *testing.T) {
+	for _, st := range []struct{ alpha, s int }{{2, 2}, {3, 3}} {
+		base, err := MinimalErasure(lattice.Params{Alpha: st.alpha, S: st.s, P: st.s}, 2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := st.s + 1; p <= 7; p++ {
+			pat, err := MinimalErasure(lattice.Params{Alpha: st.alpha, S: st.s, P: p}, 2, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pat.Size() <= base.Size() {
+				t.Errorf("AE(%d,%d,%d): |ME(2)| = %d not larger than s=p value %d",
+					st.alpha, st.s, p, pat.Size(), base.Size())
+			}
+		}
+	}
+}
+
+// TestFig9ME4Square asserts the α=2 plateau of Fig 9: redundancy propagates
+// across a square (4 nodes + 4 edges), so |ME(4)| = 8 for every (s,p).
+func TestFig9ME4Square(t *testing.T) {
+	for _, sp := range [][2]int{{2, 2}, {2, 3}, {2, 5}, {3, 3}, {3, 5}, {3, 8}} {
+		pat, err := MinimalErasure(lattice.Params{Alpha: 2, S: sp[0], P: sp[1]}, 4, Options{})
+		if err != nil {
+			t.Fatalf("AE(2,%d,%d): %v", sp[0], sp[1], err)
+		}
+		if pat.Size() != 8 {
+			t.Errorf("AE(2,%d,%d): |ME(4)| = %d, want 8 (square)", sp[0], sp[1], pat.Size())
+		}
+		if pat.DataLoss() != 4 {
+			t.Errorf("AE(2,%d,%d): data loss %d, want 4", sp[0], sp[1], pat.DataLoss())
+		}
+	}
+}
+
+// TestFig9ME4Alpha3GrowsWithSNotP asserts the α=3 behaviour of Fig 9:
+// |ME(4)| increases with s, and p has little impact — the curve plateaus
+// for p ≥ 5 (14 for s=2, 18 for s=3).
+//
+// Reproduction note (recorded in EXPERIMENTS.md): the paper presents the
+// α=3 curves as flat in p, but exhaustive search finds strictly smaller
+// verified-minimal patterns at small p (notably size 12 at p=4 for both
+// s=2 and s=3). The paper's own §V.A concedes "this study does not
+// identify all erasure patterns"; our exact minima are therefore at or
+// below the reported curves while preserving their shape.
+func TestFig9ME4Alpha3GrowsWithSNotP(t *testing.T) {
+	at := func(s, p int) int {
+		t.Helper()
+		pat, err := MinimalErasure(lattice.Params{Alpha: 3, S: s, P: p}, 4, Options{})
+		if err != nil {
+			t.Fatalf("AE(3,%d,%d): %v", s, p, err)
+		}
+		return pat.Size()
+	}
+	// Grows with s, both at s=p and on the plateau.
+	if s2, s3 := at(2, 2), at(3, 3); s3 <= s2 {
+		t.Errorf("|ME(4)| did not grow with s at s=p: s=2 → %d, s=3 → %d", s2, s3)
+	}
+	if s2, s3 := at(2, 6), at(3, 6); s3 <= s2 {
+		t.Errorf("|ME(4)| did not grow with s at p=6: s=2 → %d, s=3 → %d", s2, s3)
+	}
+	// Plateau in p: constant for p ≥ 5.
+	for s, want := range map[int]int{2: 14, 3: 18} {
+		for p := 5; p <= 7; p++ {
+			if got := at(s, p); got != want {
+				t.Errorf("AE(3,%d,%d): |ME(4)| = %d, want plateau value %d", s, p, got, want)
+			}
+		}
+	}
+	// The documented small-p anomaly: an exhaustively found, independently
+	// verified pattern of size 12 at p=4.
+	for _, s := range []int{2, 3} {
+		if got := at(s, 4); got != 12 {
+			t.Errorf("AE(3,%d,4): |ME(4)| = %d, want 12 (see EXPERIMENTS.md)", s, got)
+		}
+	}
+}
+
+// TestHypercubeBound checks the §V.A dimensional analysis: the α-cube
+// sizes match the measured |ME(2^α)| minima (square for α=2, cube for
+// α=3) and predict the tesseract value for the paper's α=4 conjecture.
+func TestHypercubeBound(t *testing.T) {
+	if got := HypercubeBound(2); got != 8 {
+		t.Errorf("HypercubeBound(2) = %d, want 8 (square)", got)
+	}
+	if got := HypercubeBound(3); got != 20 {
+		t.Errorf("HypercubeBound(3) = %d, want 20 (cube)", got)
+	}
+	if got := HypercubeBound(4); got != 48 {
+		t.Errorf("HypercubeBound(4) = %d, want 48 (tesseract)", got)
+	}
+	// The measured ME(4) minimum for α=2 equals the square bound.
+	pat, err := MinimalErasure(lattice.Params{Alpha: 2, S: 2, P: 2}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Size() != HypercubeBound(2) {
+		t.Errorf("measured |ME(4)| = %d, hypercube bound %d", pat.Size(), HypercubeBound(2))
+	}
+}
+
+// TestME8CubeAE333 asserts §V.A: "redundancy is propagated across a cube
+// pattern, hence |ME(8)| = 20 for AE(3,3,3)".
+func TestME8CubeAE333(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cube search is exhaustive; skipped with -short")
+	}
+	pat := search(t, 3, 3, 3, 8)
+	if pat.Size() != 20 {
+		t.Errorf("AE(3,3,3): |ME(8)| = %d, want 20 (cube: 8 nodes + 12 edges)", pat.Size())
+	}
+	if len(pat.Edges) != pat.Size()-8 {
+		t.Errorf("edge count %d inconsistent with size %d", len(pat.Edges), pat.Size())
+	}
+}
+
+// TestSearchResultsAreVerifiedMinimal re-checks a few found patterns with
+// the independent checker (MinimalErasure already does this internally;
+// here we assert the exported checker agrees too).
+func TestSearchResultsAreVerifiedMinimal(t *testing.T) {
+	for _, tt := range []struct{ alpha, s, p, x int }{
+		{1, 1, 0, 2},
+		{2, 2, 5, 2},
+		{3, 2, 5, 2},
+		{2, 2, 3, 4},
+	} {
+		pat, err := MinimalErasure(lattice.Params{Alpha: tt.alpha, S: tt.s, P: tt.p}, tt.x, Options{})
+		if err != nil {
+			t.Fatalf("AE(%d,%d,%d) x=%d: %v", tt.alpha, tt.s, tt.p, tt.x, err)
+		}
+		if err := Closed(pat); err != nil {
+			t.Errorf("pattern not closed: %v", err)
+		}
+		if err := Irreducible(pat); err != nil {
+			t.Errorf("pattern not irreducible: %v", err)
+		}
+	}
+}
+
+// TestWindowStability widens the search window and checks the minimum does
+// not improve — evidence the default window already contains the optimum.
+func TestWindowStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-window search skipped with -short")
+	}
+	for _, tt := range []struct{ alpha, s, p, x int }{
+		{3, 2, 2, 2},
+		{2, 2, 2, 4},
+		{3, 2, 2, 4},
+	} {
+		params := lattice.Params{Alpha: tt.alpha, S: tt.s, P: tt.p}
+		narrow, err := MinimalErasure(params, tt.x, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := MinimalErasure(params, tt.x, Options{Window: 3*tt.s*tt.p + 2*tt.s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide.Size() != narrow.Size() {
+			t.Errorf("AE(%d,%d,%d) x=%d: wide window found %d, narrow %d",
+				tt.alpha, tt.s, tt.p, tt.x, wide.Size(), narrow.Size())
+		}
+	}
+}
+
+func TestMinimalErasureValidation(t *testing.T) {
+	if _, err := MinimalErasure(lattice.Params{Alpha: 5, S: 1, P: 1}, 2, Options{}); err == nil {
+		t.Error("accepted invalid alpha")
+	}
+	if _, err := MinimalErasure(lattice.Params{Alpha: 2, S: 2, P: 5}, 0, Options{}); err == nil {
+		t.Error("accepted x=0")
+	}
+}
+
+func TestCheckerRejectsNonClosed(t *testing.T) {
+	// Two adjacent nodes without their shared edge: d50 repairable via H.
+	p := Pattern{
+		Params: lattice.Params{Alpha: 1, S: 1, P: 0},
+		Nodes:  []int{50, 51},
+	}
+	if err := Closed(p); err == nil {
+		t.Error("Closed accepted an open pattern")
+	}
+}
+
+func TestCheckerRejectsNonIrreducible(t *testing.T) {
+	// Primitive form I plus a gratuitous far-away... that would be open.
+	// Instead: form II (nodes 50,53 plus the 3 connecting edges) with an
+	// extra erased edge hanging off node 53 to node 54 — removing the
+	// extra edge still leaves everything locked? No: the extra edge's own
+	// removal must unlock something for irreducibility to fail. Build a
+	// pattern that is closed but has a removable block: nodes {50,51,52}
+	// with edges {50-51, 51-52} is closed (every block locked) but
+	// removing d51 unlocks nothing? It does: edge 50-51 gains the repair
+	// option (d51, p51,52)? p51,52 is erased, so still locked; option
+	// (d50, p49,50): d50 erased. Still locked! So the triple-node chain is
+	// closed and NOT irreducible at d51.
+	p := Pattern{
+		Params: lattice.Params{Alpha: 1, S: 1, P: 0},
+		Nodes:  []int{50, 51, 52},
+		Edges: []lattice.Edge{
+			{Class: lattice.Horizontal, Left: 50, Right: 51},
+			{Class: lattice.Horizontal, Left: 51, Right: 52},
+		},
+	}
+	if err := Closed(p); err != nil {
+		t.Fatalf("chain pattern should be closed: %v", err)
+	}
+	if err := Irreducible(p); err == nil {
+		t.Error("Irreducible accepted a reducible pattern (interior node)")
+	}
+}
+
+func TestCheckerRejectsMalformed(t *testing.T) {
+	base := lattice.Params{Alpha: 1, S: 1, P: 0}
+	if err := Closed(Pattern{Params: base, Nodes: []int{0}}); err == nil {
+		t.Error("accepted node position 0")
+	}
+	if err := Closed(Pattern{Params: base, Nodes: []int{5, 5}}); err == nil {
+		t.Error("accepted duplicate node")
+	}
+	if err := Closed(Pattern{Params: base, Edges: []lattice.Edge{
+		{Class: lattice.Horizontal, Left: -1, Right: 1}}}); err == nil {
+		t.Error("accepted virtual edge")
+	}
+	if err := Closed(Pattern{Params: base, Edges: []lattice.Edge{
+		{Class: lattice.Horizontal, Left: 5, Right: 9}}}); err == nil {
+		t.Error("accepted fake edge p5,9 on a unit-hop strand")
+	}
+	if err := Closed(Pattern{Params: base, Edges: []lattice.Edge{
+		{Class: lattice.Horizontal, Left: 5, Right: 6},
+		{Class: lattice.Horizontal, Left: 5, Right: 6}}}); err == nil {
+		t.Error("accepted duplicate edge")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	pat := search(t, 1, 1, 0, 2)
+	want := "AE(1,-,-): |ME(2)| = 3 (2 nodes + 1 edges)"
+	if got := pat.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestPrimitiveFormII verifies the second Fig 6 form by hand: two
+// non-adjacent nodes with every connecting edge erased is closed and
+// irreducible with size 6 (2 nodes + 4 edges bridging 4 hops... the form
+// drawn has |ME(2)| = 6, i.e. nodes 4 hops apart).
+func TestPrimitiveFormII(t *testing.T) {
+	nodes := []int{50, 54}
+	var edges []lattice.Edge
+	for i := 50; i < 54; i++ {
+		edges = append(edges, lattice.Edge{Class: lattice.Horizontal, Left: i, Right: i + 1})
+	}
+	p := Pattern{Params: lattice.Params{Alpha: 1, S: 1, P: 0}, Nodes: nodes, Edges: edges}
+	if err := Check(p); err != nil {
+		t.Errorf("primitive form II rejected: %v", err)
+	}
+	if p.Size() != 6 {
+		t.Errorf("form II size = %d, want 6", p.Size())
+	}
+}

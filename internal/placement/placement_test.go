@@ -1,0 +1,167 @@
+package placement
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewRandom(0, 1); err == nil {
+		t.Error("NewRandom(0) succeeded")
+	}
+	if _, err := NewRoundRobin(-1); err == nil {
+		t.Error("NewRoundRobin(-1) succeeded")
+	}
+	if _, err := NewKeyHash(0); err == nil {
+		t.Error("NewKeyHash(0) succeeded")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := NewRandom(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 1000; id++ {
+		if a.Place(id) != b.Place(id) {
+			t.Fatalf("Place(%d) differs between equal-seed policies", id)
+		}
+	}
+	c, err := NewRandom(100, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for id := uint64(0); id < 1000; id++ {
+		if a.Place(id) == c.Place(id) {
+			same++
+		}
+	}
+	if same > 100 { // ~10 expected by chance over 100 locations
+		t.Errorf("different seeds agreed on %d/1000 placements; want ~10", same)
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	prop := func(seed uint64, id uint64) bool {
+		p, err := NewRandom(17, seed)
+		if err != nil {
+			return false
+		}
+		loc := p.Place(id)
+		return loc >= 0 && loc < 17
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomBalance(t *testing.T) {
+	// §V.C: 1.4 M blocks over 100 sites gave mean 14,000 and σ ≈ 131 — a
+	// relative σ of ~0.9%. Check our mixer achieves comparable uniformity.
+	p, err := NewRandom(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := Histogram(p, 1_400_000)
+	mean, stddev := MeanStddev(hist)
+	if mean != 14000 {
+		t.Errorf("mean = %v, want 14000", mean)
+	}
+	// Binomial σ = sqrt(N·p·(1−p)) ≈ 117.7 for N=1.4M, p=0.01; allow 2×.
+	if stddev > 250 {
+		t.Errorf("stddev = %v, want < 250 (paper observed 130.88)", stddev)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	p, err := NewRoundRobin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 20; id++ {
+		if got, want := p.Place(id), int(id%5); got != want {
+			t.Errorf("Place(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if p.Locations() != 5 {
+		t.Errorf("Locations = %d, want 5", p.Locations())
+	}
+}
+
+func TestRoundRobinPerfectBalance(t *testing.T) {
+	p, err := NewRoundRobin(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := Histogram(p, 1000)
+	for loc, n := range hist {
+		if n != 100 {
+			t.Errorf("location %d holds %d blocks, want 100", loc, n)
+		}
+	}
+	_, stddev := MeanStddev(hist)
+	if stddev != 0 {
+		t.Errorf("round-robin stddev = %v, want 0", stddev)
+	}
+}
+
+func TestKeyHashDeterministicInRange(t *testing.T) {
+	p, err := NewKeyHash(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"d:1", "d:26", "p:h:21:26", "p:rh:25:26", "node7/d:99"}
+	for _, k := range keys {
+		first := p.PlaceKey(k)
+		if first < 0 || first >= 31 {
+			t.Errorf("PlaceKey(%q) = %d out of range", k, first)
+		}
+		if again := p.PlaceKey(k); again != first {
+			t.Errorf("PlaceKey(%q) unstable: %d then %d", k, first, again)
+		}
+	}
+}
+
+func TestMeanStddevEdgeCases(t *testing.T) {
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Errorf("MeanStddev(nil) = %v,%v, want 0,0", m, s)
+	}
+	m, s := MeanStddev([]int{4, 4, 4, 4})
+	if m != 4 || s != 0 {
+		t.Errorf("MeanStddev(const) = %v,%v, want 4,0", m, s)
+	}
+	m, s = MeanStddev([]int{0, 8})
+	if m != 4 || math.Abs(s-4) > 1e-12 {
+		t.Errorf("MeanStddev([0 8]) = %v,%v, want 4,4", m, s)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	r, err := NewRandom(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "random(n=100)" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	rr, err := NewRoundRobin(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name() != "round-robin(n=7)" {
+		t.Errorf("Name = %q", rr.Name())
+	}
+	kh, err := NewKeyHash(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kh.Name() != "key-hash(n=3)" {
+		t.Errorf("Name = %q", kh.Name())
+	}
+}

@@ -1,0 +1,178 @@
+// Package raidae models the disk-array organisation of §IV.B.2: RAID-AE,
+// a redundant array of *interdependent* disks built on alpha entanglement
+// codes, compared against classic fixed-stripe RAID5.
+//
+// The §IV.B.2 arguments quantified here:
+//
+//   - Never-ending stripe: RAID5 computes each parity over a fixed-width
+//     stripe, so growing a 6+1 array to 7+1 re-encodes every parity.
+//     RAID-AE writes into a boundless lattice; adding disks changes only
+//     the placement of future blocks — zero re-encoding.
+//   - Write penalty: a RAID5 small write costs 4 I/Os (read old data, read
+//     old parity, write both); RAID-AE costs α+1 block writes and no
+//     reads, because parities extend strands instead of being updated in
+//     place (log-structured, append-only).
+//   - Degraded reads: a RAID5 read of a block on a failed disk touches the
+//     whole remaining stripe (k I/Os). RAID-AE offers α two-block paths at
+//     distance one, and exponentially many longer paths (Fig 2).
+//   - Dynamic fault tolerance: α can grow later without re-encoding the
+//     existing lattice; RAID5's tolerance is fixed at one disk.
+package raidae
+
+import (
+	"fmt"
+
+	"aecodes/internal/lattice"
+)
+
+// RAID5 models a k+1 fixed-stripe parity array.
+type RAID5 struct {
+	k int // data units per stripe
+}
+
+// NewRAID5 returns a RAID5 model with k data disks per stripe.
+func NewRAID5(k int) (*RAID5, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("raidae: RAID5 needs at least 2 data disks, got %d", k)
+	}
+	return &RAID5{k: k}, nil
+}
+
+// String names the geometry, e.g. "RAID5(6+1)".
+func (r *RAID5) String() string { return fmt.Sprintf("RAID5(%d+1)", r.k) }
+
+// SmallWriteIOs returns the I/O count of an in-place small write:
+// read-modify-write of data and parity — the classic 4.
+func (r *RAID5) SmallWriteIOs() int { return 4 }
+
+// DegradedReadIOs returns the I/O count to read one block from a failed
+// disk: the k surviving stripe units.
+func (r *RAID5) DegradedReadIOs() int { return r.k }
+
+// FaultTolerance returns the number of simultaneous disk failures
+// tolerated: 1.
+func (r *RAID5) FaultTolerance() int { return 1 }
+
+// ReencodeOnGrow returns how many parity units must be recomputed when
+// the array grows from k to k+1 data disks with nStripes stripes of
+// content: every stripe's parity changes width, so all of them.
+func (r *RAID5) ReencodeOnGrow(nStripes int) int { return nStripes }
+
+// ArrayAE models a RAID-AE array: a lattice of entangled blocks laid out
+// over a set of disks.
+type ArrayAE struct {
+	params lattice.Params
+	lat    *lattice.Lattice
+	disks  int
+}
+
+// NewArrayAE returns a RAID-AE model with the given code parameters and
+// initial disk count.
+func NewArrayAE(params lattice.Params, disks int) (*ArrayAE, error) {
+	lat, err := lattice.New(params)
+	if err != nil {
+		return nil, err
+	}
+	if disks < params.Alpha+1 {
+		return nil, fmt.Errorf("raidae: need at least α+1=%d disks, got %d", params.Alpha+1, disks)
+	}
+	return &ArrayAE{params: params, lat: lat, disks: disks}, nil
+}
+
+// String names the array, e.g. "RAID-AE(3,2,5)x8".
+func (a *ArrayAE) String() string {
+	return fmt.Sprintf("RAID-AE(%d,%d,%d)x%d", a.params.Alpha, a.params.S, a.params.P, a.disks)
+}
+
+// Disks returns the current disk count.
+func (a *ArrayAE) Disks() int { return a.disks }
+
+// SmallWriteIOs returns the write cost of one logical block: the block
+// plus its α parities, all appended — α+1 writes, zero reads (§IV.B.2
+// "the write penalty is α+1").
+func (a *ArrayAE) SmallWriteIOs() int { return a.params.Alpha + 1 }
+
+// DegradedReadIOs returns the I/O count of the shortest degraded read:
+// one pp-tuple, always two blocks.
+func (a *ArrayAE) DegradedReadIOs() int { return 2 }
+
+// DegradedReadPaths returns the number of distance-one repair paths for a
+// data block: α (one pp-tuple per strand). Longer concentric paths grow
+// exponentially with distance (Fig 2); this reports only the direct ones.
+func (a *ArrayAE) DegradedReadPaths() int { return a.params.Alpha }
+
+// ReencodeOnGrow returns how many existing parities must be recomputed
+// when disks are added: none — the lattice is a never-ending stripe and
+// new capacity only affects placement of future blocks.
+func (a *ArrayAE) ReencodeOnGrow(nBlocks int) int { return 0 }
+
+// Grow adds disks to the array without interrupting service or
+// re-encoding ("both actions may be done dynamically", §IV.B.2).
+func (a *ArrayAE) Grow(extra int) error {
+	if extra < 0 {
+		return fmt.Errorf("raidae: cannot grow by %d", extra)
+	}
+	a.disks += extra
+	return nil
+}
+
+// RaiseAlpha returns a new array description with a higher α. Existing
+// blocks keep their current parities; only newly written blocks gain the
+// extra strand, so the operation is O(1) — "because the parameter α can
+// change in future, the system can scale in fault tolerance".
+func (a *ArrayAE) RaiseAlpha(newAlpha int) (*ArrayAE, error) {
+	if newAlpha < a.params.Alpha {
+		return nil, fmt.Errorf("raidae: cannot lower α from %d to %d without dropping parities",
+			a.params.Alpha, newAlpha)
+	}
+	params := a.params
+	params.Alpha = newAlpha
+	if params.Alpha > 1 && params.P == 0 {
+		// Moving off single entanglement requires choosing helical strands.
+		params.S = 1
+		params.P = 1
+	}
+	return NewArrayAE(params, a.disks)
+}
+
+// Comparison is one row of the §IV.B.2 cost comparison.
+type Comparison struct {
+	System          string
+	SmallWriteIOs   int
+	DegradedReadIOs int
+	ReencodeOnGrow  int // for a workload of GrowWorkload units
+	FaultTolerance  string
+}
+
+// GrowWorkload is the stripe/block count used for the re-encode column of
+// Compare.
+const GrowWorkload = 1_000_000
+
+// Compare builds the RAID5 vs RAID-AE cost table for the given AE
+// parameters.
+func Compare(k int, params lattice.Params, disks int) ([]Comparison, error) {
+	r5, err := NewRAID5(k)
+	if err != nil {
+		return nil, err
+	}
+	ae, err := NewArrayAE(params, disks)
+	if err != nil {
+		return nil, err
+	}
+	return []Comparison{
+		{
+			System:          r5.String(),
+			SmallWriteIOs:   r5.SmallWriteIOs(),
+			DegradedReadIOs: r5.DegradedReadIOs(),
+			ReencodeOnGrow:  r5.ReencodeOnGrow(GrowWorkload / k),
+			FaultTolerance:  "1 disk (fixed)",
+		},
+		{
+			System:          ae.String(),
+			SmallWriteIOs:   ae.SmallWriteIOs(),
+			DegradedReadIOs: ae.DegradedReadIOs(),
+			ReencodeOnGrow:  ae.ReencodeOnGrow(GrowWorkload),
+			FaultTolerance:  fmt.Sprintf("irregular, |ME(2)|-1 ≥ %d blocks; α can grow", 1+params.P+(params.Alpha-1)*params.S),
+		},
+	}, nil
+}

@@ -1,0 +1,155 @@
+package raidae
+
+import (
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+func TestNewRAID5Validation(t *testing.T) {
+	if _, err := NewRAID5(1); err == nil {
+		t.Error("accepted k=1")
+	}
+	r, err := NewRAID5(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "RAID5(6+1)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRAID5Costs(t *testing.T) {
+	r, err := NewRAID5(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SmallWriteIOs() != 4 {
+		t.Errorf("SmallWriteIOs = %d, want 4", r.SmallWriteIOs())
+	}
+	if r.DegradedReadIOs() != 6 {
+		t.Errorf("DegradedReadIOs = %d, want k=6", r.DegradedReadIOs())
+	}
+	if r.FaultTolerance() != 1 {
+		t.Errorf("FaultTolerance = %d, want 1", r.FaultTolerance())
+	}
+	// §IV.B.2: "the new array 7+1 disk RAID5 requires re-encoding
+	// parities" — every stripe.
+	if got := r.ReencodeOnGrow(100_000); got != 100_000 {
+		t.Errorf("ReencodeOnGrow = %d, want all stripes", got)
+	}
+}
+
+func TestNewArrayAEValidation(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	if _, err := NewArrayAE(params, 3); err == nil {
+		t.Error("accepted fewer than α+1 disks")
+	}
+	if _, err := NewArrayAE(lattice.Params{Alpha: 5}, 10); err == nil {
+		t.Error("accepted invalid params")
+	}
+	a, err := NewArrayAE(params, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "RAID-AE(3,2,5)x8" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestArrayAECosts(t *testing.T) {
+	a, err := NewArrayAE(lattice.Params{Alpha: 3, S: 2, P: 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §IV.B.2: "the write penalty is α+1".
+	if a.SmallWriteIOs() != 4 {
+		t.Errorf("SmallWriteIOs = %d, want α+1=4", a.SmallWriteIOs())
+	}
+	// Single failures always cost two blocks, and there are α direct paths.
+	if a.DegradedReadIOs() != 2 {
+		t.Errorf("DegradedReadIOs = %d, want 2", a.DegradedReadIOs())
+	}
+	if a.DegradedReadPaths() != 3 {
+		t.Errorf("DegradedReadPaths = %d, want α=3", a.DegradedReadPaths())
+	}
+	// Never-ending stripe: growth re-encodes nothing.
+	if got := a.ReencodeOnGrow(1_000_000); got != 0 {
+		t.Errorf("ReencodeOnGrow = %d, want 0", got)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	a, err := NewArrayAE(lattice.Params{Alpha: 2, S: 2, P: 5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Disks() != 10 {
+		t.Errorf("Disks = %d, want 10", a.Disks())
+	}
+	if err := a.Grow(-1); err == nil {
+		t.Error("accepted negative growth")
+	}
+}
+
+func TestRaiseAlpha(t *testing.T) {
+	a, err := NewArrayAE(lattice.Params{Alpha: 2, S: 2, P: 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.RaiseAlpha(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SmallWriteIOs() != 4 {
+		t.Errorf("raised array write cost = %d, want 4", b.SmallWriteIOs())
+	}
+	if b.DegradedReadPaths() != 3 {
+		t.Errorf("raised array paths = %d, want 3", b.DegradedReadPaths())
+	}
+	if _, err := a.RaiseAlpha(1); err == nil {
+		t.Error("accepted lowering α")
+	}
+	// From single entanglement, raising α must pick helical strands.
+	single, err := NewArrayAE(lattice.Params{Alpha: 1, S: 1, P: 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := single.RaiseAlpha(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.DegradedReadPaths() != 2 {
+		t.Errorf("raised single-entanglement paths = %d, want 2", double.DegradedReadPaths())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rows, err := Compare(6, lattice.Params{Alpha: 3, S: 2, P: 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("Compare returned %d rows", len(rows))
+	}
+	r5, ae := rows[0], rows[1]
+	if r5.ReencodeOnGrow == 0 {
+		t.Error("RAID5 growth should re-encode")
+	}
+	if ae.ReencodeOnGrow != 0 {
+		t.Error("RAID-AE growth should re-encode nothing")
+	}
+	if ae.DegradedReadIOs >= r5.DegradedReadIOs {
+		t.Errorf("RAID-AE degraded read (%d) should beat RAID5 (%d)",
+			ae.DegradedReadIOs, r5.DegradedReadIOs)
+	}
+	if _, err := Compare(0, lattice.Params{Alpha: 3, S: 2, P: 5}, 8); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Compare(6, lattice.Params{Alpha: 9}, 8); err == nil {
+		t.Error("accepted bad params")
+	}
+}

@@ -1,0 +1,290 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randShards(t *testing.T, k, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, k)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	return shards
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		k, m    int
+		wantErr bool
+	}{
+		{10, 4, false}, // Google/Facebook-scale settings from the paper
+		{8, 2, false},
+		{5, 5, false},
+		{4, 12, false},
+		{6, 3, false},
+		{0, 4, true},
+		{4, 0, true},
+		{-1, 4, true},
+		{200, 100, true}, // k+m > 256
+	}
+	for _, tt := range tests {
+		_, err := New(tt.k, tt.m)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("New(%d,%d) error = %v, wantErr %v", tt.k, tt.m, err, tt.wantErr)
+		}
+	}
+}
+
+func TestTableIVProperties(t *testing.T) {
+	// Table IV: AS = m/k·100%, SF = k.
+	tests := []struct {
+		k, m         int
+		wantOverhead float64
+		wantSF       int
+	}{
+		{10, 4, 0.4, 10},
+		{8, 2, 0.25, 8},
+		{5, 5, 1.0, 5},
+		{4, 12, 3.0, 4},
+	}
+	for _, tt := range tests {
+		c, err := New(tt.k, tt.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.StorageOverhead(); got != tt.wantOverhead {
+			t.Errorf("%v StorageOverhead = %v, want %v", c, got, tt.wantOverhead)
+		}
+		if got := c.SingleFailureCost(); got != tt.wantSF {
+			t.Errorf("%v SingleFailureCost = %d, want %d", c, got, tt.wantSF)
+		}
+	}
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	// RS(5,3): try every possible erasure of ≤ m shards and reconstruct.
+	const k, m, size = 5, 3, 64
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, k, size, 1)
+	parities, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := make([][]byte, k+m)
+	copy(full, data)
+	copy(full[k:], parities)
+
+	// Enumerate every subset of {0..k+m-1} with ≤ m elements as the erasure.
+	n := k + m
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				erased++
+			}
+		}
+		if erased == 0 || erased > m {
+			continue
+		}
+		shards := make([][]byte, n)
+		for i := range shards {
+			if mask&(1<<i) == 0 {
+				shards[i] = full[i]
+			}
+		}
+		got, err := c.Reconstruct(shards)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("mask %b: data shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructFailsBeyondM(t *testing.T) {
+	const k, m = 4, 2
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, k, 32, 2)
+	parities, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, k+m)
+	copy(shards, data)
+	copy(shards[k:], parities)
+	// Erase m+1 shards.
+	shards[0], shards[2], shards[4] = nil, nil, nil
+	if _, err := c.Reconstruct(shards); err == nil {
+		t.Error("Reconstruct succeeded with m+1 erasures")
+	}
+}
+
+func TestReconstructAllRebuildsParity(t *testing.T) {
+	const k, m, size = 6, 3, 48
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, k, size, 3)
+	parities, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, k+m)
+	copy(shards, data)
+	copy(shards[k:], parities)
+	shards[1] = nil   // a data shard
+	shards[k+1] = nil // a parity shard
+
+	full, err := c.ReconstructAll(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full[1], data[1]) {
+		t.Error("data shard 1 mismatch")
+	}
+	if !bytes.Equal(full[k+1], parities[1]) {
+		t.Error("parity shard 1 mismatch")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	c, err := New(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 5, 6, 7, 100, 4096, 4099} {
+		source := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(source)
+		shards, err := c.Split(source)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", size, err)
+		}
+		if len(shards) != 6 {
+			t.Fatalf("Split produced %d shards", len(shards))
+		}
+		got, err := c.Join(shards, size)
+		if err != nil {
+			t.Fatalf("Join(%d): %v", size, err)
+		}
+		if !bytes.Equal(got, source) {
+			t.Errorf("size %d: round trip mismatch", size)
+		}
+	}
+	if _, err := c.Split(nil); err == nil {
+		t.Error("Split accepted empty source")
+	}
+	if _, err := c.Join(nil, 10); err == nil {
+		t.Error("Join accepted too few shards")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(randShards(t, 3, 8, 1)); err == nil {
+		t.Error("Encode accepted wrong shard count")
+	}
+	bad := randShards(t, 4, 8, 1)
+	bad[2] = bad[2][:4]
+	if _, err := c.Encode(bad); err == nil {
+		t.Error("Encode accepted ragged shards")
+	}
+	if _, err := c.Reconstruct(randShards(t, 3, 8, 1)); err == nil {
+		t.Error("Reconstruct accepted wrong shard count")
+	}
+}
+
+// TestPropertyRoundTrip: for random (k, m), random data, random erasures of
+// at most m shards, reconstruction always returns the original data.
+func TestPropertyRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(9) // 2..10
+		m := 1 + rng.Intn(6) // 1..6
+		size := 1 + rng.Intn(128)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		parities, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		shards := make([][]byte, k+m)
+		copy(shards, data)
+		copy(shards[k:], parities)
+		// Erase a random subset of exactly m shards.
+		perm := rng.Perm(k + m)
+		for _, idx := range perm[:m] {
+			shards[idx] = nil
+		}
+		got, err := c.Reconstruct(shards)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperSettingsRoundTrip(t *testing.T) {
+	// The four settings of Table IV at a realistic shard size.
+	for _, tt := range []struct{ k, m int }{{10, 4}, {8, 2}, {5, 5}, {4, 12}} {
+		c, err := New(tt.k, tt.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randShards(t, tt.k, 1024, int64(tt.k*100+tt.m))
+		parities, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make([][]byte, tt.k+tt.m)
+		copy(shards, data)
+		copy(shards[tt.k:], parities)
+		// Erase the first m shards (worst case: all-data for m ≤ k).
+		for i := 0; i < tt.m; i++ {
+			shards[i] = nil
+		}
+		got, err := c.Reconstruct(shards)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		for i := 0; i < tt.k; i++ {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("%v: shard %d mismatch", c, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package replication implements n-way replication as a first-class
+// redundancy scheme, the third comparison point of the paper's evaluation
+// ("we compare up to 4-way replication since 300% is the maximum additional
+// storage considered in this paper", §V.C).
+package replication
+
+import "fmt"
+
+// Code is an n-way replication scheme: every block is stored n times. The
+// zero value is not usable; construct with New.
+type Code struct {
+	n int
+}
+
+// New returns an n-way replication code (n ≥ 1 copies in total; n = 1 means
+// no redundancy).
+func New(n int) (*Code, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("replication: need at least one copy, got %d", n)
+	}
+	return &Code{n: n}, nil
+}
+
+// N returns the total number of copies.
+func (c *Code) N() int { return c.n }
+
+// String renders the conventional name, e.g. "3-way".
+func (c *Code) String() string { return fmt.Sprintf("%d-way", c.n) }
+
+// StorageOverhead returns the additional-storage fraction (n−1), i.e.
+// (n−1)·100% (Table IV).
+func (c *Code) StorageOverhead() float64 { return float64(c.n - 1) }
+
+// SingleFailureCost returns the number of block reads to repair one lost
+// copy: 1 (Table IV row "SF").
+func (c *Code) SingleFailureCost() int { return 1 }
+
+// Encode returns the n−1 extra copies of block (the first copy is the block
+// itself, stored as-is). Each copy is freshly allocated.
+func (c *Code) Encode(block []byte) [][]byte {
+	copies := make([][]byte, c.n-1)
+	for i := range copies {
+		cp := make([]byte, len(block))
+		copy(cp, block)
+		copies[i] = cp
+	}
+	return copies
+}
+
+// Reconstruct returns the block content from any surviving copy, or an
+// error when every copy is nil.
+func (c *Code) Reconstruct(copies [][]byte) ([]byte, error) {
+	for _, cp := range copies {
+		if cp != nil {
+			out := make([]byte, len(cp))
+			copy(out, cp)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("replication: all %d copies lost", len(copies))
+}

@@ -1,0 +1,81 @@
+package replication
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		if _, err := New(n); err != nil {
+			t.Errorf("New(%d): %v", n, err)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+	if _, err := New(-2); err == nil {
+		t.Error("New(-2) succeeded")
+	}
+}
+
+func TestTableIVProperties(t *testing.T) {
+	// Table IV: AS = (n−1)·100%, SF = 1.
+	tests := []struct {
+		n            int
+		wantOverhead float64
+		wantName     string
+	}{
+		{2, 1, "2-way"},
+		{3, 2, "3-way"},
+		{4, 3, "4-way"},
+	}
+	for _, tt := range tests {
+		c, err := New(tt.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.StorageOverhead(); got != tt.wantOverhead {
+			t.Errorf("%v StorageOverhead = %v, want %v", c, got, tt.wantOverhead)
+		}
+		if got := c.SingleFailureCost(); got != 1 {
+			t.Errorf("%v SingleFailureCost = %d, want 1", c, got)
+		}
+		if got := c.String(); got != tt.wantName {
+			t.Errorf("String = %q, want %q", got, tt.wantName)
+		}
+	}
+}
+
+func TestEncodeReconstruct(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := []byte{1, 2, 3, 4}
+	copies := c.Encode(block)
+	if len(copies) != 2 {
+		t.Fatalf("Encode produced %d extra copies, want 2", len(copies))
+	}
+	for i, cp := range copies {
+		if !bytes.Equal(cp, block) {
+			t.Errorf("copy %d differs from the block", i)
+		}
+	}
+	// Mutating a copy must not affect the original.
+	copies[0][0] = 99
+	if block[0] != 1 {
+		t.Error("Encode aliases the input block")
+	}
+
+	got, err := c.Reconstruct([][]byte{nil, copies[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Error("Reconstruct mismatch")
+	}
+	if _, err := c.Reconstruct([][]byte{nil, nil}); err == nil {
+		t.Error("Reconstruct succeeded with no surviving copy")
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+// The ablation studies answer questions the paper itself raises but does
+// not measure; EXPERIMENTS.md records the numbers.
+
+// TestAblationPlacement answers §V.C's open question ("we think a round
+// robin placement might be difficult to implement … what happens if we
+// use random placements?"): round-robin placement guarantees lattice
+// neighbours distinct failure domains, so it should dominate random
+// placement in both loss and convergence speed.
+func TestAblationPlacement(t *testing.T) {
+	s := mustAE(t, 3, 2, 5)
+	random := testCfg
+	roundRobin := testCfg
+	roundRobin.Placement = PlacementRoundRobin
+	for _, frac := range []float64{0.3, 0.5} {
+		r, err := s.Simulate(random, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := s.Simulate(roundRobin, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.DataLoss > r.DataLoss {
+			t.Errorf("at %.0f%%: round-robin loss %d exceeds random loss %d",
+				frac*100, rr.DataLoss, r.DataLoss)
+		}
+		if rr.Rounds > r.Rounds {
+			t.Errorf("at %.0f%%: round-robin rounds %d exceed random rounds %d",
+				frac*100, rr.Rounds, r.Rounds)
+		}
+	}
+}
+
+func TestAblationPlacementUnknownKind(t *testing.T) {
+	s := mustAE(t, 2, 2, 5)
+	bad := testCfg
+	bad.Placement = PlacementKind(99)
+	if _, err := s.Simulate(bad, 0.3); err == nil {
+		t.Error("accepted unknown placement kind")
+	}
+}
+
+// TestAblationPuncturing measures the §III code-rate enhancement: a half-
+// punctured LH class sits storage-wise between AE(2,2,5) and AE(3,2,5);
+// its fault tolerance collapses essentially onto AE(2,2,5) — puncturing
+// every other parity of a strand class forfeits most of that class.
+func TestAblationPuncturing(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	punct, err := NewAEPunctured(params, func(ci, left int) bool {
+		return ci == 2 && left%2 == 0 // drop every other LH parity
+	}, "AE(3,2,5)-halfLH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := punct.AdditionalStorage(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("punctured storage = %v, want 2.5", got)
+	}
+	if punct.Name() != "AE(3,2,5)-halfLH" {
+		t.Errorf("Name = %q", punct.Name())
+	}
+	ae2 := mustAE(t, 2, 2, 5)
+	ae3 := mustAE(t, 3, 2, 5)
+	frac := 0.5
+	rp := simulate(t, punct, frac)
+	r2 := simulate(t, ae2, frac)
+	r3 := simulate(t, ae3, frac)
+	if !(r3.DataLoss <= rp.DataLoss && rp.DataLoss <= r2.DataLoss+r2.DataLoss/5) {
+		t.Errorf("expected AE3 (%d) ≤ punctured (%d) ≲ AE2 (%d)",
+			r3.DataLoss, rp.DataLoss, r2.DataLoss)
+	}
+	// The punctured code must still be far better than nothing: compare
+	// with single entanglement.
+	r1 := simulate(t, mustAE(t, 1, 1, 0), frac)
+	if rp.DataLoss >= r1.DataLoss {
+		t.Errorf("punctured loss %d should beat AE(1) loss %d", rp.DataLoss, r1.DataLoss)
+	}
+}
+
+func TestNewAEPuncturedValidation(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	if _, err := NewAEPunctured(params, nil, "x"); err == nil {
+		t.Error("accepted nil predicate")
+	}
+	if _, err := NewAEPunctured(lattice.Params{Alpha: 9}, func(int, int) bool { return false }, "x"); err == nil {
+		t.Error("accepted invalid params")
+	}
+	p, err := NewAEPunctured(params, func(int, int) bool { return false }, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "AE(3,2,5)-punctured" {
+		t.Errorf("default label = %q", p.Name())
+	}
+	// A never-puncturing predicate keeps full storage.
+	if got := p.AdditionalStorage(); got != 3 {
+		t.Errorf("storage = %v, want 3", got)
+	}
+}
+
+// TestAblationLocations confirms the §V.C remark that "we have run other
+// simulations with a larger number of distinct locations and the
+// comparisons remain close": loss fractions at n=1000 stay within a small
+// factor of n=100.
+func TestAblationLocations(t *testing.T) {
+	for _, mk := range []func() Scheme{
+		func() Scheme { return mustAE(t, 3, 2, 5) },
+		func() Scheme { return mustRS(t, 10, 4) },
+	} {
+		s := mk()
+		small := Config{DataBlocks: testCfg.DataBlocks, Locations: 100, Seed: 1}
+		large := Config{DataBlocks: testCfg.DataBlocks, Locations: 1000, Seed: 1}
+		a, err := s.Simulate(small, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Simulate(large, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := a.DataLossFraction(), b.DataLossFraction()
+		if fa == 0 && fb == 0 {
+			continue
+		}
+		ratio := fa / fb
+		if fb > fa {
+			ratio = fb / fa
+		}
+		if ratio > 3 {
+			t.Errorf("%s: n=100 loss %v vs n=1000 loss %v differ by %vx",
+				s.Name(), fa, fb, ratio)
+		}
+	}
+}
+
+// TestAblationSPDisasterSensitivity links Fig 8's |ME(2)| = 2+p+(α−1)s to
+// live disaster behaviour: raising s and p monotonically reduces data
+// loss at a 50% disaster.
+func TestAblationSPDisasterSensitivity(t *testing.T) {
+	settings := []struct{ s, p int }{{2, 2}, {2, 5}, {3, 5}, {5, 5}}
+	prev := -1
+	for i, sp := range settings {
+		r := simulate(t, mustAE(t, 3, sp.s, sp.p), 0.5)
+		if i > 0 && r.DataLoss > prev {
+			t.Errorf("AE(3,%d,%d) loss %d exceeds previous setting's %d",
+				sp.s, sp.p, r.DataLoss, prev)
+		}
+		prev = r.DataLoss
+	}
+}

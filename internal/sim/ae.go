@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"fmt"
+
+	"aecodes/internal/lattice"
+)
+
+// PuncturePredicate decides whether the parity on the given strand-class
+// index (0-based, H/RH/LH order) with the given left node is punctured —
+// computed during encoding but never stored (§III "Reducing Storage
+// Overhead").
+type PuncturePredicate func(classIdx, left int) bool
+
+// AEScheme simulates an alpha entanglement code AE(α,s,p) under disaster.
+// The simulation mirrors the Table V layout: every data and parity block
+// has a location and availability/repaired flags; repair works on the
+// lattice geometry alone since block content is irrelevant to the metrics.
+type AEScheme struct {
+	params   lattice.Params
+	puncture PuncturePredicate // nil: store everything
+	name     string
+}
+
+var _ Scheme = (*AEScheme)(nil)
+
+// NewAE returns the simulation scheme for the given code parameters.
+func NewAE(params lattice.Params) (*AEScheme, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &AEScheme{params: params, name: params.String()}, nil
+}
+
+// NewAEPunctured returns a scheme that drops the parities selected by the
+// predicate, lowering storage overhead below α at the price of fault
+// tolerance — the code-rate enhancement sketched in §III. The label names
+// the scheme in reports.
+func NewAEPunctured(params lattice.Params, puncture PuncturePredicate, label string) (*AEScheme, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if puncture == nil {
+		return nil, fmt.Errorf("sim: nil puncture predicate")
+	}
+	if label == "" {
+		label = params.String() + "-punctured"
+	}
+	return &AEScheme{params: params, puncture: puncture, name: label}, nil
+}
+
+// Name implements Scheme.
+func (s *AEScheme) Name() string { return s.name }
+
+// AdditionalStorage implements Scheme (Table IV: α·100%, reduced by the
+// punctured fraction when a predicate is installed; estimated over one
+// full lattice period far from the origin).
+func (s *AEScheme) AdditionalStorage() float64 {
+	if s.puncture == nil {
+		return float64(s.params.Alpha)
+	}
+	span := s.params.S * s.params.P
+	if span == 0 {
+		span = s.params.S
+	}
+	start := 4*span + 1
+	stored := 0
+	for left := start; left < start+span; left++ {
+		for ci := 0; ci < s.params.Alpha; ci++ {
+			if !s.puncture(ci, left) {
+				stored++
+			}
+		}
+	}
+	return float64(stored) / float64(span)
+}
+
+// SingleFailureCost implements Scheme: always two blocks, independent of
+// the parameters (Table IV row "SF").
+func (s *AEScheme) SingleFailureCost() int { return 2 }
+
+// aeState is the availability table of one simulated lattice. Blocks are
+// identified as in the canonical encoding: data by position 1..n, parities
+// by (class index, left node) — the parity created when its left node was
+// entangled. Index 0 of every slice is unused padding so positions index
+// directly.
+type aeState struct {
+	lat      *lattice.Lattice
+	n        int
+	classes  []lattice.Class
+	puncture PuncturePredicate
+
+	dataUsable []bool   // available at a healthy location, or repaired
+	parUsable  [][]bool // [class][left]
+
+	missData []int    // positions pending repair
+	missPar  [][2]int // (class index, left) pending repair
+
+	parityRepaired int // parities rebuilt across all rounds
+}
+
+// build lays out the lattice over the locations and applies the disaster.
+func (s *AEScheme) build(cfg Config, failed []bool) (*aeState, error) {
+	lat, err := lattice.New(s.params)
+	if err != nil {
+		return nil, err
+	}
+	place, err := newPlacement(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.DataBlocks
+	classes := lat.Classes()
+	st := &aeState{
+		lat:        lat,
+		n:          n,
+		classes:    classes,
+		puncture:   s.puncture,
+		dataUsable: make([]bool, n+1),
+		parUsable:  make([][]bool, len(classes)),
+	}
+	for ci := range classes {
+		st.parUsable[ci] = make([]bool, n+1)
+	}
+	// Every block gets an independent random location: data block i has
+	// ordinal α+1 strides so data and its α parities draw distinct hashes.
+	stride := uint64(len(classes) + 1)
+	for i := 1; i <= n; i++ {
+		id := uint64(i) * stride
+		if failed[place.Place(id)] {
+			st.missData = append(st.missData, i)
+		} else {
+			st.dataUsable[i] = true
+		}
+		for ci := range classes {
+			if st.puncture != nil && st.puncture(ci, i) {
+				continue // never stored: permanently unavailable, never repaired
+			}
+			if failed[place.Place(id+uint64(ci)+1)] {
+				st.missPar = append(st.missPar, [2]int{ci, i})
+			} else {
+				st.parUsable[ci][i] = true
+			}
+		}
+	}
+	return st, nil
+}
+
+// parityUsable reports whether the parity on class ci with the given left
+// node is usable. Virtual edges (left < 1) are always usable; edges past
+// the encoded prefix (left > n) were never created.
+func (st *aeState) parityUsable(ci, left int) bool {
+	if left < 1 {
+		return true
+	}
+	if left > st.n {
+		return false
+	}
+	return st.parUsable[ci][left]
+}
+
+// dataRepairable reports whether data block i has a complete pp-tuple.
+func (st *aeState) dataRepairable(i int) (bool, error) {
+	for ci, class := range st.classes {
+		h, err := st.lat.Backward(class, i)
+		if err != nil {
+			return false, err
+		}
+		if !st.parityUsable(ci, h) {
+			continue
+		}
+		// The out-edge of node i is the parity with left = i.
+		if st.parityUsable(ci, i) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// parityRepairable reports whether the parity (ci, left) has a complete
+// dp-tuple.
+func (st *aeState) parityRepairable(ci, left int) (bool, error) {
+	class := st.classes[ci]
+	// Option 1: left data block plus the strand's previous parity.
+	if left >= 1 && left <= st.n && st.dataUsable[left] {
+		h, err := st.lat.Backward(class, left)
+		if err != nil {
+			return false, err
+		}
+		if st.parityUsable(ci, h) {
+			return true, nil
+		}
+	}
+	// Option 2: right data block plus the strand's next parity.
+	j, err := st.lat.Forward(class, left)
+	if err != nil {
+		return false, err
+	}
+	if j >= 1 && j <= st.n && st.dataUsable[j] && st.parityUsable(ci, j) {
+		return true, nil
+	}
+	return false, nil
+}
+
+// repair runs synchronous repair rounds to fixpoint. With dataOnly set it
+// never repairs parities (the minimal-maintenance mode of Fig 12).
+// It reports the rounds executed, data blocks repaired in total and in the
+// first round.
+func (st *aeState) repair(dataOnly bool) (rounds, repaired, firstRound int, err error) {
+	for round := 1; ; round++ {
+		var dataFix []int
+		var parFix [][2]int
+		for _, i := range st.missData {
+			ok, err := st.dataRepairable(i)
+			if err != nil {
+				return rounds, repaired, firstRound, err
+			}
+			if ok {
+				dataFix = append(dataFix, i)
+			}
+		}
+		if !dataOnly {
+			for _, pr := range st.missPar {
+				ok, err := st.parityRepairable(pr[0], pr[1])
+				if err != nil {
+					return rounds, repaired, firstRound, err
+				}
+				if ok {
+					parFix = append(parFix, pr)
+				}
+			}
+		}
+		if len(dataFix) == 0 && len(parFix) == 0 {
+			return rounds, repaired, firstRound, nil
+		}
+		for _, i := range dataFix {
+			st.dataUsable[i] = true
+		}
+		for _, pr := range parFix {
+			st.parUsable[pr[0]][pr[1]] = true
+		}
+		st.missData = without(st.missData, func(i int) bool { return st.dataUsable[i] })
+		if !dataOnly {
+			st.missPar = withoutPar(st.missPar, func(pr [2]int) bool { return st.parUsable[pr[0]][pr[1]] })
+		}
+		rounds = round
+		repaired += len(dataFix)
+		st.parityRepaired += len(parFix)
+		if round == 1 {
+			firstRound = len(dataFix)
+		}
+	}
+}
+
+// vulnerable counts surviving data blocks with no protection left: every
+// one of their 2α adjacent parities is unavailable. Such a block is
+// definitely unrecoverable if its location fails next — every repair path
+// of d_i passes through an adjacent parity (Fig 2), so zero available
+// adjacent parities means zero recovery options, no matter how many rounds
+// a future decoder runs. Repaired blocks do not count as protection:
+// minimal maintenance regenerates content but not redundancy (the Table V
+// convention of Available=FALSE, Repaired=TRUE).
+func (st *aeState) vulnerable() int {
+	count := 0
+	for i := 1; i <= st.n; i++ {
+		if !st.dataUsable[i] {
+			continue // lost outright, counted by DataLoss instead
+		}
+		protected := false
+		for ci, class := range st.classes {
+			h, err := st.lat.Backward(class, i)
+			if err == nil && st.parityUsable(ci, h) {
+				protected = true
+				break
+			}
+			if st.parityUsable(ci, i) { // the out-edge, p_{i,·}
+				protected = true
+				break
+			}
+		}
+		if !protected {
+			count++
+		}
+	}
+	return count
+}
+
+// Simulate implements Scheme. Two passes run over the same placement and
+// disaster: full maintenance for loss/rounds/single-failure metrics, then
+// minimal maintenance (data repairs only) for the vulnerability metric.
+func (s *AEScheme) Simulate(cfg Config, frac float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	failed, err := disasterSet(cfg, frac)
+	if err != nil {
+		return Result{}, err
+	}
+
+	full, err := s.build(cfg, failed)
+	if err != nil {
+		return Result{}, err
+	}
+	rounds, repaired, first, err := full.repair(false)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s full repair: %w", s.Name(), err)
+	}
+
+	minimal, err := s.build(cfg, failed)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, _, _, err := minimal.repair(true); err != nil {
+		return Result{}, fmt.Errorf("sim: %s minimal repair: %w", s.Name(), err)
+	}
+	vuln := minimal.vulnerable()
+
+	return Result{
+		Scheme:         s.Name(),
+		DisasterFrac:   frac,
+		DataBlocks:     cfg.DataBlocks,
+		DataLoss:       len(full.missData),
+		RepairedData:   repaired,
+		FirstRoundData: first,
+		Rounds:         rounds,
+		VulnerableData: vuln,
+		// Every successful AE repair — data or parity — reads exactly two
+		// blocks, independent of the code parameters (§V.C.3).
+		RepairReads: 2 * (repaired + full.parityRepaired),
+	}, nil
+}
+
+// without filters xs in place, dropping elements where drop returns true.
+func without(xs []int, drop func(int) bool) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if !drop(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func withoutPar(xs [][2]int, drop func([2]int) bool) [][2]int {
+	out := xs[:0]
+	for _, x := range xs {
+		if !drop(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// RSScheme simulates a Reed–Solomon code RS(k,m) under disaster. Blocks
+// are grouped in stripes of k data plus m parity blocks; a stripe is
+// decodable when at least k of its blocks are usable, in which case every
+// missing block of the stripe can be rebuilt.
+type RSScheme struct {
+	k, m int
+}
+
+var _ Scheme = (*RSScheme)(nil)
+
+// NewRS returns the simulation scheme for RS(k,m).
+func NewRS(k, m int) (*RSScheme, error) {
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sim: RS parameters must be positive, got k=%d m=%d", k, m)
+	}
+	return &RSScheme{k: k, m: m}, nil
+}
+
+// Name implements Scheme.
+func (s *RSScheme) Name() string { return fmt.Sprintf("RS(%d,%d)", s.k, s.m) }
+
+// AdditionalStorage implements Scheme (Table IV: m/k).
+func (s *RSScheme) AdditionalStorage() float64 { return float64(s.m) / float64(s.k) }
+
+// SingleFailureCost implements Scheme: k block reads (Table IV row "SF").
+func (s *RSScheme) SingleFailureCost() int { return s.k }
+
+// rsStripe tracks the availability of one stripe. Blocks 0..dataCount−1
+// are data, the remaining m are parity; stripes shorter than k data blocks
+// (tail of a workload not divisible by k) behave as if padded with
+// always-available virtual blocks, matching a zero-padded encoder.
+type rsStripe struct {
+	dataCount int
+	usable    []bool // dataCount + m entries
+}
+
+// usableCount returns usable blocks including virtual padding.
+func (st *rsStripe) usableCount(k int) int {
+	n := k - st.dataCount // virtual pad blocks
+	for _, u := range st.usable {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// build lays out stripes over the locations and applies the disaster.
+func (s *RSScheme) build(cfg Config, failed []bool) ([]rsStripe, error) {
+	place, err := newPlacement(cfg)
+	if err != nil {
+		return nil, err
+	}
+	stripeCount := (cfg.DataBlocks + s.k - 1) / s.k
+	stripes := make([]rsStripe, stripeCount)
+	remaining := cfg.DataBlocks
+	width := s.k + s.m
+	for si := range stripes {
+		dataCount := s.k
+		if remaining < s.k {
+			dataCount = remaining
+		}
+		remaining -= dataCount
+		st := rsStripe{dataCount: dataCount, usable: make([]bool, dataCount+s.m)}
+		for b := 0; b < dataCount+s.m; b++ {
+			id := uint64(si)*uint64(width) + uint64(b)
+			st.usable[b] = !failed[place.Place(id)]
+		}
+		stripes[si] = st
+	}
+	return stripes, nil
+}
+
+// Simulate implements Scheme.
+func (s *RSScheme) Simulate(cfg Config, frac float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	failed, err := disasterSet(cfg, frac)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Full maintenance pass: every decodable stripe is fully rebuilt.
+	stripes, err := s.build(cfg, failed)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Scheme:       s.Name(),
+		DisasterFrac: frac,
+		DataBlocks:   cfg.DataBlocks,
+	}
+	anyRepair := false
+	for si := range stripes {
+		st := &stripes[si]
+		missingData, missingTotal := 0, 0
+		for b, u := range st.usable {
+			if u {
+				continue
+			}
+			missingTotal++
+			if b < st.dataCount {
+				missingData++
+			}
+		}
+		if missingTotal == 0 {
+			continue
+		}
+		if st.usableCount(s.k) >= s.k {
+			anyRepair = true
+			res.RepairedData += missingData
+			// Decoding the stripe reads k surviving blocks, however many
+			// of its members are being rebuilt (§I: k·B bandwidth).
+			res.RepairReads += s.k
+			// Fig 13 for RS counts lone-erasure repairs: the stripe had
+			// exactly one missing block and it was a data block.
+			if missingTotal == 1 && missingData == 1 {
+				res.FirstRoundData++
+			}
+		} else {
+			// Dead stripe: only the data blocks at unavailable locations
+			// count as lost (§V.C.1).
+			res.DataLoss += missingData
+		}
+	}
+	if anyRepair {
+		res.Rounds = 1 // RS repair is single-round: stripes decode directly
+	}
+
+	// Vulnerability (minimal maintenance, §V.C.2): repairs regenerate
+	// content but not redundancy — the Table V convention of
+	// Available=FALSE, Repaired=TRUE. A surviving (available) data block
+	// is vulnerable when the *available* remainder of its stripe could not
+	// regenerate it: fewer than k available blocks besides itself.
+	for si := range stripes {
+		st := &stripes[si]
+		available := st.usableCount(s.k) // post-disaster availability
+		for b := 0; b < st.dataCount; b++ {
+			if !st.usable[b] {
+				continue // missing: either repaired (delivered) or lost
+			}
+			if available-1 < s.k {
+				res.VulnerableData++
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,461 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+// testCfg is large enough for stable statistics yet fast for CI.
+var testCfg = Config{DataBlocks: 40_000, Locations: 100, Seed: 1}
+
+func mustAE(t *testing.T, alpha, s, p int) *AEScheme {
+	t.Helper()
+	sc, err := NewAE(lattice.Params{Alpha: alpha, S: s, P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func mustRS(t *testing.T, k, m int) *RSScheme {
+	t.Helper()
+	sc, err := NewRS(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func mustRepl(t *testing.T, n int) *ReplicationScheme {
+	t.Helper()
+	sc, err := NewReplication(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func simulate(t *testing.T, s Scheme, frac float64) Result {
+	t.Helper()
+	r, err := s.Simulate(testCfg, frac)
+	if err != nil {
+		t.Fatalf("%s at %.0f%%: %v", s.Name(), frac*100, err)
+	}
+	return r
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{DataBlocks: 0, Locations: 10}).Validate(); err == nil {
+		t.Error("accepted zero blocks")
+	}
+	if err := (Config{DataBlocks: 10, Locations: 0}).Validate(); err == nil {
+		t.Error("accepted zero locations")
+	}
+	if err := testCfg.Validate(); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func TestSchemeConstructorsValidate(t *testing.T) {
+	if _, err := NewAE(lattice.Params{Alpha: 9}); err == nil {
+		t.Error("NewAE accepted invalid params")
+	}
+	if _, err := NewRS(0, 2); err == nil {
+		t.Error("NewRS accepted k=0")
+	}
+	if _, err := NewRS(2, 0); err == nil {
+		t.Error("NewRS accepted m=0")
+	}
+	if _, err := NewReplication(1); err == nil {
+		t.Error("NewReplication accepted n=1")
+	}
+}
+
+// TestTableIV asserts every cost cell of Table IV.
+func TestTableIV(t *testing.T) {
+	schemes, err := PaperSchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TableIV(schemes)
+	want := map[string]TableIVRow{
+		"RS(10,4)":  {AdditionalStorage: 0.4, SingleFailureCost: 10},
+		"RS(8,2)":   {AdditionalStorage: 0.25, SingleFailureCost: 8},
+		"RS(5,5)":   {AdditionalStorage: 1, SingleFailureCost: 5},
+		"RS(4,12)":  {AdditionalStorage: 3, SingleFailureCost: 4},
+		"AE(1,-,-)": {AdditionalStorage: 1, SingleFailureCost: 2},
+		"AE(2,2,5)": {AdditionalStorage: 2, SingleFailureCost: 2},
+		"AE(3,2,5)": {AdditionalStorage: 3, SingleFailureCost: 2},
+		"2-way":     {AdditionalStorage: 1, SingleFailureCost: 1},
+		"3-way":     {AdditionalStorage: 2, SingleFailureCost: 1},
+		"4-way":     {AdditionalStorage: 3, SingleFailureCost: 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d schemes, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		w, ok := want[row.Scheme]
+		if !ok {
+			t.Errorf("unexpected scheme %q", row.Scheme)
+			continue
+		}
+		if math.Abs(row.AdditionalStorage-w.AdditionalStorage) > 1e-12 {
+			t.Errorf("%s: AS = %v, want %v", row.Scheme, row.AdditionalStorage, w.AdditionalStorage)
+		}
+		if row.SingleFailureCost != w.SingleFailureCost {
+			t.Errorf("%s: SF = %d, want %d", row.Scheme, row.SingleFailureCost, w.SingleFailureCost)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	s := mustAE(t, 2, 2, 5)
+	a := simulate(t, s, 0.3)
+	b := simulate(t, s, 0.3)
+	if a != b {
+		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReplicationLossMatchesClosedForm(t *testing.T) {
+	// n-way replication loses a block iff all n copies land on failed
+	// locations: expected fraction ≈ frac^n.
+	for _, n := range []int{2, 3, 4} {
+		s := mustRepl(t, n)
+		for _, frac := range []float64{0.3, 0.5} {
+			r := simulate(t, s, frac)
+			want := math.Pow(frac, float64(n))
+			got := r.DataLossFraction()
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("%d-way at %.0f%%: loss fraction %v, want ≈%v", n, frac*100, got, want)
+			}
+		}
+	}
+}
+
+func TestReplicationVulnerableMatchesClosedForm(t *testing.T) {
+	// Vulnerable = exactly one surviving copy: C(n,1)·(1−q)·q^(n−1).
+	for _, n := range []int{2, 3} {
+		s := mustRepl(t, n)
+		frac := 0.4
+		r := simulate(t, s, frac)
+		want := float64(n) * (1 - frac) * math.Pow(frac, float64(n-1))
+		got := r.VulnerableFraction()
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%d-way: vulnerable fraction %v, want ≈%v", n, got, want)
+		}
+	}
+}
+
+func TestFig11DataLossOrdering(t *testing.T) {
+	// The qualitative content of Fig 11 at a mid-size disaster (30%):
+	//   AE(3,2,5) ≤ AE(2,2,5) ≤ AE(1,-,-)       (α monotonicity)
+	//   RS(8,2) > RS(10,4) > RS(5,5) ≥ RS(4,12)  (fault-tolerance ordering)
+	//   AE(1,-,-) > RS(5,5)                      ("one order more")
+	frac := 0.3
+	ae1 := simulate(t, mustAE(t, 1, 1, 0), frac)
+	ae2 := simulate(t, mustAE(t, 2, 2, 5), frac)
+	ae3 := simulate(t, mustAE(t, 3, 2, 5), frac)
+	rs104 := simulate(t, mustRS(t, 10, 4), frac)
+	rs82 := simulate(t, mustRS(t, 8, 2), frac)
+	rs55 := simulate(t, mustRS(t, 5, 5), frac)
+	rs412 := simulate(t, mustRS(t, 4, 12), frac)
+
+	if ae3.DataLoss > ae2.DataLoss || ae2.DataLoss > ae1.DataLoss {
+		t.Errorf("α ordering violated: AE3=%d AE2=%d AE1=%d",
+			ae3.DataLoss, ae2.DataLoss, ae1.DataLoss)
+	}
+	if !(rs82.DataLoss > rs104.DataLoss && rs104.DataLoss > rs55.DataLoss && rs55.DataLoss >= rs412.DataLoss) {
+		t.Errorf("RS ordering violated: RS(8,2)=%d RS(10,4)=%d RS(5,5)=%d RS(4,12)=%d",
+			rs82.DataLoss, rs104.DataLoss, rs55.DataLoss, rs412.DataLoss)
+	}
+	if ae1.DataLoss <= rs55.DataLoss {
+		t.Errorf("AE(1)=%d should lose more than RS(5,5)=%d", ae1.DataLoss, rs55.DataLoss)
+	}
+}
+
+func TestFig11HeadlineAEBeatsRS412(t *testing.T) {
+	// §V.C.1: "AE(3,2,5) outperforms RS(4,12) even though both have the
+	// same storage overhead". Both are lossless at small disasters at this
+	// scale; the gap opens at 50%.
+	frac := 0.5
+	ae3 := simulate(t, mustAE(t, 3, 2, 5), frac)
+	rs412 := simulate(t, mustRS(t, 4, 12), frac)
+	if ae3.DataLoss >= rs412.DataLoss {
+		t.Errorf("AE(3,2,5)=%d should outperform RS(4,12)=%d at 50%%",
+			ae3.DataLoss, rs412.DataLoss)
+	}
+}
+
+func TestFig11RS55ReplicationEquivalences(t *testing.T) {
+	// §V.C.1 narrates RS(5,5)'s decline: data loss equivalent to 4-way
+	// replication at 10%, 3-way at 30%, 2-way at 50%.
+	within := func(a, b int, factor float64) bool {
+		fa, fb := float64(a), float64(b)
+		if fb == 0 {
+			return fa <= 8 // both essentially zero at this scale
+		}
+		return fa/fb < factor && fb/fa < factor
+	}
+	for _, tt := range []struct {
+		frac float64
+		n    int
+	}{{0.1, 4}, {0.3, 3}, {0.5, 2}} {
+		rs := simulate(t, mustRS(t, 5, 5), tt.frac)
+		repl := simulate(t, mustRepl(t, tt.n), tt.frac)
+		if !within(rs.DataLoss, repl.DataLoss, 3) {
+			t.Errorf("at %.0f%%: RS(5,5) loss %d not equivalent to %d-way loss %d",
+				tt.frac*100, rs.DataLoss, tt.n, repl.DataLoss)
+		}
+	}
+}
+
+func TestFig11LossMonotonicInDisasterSize(t *testing.T) {
+	for _, s := range []Scheme{mustAE(t, 3, 2, 5), mustRS(t, 8, 2), mustRepl(t, 2)} {
+		prev := -1
+		for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+			r := simulate(t, s, frac)
+			if r.DataLoss < prev {
+				t.Errorf("%s: loss decreased from %d to %d at %.0f%%",
+					s.Name(), prev, r.DataLoss, frac*100)
+			}
+			prev = r.DataLoss
+		}
+	}
+}
+
+func TestFig12VulnerableOrdering(t *testing.T) {
+	// §V.C.2 at a large disaster (50%): the RS family leaves a high
+	// percentage of data without redundancy; "RS(5,5) performs worse than
+	// AE(1,-,-) when failures affect more than 20% of the locations";
+	// "RS(4,12) is the only [RS code] comparable to the high protection
+	// provided by AE codes"; AE protection improves with α.
+	frac := 0.5
+	ae1 := simulate(t, mustAE(t, 1, 1, 0), frac)
+	ae2 := simulate(t, mustAE(t, 2, 2, 5), frac)
+	ae3 := simulate(t, mustAE(t, 3, 2, 5), frac)
+	rs82 := simulate(t, mustRS(t, 8, 2), frac)
+	rs55 := simulate(t, mustRS(t, 5, 5), frac)
+	rs412 := simulate(t, mustRS(t, 4, 12), frac)
+
+	if rs55.VulnerableData <= ae1.VulnerableData {
+		t.Errorf("RS(5,5)=%d should leave more vulnerable data than AE(1)=%d at 50%%",
+			rs55.VulnerableData, ae1.VulnerableData)
+	}
+	if rs82.VulnerableData <= rs55.VulnerableData {
+		t.Errorf("RS(8,2)=%d should be worse than RS(5,5)=%d", rs82.VulnerableData, rs55.VulnerableData)
+	}
+	if !(ae3.VulnerableData <= ae2.VulnerableData && ae2.VulnerableData <= ae1.VulnerableData) {
+		t.Errorf("α protection ordering violated: AE3=%d AE2=%d AE1=%d",
+			ae3.VulnerableData, ae2.VulnerableData, ae1.VulnerableData)
+	}
+	// RS(4,12) sits with the AE codes, an order of magnitude below RS(5,5).
+	if rs412.VulnerableData*5 > rs55.VulnerableData {
+		t.Errorf("RS(4,12)=%d should be far below RS(5,5)=%d", rs412.VulnerableData, rs55.VulnerableData)
+	}
+	if rs412.VulnerableData > 4*ae3.VulnerableData+100 {
+		t.Errorf("RS(4,12)=%d should be comparable to AE(3,2,5)=%d",
+			rs412.VulnerableData, ae3.VulnerableData)
+	}
+}
+
+func TestFig12CrossoverRS55VsAE1(t *testing.T) {
+	// The crossover the paper describes: at a small disaster RS(5,5)
+	// protects better than single entanglement, beyond ~20-30% it is worse.
+	small := 0.1
+	if rs, ae := simulate(t, mustRS(t, 5, 5), small), simulate(t, mustAE(t, 1, 1, 0), small); rs.VulnerableData >= ae.VulnerableData {
+		t.Errorf("at 10%%: RS(5,5)=%d should still beat AE(1)=%d", rs.VulnerableData, ae.VulnerableData)
+	}
+	large := 0.5
+	if rs, ae := simulate(t, mustRS(t, 5, 5), large), simulate(t, mustAE(t, 1, 1, 0), large); rs.VulnerableData <= ae.VulnerableData {
+		t.Errorf("at 50%%: RS(5,5)=%d should be worse than AE(1)=%d", rs.VulnerableData, ae.VulnerableData)
+	}
+}
+
+func TestFig13SingleFailureShare(t *testing.T) {
+	// §V.C.4: for AE codes "most data are repaired at the first round".
+	// For RS "the repair efficiency is very bad for small disasters. It
+	// improves for larger disasters because the number of single failures
+	// decreases": the single-failure share of RS(4,12) falls with size.
+	ae3small := simulate(t, mustAE(t, 3, 2, 5), 0.1)
+	if ae3small.SingleFailureShare() < 0.9 {
+		t.Errorf("AE(3,2,5) first-round share at 10%% = %v, want > 0.9",
+			ae3small.SingleFailureShare())
+	}
+	ae3large := simulate(t, mustAE(t, 3, 2, 5), 0.5)
+	if ae3large.SingleFailureShare() < 0.5 {
+		t.Errorf("AE(3,2,5) first-round share at 50%% = %v, want > 0.5",
+			ae3large.SingleFailureShare())
+	}
+	rsSmall := simulate(t, mustRS(t, 4, 12), 0.1)
+	rsLarge := simulate(t, mustRS(t, 4, 12), 0.5)
+	if rsSmall.SingleFailureShare() <= rsLarge.SingleFailureShare() {
+		t.Errorf("RS(4,12) single-failure share should fall with disaster size: 10%%=%v 50%%=%v",
+			rsSmall.SingleFailureShare(), rsLarge.SingleFailureShare())
+	}
+	if rsLarge.SingleFailureShare() > 0.05 {
+		t.Errorf("RS(4,12) share at 50%% = %v, want ≈0", rsLarge.SingleFailureShare())
+	}
+}
+
+func TestTableVIRoundsBehaviour(t *testing.T) {
+	// Table VI: repair rounds grow with disaster size and stay in the
+	// tens at worst.
+	for _, s := range []*AEScheme{mustAE(t, 1, 1, 0), mustAE(t, 2, 2, 5), mustAE(t, 3, 2, 5)} {
+		r10 := simulate(t, s, 0.1)
+		r50 := simulate(t, s, 0.5)
+		if r50.Rounds < r10.Rounds {
+			t.Errorf("%s: rounds fell from %d (10%%) to %d (50%%)", s.Name(), r10.Rounds, r50.Rounds)
+		}
+		if r50.Rounds < 2 {
+			t.Errorf("%s: rounds at 50%% = %d, expected a multi-round cascade", s.Name(), r50.Rounds)
+		}
+		if r50.Rounds > 60 {
+			t.Errorf("%s: rounds at 50%% = %d, implausibly high", s.Name(), r50.Rounds)
+		}
+	}
+}
+
+func TestAERepairEverythingSmallDisaster(t *testing.T) {
+	// A 10% disaster leaves AE(3,2,5) with little or no loss at this
+	// scale (Fig 11 bottom-left corner).
+	r := simulate(t, mustAE(t, 3, 2, 5), 0.1)
+	if r.DataLossFraction() > 0.0005 {
+		t.Errorf("AE(3,2,5) at 10%%: loss fraction %v, want < 0.05%%", r.DataLossFraction())
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rs, err := Sweep(mustRS(t, 8, 2), testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("Sweep returned %d results, want 5", len(rs))
+	}
+	for i, r := range rs {
+		want := float64(i+1) / 10
+		if math.Abs(r.DisasterFrac-want) > 1e-12 {
+			t.Errorf("result %d frac = %v, want %v", i, r.DisasterFrac, want)
+		}
+		if r.Scheme != "RS(8,2)" {
+			t.Errorf("result %d scheme = %q", i, r.Scheme)
+		}
+	}
+}
+
+func TestStripeSpread(t *testing.T) {
+	cfg := Config{DataBlocks: 100_000, Locations: 100, Seed: 1}
+	spread, err := StripeSpread(cfg, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	weighted := 0
+	for k, v := range spread {
+		if k < 1 || k > 14 {
+			t.Errorf("impossible spread %d", k)
+		}
+		total += v
+		weighted += k * v
+	}
+	if total != 10_000 {
+		t.Errorf("spread covers %d stripes, want 10000", total)
+	}
+	// §V.C: with n=100, a minority of 14-block stripes land on 14 distinct
+	// locations (paper: 38%), and the bulk sits at 12–13.
+	frac14 := float64(spread[14]) / float64(total)
+	if frac14 < 0.25 || frac14 > 0.55 {
+		t.Errorf("fraction of fully spread stripes = %v, want ≈0.38", frac14)
+	}
+	mean := float64(weighted) / float64(total)
+	if mean < 12 || mean > 14 {
+		t.Errorf("mean spread = %v, want in [12,14]", mean)
+	}
+}
+
+func TestBlocksPerLocation(t *testing.T) {
+	cfg := Config{DataBlocks: 1_000_000, Locations: 100, Seed: 1}
+	mean, stddev, err := BlocksPerLocation(cfg, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1M data + 400k parity over 100 sites = 14,000 per site; the paper
+	// observed σ = 130.88, binomial theory gives ≈117.7.
+	if mean != 14000 {
+		t.Errorf("mean = %v, want 14000", mean)
+	}
+	if stddev < 50 || stddev > 250 {
+		t.Errorf("stddev = %v, want ≈118 (paper: 130.88)", stddev)
+	}
+}
+
+func TestStatsValidation(t *testing.T) {
+	if _, err := StripeSpread(Config{}, 10, 4); err == nil {
+		t.Error("StripeSpread accepted invalid config")
+	}
+	if _, err := StripeSpread(testCfg, 0, 4); err == nil {
+		t.Error("StripeSpread accepted k=0")
+	}
+	if _, _, err := BlocksPerLocation(testCfg, 10, 0); err == nil {
+		t.Error("BlocksPerLocation accepted m=0")
+	}
+}
+
+func TestRSRemainderStripe(t *testing.T) {
+	// 4003 blocks with RS(4,12): the tail stripe has 3 data blocks and
+	// must still be simulated without error.
+	cfg := Config{DataBlocks: 4003, Locations: 50, Seed: 3}
+	s := mustRS(t, 4, 12)
+	r, err := s.Simulate(cfg, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DataBlocks != 4003 {
+		t.Errorf("DataBlocks = %d", r.DataBlocks)
+	}
+}
+
+// TestRepairReadAmplification verifies the §I bandwidth asymmetry in the
+// measured traffic: AE repair reads stay close to 2 per repaired block
+// while RS pays about k reads per decode.
+func TestRepairReadAmplification(t *testing.T) {
+	frac := 0.3
+	ae := simulate(t, mustAE(t, 3, 2, 5), frac)
+	if ae.RepairReads == 0 {
+		t.Fatal("AE recorded no repair reads")
+	}
+	// AE reads exactly 2 per repaired block (data or parity); per data
+	// block the amplification includes parity repairs, so it exceeds 2
+	// but stays well below RS's k.
+	if amp := ae.ReadAmplification(); amp < 2 || amp > 12 {
+		t.Errorf("AE read amplification = %v, want in [2, 12]", amp)
+	}
+	rs := simulate(t, mustRS(t, 10, 4), frac)
+	if amp := rs.ReadAmplification(); amp < 4 {
+		t.Errorf("RS(10,4) read amplification = %v, want ≥ 4 (k reads per stripe decode)", amp)
+	}
+	repl := simulate(t, mustRepl(t, 3), frac)
+	if amp := repl.ReadAmplification(); amp != 1 {
+		t.Errorf("replication read amplification = %v, want exactly 1", amp)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{DataBlocks: 100, DataLoss: 5, VulnerableData: 20, RepairedData: 40, FirstRoundData: 30}
+	if got := r.DataLossFraction(); got != 0.05 {
+		t.Errorf("DataLossFraction = %v", got)
+	}
+	if got := r.VulnerableFraction(); got != 0.2 {
+		t.Errorf("VulnerableFraction = %v", got)
+	}
+	if got := r.SingleFailureShare(); got != 0.75 {
+		t.Errorf("SingleFailureShare = %v", got)
+	}
+	zero := Result{}
+	if zero.SingleFailureShare() != 0 || zero.DataLossFraction() != 0 || zero.VulnerableFraction() != 0 {
+		t.Error("zero-value helpers should return 0")
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/placement"
+)
+
+// PaperSchemes returns the roster evaluated in §V.C (Table IV): four RS
+// settings, the three AE settings, and 2–4-way replication.
+func PaperSchemes() ([]Scheme, error) {
+	var out []Scheme
+	for _, km := range [][2]int{{10, 4}, {8, 2}, {5, 5}, {4, 12}} {
+		s, err := NewRS(km[0], km[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	for _, params := range []lattice.Params{
+		{Alpha: 1, S: 1, P: 0},
+		{Alpha: 2, S: 2, P: 5},
+		{Alpha: 3, S: 2, P: 5},
+	} {
+		s, err := NewAE(params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	for n := 2; n <= 4; n++ {
+		s, err := NewReplication(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TableIVRow is one column of the paper's Table IV.
+type TableIVRow struct {
+	Scheme            string
+	AdditionalStorage float64 // fraction of the data volume
+	SingleFailureCost int     // blocks read per single-failure repair
+}
+
+// TableIV derives the cost table from a scheme roster.
+func TableIV(schemes []Scheme) []TableIVRow {
+	rows := make([]TableIVRow, 0, len(schemes))
+	for _, s := range schemes {
+		rows = append(rows, TableIVRow{
+			Scheme:            s.Name(),
+			AdditionalStorage: s.AdditionalStorage(),
+			SingleFailureCost: s.SingleFailureCost(),
+		})
+	}
+	return rows
+}
+
+// StripeSpread reports how many RS stripes have their blocks on a given
+// number of distinct locations — the load-balance study of §V.C ("only
+// 38,429 had their 14 blocks distributed to different locations…").
+// The returned map is keyed by distinct-location count.
+func StripeSpread(cfg Config, k, m int) (map[int]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sim: RS parameters must be positive, got k=%d m=%d", k, m)
+	}
+	place, err := newPlacement(cfg)
+	if err != nil {
+		return nil, err
+	}
+	width := k + m
+	stripes := cfg.DataBlocks / k
+	spread := make(map[int]int)
+	seen := make(map[int]bool, width)
+	for si := 0; si < stripes; si++ {
+		for key := range seen {
+			delete(seen, key)
+		}
+		for b := 0; b < width; b++ {
+			seen[place.Place(uint64(si)*uint64(width)+uint64(b))] = true
+		}
+		spread[len(seen)]++
+	}
+	return spread, nil
+}
+
+// SpreadKeys returns the distinct-location counts present in a spread
+// histogram, ascending — a convenience for printing.
+func SpreadKeys(spread map[int]int) []int {
+	keys := make([]int, 0, len(spread))
+	for k := range spread {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// BlocksPerLocation returns mean and standard deviation of encoded blocks
+// per location for an RS(k,m) workload — the "14,000 blocks per site,
+// σ = 130.88" statistic of §V.C.
+func BlocksPerLocation(cfg Config, k, m int) (mean, stddev float64, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if k <= 0 || m <= 0 {
+		return 0, 0, fmt.Errorf("sim: RS parameters must be positive, got k=%d m=%d", k, m)
+	}
+	place, err := newPlacement(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	width := k + m
+	stripes := cfg.DataBlocks / k
+	total := uint64(stripes) * uint64(width)
+	hist := placement.Histogram(place, total)
+	mean, stddev = placement.MeanStddev(hist)
+	return mean, stddev, nil
+}

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest feeds arbitrary byte streams to the server-side frame
+// parser: it must never panic nor allocate beyond the declared limits,
+// whatever a malicious client sends.
+func FuzzReadRequest(f *testing.F) {
+	// Well-formed seed frames.
+	var good bytes.Buffer
+	if err := writeRequest(&good, OpPut, "key", []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	var getFrame bytes.Buffer
+	if err := writeRequest(&getFrame, OpGet, "k", nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(getFrame.Bytes())
+	// Hostile seeds: oversized key length, oversized payload length,
+	// truncated frames.
+	f.Add([]byte{OpGet, 0xFF, 0xFF})
+	f.Add([]byte{OpPut, 0x00, 0x01, 'k', 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{OpDel})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		op, key, payload, err := readRequest(bytes.NewReader(frame))
+		if err != nil {
+			return // malformed input must just error
+		}
+		if len(key) > MaxKeyLen {
+			t.Fatalf("accepted oversized key (%d bytes)", len(key))
+		}
+		if len(payload) > MaxPayloadLen {
+			t.Fatalf("accepted oversized payload (%d bytes)", len(payload))
+		}
+		// A successfully parsed frame must re-encode to a parseable frame
+		// with identical content.
+		var re bytes.Buffer
+		if err := writeRequest(&re, op, key, payload); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		op2, key2, payload2, err := readRequest(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if op2 != op || key2 != key || !bytes.Equal(payload2, payload) {
+			t.Fatal("frame round trip not stable")
+		}
+	})
+}
+
+// FuzzReadResponse does the same for the client-side parser.
+func FuzzReadResponse(f *testing.F) {
+	var good bytes.Buffer
+	if err := writeResponse(&good, StatusOK, []byte("block")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{StatusError, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{StatusNotFound})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		status, payload, err := readResponse(bytes.NewReader(frame))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxPayloadLen {
+			t.Fatalf("accepted oversized payload (%d bytes)", len(payload))
+		}
+		var re bytes.Buffer
+		if err := writeResponse(&re, status, payload); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		status2, payload2, err := readResponse(bytes.NewReader(re.Bytes()))
+		if err != nil || status2 != status || !bytes.Equal(payload2, payload) {
+			t.Fatal("response round trip not stable")
+		}
+	})
+}

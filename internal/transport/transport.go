@@ -1,0 +1,375 @@
+// Package transport implements a minimal TCP block-store protocol so the
+// cooperative storage network of §IV.A can run across real sockets: storage
+// nodes serve parity blocks to remote brokers ("node 5 answers step 4" in
+// the Table III repair walkthrough).
+//
+// The wire protocol is deliberately simple and self-contained:
+//
+//	request  := op(1) keyLen(2, big endian) key payloadLen(4) payload
+//	response := status(1) payloadLen(4) payload
+//
+// Operations: OpGet fetches a block by key (payload empty), OpPut stores a
+// block, OpDel removes one. Status is StatusOK, StatusNotFound or
+// StatusError (payload carries the error text). Every request is framed and
+// independent; connections are persistent and serve any number of requests.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Protocol operations.
+const (
+	OpGet byte = 1
+	OpPut byte = 2
+	OpDel byte = 3
+)
+
+// Response statuses.
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusError    byte = 2
+)
+
+// Limits protect both sides from malformed frames.
+const (
+	MaxKeyLen     = 4096
+	MaxPayloadLen = 64 << 20 // 64 MiB
+)
+
+// ErrNotFound is returned by Client.Get for missing keys.
+var ErrNotFound = errors.New("transport: block not found")
+
+// BlockStore is the storage a Server exposes. Implementations must be safe
+// for concurrent use.
+type BlockStore interface {
+	// Get returns the block and whether it exists.
+	Get(key string) ([]byte, bool)
+	// Put stores a block.
+	Put(key string, data []byte) error
+	// Del removes a block; deleting a missing key is not an error.
+	Del(key string)
+}
+
+// MemStore is a trivial in-memory BlockStore.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+var _ BlockStore = (*MemStore)(nil)
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Get implements BlockStore.
+func (s *MemStore) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, true
+}
+
+// Put implements BlockStore.
+func (s *MemStore) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = cp
+	return nil
+}
+
+// Del implements BlockStore.
+func (s *MemStore) Del(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}
+
+// Len returns the number of stored blocks.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Clear drops every stored block — the "disk replaced" event of a storage
+// node.
+func (s *MemStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string][]byte)
+}
+
+// Server serves a BlockStore over TCP.
+type Server struct {
+	store BlockStore
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server exposing store.
+// It returns an error when store is nil.
+func NewServer(store BlockStore) (*Server, error) {
+	if store == nil {
+		return nil, errors.New("transport: nil store")
+	}
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving
+// in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		op, key, payload, err := readRequest(conn)
+		if err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		switch op {
+		case OpGet:
+			if b, ok := s.store.Get(key); ok {
+				err = writeResponse(conn, StatusOK, b)
+			} else {
+				err = writeResponse(conn, StatusNotFound, nil)
+			}
+		case OpPut:
+			if perr := s.store.Put(key, payload); perr != nil {
+				err = writeResponse(conn, StatusError, []byte(perr.Error()))
+			} else {
+				err = writeResponse(conn, StatusOK, nil)
+			}
+		case OpDel:
+			s.store.Del(key)
+			err = writeResponse(conn, StatusOK, nil)
+		default:
+			err = writeResponse(conn, StatusError, []byte("unknown op"))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a connection to one storage node. It is safe for concurrent
+// use; requests are serialised over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a storage node.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Get fetches a block; it returns ErrNotFound for missing keys.
+func (c *Client) Get(key string) ([]byte, error) {
+	status, payload, err := c.roundTrip(OpGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusOK:
+		return payload, nil
+	case StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("transport: remote error: %s", payload)
+	}
+}
+
+// Put stores a block.
+func (c *Client) Put(key string, data []byte) error {
+	status, payload, err := c.roundTrip(OpPut, key, data)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("transport: remote error: %s", payload)
+	}
+	return nil
+}
+
+// Del removes a block.
+func (c *Client) Del(key string) error {
+	status, payload, err := c.roundTrip(OpDel, key, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("transport: remote error: %s", payload)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(op byte, key string, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.conn, op, key, payload); err != nil {
+		return 0, nil, err
+	}
+	return readResponse(c.conn)
+}
+
+func writeRequest(w io.Writer, op byte, key string, payload []byte) error {
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("transport: key too long (%d bytes)", len(key))
+	}
+	if len(payload) > MaxPayloadLen {
+		return fmt.Errorf("transport: payload too large (%d bytes)", len(payload))
+	}
+	buf := make([]byte, 0, 1+2+len(key)+4+len(payload))
+	buf = append(buf, op)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readRequest(r io.Reader) (op byte, key string, payload []byte, err error) {
+	var head [3]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return 0, "", nil, err
+	}
+	op = head[0]
+	keyLen := binary.BigEndian.Uint16(head[1:])
+	if keyLen > MaxKeyLen {
+		return 0, "", nil, fmt.Errorf("transport: key length %d exceeds limit", keyLen)
+	}
+	keyBuf := make([]byte, keyLen)
+	if _, err = io.ReadFull(r, keyBuf); err != nil {
+		return 0, "", nil, err
+	}
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, "", nil, err
+	}
+	payloadLen := binary.BigEndian.Uint32(lenBuf[:])
+	if payloadLen > MaxPayloadLen {
+		return 0, "", nil, fmt.Errorf("transport: payload length %d exceeds limit", payloadLen)
+	}
+	payload = make([]byte, payloadLen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(keyBuf), payload, nil
+}
+
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	if len(payload) > MaxPayloadLen {
+		return fmt.Errorf("transport: payload too large (%d bytes)", len(payload))
+	}
+	buf := make([]byte, 0, 1+4+len(payload))
+	buf = append(buf, status)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readResponse(r io.Reader) (status byte, payload []byte, err error) {
+	var head [5]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	status = head[0]
+	payloadLen := binary.BigEndian.Uint32(head[1:])
+	if payloadLen > MaxPayloadLen {
+		return 0, nil, fmt.Errorf("transport: payload length %d exceeds limit", payloadLen)
+	}
+	payload = make([]byte, payloadLen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return status, payload, nil
+}

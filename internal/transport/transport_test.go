@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startServer returns a ready server, its address, and a cleanup-registered
+// client factory.
+func startServer(t *testing.T) (*MemStore, string) {
+	t.Helper()
+	store := NewMemStore()
+	srv, err := NewServer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return store, addr
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPutGetDelRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	data := []byte("entangled parity block p21,26")
+	if err := c.Put("user/p:h:21:26", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("user/p:h:21:26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("Get = %q, want %q", got, data)
+	}
+	if err := c.Del("user/p:h:21:26"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("user/p:h:21:26"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Del = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if _, err := c.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEmptyPayloadAndKeyEdgeCases(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty block came back with %d bytes", len(got))
+	}
+	// Oversized key rejected client-side.
+	if err := c.Put(strings.Repeat("k", MaxKeyLen+1), nil); err == nil {
+		t.Error("accepted oversized key")
+	}
+}
+
+func TestLargeBlock(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	big := bytes.Repeat([]byte{0xA5}, 1<<20)
+	if err := c.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Error("1 MiB block corrupted in transit")
+	}
+}
+
+func TestManySequentialRequests(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := c.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		got, err := c.Get(fmt.Sprintf("k%d", i))
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("k%d = %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	store, addr := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d/k%d", w, i)
+				if err := c.Put(key, []byte(key)); err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Get(key)
+				if err != nil || string(got) != key {
+					errs <- fmt.Errorf("round trip %s: %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if store.Len() != 400 {
+		t.Errorf("store holds %d blocks, want 400", store.Len())
+	}
+}
+
+func TestServerCloseStopsService(t *testing.T) {
+	store := NewMemStore()
+	srv, err := NewServer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k2", []byte{2}); err == nil {
+		t.Error("Put succeeded after server close")
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Error("Dial succeeded after server close")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("NewServer accepted nil store")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get("a"); ok {
+		t.Error("empty store Get succeeded")
+	}
+	if err := s.Put("a", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("a")
+	if !ok || !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("Get = %v,%v", got, ok)
+	}
+	got[0] = 9
+	again, _ := s.Get("a")
+	if again[0] != 1 {
+		t.Error("MemStore aliases stored data")
+	}
+	s.Del("a")
+	if _, ok := s.Get("a"); ok {
+		t.Error("Get succeeded after Del")
+	}
+	s.Del("absent") // no panic
+}

@@ -1,0 +1,163 @@
+// Package writeperf analyses the write-performance behaviour of §V.B and
+// Fig 10: how the choice of s and p affects full-writes and sealed buckets.
+//
+// A sealed bucket is a data block together with the α parities its
+// entanglement created. The encoder writes the lattice column by column
+// (one column of s data blocks per time step); every entanglement consumes
+// the current head parity of each of the block's α strands. The question
+// Fig 10 answers is how long those head parities must wait in memory
+// before they are consumed:
+//
+//   - On horizontal strands and in the interior of helical strands the
+//     head computed in column t is consumed in column t+1 — age 1.
+//   - At the lattice wraps (top nodes on RH strands, bottom nodes on LH
+//     strands) the consuming node lives p−s+1 columns ahead, so the head
+//     ages p−s+1 columns before the entanglement can use it.
+//
+// When s = p every head is consumed exactly one column after it is
+// produced: all the inputs of a full column are available from the
+// immediately preceding step and the whole column can be entangled as one
+// parallel full-write, sealing s buckets per step. When p > s the wrap
+// inputs are stale heads that have waited p−s+1 steps; a writer that only
+// batches fresh inputs can either do full-writes for the central nodes
+// only or write the top/bottom buckets partially and seal them later —
+// exactly the two options of the Fig 10 caption.
+//
+// All quantities here are derived by walking the lattice geometry, not
+// from closed forms, so they remain valid for any future rule changes.
+package writeperf
+
+import (
+	"fmt"
+
+	"aecodes/internal/lattice"
+)
+
+// Analysis summarises the head-age structure of a code setting.
+type Analysis struct {
+	Params lattice.Params
+	// MaxHeadAge is the maximum number of columns any strand-head parity
+	// waits before consumption: 1 when s = p (perfect pipeline), p−s+1
+	// otherwise.
+	MaxHeadAge int
+	// AgeByClass maps each strand class to the maximum head age it
+	// exhibits.
+	AgeByClass map[lattice.Class]int
+	// HeadsInMemory is the broker's steady-state memory footprint in
+	// blocks: one head per strand, s+(α−1)·p (§IV.A).
+	HeadsInMemory int
+}
+
+// FullWriteParallel reports whether entire columns can be entangled as one
+// parallel full-write from fresh heads only — the s = p optimisation.
+func (a Analysis) FullWriteParallel() bool { return a.MaxHeadAge <= 1 }
+
+// Analyze measures head ages for the given parameters by walking every
+// strand across several revolutions.
+func Analyze(params lattice.Params) (Analysis, error) {
+	lat, err := lattice.New(params)
+	if err != nil {
+		return Analysis{}, err
+	}
+	a := Analysis{
+		Params:        params,
+		AgeByClass:    make(map[lattice.Class]int, params.Alpha),
+		HeadsInMemory: params.StrandCount(),
+	}
+	// Walk forward from every node of a full period and measure the column
+	// distance to the consumer of each produced head.
+	start := 4*params.S*params.P + 1
+	if params.Alpha == 1 {
+		start = 5
+	}
+	span := params.S * params.P
+	if span == 0 {
+		span = params.S
+	}
+	for _, class := range lat.Classes() {
+		maxAge := 0
+		for i := start; i < start+span; i++ {
+			j, err := lat.Forward(class, i)
+			if err != nil {
+				return Analysis{}, err
+			}
+			age := col(params.S, j) - col(params.S, i)
+			if age > maxAge {
+				maxAge = age
+			}
+		}
+		a.AgeByClass[class] = maxAge
+		if maxAge > a.MaxHeadAge {
+			a.MaxHeadAge = maxAge
+		}
+	}
+	return a, nil
+}
+
+// col returns the 0-based column of position i on an s-row lattice.
+func col(s, i int) int { return (i - 1) / s }
+
+// ColumnSchedule describes what a fresh-input column writer achieves in
+// one time step: how many of the column's s buckets seal as part of the
+// full-write (all α inputs are fresh, age-1 heads) and how many remain
+// partial (some input is a stale wrap head), with the count of fresh
+// parities available to the partial buckets.
+type ColumnSchedule struct {
+	// Sealed is the number of buckets sealed by the full-write.
+	Sealed int
+	// Partial is the number of buckets left partially written.
+	Partial int
+	// FreshParities is the total number of parities computable from
+	// fresh heads across the partial buckets (the small numbers drawn
+	// inside the Fig 10 buckets).
+	FreshParities int
+}
+
+// Schedule computes the steady-state per-column write schedule. For s = p
+// every bucket seals (Sealed = s); for p > s the top and bottom nodes wait
+// on stale wrap heads.
+func Schedule(params lattice.Params) (ColumnSchedule, error) {
+	lat, err := lattice.New(params)
+	if err != nil {
+		return ColumnSchedule{}, err
+	}
+	start := 4*params.S*params.P + 1
+	if params.Alpha == 1 {
+		start = 5
+	}
+	var sched ColumnSchedule
+	for r := 0; r < params.S; r++ {
+		i := start + r
+		fresh := 0
+		for _, class := range lat.Classes() {
+			h, err := lat.Backward(class, i)
+			if err != nil {
+				return ColumnSchedule{}, err
+			}
+			if col(params.S, i)-col(params.S, h) <= 1 {
+				fresh++
+			}
+		}
+		if fresh == params.Alpha {
+			sched.Sealed++
+		} else {
+			sched.Partial++
+			sched.FreshParities += fresh
+		}
+	}
+	return sched, nil
+}
+
+// MemoryForFullWrite returns the number of parity blocks the broker keeps
+// in memory to seal a window of w columns — O(N) in the number of parities
+// computed in the full-write (§V.B): the strand heads plus the α·s
+// parities produced per column.
+func MemoryForFullWrite(params lattice.Params, w int) (int, error) {
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	if w < 1 {
+		return 0, fmt.Errorf("writeperf: window must be >= 1, got %d", w)
+	}
+	return params.StrandCount() + w*params.Alpha*params.S, nil
+}

@@ -1,0 +1,136 @@
+package writeperf
+
+import (
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+func analyze(t *testing.T, alpha, s, p int) Analysis {
+	t.Helper()
+	a, err := Analyze(lattice.Params{Alpha: alpha, S: s, P: p})
+	if err != nil {
+		t.Fatalf("Analyze(AE(%d,%d,%d)): %v", alpha, s, p, err)
+	}
+	return a
+}
+
+// TestFig10FullWriteAtSEqualsP asserts the §V.B claim: full-writes are
+// optimised when s = p because every needed parity is fresh in memory.
+func TestFig10FullWriteAtSEqualsP(t *testing.T) {
+	for _, sp := range []int{2, 3, 5, 10} {
+		a := analyze(t, 3, sp, sp)
+		if !a.FullWriteParallel() {
+			t.Errorf("AE(3,%d,%d): max head age %d, want 1 (full parallel writes)",
+				sp, sp, a.MaxHeadAge)
+		}
+	}
+}
+
+// TestFig10StaleHeadsWhenPGreaterS asserts the complementary claim: when
+// p > s wrap heads wait p−s+1 columns, preventing single-step full writes.
+func TestFig10StaleHeadsWhenPGreaterS(t *testing.T) {
+	tests := []struct {
+		s, p    int
+		wantAge int
+	}{
+		{5, 10, 6}, // the Fig 10 example: AE(3,5,10)
+		{2, 5, 4},
+		{3, 4, 2},
+	}
+	for _, tt := range tests {
+		a := analyze(t, 3, tt.s, tt.p)
+		if a.FullWriteParallel() {
+			t.Errorf("AE(3,%d,%d): claims full parallel writes with p>s", tt.s, tt.p)
+		}
+		if a.MaxHeadAge != tt.wantAge {
+			t.Errorf("AE(3,%d,%d): max head age = %d, want p−s+1 = %d",
+				tt.s, tt.p, a.MaxHeadAge, tt.wantAge)
+		}
+	}
+}
+
+func TestAnalyzeAgeByClass(t *testing.T) {
+	a := analyze(t, 3, 5, 10)
+	if got := a.AgeByClass[lattice.Horizontal]; got != 1 {
+		t.Errorf("H age = %d, want 1", got)
+	}
+	// Both helical classes wrap with the same reach.
+	if got := a.AgeByClass[lattice.RightHanded]; got != 6 {
+		t.Errorf("RH age = %d, want 6", got)
+	}
+	if got := a.AgeByClass[lattice.LeftHanded]; got != 6 {
+		t.Errorf("LH age = %d, want 6", got)
+	}
+}
+
+func TestAnalyzeSingleEntanglement(t *testing.T) {
+	a := analyze(t, 1, 1, 0)
+	if !a.FullWriteParallel() {
+		t.Errorf("AE(1): max head age %d, want 1", a.MaxHeadAge)
+	}
+	if a.HeadsInMemory != 1 {
+		t.Errorf("AE(1): heads = %d, want 1", a.HeadsInMemory)
+	}
+}
+
+func TestHeadsInMemoryMatchesStrandCount(t *testing.T) {
+	// §IV.A: "AE(3,5,5) requires to keep in memory the last p-block of its
+	// 15 strands."
+	a := analyze(t, 3, 5, 5)
+	if a.HeadsInMemory != 15 {
+		t.Errorf("AE(3,5,5) heads = %d, want 15", a.HeadsInMemory)
+	}
+}
+
+func TestScheduleSealsFullColumnAtSEqualsP(t *testing.T) {
+	sched, err := Schedule(lattice.Params{Alpha: 3, S: 10, P: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Sealed != 10 || sched.Partial != 0 {
+		t.Errorf("AE(3,10,10): sealed=%d partial=%d, want 10/0", sched.Sealed, sched.Partial)
+	}
+}
+
+func TestSchedulePartialBucketsWhenPGreaterS(t *testing.T) {
+	// AE(3,5,10), the right panel of Fig 10: the top node (RH wrap) and
+	// bottom node (LH wrap) cannot seal from fresh heads; central nodes can.
+	sched, err := Schedule(lattice.Params{Alpha: 3, S: 5, P: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Sealed != 3 || sched.Partial != 2 {
+		t.Errorf("AE(3,5,10): sealed=%d partial=%d, want 3/2", sched.Sealed, sched.Partial)
+	}
+	// Each partial bucket still computes its two fresh parities.
+	if sched.FreshParities != 4 {
+		t.Errorf("AE(3,5,10): fresh parities in partial buckets = %d, want 4", sched.FreshParities)
+	}
+}
+
+func TestMemoryForFullWrite(t *testing.T) {
+	// AE(3,5,5), window of 2 columns: 15 heads + 2·3·5 fresh parities.
+	got, err := MemoryForFullWrite(lattice.Params{Alpha: 3, S: 5, P: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 45 {
+		t.Errorf("memory = %d blocks, want 45", got)
+	}
+	if _, err := MemoryForFullWrite(lattice.Params{Alpha: 3, S: 5, P: 5}, 0); err == nil {
+		t.Error("accepted zero window")
+	}
+	if _, err := MemoryForFullWrite(lattice.Params{Alpha: 9}, 1); err == nil {
+		t.Error("accepted invalid params")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(lattice.Params{Alpha: 3, S: 5, P: 2}); err == nil {
+		t.Error("Analyze accepted deformed lattice")
+	}
+	if _, err := Schedule(lattice.Params{Alpha: 0}); err == nil {
+		t.Error("Schedule accepted invalid params")
+	}
+}

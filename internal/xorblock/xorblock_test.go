@@ -1,0 +1,171 @@
+package xorblock
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXorIntoBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []byte
+		want []byte
+	}{
+		{name: "empty", a: nil, b: nil, want: nil},
+		{name: "single", a: []byte{0xff}, b: []byte{0x0f}, want: []byte{0xf0}},
+		{name: "word", a: []byte{1, 2, 3, 4, 5, 6, 7, 8}, b: []byte{8, 7, 6, 5, 4, 3, 2, 1}, want: []byte{9, 5, 5, 1, 1, 5, 5, 9}},
+		{
+			name: "ragged tail",
+			a:    []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+			b:    []byte{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1},
+			want: []byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dst := make([]byte, len(tt.a))
+			if err := XorInto(dst, tt.a, tt.b); err != nil {
+				t.Fatalf("XorInto: %v", err)
+			}
+			if !bytes.Equal(dst, tt.want) {
+				t.Fatalf("XorInto = %v, want %v", dst, tt.want)
+			}
+		})
+	}
+}
+
+func TestXorIntoLengthMismatch(t *testing.T) {
+	if err := XorInto(make([]byte, 3), make([]byte, 4), make([]byte, 4)); err == nil {
+		t.Fatal("expected error for dst length mismatch")
+	}
+	if err := XorInto(make([]byte, 4), make([]byte, 3), make([]byte, 4)); err == nil {
+		t.Fatal("expected error for source length mismatch")
+	}
+	if _, err := Xor(make([]byte, 1), make([]byte, 2)); err == nil {
+		t.Fatal("expected error from Xor on mismatched lengths")
+	}
+	if err := XorAccumulate(make([]byte, 1), make([]byte, 2)); err == nil {
+		t.Fatal("expected error from XorAccumulate on mismatched lengths")
+	}
+}
+
+func TestXorAliasing(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	b := []byte{13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	want, err := Xor(a, b)
+	if err != nil {
+		t.Fatalf("Xor: %v", err)
+	}
+	// dst aliases a.
+	if err := XorInto(a, a, b); err != nil {
+		t.Fatalf("XorInto aliased: %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("aliased XorInto = %v, want %v", a, want)
+	}
+}
+
+func TestXorManyErrors(t *testing.T) {
+	if _, err := XorMany(); err == nil {
+		t.Fatal("expected error for zero sources")
+	}
+	if _, err := XorMany([]byte{1}, []byte{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched sources")
+	}
+}
+
+func TestXorManySingleSourceCopies(t *testing.T) {
+	src := []byte{1, 2, 3}
+	got, err := XorMany(src)
+	if err != nil {
+		t.Fatalf("XorMany: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("XorMany(single) = %v, want %v", got, src)
+	}
+	got[0] = 99
+	if src[0] == 99 {
+		t.Fatal("XorMany must copy its single source, not alias it")
+	}
+}
+
+func TestIsZeroAndEqual(t *testing.T) {
+	if !IsZero(nil) || !IsZero(make([]byte, 17)) {
+		t.Fatal("IsZero should accept nil and zero-filled slices")
+	}
+	if IsZero([]byte{0, 0, 1}) {
+		t.Fatal("IsZero should reject non-zero content")
+	}
+	if !Equal([]byte{1, 2}, []byte{1, 2}) {
+		t.Fatal("Equal should match identical slices")
+	}
+	if Equal([]byte{1}, []byte{1, 0}) {
+		t.Fatal("Equal should reject different lengths")
+	}
+	if Equal([]byte{1, 2}, []byte{1, 3}) {
+		t.Fatal("Equal should reject different content")
+	}
+}
+
+// Property: XOR is an involution — (a^b)^b == a — across block sizes that
+// cover both the word loop and the ragged tail.
+func TestXorInvolutionProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		ab, err := Xor(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := Xor(ab, b)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XorMany of a multiset with every element doubled is zero.
+func TestXorManyCancellationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		k := 1 + rng.Intn(5)
+		srcs := make([][]byte, 0, 2*k)
+		for i := 0; i < k; i++ {
+			b := make([]byte, n)
+			rng.Read(b)
+			srcs = append(srcs, b, b)
+		}
+		got, err := XorMany(srcs...)
+		if err != nil {
+			t.Fatalf("XorMany: %v", err)
+		}
+		if !IsZero(got) {
+			t.Fatalf("trial %d: doubled multiset should cancel, got %v", trial, got)
+		}
+	}
+}
+
+func BenchmarkXorInto4K(b *testing.B) {
+	x := make([]byte, 4096)
+	y := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(2)).Read(x)
+	rand.New(rand.NewSource(3)).Read(y)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := XorInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
