@@ -18,12 +18,15 @@ import (
 	"testing"
 
 	"aecodes"
+	"aecodes/internal/entangle"
 	"aecodes/internal/entmirror"
 	"aecodes/internal/failure"
 	"aecodes/internal/lattice"
 	"aecodes/internal/mep"
+	"aecodes/internal/pipeline"
 	"aecodes/internal/reedsolomon"
 	"aecodes/internal/sim"
+	"aecodes/internal/transport"
 	"aecodes/internal/writeperf"
 	"aecodes/internal/xorblock"
 )
@@ -613,6 +616,188 @@ func BenchmarkXorBlock(b *testing.B) {
 		}
 	}
 }
+
+// --- pipeline and transport benchmarks --------------------------------
+
+// pipeBlockSize is the 1 MiB block size of the encode-throughput
+// acceptance target: pipelined AE(3,5,5) encode must beat sequential by
+// ≥2× (compare BenchmarkEncodeSequentialAE355 with
+// BenchmarkEncodePipelinedAE355 MB/s).
+const pipeBlockSize = 1 << 20
+
+// pipeBatch is how many blocks one benchmark iteration encodes.
+const pipeBatch = 32
+
+var pipeParams = lattice.Params{Alpha: 3, S: 5, P: 5}
+
+// BenchmarkEncodeSequentialAE355 is the single-goroutine baseline:
+// allocation-free EntangleInto, one strand op at a time.
+func BenchmarkEncodeSequentialAE355(b *testing.B) {
+	enc, err := entangle.NewEncoder(pipeParams, pipeBlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, pipeBlockSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	bufs := make([][]byte, pipeParams.Alpha)
+	for i := range bufs {
+		bufs[i] = make([]byte, pipeBlockSize)
+	}
+	b.SetBytes(int64(pipeBlockSize) * pipeBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < pipeBatch; j++ {
+			if _, err := enc.EntangleInto(data, bufs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEncodePipelinedAE355 runs the same workload through the strand-
+// sharded worker pipeline with pooled buffers.
+func BenchmarkEncodePipelinedAE355(b *testing.B) {
+	enc, err := entangle.NewEncoder(pipeParams, pipeBlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, pipeBlockSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	pool := xorblock.PoolFor(pipeBlockSize)
+	fill := func(_ int, buf []byte) { copy(buf, data) }
+	b.SetBytes(int64(pipeBlockSize) * pipeBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.EncodePooled(enc, pipeBatch, fill, pipeline.NullSink{}, pool, pipeline.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkRepairRound measures whole-lattice round-based repair latency
+// after a 30% correlated failure, serial vs parallel planning.
+func benchmarkRepairRound(b *testing.B, workers int) {
+	const n, blockSize = 400, 32 << 10
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	lat, err := lattice.New(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := entangle.NewRepairer(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() *entangle.MemoryStore {
+		enc, err := entangle.NewEncoder(params, blockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := entangle.NewMemoryStore(blockSize)
+		data := make([]byte, blockSize)
+		rng := rand.New(rand.NewSource(7))
+		for i := 1; i <= n; i++ {
+			rng.Read(data)
+			ent, err := enc.Entangle(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.PutData(ent.Index, data); err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range ent.Parities {
+				if err := store.PutParity(p.Edge, p.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		dmg := rand.New(rand.NewSource(99))
+		for i := 1; i <= n; i++ {
+			if dmg.Float64() < 0.3 {
+				store.LoseData(i)
+			}
+			for _, class := range lat.Classes() {
+				if dmg.Float64() < 0.3 {
+					e, err := lat.OutEdge(class, i)
+					if err != nil {
+						b.Fatal(err)
+					}
+					store.LoseParity(e)
+				}
+			}
+		}
+		return store
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := build()
+		b.StartTimer()
+		if _, err := rep.Repair(store, entangle.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairRoundsSerial(b *testing.B)   { benchmarkRepairRound(b, 1) }
+func BenchmarkRepairRoundsParallel(b *testing.B) { benchmarkRepairRound(b, 8) }
+
+// benchmarkTransport measures moving 64 blocks of 64 KiB to a storage node
+// one frame per block vs one batched frame.
+func benchmarkTransport(b *testing.B, batched bool) {
+	store := transport.NewMemStore()
+	srv, err := transport.NewServer(store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := transport.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const blocks, blockSize = 64, 64 << 10
+	items := make([]transport.KV, blocks)
+	keys := make([]string, blocks)
+	payload := make([]byte, blockSize)
+	rand.New(rand.NewSource(3)).Read(payload)
+	for i := range items {
+		items[i] = transport.KV{Key: fmt.Sprintf("blk%04d", i), Data: payload}
+		keys[i] = items[i].Key
+	}
+	b.SetBytes(int64(blocks * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if err := c.PutMany(items); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.GetMany(keys); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, it := range items {
+				if err := c.Put(it.Key, it.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, k := range keys {
+				if _, err := c.Get(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTransportPerBlock(b *testing.B) { benchmarkTransport(b, false) }
+func BenchmarkTransportBatched(b *testing.B)  { benchmarkTransport(b, true) }
 
 // BenchmarkDisasterRecoveryAE3Paper runs the paper-scale experiment (1M
 // blocks, 50% disaster) once per iteration — the heavyweight headline.

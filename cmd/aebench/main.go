@@ -14,33 +14,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
+	"aecodes/internal/entangle"
 	"aecodes/internal/entmirror"
 	"aecodes/internal/failure"
 	"aecodes/internal/lattice"
 	"aecodes/internal/mep"
+	"aecodes/internal/pipeline"
 	"aecodes/internal/raidae"
 	"aecodes/internal/sim"
 	"aecodes/internal/writeperf"
+	"aecodes/internal/xorblock"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|all")
+		exp       = flag.String("exp", "all", "experiment: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|all")
 		blocks    = flag.Int("blocks", 1_000_000, "number of data blocks (paper: 1,000,000)")
 		locations = flag.Int("locations", 100, "number of storage locations (paper: 100)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		trials    = flag.Int("trials", 6000, "Monte-Carlo trials for the mirror experiment")
+		blockSize = flag.Int("blocksize", 1<<20, "block size in bytes for the encode experiment")
+		encBlocks = flag.Int("encblocks", 256, "blocks per measurement in the encode experiment")
 	)
 	flag.Parse()
-	if err := run(*exp, sim.Config{DataBlocks: *blocks, Locations: *locations, Seed: *seed}, *trials); err != nil {
+	encCfg := encodeConfig{blockSize: *blockSize, blocks: *encBlocks}
+	if err := run(*exp, sim.Config{DataBlocks: *blocks, Locations: *locations, Seed: *seed}, *trials, encCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "aebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg sim.Config, trials int) error {
+func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 	type experiment struct {
 		name string
 		fn   func(sim.Config, int) error
@@ -68,6 +77,7 @@ func run(exp string, cfg sim.Config, trials int) error {
 		{"mirror", func(c sim.Config, tr int) error { return mirror(tr) }},
 		{"raid", func(c sim.Config, _ int) error { return raid() }},
 		{"ablation", func(c sim.Config, _ int) error { return ablations(c) }},
+		{"encode", func(c sim.Config, _ int) error { return encodeBench(encCfg) }},
 	}
 	if exp == "all" {
 		for _, e := range experiments {
@@ -260,6 +270,145 @@ func raid() error {
 	for _, r := range rows {
 		fmt.Printf("%-18s %10d %13d %14d  %s\n",
 			r.System, r.SmallWriteIOs, r.DegradedReadIOs, r.ReencodeOnGrow, r.FaultTolerance)
+	}
+	return nil
+}
+
+// encodeConfig sizes the throughput experiment.
+type encodeConfig struct {
+	blockSize int
+	blocks    int
+}
+
+// encodeBench measures the codec hot paths end to end: sequential vs
+// pipelined encode throughput for AE(3,5,5), and serial vs parallel repair
+// round latency for AE(3,2,5).
+func encodeBench(cfg encodeConfig) error {
+	params := lattice.Params{Alpha: 3, S: 5, P: 5}
+	fmt.Printf("Encode throughput — %s, %d blocks of %d KiB, %d cores\n",
+		params, cfg.blocks, cfg.blockSize>>10, runtime.GOMAXPROCS(0))
+
+	pool := xorblock.PoolFor(cfg.blockSize)
+	data := make([]byte, cfg.blockSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	mbps := func(d time.Duration) float64 {
+		return float64(cfg.blocks) * float64(cfg.blockSize) / (1 << 20) / d.Seconds()
+	}
+
+	// Sequential: one goroutine, allocation-free via EntangleInto.
+	enc, err := entangle.NewEncoder(params, cfg.blockSize)
+	if err != nil {
+		return err
+	}
+	bufs := make([][]byte, params.Alpha)
+	for i := range bufs {
+		bufs[i] = pool.Get()
+	}
+	start := time.Now()
+	for b := 0; b < cfg.blocks; b++ {
+		if _, err := enc.EntangleInto(data, bufs); err != nil {
+			return err
+		}
+	}
+	seq := time.Since(start)
+	for _, b := range bufs {
+		pool.Put(b)
+	}
+
+	// Pipelined: strand workers, pooled block buffers.
+	penc, err := entangle.NewEncoder(params, cfg.blockSize)
+	if err != nil {
+		return err
+	}
+	fill := func(_ int, buf []byte) { copy(buf, data) }
+	start = time.Now()
+	if _, err := pipeline.EncodePooled(penc, cfg.blocks, fill, pipeline.NullSink{}, pool, pipeline.Options{}); err != nil {
+		return err
+	}
+	pip := time.Since(start)
+	fmt.Printf("  sequential: %8.1f MB/s (%v)\n", mbps(seq), seq.Round(time.Millisecond))
+	fmt.Printf("  pipelined:  %8.1f MB/s (%v)  speedup %.2fx\n", mbps(pip), pip.Round(time.Millisecond), seq.Seconds()/pip.Seconds())
+
+	return repairRoundBench()
+}
+
+// repairRoundBench times one whole-lattice repair, serial vs parallel
+// planning, on an AE(3,2,5) system with a 30% failure.
+func repairRoundBench() error {
+	const (
+		n         = 512
+		blockSize = 64 << 10
+	)
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	rng := rand.New(rand.NewSource(7))
+	build := func() (*entangle.MemoryStore, error) {
+		enc, err := entangle.NewEncoder(params, blockSize)
+		if err != nil {
+			return nil, err
+		}
+		store := entangle.NewMemoryStore(blockSize)
+		data := make([]byte, blockSize)
+		for i := 1; i <= n; i++ {
+			rng.Read(data)
+			ent, err := enc.Entangle(data)
+			if err != nil {
+				return nil, err
+			}
+			if err := store.PutData(ent.Index, data); err != nil {
+				return nil, err
+			}
+			for _, p := range ent.Parities {
+				if err := store.PutParity(p.Edge, p.Data); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return store, nil
+	}
+	damage := func(store *entangle.MemoryStore) error {
+		lat, err := lattice.New(params)
+		if err != nil {
+			return err
+		}
+		dmg := rand.New(rand.NewSource(99))
+		for i := 1; i <= n; i++ {
+			if dmg.Float64() < 0.3 {
+				store.LoseData(i)
+			}
+			for _, class := range lat.Classes() {
+				if dmg.Float64() < 0.3 {
+					e, err := lat.OutEdge(class, i)
+					if err != nil {
+						return err
+					}
+					store.LoseParity(e)
+				}
+			}
+		}
+		return nil
+	}
+	rep, err := entangle.NewRepairer(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Repair round latency — %s, %d blocks of %d KiB, 30%% failures\n",
+		params, n, blockSize>>10)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		store, err := build()
+		if err != nil {
+			return err
+		}
+		if err := damage(store); err != nil {
+			return err
+		}
+		start := time.Now()
+		stats, err := rep.Repair(store, entangle.Options{Workers: workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  workers=%-2d %v for %d rounds (%d data + %d parity repairs)\n",
+			workers, time.Since(start).Round(time.Millisecond), stats.Rounds,
+			stats.DataRepaired, stats.ParityRepaired)
 	}
 	return nil
 }

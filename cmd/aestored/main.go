@@ -37,12 +37,24 @@ func main() {
 	}
 	fmt.Println("aestored listening on", bound)
 
+	// Close is idempotent, so the deferred safety net and the signal path
+	// may race freely: a SIGTERM arriving during shutdown still exits 0.
+	defer srv.Close()
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("aestored: shutting down")
+	go func() {
+		// A second signal force-quits instead of waiting for connection
+		// drain.
+		<-sig
+		fmt.Fprintln(os.Stderr, "aestored: forced shutdown")
+		os.Exit(1)
+	}()
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
 		os.Exit(1)
 	}
+	fmt.Println("aestored: bye")
 }

@@ -1,0 +1,3 @@
+module aecodes
+
+go 1.24

@@ -1,0 +1,187 @@
+package cooperative
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"aecodes/internal/lattice"
+)
+
+// buildBrokerSystem backs up n random blocks through a broker over the
+// given nodes and returns the originals (1-based).
+func buildBrokerSystem(t *testing.T, b *Broker, n int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	originals := make([][]byte, n+1)
+	for i := 1; i <= n; i++ {
+		data := make([]byte, b.BlockSize())
+		rng.Read(data)
+		originals[i] = data
+		if _, err := b.Backup(data); err != nil {
+			t.Fatalf("Backup(%d): %v", i, err)
+		}
+	}
+	return originals
+}
+
+// TestRepairRoundBatchesPerNode asserts the transport shape of round-based
+// repair over batch-capable nodes: every round's reads arrive via GetMany
+// — at most one batched request per node per round — and zero single-block
+// Get round-trips.
+func TestRepairRoundBatchesPerNode(t *testing.T) {
+	const (
+		nodesCount = 5
+		n          = 120
+		blockSize  = 32
+	)
+	nodes := make([]NodeStore, nodesCount)
+	mems := make([]*InMemoryNode, nodesCount)
+	for i := range nodes {
+		mems[i] = NewInMemoryNode()
+		nodes[i] = mems[i]
+	}
+	b, err := NewBroker("alice", lattice.Params{Alpha: 3, S: 2, P: 5}, blockSize, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originals := buildBrokerSystem(t, b, n, 31)
+
+	// Lose a third of the user's data blocks so repair has real work.
+	rng := rand.New(rand.NewSource(17))
+	for i := 1; i <= n; i++ {
+		if rng.Float64() < 0.33 {
+			b.DropLocal(i)
+		}
+	}
+	for _, m := range mems {
+		m.ResetCounters()
+	}
+
+	stats, err := b.RepairLattice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.UnrepairedData) != 0 {
+		t.Fatalf("repair left %d data blocks missing", len(stats.UnrepairedData))
+	}
+	for i := 1; i <= n; i++ {
+		got, err := b.Read(i)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, originals[i]) {
+			t.Fatalf("block %d corrupted by repair", i)
+		}
+	}
+
+	// Repair ran stats.Rounds productive rounds plus one fixpoint-check
+	// round plus the final missing-set accounting: every one of those
+	// enumerations is allowed one batch frame per node, and nothing may
+	// fall back to single-block chatter.
+	maxBatches := stats.Rounds + 2
+	for i, m := range mems {
+		if m.GetCalls() != 0 {
+			t.Errorf("node %d served %d single Gets during repair, want 0 (batching bypassed)", i, m.GetCalls())
+		}
+		if m.BatchCalls() > maxBatches {
+			t.Errorf("node %d served %d batch calls over %d rounds, want ≤ %d (one frame per node per round)",
+				i, m.BatchCalls(), stats.Rounds, maxBatches)
+		}
+	}
+}
+
+// TestRepairAfterNodeWipeBatched wipes one node's disk (the node stays
+// reachable, the repo's §IV.A "disk replaced" model): the batched
+// enumeration reports its parities missing and the engine regenerates them
+// onto it, still without single-block read chatter.
+func TestRepairAfterNodeWipeBatched(t *testing.T) {
+	const (
+		nodesCount = 6
+		n          = 80
+		blockSize  = 16
+	)
+	nodes := make([]NodeStore, nodesCount)
+	mems := make([]*InMemoryNode, nodesCount)
+	for i := range nodes {
+		mems[i] = NewInMemoryNode()
+		nodes[i] = mems[i]
+	}
+	b, err := NewBroker("bob", lattice.Params{Alpha: 3, S: 2, P: 5}, blockSize, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildBrokerSystem(t, b, n, 5)
+
+	lost := mems[2].Len()
+	if lost == 0 {
+		t.Skip("placement put nothing on node 2 for this seed")
+	}
+	mems[2].blocks = map[string][]byte{}
+	for _, m := range mems {
+		m.ResetCounters()
+	}
+	stats, err := b.RepairLattice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ParityRepaired != lost {
+		t.Errorf("repaired %d parities, want %d", stats.ParityRepaired, lost)
+	}
+	if mems[2].Len() != lost {
+		t.Errorf("node 2 holds %d blocks after repair, want %d", mems[2].Len(), lost)
+	}
+	for i, m := range mems {
+		if m.GetCalls() != 0 {
+			t.Errorf("node %d served %d single Gets during repair, want 0", i, m.GetCalls())
+		}
+	}
+}
+
+// TestChunkEntriesBounded pins the batch-fetch sizing: small blocks are
+// bounded by entry count, large blocks by response bytes, and a block
+// bigger than the byte budget still fetches one at a time.
+func TestChunkEntriesBounded(t *testing.T) {
+	if got := chunkEntries(32); got != batchChunk {
+		t.Errorf("chunkEntries(32) = %d, want %d", got, batchChunk)
+	}
+	const mib = 1 << 20
+	if got := chunkEntries(mib); got < 1 || got*(mib+64) > batchChunkBytes {
+		t.Errorf("chunkEntries(1MiB) = %d overflows the %d-byte budget", got, batchChunkBytes)
+	}
+	if got := chunkEntries(1 << 30); got != 1 {
+		t.Errorf("chunkEntries(1GiB) = %d, want 1", got)
+	}
+}
+
+// TestMissingParitiesUnreachableNode covers the degraded enumeration path:
+// a node that errors on GetMany counts as holding nothing this round.
+func TestMissingParitiesUnreachableNode(t *testing.T) {
+	nodes := make([]NodeStore, 4)
+	mems := make([]*InMemoryNode, 4)
+	for i := range nodes {
+		mems[i] = NewInMemoryNode()
+		nodes[i] = mems[i]
+	}
+	b, err := NewBroker("carol", lattice.Params{Alpha: 2, S: 2, P: 5}, 16, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildBrokerSystem(t, b, 40, 3)
+
+	store := b.netStore()
+	if missing := store.MissingParities(); len(missing) != 0 {
+		t.Fatalf("healthy network reports %d missing parities", len(missing))
+	}
+	mems[1].SetDown(true)
+	missing := store.MissingParities()
+	if len(missing) == 0 {
+		t.Fatal("unreachable node's parities not reported missing")
+	}
+	for _, e := range missing {
+		key := b.parityKey(e)
+		if idx := b.placer.PlaceKey(key); idx != 1 {
+			t.Errorf("parity %v reported missing but lives on healthy node %d", e, idx)
+		}
+	}
+}

@@ -45,16 +45,53 @@ type NodeStore interface {
 	Put(key string, data []byte) error
 }
 
-// InMemoryNode is a NodeStore backed by a map, with a switchable
-// availability flag to simulate node failures. It is safe for concurrent
-// use.
-type InMemoryNode struct {
-	mu     sync.RWMutex
-	blocks map[string][]byte
-	down   bool
+// BatchNodeStore is an optional NodeStore extension for bulk fetches.
+// transport.Client and transport.PoolClient both provide GetMany; nodes
+// that implement it let the broker fetch a whole repair round in one
+// request frame per node instead of one round-trip per block.
+type BatchNodeStore interface {
+	NodeStore
+	// GetMany returns one entry per key in order; missing blocks are nil.
+	// A missing block is not an error.
+	GetMany(keys []string) ([][]byte, error)
 }
 
-var _ NodeStore = (*InMemoryNode)(nil)
+// batchChunk bounds one GetMany call by entry count (conservatively below
+// transport.MaxBatchEntries = 4096, without importing that package), and
+// batchChunkBytes bounds the expected response size so a chunk of large
+// blocks cannot overflow a transport frame (MaxPayloadLen = 64 MiB) and
+// get the whole node misreported as unreachable.
+const (
+	batchChunk      = 1024
+	batchChunkBytes = 32 << 20
+)
+
+// chunkEntries returns how many blocks of the given size fit one batched
+// fetch, always at least 1.
+func chunkEntries(blockSize int) int {
+	perEntry := blockSize + 64 // content plus generous per-entry framing
+	n := batchChunkBytes / perEntry
+	if n < 1 {
+		return 1
+	}
+	if n > batchChunk {
+		return batchChunk
+	}
+	return n
+}
+
+// InMemoryNode is a NodeStore backed by a map, with a switchable
+// availability flag to simulate node failures. It is safe for concurrent
+// use and counts Get/GetMany calls so tests can assert traffic shapes.
+type InMemoryNode struct {
+	mu         sync.RWMutex
+	blocks     map[string][]byte
+	down       bool
+	getCalls   int
+	batchCalls int
+}
+
+var _ BatchNodeStore = (*InMemoryNode)(nil)
 
 // NewInMemoryNode returns an empty, available node.
 func NewInMemoryNode() *InMemoryNode {
@@ -70,8 +107,9 @@ func (n *InMemoryNode) SetDown(down bool) {
 
 // Get implements NodeStore.
 func (n *InMemoryNode) Get(key string) ([]byte, error) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.getCalls++
 	if n.down {
 		return nil, fmt.Errorf("cooperative: node unavailable")
 	}
@@ -82,6 +120,47 @@ func (n *InMemoryNode) Get(key string) ([]byte, error) {
 	out := make([]byte, len(b))
 	copy(out, b)
 	return out, nil
+}
+
+// GetMany implements BatchNodeStore: one simulated request frame however
+// many keys are asked for.
+func (n *InMemoryNode) GetMany(keys []string) ([][]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.batchCalls++
+	if n.down {
+		return nil, fmt.Errorf("cooperative: node unavailable")
+	}
+	out := make([][]byte, len(keys))
+	for i, key := range keys {
+		if b, ok := n.blocks[key]; ok {
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			out[i] = cp
+		}
+	}
+	return out, nil
+}
+
+// GetCalls returns the number of single-block Get requests served.
+func (n *InMemoryNode) GetCalls() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.getCalls
+}
+
+// BatchCalls returns the number of GetMany requests served.
+func (n *InMemoryNode) BatchCalls() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.batchCalls
+}
+
+// ResetCounters zeroes the request counters.
+func (n *InMemoryNode) ResetCounters() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.getCalls, n.batchCalls = 0, 0
 }
 
 // Put implements NodeStore.
@@ -343,8 +422,23 @@ func (b *Broker) Recover(count int, local map[int][]byte) error {
 
 // netStore adapts the broker's view of the network to entangle.Store so
 // the generic repair engine can drive repairs.
+//
+// It keeps a per-round content cache: MissingParities — which the repair
+// engine calls at the start of every round — enumerates the lattice's
+// expected parities with one batched GetMany per storage node (for nodes
+// implementing BatchNodeStore) and records every fetched block, so the
+// round's planning reads are all cache hits. A whole repair round thus
+// issues one request frame per node instead of one per block.
 type netStore struct {
 	b *Broker
+	// mu guards the broker's local map and the round cache so the repair
+	// engine's concurrent planners (and any pipeline sink use) can read
+	// and write through the adapter safely.
+	mu sync.RWMutex
+	// cache maps parity keys fetched this round to their content; a nil
+	// value records a known-missing block. Keys absent from the map fall
+	// back to a single-block Get.
+	cache map[string][]byte
 }
 
 var _ entangle.Store = (*netStore)(nil)
@@ -353,11 +447,14 @@ func (b *Broker) netStore() *netStore { return &netStore{b: b} }
 
 // Data implements entangle.Source: the user's local block store.
 func (s *netStore) Data(i int) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	d, ok := s.b.local[i]
 	return d, ok
 }
 
-// Parity implements entangle.Source: a remote fetch (Table III step 4).
+// Parity implements entangle.Source: a round-cache hit, or a remote fetch
+// (Table III step 4) for reads outside round-based repair.
 func (s *netStore) Parity(e lattice.Edge) ([]byte, bool) {
 	if e.IsVirtual() {
 		return entangle.ZeroBlock(s.b.blockSize), true
@@ -366,6 +463,12 @@ func (s *netStore) Parity(e lattice.Edge) ([]byte, bool) {
 		return nil, false // never created
 	}
 	key := s.b.parityKey(e)
+	s.mu.RLock()
+	data, ok := s.cache[key]
+	s.mu.RUnlock()
+	if ok {
+		return data, data != nil
+	}
 	data, err := s.b.nodeFor(key).Get(key)
 	if err != nil {
 		return nil, false
@@ -377,19 +480,34 @@ func (s *netStore) Parity(e lattice.Edge) ([]byte, bool) {
 func (s *netStore) PutData(i int, b []byte) error {
 	cp := make([]byte, len(b))
 	copy(cp, b)
+	s.mu.Lock()
 	s.b.local[i] = cp
+	s.mu.Unlock()
 	return nil
 }
 
 // PutParity implements entangle.Store: repaired parities are re-uploaded
-// (Table III step 5).
+// (Table III step 5) and written through to the round cache. The input is
+// copied; callers may recycle it after return.
 func (s *netStore) PutParity(e lattice.Edge, data []byte) error {
 	key := s.b.parityKey(e)
-	return s.b.nodeFor(key).Put(key, data)
+	if err := s.b.nodeFor(key).Put(key, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.cache != nil {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.cache[key] = cp
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // MissingData implements entangle.Store.
 func (s *netStore) MissingData() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []int
 	for i := 1; i <= s.b.count; i++ {
 		if _, ok := s.b.local[i]; !ok {
@@ -400,10 +518,17 @@ func (s *netStore) MissingData() []int {
 }
 
 // MissingParities implements entangle.Store: every parity the lattice says
-// should exist but no node serves.
+// should exist but no node serves. Enumeration doubles as the round's bulk
+// fetch — batch-capable nodes answer with one GetMany frame per node (in
+// MaxBatchEntries-sized chunks) and the returned contents seed the round
+// cache.
 func (s *netStore) MissingParities() []lattice.Edge {
+	type expected struct {
+		edge lattice.Edge
+		key  string
+	}
 	lat := s.b.rep.Lattice()
-	var out []lattice.Edge
+	byNode := make([][]expected, len(s.b.nodes))
 	for i := 1; i <= s.b.count; i++ {
 		for _, class := range lat.Classes() {
 			e, err := lat.OutEdge(class, i)
@@ -411,11 +536,55 @@ func (s *netStore) MissingParities() []lattice.Edge {
 				continue
 			}
 			key := s.b.parityKey(e)
-			if _, err := s.b.nodeFor(key).Get(key); err != nil {
-				out = append(out, e)
+			idx := s.b.placer.PlaceKey(key)
+			byNode[idx] = append(byNode[idx], expected{edge: e, key: key})
+		}
+	}
+	cache := make(map[string][]byte, s.b.count*len(lat.Classes()))
+	var out []lattice.Edge
+	for idx, wanted := range byNode {
+		node := s.b.nodes[idx]
+		bn, batched := node.(BatchNodeStore)
+		if !batched {
+			for _, w := range wanted {
+				data, err := node.Get(w.key)
+				if err != nil {
+					cache[w.key] = nil
+					out = append(out, w.edge)
+					continue
+				}
+				cache[w.key] = data
+			}
+			continue
+		}
+		step := chunkEntries(s.b.blockSize)
+		for start := 0; start < len(wanted); start += step {
+			chunk := wanted[start:min(start+step, len(wanted))]
+			keys := make([]string, len(chunk))
+			for j, w := range chunk {
+				keys[j] = w.key
+			}
+			blocks, err := bn.GetMany(keys)
+			if err != nil || len(blocks) != len(chunk) {
+				// Node unreachable (or confused): everything it holds is
+				// missing this round.
+				for _, w := range chunk {
+					cache[w.key] = nil
+					out = append(out, w.edge)
+				}
+				continue
+			}
+			for j, w := range chunk {
+				cache[w.key] = blocks[j]
+				if blocks[j] == nil {
+					out = append(out, w.edge)
+				}
 			}
 		}
 	}
+	s.mu.Lock()
+	s.cache = cache
+	s.mu.Unlock()
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Class != out[b].Class {
 			return out[a].Class < out[b].Class

@@ -99,13 +99,62 @@ func (e *Encoder) SetPuncture(p PuncturePolicy) { e.puncture = p }
 // caller owns them. The input slice is retained only for the duration of
 // the call.
 func (e *Encoder) Entangle(data []byte) (Entanglement, error) {
+	return e.entangle(data, func(int) []byte { return make([]byte, e.blockSize) })
+}
+
+// EntangleInto is like Entangle but writes the α parities into the supplied
+// buffers instead of allocating: bufs must hold exactly α slices of
+// blockSize bytes each, and Parities[k].Data aliases bufs[k] on return. The
+// caller may recycle the buffers once it is done with the Entanglement —
+// together with a xorblock.Pool this makes steady-state encoding
+// allocation-free.
+func (e *Encoder) EntangleInto(data []byte, bufs [][]byte) (Entanglement, error) {
+	if len(bufs) != len(e.lat.Classes()) {
+		return Entanglement{}, fmt.Errorf("entangle: got %d parity buffers, want %d", len(bufs), len(e.lat.Classes()))
+	}
+	for k, b := range bufs {
+		if len(b) != e.blockSize {
+			return Entanglement{}, fmt.Errorf("entangle: parity buffer %d has %d bytes, want %d", k, len(b), e.blockSize)
+		}
+	}
+	return e.entangle(data, func(k int) []byte { return bufs[k] })
+}
+
+// EntangleBatch entangles blocks in order, drawing every parity buffer from
+// pool (which must hand out blockSize-byte blocks). The caller owns the
+// returned parity buffers and should Put them back into the pool when done.
+// A nil pool falls back to plain allocation.
+func (e *Encoder) EntangleBatch(blocks [][]byte, pool *xorblock.Pool) ([]Entanglement, error) {
+	if pool != nil && pool.BlockSize() != e.blockSize {
+		return nil, fmt.Errorf("entangle: pool block size %d, want %d", pool.BlockSize(), e.blockSize)
+	}
+	alloc := func(int) []byte { return make([]byte, e.blockSize) }
+	if pool != nil {
+		alloc = func(int) []byte { return pool.Get() }
+	}
+	out := make([]Entanglement, 0, len(blocks))
+	for _, data := range blocks {
+		ent, err := e.entangle(data, alloc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ent)
+	}
+	return out, nil
+}
+
+// entangle is the shared core: buf(k) supplies the output buffer for the
+// k-th parity. Each strand head is advanced in place with a single XOR pass
+// (head = data XOR head) and copied out once, rather than XOR-allocating a
+// fresh block and copying it back into the head.
+func (e *Encoder) entangle(data []byte, buf func(k int) []byte) (Entanglement, error) {
 	if len(data) != e.blockSize {
 		return Entanglement{}, fmt.Errorf("entangle: data block has %d bytes, want %d", len(data), e.blockSize)
 	}
 	i := e.next
 	classes := e.lat.Classes()
 	parities := make([]Parity, 0, len(classes))
-	for _, class := range classes {
+	for k, class := range classes {
 		out, err := e.lat.OutEdge(class, i)
 		if err != nil {
 			return Entanglement{}, err
@@ -114,20 +163,79 @@ func (e *Encoder) Entangle(data []byte) (Entanglement, error) {
 		if err != nil {
 			return Entanglement{}, err
 		}
-		// p_{i,j} = d_i XOR p_{h,i}: XOR the newcomer with the strand head.
-		buf, err := xorblock.Xor(data, e.heads[sid])
-		if err != nil {
+		// p_{i,j} = d_i XOR p_{h,i}: the fresh parity is also the new head,
+		// so compute it directly into the head slot.
+		head := e.heads[sid]
+		if err := xorblock.XorInto(head, data, head); err != nil {
 			return Entanglement{}, err
 		}
+		dst := buf(k)
+		copy(dst, head)
 		stored := e.puncture == nil || e.puncture(out)
-		parities = append(parities, Parity{Edge: out, Data: buf, Stored: stored})
-		// The fresh parity becomes the new head of its strand. Keep a copy so
-		// the caller may mutate the returned buffer freely.
-		head := e.heads[sid]
-		copy(head, buf)
+		parities = append(parities, Parity{Edge: out, Data: dst, Stored: stored})
 	}
 	e.next++
 	return Entanglement{Index: i, Parities: parities}, nil
+}
+
+// StrandOp is one strand's share of entangling a single data block, as
+// planned by PlanNext. Ops for distinct strand ids are independent; ops for
+// the same strand must be applied in the order they were planned.
+type StrandOp struct {
+	// Index is the lattice position of the data block being entangled.
+	Index int
+	// StrandID is the dense strand id whose head this op advances.
+	StrandID int
+	// Edge is the out-edge the resulting parity lives on.
+	Edge lattice.Edge
+	// Stored reflects the puncture policy at planning time.
+	Stored bool
+}
+
+// PlanNext reserves the next lattice position and returns the α strand
+// operations that entangle it, without touching any block content. It gives
+// pipelined encoders the dependency structure of the lattice: PlanNext
+// itself must be called serially, but the returned ops may be applied
+// concurrently by ApplyOp as long as per-strand order is preserved.
+func (e *Encoder) PlanNext() (int, []StrandOp, error) {
+	i := e.next
+	classes := e.lat.Classes()
+	ops := make([]StrandOp, 0, len(classes))
+	for _, class := range classes {
+		out, err := e.lat.OutEdge(class, i)
+		if err != nil {
+			return 0, nil, err
+		}
+		sid, err := e.lat.StrandID(class, i)
+		if err != nil {
+			return 0, nil, err
+		}
+		stored := e.puncture == nil || e.puncture(out)
+		ops = append(ops, StrandOp{Index: i, StrandID: sid, Edge: out, Stored: stored})
+	}
+	e.next++
+	return i, ops, nil
+}
+
+// ApplyOp executes one planned strand operation: the strand head becomes
+// data XOR head in a single in-place XOR pass, and the returned Parity's
+// Data field aliases that head. The alias is valid only until the next op
+// on the same strand is applied; consumers must copy (or transmit) it
+// before then. ApplyOp calls for distinct strand ids may run concurrently;
+// calls for one strand must be serialised in plan order. ApplyOp must not
+// race with Entangle, Heads or RestoreHeads.
+func (e *Encoder) ApplyOp(op StrandOp, data []byte) (Parity, error) {
+	if len(data) != e.blockSize {
+		return Parity{}, fmt.Errorf("entangle: data block has %d bytes, want %d", len(data), e.blockSize)
+	}
+	if op.StrandID < 0 || op.StrandID >= len(e.heads) {
+		return Parity{}, fmt.Errorf("entangle: strand id %d out of range [0,%d)", op.StrandID, len(e.heads))
+	}
+	head := e.heads[op.StrandID]
+	if err := xorblock.XorInto(head, data, head); err != nil {
+		return Parity{}, err
+	}
+	return Parity{Edge: op.Edge, Data: head, Stored: op.Stored}, nil
 }
 
 // StrandHead is a snapshot of one strand's current head parity, keyed by the

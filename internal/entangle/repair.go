@@ -40,9 +40,30 @@ func (r *Repairer) Lattice() *lattice.Lattice { return r.lat }
 //
 // It returns ErrUnrepairable when every tuple is incomplete.
 func (r *Repairer) RepairData(src Source, i int) ([]byte, error) {
-	tuples, err := r.lat.Tuples(i)
+	in, out, err := r.findDataTuple(src, i)
 	if err != nil {
 		return nil, err
+	}
+	return xorblock.Xor(in, out)
+}
+
+// RepairDataInto is RepairData writing into a caller-supplied buffer, so
+// hot repair loops can recycle blocks instead of allocating one per repair.
+// dst must have the block size; it is untouched on ErrUnrepairable.
+func (r *Repairer) RepairDataInto(dst []byte, src Source, i int) error {
+	in, out, err := r.findDataTuple(src, i)
+	if err != nil {
+		return err
+	}
+	return xorblock.XorInto(dst, in, out)
+}
+
+// findDataTuple locates the first complete pp-tuple for data block i and
+// returns its two parity blocks.
+func (r *Repairer) findDataTuple(src Source, i int) (in, out []byte, err error) {
+	tuples, err := r.lat.Tuples(i)
+	if err != nil {
+		return nil, nil, err
 	}
 	for _, t := range tuples {
 		in, okIn := src.Parity(t.In)
@@ -53,9 +74,9 @@ func (r *Repairer) RepairData(src Source, i int) ([]byte, error) {
 		if !okOut {
 			continue
 		}
-		return xorblock.Xor(in, out)
+		return in, out, nil
 	}
-	return nil, ErrUnrepairable
+	return nil, nil, ErrUnrepairable
 }
 
 // RepairParity rebuilds the parity on edge e from either of its two
@@ -64,9 +85,29 @@ func (r *Repairer) RepairData(src Source, i int) ([]byte, error) {
 //
 // It returns ErrUnrepairable when both options are incomplete.
 func (r *Repairer) RepairParity(src Source, e lattice.Edge) ([]byte, error) {
-	opts, err := r.lat.ParityOptions(e)
+	d, p, err := r.findParityOption(src, e)
 	if err != nil {
 		return nil, err
+	}
+	return xorblock.Xor(d, p)
+}
+
+// RepairParityInto is RepairParity writing into a caller-supplied buffer.
+// dst must have the block size; it is untouched on ErrUnrepairable.
+func (r *Repairer) RepairParityInto(dst []byte, src Source, e lattice.Edge) error {
+	d, p, err := r.findParityOption(src, e)
+	if err != nil {
+		return err
+	}
+	return xorblock.XorInto(dst, d, p)
+}
+
+// findParityOption locates the first complete dp-tuple for the parity on e
+// and returns the data block and companion parity.
+func (r *Repairer) findParityOption(src Source, e lattice.Edge) (d, p []byte, err error) {
+	opts, err := r.lat.ParityOptions(e)
+	if err != nil {
+		return nil, nil, err
 	}
 	for _, opt := range opts {
 		d, okD := src.Data(opt.Data)
@@ -77,9 +118,9 @@ func (r *Repairer) RepairParity(src Source, e lattice.Edge) ([]byte, error) {
 		if !okP {
 			continue
 		}
-		return xorblock.Xor(d, p)
+		return d, p, nil
 	}
-	return nil, ErrUnrepairable
+	return nil, nil, ErrUnrepairable
 }
 
 // Options configures round-based repair.
@@ -158,15 +199,21 @@ func (r *Repairer) Repair(store Store, opts Options) (Stats, error) {
 		}
 
 		// ...then commit, making this round's repairs visible to the next.
+		// Store implementations copy on Put (see the Store contract), so the
+		// planner's pooled buffers can be recycled as soon as each Put
+		// returns, keeping whole-round repair allocation-free in steady
+		// state.
 		for _, f := range dataFixes {
 			if err := store.PutData(f.pos, f.buf); err != nil {
 				return stats, fmt.Errorf("entangle: storing repaired d%d: %w", f.pos, err)
 			}
+			xorblock.PoolFor(len(f.buf)).Put(f.buf)
 		}
 		for _, f := range parFixes {
 			if err := store.PutParity(f.edge, f.buf); err != nil {
 				return stats, fmt.Errorf("entangle: storing repaired %v: %w", f.edge, err)
 			}
+			xorblock.PoolFor(len(f.buf)).Put(f.buf)
 		}
 
 		rs := RoundStats{Round: round, DataRepaired: len(dataFixes), ParityRepaired: len(parFixes)}
@@ -211,7 +258,7 @@ func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattic
 		go func(w int) {
 			defer wg.Done()
 			for idx := w; idx < len(missingData); idx += workers {
-				buf, err := r.RepairData(store, missingData[idx])
+				buf, err := r.repairDataPooled(store, missingData[idx])
 				if errors.Is(err, ErrUnrepairable) {
 					continue
 				}
@@ -222,7 +269,7 @@ func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattic
 				dataBufs[idx] = buf
 			}
 			for idx := w; idx < len(missingPar); idx += workers {
-				buf, err := r.RepairParity(store, missingPar[idx])
+				buf, err := r.repairParityPooled(store, missingPar[idx])
 				if errors.Is(err, ErrUnrepairable) {
 					continue
 				}
@@ -259,7 +306,7 @@ func (r *Repairer) planSerial(store Store, missingData []int, missingPar []latti
 	dataFixes := make([]dataFix, 0, len(missingData))
 	parFixes := make([]parFix, 0, len(missingPar))
 	for _, i := range missingData {
-		buf, err := r.RepairData(store, i)
+		buf, err := r.repairDataPooled(store, i)
 		if errors.Is(err, ErrUnrepairable) {
 			continue
 		}
@@ -269,7 +316,7 @@ func (r *Repairer) planSerial(store Store, missingData []int, missingPar []latti
 		dataFixes = append(dataFixes, dataFix{pos: i, buf: buf})
 	}
 	for _, e := range missingPar {
-		buf, err := r.RepairParity(store, e)
+		buf, err := r.repairParityPooled(store, e)
 		if errors.Is(err, ErrUnrepairable) {
 			continue
 		}
@@ -279,6 +326,36 @@ func (r *Repairer) planSerial(store Store, missingData []int, missingPar []latti
 		parFixes = append(parFixes, parFix{edge: e, buf: buf})
 	}
 	return dataFixes, parFixes, nil
+}
+
+// repairDataPooled is RepairData drawing its output from the process-wide
+// block pool; the Repair commit loop returns the buffer after Put.
+func (r *Repairer) repairDataPooled(src Source, i int) ([]byte, error) {
+	in, out, err := r.findDataTuple(src, i)
+	if err != nil {
+		return nil, err
+	}
+	buf := xorblock.PoolFor(len(in)).Get()
+	if err := xorblock.XorInto(buf, in, out); err != nil {
+		xorblock.PoolFor(len(buf)).Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// repairParityPooled is RepairParity drawing its output from the
+// process-wide block pool.
+func (r *Repairer) repairParityPooled(src Source, e lattice.Edge) ([]byte, error) {
+	d, p, err := r.findParityOption(src, e)
+	if err != nil {
+		return nil, err
+	}
+	buf := xorblock.PoolFor(len(d)).Get()
+	if err := xorblock.XorInto(buf, d, p); err != nil {
+		xorblock.PoolFor(len(buf)).Put(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 // AuditResult reports the consistency of one data block against its α

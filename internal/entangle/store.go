@@ -22,6 +22,11 @@ type Source interface {
 
 // Store extends Source with mutation: the repair engine writes repaired
 // blocks back and enumerates what is missing.
+//
+// Put implementations must not retain b after returning (copy it, or
+// transmit it before returning): the engines recycle block buffers through
+// a pool the moment a Put call completes. Every Store in this repository
+// already copies.
 type Store interface {
 	Source
 	// PutData stores a repaired data block.

@@ -1,0 +1,268 @@
+// Package pipeline runs the alpha entanglement encoder as a concurrent,
+// allocation-free pipeline: a bounded pool of strand workers entangles a
+// stream of data blocks in lattice order, overlapping the XOR kernel, the
+// puncture policy and store I/O.
+//
+// The lattice gives the dependency structure. Entangling block i advances
+// the heads of its α strands, and each of the s + (α−1)·p strands is a
+// strictly sequential chain (§III: the entanglement function XORs the
+// newcomer with the current head and the result becomes the new head).
+// Blocks are therefore pipelined by sharding strands over workers: every
+// operation for strand id sid goes to worker sid mod W, worker queues are
+// FIFO, and the driver plans blocks in lattice order — so per-strand order
+// is preserved exactly while distinct strands run in parallel. For
+// AE(3,5,5) that exposes 15 independent chains, and even a single block's
+// three parities compute on three different workers.
+//
+// Back-pressure is structural: worker queues are bounded, so a slow sink
+// (e.g. a TCP store) stalls the driver instead of ballooning memory. The
+// broker footprint stays the paper's §IV.A bound — one head block per
+// strand — plus the bounded queues.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aecodes/internal/entangle"
+	"aecodes/internal/lattice"
+	"aecodes/internal/xorblock"
+)
+
+// Sink receives the pipeline's output. Implementations must be safe for
+// concurrent use and must not retain the block slice after returning:
+// parity slices alias live strand heads and data slices may be recycled by
+// the producer via Options.Release. The Store implementations in this
+// repository satisfy both requirements.
+type Sink interface {
+	// PutData stores one input data block at its lattice position.
+	PutData(i int, b []byte) error
+	// PutParity stores one freshly computed parity block.
+	PutParity(e lattice.Edge, b []byte) error
+}
+
+// NullSink discards everything. It isolates coding throughput in
+// benchmarks.
+type NullSink struct{}
+
+// PutData implements Sink.
+func (NullSink) PutData(int, []byte) error { return nil }
+
+// PutParity implements Sink.
+func (NullSink) PutParity(lattice.Edge, []byte) error { return nil }
+
+// Options configures a pipeline run.
+type Options struct {
+	// Workers is the number of strand workers. Values < 1 default to
+	// GOMAXPROCS, capped at the strand count (more workers than strands
+	// can never be busy).
+	Workers int
+	// Depth is the per-worker queue depth bounding in-flight work; values
+	// < 1 default to 16.
+	Depth int
+	// StoreData also writes each input block to the sink via PutData,
+	// overlapped with parity work — the full α+1 writes of one logical
+	// write (§IV.B.2).
+	StoreData bool
+	// Release, when non-nil, is called exactly once per input block after
+	// the pipeline is completely done with it (all α parities computed and
+	// any PutData issued), so producers can recycle block buffers through
+	// a pool. Release may be called from any worker goroutine.
+	Release func(block []byte)
+}
+
+// Stats summarises one pipeline run.
+type Stats struct {
+	// Blocks is the number of data blocks entangled.
+	Blocks int
+	// Parities is the number of parities computed (α per block).
+	Parities int
+	// Stored is the number of parities delivered to the sink (Parities
+	// minus punctured ones).
+	Stored int
+}
+
+// task is one unit of worker work: either a strand op or a data store.
+type task struct {
+	op    entangle.StrandOp
+	block *blockState
+	data  bool // store the data block instead of applying op
+}
+
+// blockState tracks when a block's buffer can be released.
+type blockState struct {
+	buf       []byte
+	index     int
+	remaining atomic.Int32
+}
+
+// Encode drives the encoder over the blocks channel until it closes (or a
+// sink/encoder error occurs) and returns the run statistics. The encoder
+// must not be used concurrently by anyone else during the run; on return it
+// is sequentially consistent with having called Entangle for every consumed
+// block, so Heads snapshots and sequential encoding can resume afterwards.
+func Encode(enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options) (Stats, error) {
+	if enc == nil {
+		return Stats{}, errors.New("pipeline: nil encoder")
+	}
+	if sink == nil {
+		return Stats{}, errors.New("pipeline: nil sink")
+	}
+	strands := enc.Lattice().Params().StrandCount()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > strands {
+		workers = strands
+	}
+	depth := opts.Depth
+	if depth < 1 {
+		depth = 16
+	}
+
+	var (
+		stats    Stats
+		firstErr atomic.Pointer[error]
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		e := err
+		if firstErr.CompareAndSwap(nil, &e) {
+			failed.Store(true)
+		}
+	}
+	queues := make([]chan task, workers)
+	for w := range queues {
+		queues[w] = make(chan task, depth)
+	}
+	done := func(t task) {
+		if t.block.remaining.Add(-1) == 0 && opts.Release != nil {
+			opts.Release(t.block.buf)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ch <-chan task) {
+			defer wg.Done()
+			for t := range ch {
+				if failed.Load() {
+					done(t) // drain: keep release accounting exact
+					continue
+				}
+				if t.data {
+					if err := sink.PutData(t.block.index, t.block.buf); err != nil {
+						fail(fmt.Errorf("pipeline: storing d%d: %w", t.block.index, err))
+					}
+					done(t)
+					continue
+				}
+				par, err := enc.ApplyOp(t.op, t.block.buf)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: entangling d%d: %w", t.op.Index, err))
+					done(t)
+					continue
+				}
+				if par.Stored {
+					// par.Data aliases the strand head; the sink must be done
+					// with it before this worker's next op on the same strand,
+					// which FIFO queue order guarantees.
+					if err := sink.PutParity(par.Edge, par.Data); err != nil {
+						fail(fmt.Errorf("pipeline: storing %v: %w", par.Edge, err))
+					}
+				}
+				done(t)
+			}
+		}(queues[w])
+	}
+
+	var rr int // round-robin target for data-store tasks
+	for data := range blocks {
+		if failed.Load() {
+			if opts.Release != nil {
+				opts.Release(data)
+			}
+			continue // keep draining so the producer never blocks
+		}
+		i, ops, err := enc.PlanNext()
+		if err != nil {
+			fail(fmt.Errorf("pipeline: planning: %w", err))
+			if opts.Release != nil {
+				opts.Release(data)
+			}
+			continue
+		}
+		bs := &blockState{buf: data, index: i}
+		n := int32(len(ops))
+		if opts.StoreData {
+			n++
+		}
+		bs.remaining.Store(n)
+		stats.Blocks++
+		stats.Parities += len(ops)
+		for _, op := range ops {
+			if op.Stored {
+				stats.Stored++
+			}
+			queues[op.StrandID%workers] <- task{op: op, block: bs}
+		}
+		if opts.StoreData {
+			queues[rr%workers] <- task{block: bs, data: true}
+			rr++
+		}
+	}
+	for _, ch := range queues {
+		close(ch)
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return stats, *p
+	}
+	return stats, nil
+}
+
+// EncodeSlice is Encode over an in-memory slice of blocks.
+func EncodeSlice(enc *entangle.Encoder, blocks [][]byte, sink Sink, opts Options) (Stats, error) {
+	ch := make(chan []byte, len(blocks))
+	for _, b := range blocks {
+		ch <- b
+	}
+	close(ch)
+	return Encode(enc, ch, sink, opts)
+}
+
+// EncodePooled entangles n blocks produced on demand by fill, recycling
+// block buffers through pool: at most Workers·Depth+1 block buffers are
+// live at any moment regardless of n. fill must write the block content for
+// position seq (0-based consumption order) into the buffer it is handed.
+func EncodePooled(enc *entangle.Encoder, n int, fill func(seq int, buf []byte), sink Sink, pool *xorblock.Pool, opts Options) (Stats, error) {
+	if pool == nil {
+		return Stats{}, errors.New("pipeline: nil pool")
+	}
+	if pool.BlockSize() != enc.BlockSize() {
+		return Stats{}, fmt.Errorf("pipeline: pool block size %d, want %d", pool.BlockSize(), enc.BlockSize())
+	}
+	if opts.Release != nil {
+		return Stats{}, errors.New("pipeline: EncodePooled manages Release itself")
+	}
+	opts.Release = pool.Put
+	ch := make(chan []byte)
+	go func() {
+		defer close(ch)
+		for seq := 0; seq < n; seq++ {
+			buf := pool.Get()
+			if fill != nil {
+				fill(seq, buf)
+			}
+			ch <- buf
+		}
+	}()
+	return Encode(enc, ch, sink, opts)
+}

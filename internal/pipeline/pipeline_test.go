@@ -1,0 +1,327 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aecodes/internal/entangle"
+	"aecodes/internal/lattice"
+	"aecodes/internal/xorblock"
+)
+
+func randBlocks(n, blockSize int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockSize)
+		rng.Read(blocks[i])
+	}
+	return blocks
+}
+
+// sequentialReference encodes blocks with the plain encoder into a store
+// and returns the store plus the final strand heads.
+func sequentialReference(t *testing.T, params lattice.Params, blocks [][]byte, blockSize int, puncture entangle.PuncturePolicy) (*entangle.MemoryStore, []entangle.StrandHead) {
+	t.Helper()
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetPuncture(puncture)
+	store := entangle.NewMemoryStore(blockSize)
+	for i, data := range blocks {
+		ent, err := enc.Entangle(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.PutData(i+1, data); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ent.Parities {
+			if !p.Stored {
+				continue
+			}
+			if err := store.PutParity(p.Edge, p.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, heads := enc.Heads()
+	return store, heads
+}
+
+// assertSameLattice verifies every data block and parity matches between
+// the reference store and the pipelined store.
+func assertSameLattice(t *testing.T, params lattice.Params, want, got *entangle.MemoryStore, n int) {
+	t.Helper()
+	lat, err := lattice.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		wd, wok := want.Data(i)
+		gd, gok := got.Data(i)
+		if wok != gok {
+			t.Fatalf("d%d availability: want %v, got %v", i, wok, gok)
+		}
+		if wok && !bytes.Equal(wd, gd) {
+			t.Fatalf("d%d content differs", i)
+		}
+		for _, class := range lat.Classes() {
+			e, err := lat.OutEdge(class, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wp, wok := want.Parity(e)
+			gp, gok := got.Parity(e)
+			if wok != gok {
+				t.Fatalf("%v availability: want %v, got %v", e, wok, gok)
+			}
+			if wok && !bytes.Equal(wp, gp) {
+				t.Fatalf("%v content differs between sequential and pipelined encode", e)
+			}
+		}
+	}
+}
+
+func TestEncodeMatchesSequential(t *testing.T) {
+	const n, blockSize = 120, 64
+	for _, params := range []lattice.Params{
+		{Alpha: 1, S: 1, P: 0},
+		{Alpha: 2, S: 2, P: 5},
+		{Alpha: 3, S: 2, P: 5},
+		{Alpha: 3, S: 5, P: 5},
+	} {
+		for _, workers := range []int{0, 1, 2, 7} {
+			t.Run(fmt.Sprintf("%v/workers=%d", params, workers), func(t *testing.T) {
+				blocks := randBlocks(n, blockSize, 3)
+				want, wantHeads := sequentialReference(t, params, blocks, blockSize, nil)
+
+				enc, err := entangle.NewEncoder(params, blockSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := entangle.NewMemoryStore(blockSize)
+				stats, err := EncodeSlice(enc, blocks, got, Options{Workers: workers, StoreData: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Blocks != n {
+					t.Fatalf("stats.Blocks = %d, want %d", stats.Blocks, n)
+				}
+				if stats.Parities != n*params.Alpha {
+					t.Fatalf("stats.Parities = %d, want %d", stats.Parities, n*params.Alpha)
+				}
+				if stats.Stored != stats.Parities {
+					t.Fatalf("stats.Stored = %d, want %d (no puncturing)", stats.Stored, stats.Parities)
+				}
+				assertSameLattice(t, params, want, got, n)
+
+				// The encoder must land in the same state as a sequential
+				// run, so encoding can continue (or snapshot) afterwards.
+				_, gotHeads := enc.Heads()
+				for i := range wantHeads {
+					if !bytes.Equal(wantHeads[i].Data, gotHeads[i].Data) {
+						t.Fatalf("strand %d head differs after pipelined run", i)
+					}
+				}
+				if enc.Next() != n+1 {
+					t.Fatalf("enc.Next() = %d, want %d", enc.Next(), n+1)
+				}
+			})
+		}
+	}
+}
+
+func TestEncodeHonoursPuncture(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	const n, blockSize = 80, 32
+	puncture := func(e lattice.Edge) bool { return e.Class != lattice.LeftHanded }
+
+	blocks := randBlocks(n, blockSize, 9)
+	want, _ := sequentialReference(t, params, blocks, blockSize, puncture)
+
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetPuncture(puncture)
+	got := entangle.NewMemoryStore(blockSize)
+	stats, err := EncodeSlice(enc, blocks, got, Options{StoreData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stored != 2*n {
+		t.Fatalf("stats.Stored = %d, want %d (one class punctured)", stats.Stored, 2*n)
+	}
+	assertSameLattice(t, params, want, got, n)
+}
+
+func TestEncodePooledRecyclesEveryBlock(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 5, P: 5}
+	const n, blockSize = 200, 48
+	pool := xorblock.NewPool(blockSize)
+
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filled atomic.Int32
+	seedBlocks := randBlocks(1, blockSize, 4)
+	stats, err := EncodePooled(enc, n, func(seq int, buf []byte) {
+		filled.Add(1)
+		copy(buf, seedBlocks[0])
+	}, NullSink{}, pool, Options{Workers: 4, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocks != n {
+		t.Fatalf("stats.Blocks = %d, want %d", stats.Blocks, n)
+	}
+	if int(filled.Load()) != n {
+		t.Fatalf("fill ran %d times, want %d", filled.Load(), n)
+	}
+
+	// A caller-supplied Release is rejected (EncodePooled owns recycling).
+	_, err = EncodePooled(enc, 1, nil, NullSink{}, pool, Options{Release: func([]byte) {}})
+	if err == nil {
+		t.Error("EncodePooled accepted a Release override")
+	}
+	// Pool size mismatch is rejected.
+	if _, err := EncodePooled(enc, 1, nil, NullSink{}, xorblock.NewPool(blockSize+8), Options{}); err == nil {
+		t.Error("EncodePooled accepted a mismatched pool")
+	}
+}
+
+// failSink fails PutParity after a set number of successes.
+type failSink struct {
+	mu    sync.Mutex
+	left  int
+	fail  error
+	after int
+}
+
+func (f *failSink) PutData(int, []byte) error { return nil }
+
+func (f *failSink) PutParity(lattice.Edge, []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.after++
+	if f.after > f.left {
+		return f.fail
+	}
+	return nil
+}
+
+func TestEncodePropagatesSinkError(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	const n, blockSize = 64, 16
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	var released atomic.Int32
+	blocks := randBlocks(n, blockSize, 8)
+	_, err = EncodeSlice(enc, blocks, &failSink{left: 10, fail: boom}, Options{
+		Workers: 3,
+		Release: func([]byte) { released.Add(1) },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	// Every consumed block must still be released exactly once, including
+	// the ones drained after the failure.
+	if int(released.Load()) != n {
+		t.Fatalf("released %d blocks, want %d", released.Load(), n)
+	}
+}
+
+func TestEncodeNilArguments(t *testing.T) {
+	enc, err := entangle.NewEncoder(lattice.Params{Alpha: 2, S: 2, P: 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeSlice(nil, nil, NullSink{}, Options{}); err == nil {
+		t.Error("nil encoder accepted")
+	}
+	if _, err := EncodeSlice(enc, nil, nil, Options{}); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if _, err := EncodePooled(enc, 1, nil, NullSink{}, nil, Options{}); err == nil {
+		t.Error("nil pool accepted")
+	}
+}
+
+func TestEncodeEmptyStream(t *testing.T) {
+	enc, err := entangle.NewEncoder(lattice.Params{Alpha: 3, S: 2, P: 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := EncodeSlice(enc, nil, entangle.NewMemoryStore(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocks != 0 || stats.Parities != 0 {
+		t.Fatalf("empty stream produced stats %+v", stats)
+	}
+}
+
+// TestEncodeThenResume verifies a pipelined run composes with the §IV.A
+// crash-recovery story: snapshot after the pipeline, restore elsewhere,
+// and sequential encoding continues byte-identically.
+func TestEncodeThenResume(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 5, P: 5}
+	const n, blockSize = 100, 32
+	blocks := randBlocks(n+20, blockSize, 21)
+
+	ref, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTail := make(map[lattice.Edge][]byte)
+	for i, data := range blocks {
+		ent, err := ref.Entangle(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= n {
+			for _, p := range ent.Parities {
+				wantTail[p.Edge] = p.Data
+			}
+		}
+	}
+
+	enc, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeSlice(enc, blocks[:n], NullSink{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	next, heads := enc.Heads()
+
+	resumed, err := entangle.NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.RestoreHeads(next, heads); err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range blocks[n:] {
+		ent, err := resumed.Entangle(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ent.Parities {
+			if !bytes.Equal(p.Data, wantTail[p.Edge]) {
+				t.Fatalf("parity %v diverged after pipelined run + resume", p.Edge)
+			}
+		}
+	}
+}

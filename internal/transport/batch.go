@@ -1,0 +1,349 @@
+// Batch operations: OpPutMany and OpGetMany pack many blocks into the
+// payload of one ordinary frame, so one request/response exchange moves a
+// whole encode batch or repair round per storage node instead of one
+// round-trip per block.
+//
+// Batch payload encoding (big endian, nested inside the normal frame):
+//
+//	putMany  := count(4) { keyLen(2) key dataLen(4) data }*
+//	getManyQ := count(4) { keyLen(2) key }*
+//	getManyR := count(4) { found(1) dataLen(4) data }*
+//
+// count is capped at MaxBatchEntries and the whole payload at
+// MaxPayloadLen (enforced by the framing layer); oversized or malformed
+// batches earn a StatusError response, not a dropped connection.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// MaxBatchEntries caps the number of blocks in one batch frame.
+const MaxBatchEntries = 4096
+
+// KV is one key/block pair of a PutMany batch.
+type KV struct {
+	Key  string
+	Data []byte
+}
+
+// roundTripper is the request/response capability shared by Client and
+// the pooled pipeConn, letting both reuse one batch-op implementation.
+type roundTripper interface {
+	roundTrip(op byte, key string, payload []byte) (byte, []byte, error)
+	roundTripSegments(segs net.Buffers) (byte, []byte, error)
+}
+
+// PutMany stores all items in one round-trip. The whole batch goes out as
+// one frame via vectored I/O — block contents are handed to the kernel in
+// place, never copied into a contiguous payload. The server applies items
+// in order and reports the first store error; earlier items may have been
+// stored when an error is returned.
+func (c *Client) PutMany(items []KV) error {
+	return putMany(c, items)
+}
+
+func putMany(rt roundTripper, items []KV) error {
+	segs, err := putManySegments(items)
+	if err != nil {
+		return err
+	}
+	status, resp, err := rt.roundTripSegments(segs)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("transport: remote error: %s", resp)
+	}
+	return nil
+}
+
+// putManySegments lays out an OpPutMany frame as scatter/gather segments:
+// all headers live in one exactly-sized arena, and every item's data slice
+// is referenced in place. The arena never reallocates, so the returned
+// segments stay valid.
+func putManySegments(items []KV) (net.Buffers, error) {
+	if err := checkBatchCount(len(items)); err != nil {
+		return nil, err
+	}
+	payload := 4
+	hdrSize := 1 + 2 + 4 + 4 // op, empty key, payload length, batch count
+	for _, it := range items {
+		if len(it.Key) > MaxKeyLen {
+			return nil, fmt.Errorf("transport: key too long (%d bytes)", len(it.Key))
+		}
+		payload += 2 + len(it.Key) + 4 + len(it.Data)
+		hdrSize += 2 + len(it.Key) + 4
+	}
+	if payload > MaxPayloadLen {
+		return nil, fmt.Errorf("transport: batch payload too large (%d bytes)", payload)
+	}
+	arena := make([]byte, 0, hdrSize)
+	segs := make(net.Buffers, 0, 1+2*len(items))
+	mark := 0
+	seal := func() {
+		segs = append(segs, arena[mark:len(arena):len(arena)])
+		mark = len(arena)
+	}
+	arena = append(arena, OpPutMany)
+	arena = binary.BigEndian.AppendUint16(arena, 0)
+	arena = binary.BigEndian.AppendUint32(arena, uint32(payload))
+	arena = binary.BigEndian.AppendUint32(arena, uint32(len(items)))
+	seal()
+	for _, it := range items {
+		arena = binary.BigEndian.AppendUint16(arena, uint16(len(it.Key)))
+		arena = append(arena, it.Key...)
+		arena = binary.BigEndian.AppendUint32(arena, uint32(len(it.Data)))
+		seal()
+		if len(it.Data) > 0 {
+			segs = append(segs, it.Data)
+		}
+	}
+	return segs, nil
+}
+
+// GetMany fetches all keys in one round-trip. The result has one entry per
+// key in order; missing blocks are nil (a present-but-empty block comes
+// back as a non-nil empty slice). A missing block is not an error.
+func (c *Client) GetMany(keys []string) ([][]byte, error) {
+	return getMany(c, keys)
+}
+
+func getMany(rt roundTripper, keys []string) ([][]byte, error) {
+	payload, err := encodeGetManyReq(keys)
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := rt.roundTrip(OpGetMany, "", payload)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("transport: remote error: %s", resp)
+	}
+	blocks, err := decodeGetManyResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) != len(keys) {
+		return nil, fmt.Errorf("transport: got %d batch entries, want %d", len(blocks), len(keys))
+	}
+	return blocks, nil
+}
+
+// servePutMany handles one OpPutMany frame on the server.
+func (s *Server) servePutMany(conn net.Conn, payload []byte) error {
+	items, err := decodePutMany(payload)
+	if err != nil {
+		return writeResponse(conn, StatusError, []byte(err.Error()))
+	}
+	for _, it := range items {
+		if perr := s.store.Put(it.Key, it.Data); perr != nil {
+			return writeResponse(conn, StatusError, []byte(perr.Error()))
+		}
+	}
+	return writeResponse(conn, StatusOK, nil)
+}
+
+// serveGetMany handles one OpGetMany frame on the server. The response
+// frame is written with vectored I/O so block contents are never copied
+// into a contiguous response payload.
+func (s *Server) serveGetMany(conn net.Conn, payload []byte) error {
+	keys, err := decodeGetManyReq(payload)
+	if err != nil {
+		return writeResponse(conn, StatusError, []byte(err.Error()))
+	}
+	blocks := make([][]byte, len(keys))
+	respPayload := 4
+	for i, k := range keys {
+		respPayload += 1 + 4
+		if b, ok := s.store.Get(k); ok {
+			if b == nil {
+				b = []byte{}
+			}
+			blocks[i] = b
+			respPayload += len(b)
+		}
+	}
+	if respPayload > MaxPayloadLen {
+		return writeResponse(conn, StatusError,
+			[]byte(fmt.Sprintf("transport: batch payload too large (%d bytes)", respPayload)))
+	}
+	hdrSize := 1 + 4 + 4 + len(blocks)*(1+4)
+	arena := make([]byte, 0, hdrSize)
+	segs := make(net.Buffers, 0, 1+2*len(blocks))
+	mark := 0
+	seal := func() {
+		segs = append(segs, arena[mark:len(arena):len(arena)])
+		mark = len(arena)
+	}
+	arena = append(arena, StatusOK)
+	arena = binary.BigEndian.AppendUint32(arena, uint32(respPayload))
+	arena = binary.BigEndian.AppendUint32(arena, uint32(len(blocks)))
+	seal()
+	for _, b := range blocks {
+		if b == nil {
+			arena = append(arena, 0)
+			arena = binary.BigEndian.AppendUint32(arena, 0)
+			seal()
+			continue
+		}
+		arena = append(arena, 1)
+		arena = binary.BigEndian.AppendUint32(arena, uint32(len(b)))
+		seal()
+		if len(b) > 0 {
+			segs = append(segs, b)
+		}
+	}
+	_, err = segs.WriteTo(conn)
+	return err
+}
+
+func checkBatchCount(n int) error {
+	if n > MaxBatchEntries {
+		return fmt.Errorf("transport: batch of %d entries exceeds limit %d", n, MaxBatchEntries)
+	}
+	return nil
+}
+
+func decodePutMany(payload []byte) ([]KV, error) {
+	count, rest, err := batchHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]KV, 0, count)
+	for n := 0; n < count; n++ {
+		var key string
+		key, rest, err = takeKey(rest)
+		if err != nil {
+			return nil, err
+		}
+		var data []byte
+		data, rest, err = takeBlock(rest)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, KV{Key: key, Data: data})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes in batch", len(rest))
+	}
+	return items, nil
+}
+
+func encodeGetManyReq(keys []string) ([]byte, error) {
+	if err := checkBatchCount(len(keys)); err != nil {
+		return nil, err
+	}
+	size := 4
+	for _, k := range keys {
+		if len(k) > MaxKeyLen {
+			return nil, fmt.Errorf("transport: key too long (%d bytes)", len(k))
+		}
+		size += 2 + len(k)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf, nil
+}
+
+func decodeGetManyReq(payload []byte) ([]string, error) {
+	count, rest, err := batchHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, count)
+	for n := 0; n < count; n++ {
+		var key string
+		key, rest, err = takeKey(rest)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, key)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes in batch", len(rest))
+	}
+	return keys, nil
+}
+
+func decodeGetManyResp(payload []byte) ([][]byte, error) {
+	count, rest, err := batchHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([][]byte, count)
+	for n := 0; n < count; n++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("transport: truncated batch entry")
+		}
+		found := rest[0]
+		rest = rest[1:]
+		var data []byte
+		data, rest, err = takeBlock(rest)
+		if err != nil {
+			return nil, err
+		}
+		switch found {
+		case 0:
+			if len(data) != 0 {
+				return nil, fmt.Errorf("transport: missing batch entry carries %d bytes", len(data))
+			}
+		case 1:
+			blocks[n] = data
+		default:
+			return nil, fmt.Errorf("transport: bad found flag %d", found)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes in batch", len(rest))
+	}
+	return blocks, nil
+}
+
+func batchHeader(payload []byte) (int, []byte, error) {
+	if len(payload) < 4 {
+		return 0, nil, fmt.Errorf("transport: batch payload too short (%d bytes)", len(payload))
+	}
+	count := binary.BigEndian.Uint32(payload)
+	if count > MaxBatchEntries {
+		return 0, nil, fmt.Errorf("transport: batch of %d entries exceeds limit %d", count, MaxBatchEntries)
+	}
+	return int(count), payload[4:], nil
+}
+
+func takeKey(rest []byte) (string, []byte, error) {
+	if len(rest) < 2 {
+		return "", nil, fmt.Errorf("transport: truncated batch key length")
+	}
+	n := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if n > MaxKeyLen {
+		return "", nil, fmt.Errorf("transport: key length %d exceeds limit", n)
+	}
+	if len(rest) < n {
+		return "", nil, fmt.Errorf("transport: truncated batch key")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func takeBlock(rest []byte) ([]byte, []byte, error) {
+	if len(rest) < 4 {
+		return nil, nil, fmt.Errorf("transport: truncated batch block length")
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if n > MaxPayloadLen {
+		return nil, nil, fmt.Errorf("transport: block length %d exceeds limit", n)
+	}
+	if uint32(len(rest)) < n {
+		return nil, nil, fmt.Errorf("transport: truncated batch block")
+	}
+	return rest[:n], rest[n:], nil
+}

@@ -1,0 +1,210 @@
+// PoolClient: a connection pool with pipelined request/response matching.
+//
+// The wire protocol answers requests in order on each connection, so a
+// connection can carry many requests in flight: a writer appends a pending
+// slot and sends the frame under one lock, and a per-connection reader
+// goroutine matches each arriving response to the oldest pending slot.
+// Concurrent callers therefore overlap their round-trips instead of
+// queueing behind a single in-flight request, and the pool spreads load
+// over several TCP connections on top.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// PoolClient is a pool of pipelined connections to one storage node. It is
+// safe for concurrent use and offers the same operations as Client.
+type PoolClient struct {
+	conns []*pipeConn
+	next  atomic.Uint32
+}
+
+// DialPool connects conns pipelined connections to a storage node.
+// conns < 1 is an error.
+func DialPool(addr string, conns int) (*PoolClient, error) {
+	if conns < 1 {
+		return nil, fmt.Errorf("transport: pool needs at least 1 connection, got %d", conns)
+	}
+	p := &PoolClient{conns: make([]*pipeConn, 0, conns)}
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		pc := &pipeConn{conn: conn}
+		go pc.readLoop()
+		p.conns = append(p.conns, pc)
+	}
+	return p, nil
+}
+
+// pick returns the next connection round-robin.
+func (p *PoolClient) pick() *pipeConn {
+	return p.conns[int(p.next.Add(1))%len(p.conns)]
+}
+
+// Get fetches a block; it returns ErrNotFound for missing keys.
+func (p *PoolClient) Get(key string) ([]byte, error) {
+	status, payload, err := p.pick().roundTrip(OpGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusOK:
+		return payload, nil
+	case StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("transport: remote error: %s", payload)
+	}
+}
+
+// Put stores a block.
+func (p *PoolClient) Put(key string, data []byte) error {
+	return p.simple(OpPut, key, data)
+}
+
+// Del removes a block.
+func (p *PoolClient) Del(key string) error {
+	return p.simple(OpDel, key, nil)
+}
+
+func (p *PoolClient) simple(op byte, key string, payload []byte) error {
+	status, resp, err := p.pick().roundTrip(op, key, payload)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("transport: remote error: %s", resp)
+	}
+	return nil
+}
+
+// PutMany stores all items in one round-trip on one pooled connection,
+// using vectored I/O like Client.PutMany.
+func (p *PoolClient) PutMany(items []KV) error {
+	return putMany(p.pick(), items)
+}
+
+// GetMany fetches all keys in one round-trip; missing blocks are nil.
+func (p *PoolClient) GetMany(keys []string) ([][]byte, error) {
+	return getMany(p.pick(), keys)
+}
+
+// Close closes every pooled connection; in-flight requests fail.
+func (p *PoolClient) Close() error {
+	var first error
+	for _, pc := range p.conns {
+		if err := pc.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// errPipeClosed reports a request issued after Close.
+var errPipeClosed = errors.New("transport: connection closed")
+
+// pipeResult is one matched response (or the connection's fatal error).
+type pipeResult struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// pipeConn is one pipelined connection: writes are serialised, responses
+// are matched FIFO by a dedicated reader goroutine.
+type pipeConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serialises frame writes and pending-slot pushes
+
+	mu      sync.Mutex
+	pending []chan pipeResult // oldest first; guarded by mu
+	err     error             // sticky fatal error; guarded by mu
+}
+
+func (c *pipeConn) roundTrip(op byte, key string, payload []byte) (byte, []byte, error) {
+	return c.send(func() error { return writeRequest(c.conn, op, key, payload) })
+}
+
+// roundTripSegments is roundTrip for a pre-framed scatter/gather request.
+func (c *pipeConn) roundTripSegments(segs net.Buffers) (byte, []byte, error) {
+	return c.send(func() error {
+		_, err := segs.WriteTo(c.conn)
+		return err
+	})
+}
+
+// send enqueues a pending response slot, performs the write under the
+// write lock, and waits for the reader to deliver the matching response.
+func (c *pipeConn) send(write func() error) (byte, []byte, error) {
+	ch := make(chan pipeResult, 1)
+	c.wmu.Lock()
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return 0, nil, err
+	}
+	c.pending = append(c.pending, ch)
+	c.mu.Unlock()
+	err := write()
+	c.wmu.Unlock()
+	if err != nil {
+		// Poison the connection: the reader fails and drains every pending
+		// slot, including ours, so we just wait for the verdict.
+		c.conn.Close()
+	}
+	res := <-ch
+	return res.status, res.payload, res.err
+}
+
+// readLoop matches responses to pending slots until the connection dies,
+// then fails every outstanding and future request.
+func (c *pipeConn) readLoop() {
+	for {
+		status, payload, err := readResponse(c.conn)
+		if err == nil {
+			c.mu.Lock()
+			if len(c.pending) == 0 {
+				c.mu.Unlock()
+				err = errors.New("transport: unsolicited response")
+			} else {
+				ch := c.pending[0]
+				c.pending = c.pending[1:]
+				c.mu.Unlock()
+				ch <- pipeResult{status: status, payload: payload}
+				continue
+			}
+		}
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		drained := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		c.conn.Close()
+		for _, ch := range drained {
+			ch <- pipeResult{err: err}
+		}
+		return
+	}
+}
+
+func (c *pipeConn) close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = errPipeClosed
+	}
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -28,6 +28,11 @@ const (
 	OpGet byte = 1
 	OpPut byte = 2
 	OpDel byte = 3
+	// OpPutMany and OpGetMany carry many blocks in one frame (see batch.go),
+	// so a broker can ship an entire encode or repair round per storage node
+	// in a single exchange.
+	OpPutMany byte = 4
+	OpGetMany byte = 5
 )
 
 // Response statuses.
@@ -203,6 +208,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		case OpDel:
 			s.store.Del(key)
 			err = writeResponse(conn, StatusOK, nil)
+		case OpPutMany:
+			err = s.servePutMany(conn, payload)
+		case OpGetMany:
+			err = s.serveGetMany(conn, payload)
 		default:
 			err = writeResponse(conn, StatusError, []byte("unknown op"))
 		}
@@ -212,15 +221,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the server and waits for in-flight connections to finish.
+// Close stops the server and waits for in-flight connections to finish. It
+// is idempotent and safe to call concurrently: every call waits for the
+// same shutdown and returns nil, so a signal handler racing a deferred
+// Close cannot turn a clean exit into a failure.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
-	}
-	for conn := range s.conns {
-		conn.Close()
+	if !s.closed {
+		s.closed = true
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		for conn := range s.conns {
+			conn.Close()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -294,6 +308,17 @@ func (c *Client) roundTrip(op byte, key string, payload []byte) (byte, []byte, e
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := writeRequest(c.conn, op, key, payload); err != nil {
+		return 0, nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// roundTripSegments sends a pre-framed request as scatter/gather segments
+// (one writev on TCP) and reads the response.
+func (c *Client) roundTripSegments(segs net.Buffers) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := segs.WriteTo(c.conn); err != nil {
 		return 0, nil, err
 	}
 	return readResponse(c.conn)

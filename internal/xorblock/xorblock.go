@@ -10,6 +10,7 @@ package xorblock
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // wordSize is the number of bytes processed per wide XOR step.
@@ -60,6 +61,96 @@ func XorMany(srcs ...[]byte) ([]byte, error) {
 		}
 	}
 	return dst, nil
+}
+
+// XorManyInto computes dst = srcs[0] XOR srcs[1] XOR ... in a single pass
+// over dst: each 8-byte word is accumulated across every source before it is
+// stored, so dst is written exactly once however many sources there are. At
+// least one source is required; dst and every source must share one length.
+// dst may alias any source.
+func XorManyInto(dst []byte, srcs ...[]byte) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("xorblock: no sources")
+	}
+	n := len(dst)
+	for si, s := range srcs {
+		if len(s) != n {
+			return fmt.Errorf("xorblock: length mismatch dst=%d srcs[%d]=%d", n, si, len(s))
+		}
+	}
+	if len(srcs) == 1 {
+		copy(dst, srcs[0])
+		return nil
+	}
+	i := 0
+	for ; i+wordSize <= n; i += wordSize {
+		acc := binary.LittleEndian.Uint64(srcs[0][i:])
+		for _, s := range srcs[1:] {
+			acc ^= binary.LittleEndian.Uint64(s[i:])
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	for ; i < n; i++ {
+		acc := srcs[0][i]
+		for _, s := range srcs[1:] {
+			acc ^= s[i]
+		}
+		dst[i] = acc
+	}
+	return nil
+}
+
+// Pool is a sync.Pool-backed allocator for blocks of one fixed size. It
+// keeps the steady-state encode/repair paths allocation-free: every block
+// handed out by Get was either recycled via Put or freshly zero-allocated.
+// The zero value is unusable; construct with NewPool or use PoolFor.
+type Pool struct {
+	size int
+	p    sync.Pool
+}
+
+// NewPool returns a pool handing out blocks of exactly size bytes.
+// It panics if size is not positive.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		panic(fmt.Sprintf("xorblock: pool block size must be positive, got %d", size))
+	}
+	pl := &Pool{size: size}
+	pl.p.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return pl
+}
+
+// BlockSize returns the fixed size of blocks managed by the pool.
+func (p *Pool) BlockSize() int { return p.size }
+
+// Get returns a block of the pool's size. Its content is unspecified;
+// callers that need zeroes must clear it themselves.
+func (p *Pool) Get() []byte { return *(p.p.Get().(*[]byte)) }
+
+// Put recycles a block previously returned by Get. Blocks of the wrong
+// size are dropped rather than poisoning the pool; putting nil is a no-op.
+func (p *Pool) Put(b []byte) {
+	if len(b) != p.size {
+		return
+	}
+	p.p.Put(&b)
+}
+
+// pools registers one Pool per block size so unrelated subsystems sharing a
+// block size also share recycled buffers.
+var pools sync.Map // int -> *Pool
+
+// PoolFor returns the process-wide Pool for the given block size, creating
+// it on first use.
+func PoolFor(size int) *Pool {
+	if v, ok := pools.Load(size); ok {
+		return v.(*Pool)
+	}
+	v, _ := pools.LoadOrStore(size, NewPool(size))
+	return v.(*Pool)
 }
 
 // IsZero reports whether every byte of b is zero.
