@@ -10,18 +10,33 @@
 // tolerance without any extra storage; and α can be increased later
 // without re-encoding existing data.
 //
+// All storage flows through one context-aware, batch-native dialect: the
+// BlockStore interface family. Every backend in the repository — the
+// in-memory MemoryStore, the directory-backed archive store, the
+// clustered location store, the cooperative TCP network — speaks it, so
+// the codec, the streaming Archive API and the repair engine run
+// unchanged on any of them. Single-block backends are promoted with
+// NewBatchAdapter; implementations agree on the ErrNotFound /
+// ErrUnavailable sentinels instead of ad-hoc (value, bool) conventions.
+//
 // # Quick start
 //
 //	code, err := aecodes.New(aecodes.Params{Alpha: 3, S: 2, P: 5}, 4096)
 //	if err != nil { ... }
+//	ctx := context.Background()
 //	store := aecodes.NewMemoryStore(4096)
 //	ent, err := code.Entangle(block)        // α parities for this block
 //	for _, p := range ent.Parities {
-//		store.PutParity(p.Edge, p.Data)     // place them anywhere durable
+//		store.PutParity(ctx, p.Edge, p.Data) // place them anywhere durable
 //	}
-//	store.PutData(ent.Index, block)
+//	store.PutData(ctx, ent.Index, block)
 //	...
-//	repaired, err := code.RepairData(store, ent.Index) // one XOR
+//	repaired, err := code.RepairData(ctx, store, ent.Index) // one XOR
+//
+// Whole files stream through NewArchiveWriter and OpenArchive with
+// bounded memory: the writer entangles an io.Reader's content through the
+// concurrent encode pipeline, the reader reconstructs the exact bytes —
+// repairing damaged blocks on the fly — from any BlockStore.
 //
 // Whole-system recovery after correlated failures uses Repair, which runs
 // synchronous repair rounds until every reachable block is regenerated.
@@ -32,14 +47,17 @@
 // paper: a Reed–Solomon baseline, the disaster simulator behind Figs
 // 11–13, the minimal-erasure-pattern searcher behind Figs 6–9, the
 // entangled-mirror reliability study, and a cooperative backup system with
-// a TCP block transport. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// a TCP block transport. See DESIGN.md for the system inventory: the
+// package map, the commands, and how data flows between them.
 package aecodes
 
 import (
+	"context"
+
 	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
 	"aecodes/internal/mep"
+	"aecodes/internal/store"
 )
 
 // Params holds the three code parameters of AE(α, s, p): α parities per
@@ -70,15 +88,58 @@ type Parity = entangle.Parity
 // Entanglement is the result of entangling one data block.
 type Entanglement = entangle.Entanglement
 
-// Source is the read view the repair engine needs: block content plus
-// availability.
-type Source = entangle.Source
+// ErrNotFound is the sentinel every BlockStore implementation returns
+// (wrapped) for a block it cannot currently serve: never written, evicted,
+// or sitting on a failed location. Test with errors.Is.
+var ErrNotFound = store.ErrNotFound
 
-// Store extends Source with writes and missing-block enumeration, enough
-// for round-based whole-system repair.
-type Store = entangle.Store
+// ErrUnavailable is the sentinel for a backend that cannot serve requests
+// at all (node down, connection lost). Unlike ErrNotFound it says nothing
+// about whether the block exists.
+var ErrUnavailable = store.ErrUnavailable
 
-// MemoryStore is an in-memory Store for tests, tools and examples.
+// Source is the read view the repair engine needs: context-aware block
+// reads, with ErrNotFound reporting unavailability.
+type Source = store.Source
+
+// SingleStore is the single-block mutable store: Source plus writes and
+// missing-block enumeration. Promote one to a BlockStore with
+// NewBatchAdapter.
+type SingleStore = store.Single
+
+// BlockStore is the unified storage dialect: context-aware single-block
+// operations plus the GetMany/PutMany batches that let engines move a
+// whole encode batch or repair round in one request per backend.
+type BlockStore = store.BlockStore
+
+// Store is the interface the round-based repair engine drives.
+//
+// Deprecated: Store is the old name for BlockStore; new code should say
+// BlockStore.
+type Store = BlockStore
+
+// BlockRef addresses one lattice block: a data position or a parity edge.
+type BlockRef = store.Ref
+
+// DataRef returns the ref of data block i.
+func DataRef(i int) BlockRef { return store.DataRef(i) }
+
+// ParityRef returns the ref of the parity on edge e.
+func ParityRef(e Edge) BlockRef { return store.ParityRef(e) }
+
+// Block pairs a BlockRef with content — the unit of a PutMany batch.
+type Block = store.Block
+
+// MissingBlocks enumerates the blocks a store should hold but cannot
+// serve.
+type MissingBlocks = store.Missing
+
+// NewBatchAdapter promotes a single-block store to the full BlockStore
+// dialect, synthesizing GetMany/PutMany by looping. Stores that already
+// implement BlockStore are returned unchanged.
+func NewBatchAdapter(s SingleStore) BlockStore { return store.Batch(s) }
+
+// MemoryStore is an in-memory BlockStore for tests, tools and examples.
 type MemoryStore = entangle.MemoryStore
 
 // NewMemoryStore returns an empty in-memory store for blocks of the given
@@ -172,27 +233,29 @@ func (c *Code) RestoreHeads(next int, heads []StrandHead) error {
 
 // RepairData rebuilds data block i from the first complete pp-tuple among
 // its α strands — always a single XOR of two parity blocks.
-func (c *Code) RepairData(src Source, i int) ([]byte, error) {
-	return c.rep.RepairData(src, i)
+func (c *Code) RepairData(ctx context.Context, src Source, i int) ([]byte, error) {
+	return c.rep.RepairData(ctx, src, i)
 }
 
 // RepairParity rebuilds the parity on edge e from either of its two
 // dp-tuples (an adjacent data block plus that block's neighbouring parity
 // on the same strand).
-func (c *Code) RepairParity(src Source, e Edge) ([]byte, error) {
-	return c.rep.RepairParity(src, e)
+func (c *Code) RepairParity(ctx context.Context, src Source, e Edge) ([]byte, error) {
+	return c.rep.RepairParity(ctx, src, e)
 }
 
 // Repair runs synchronous repair rounds over the store until every missing
-// block is rebuilt or no more progress is possible.
-func (c *Code) Repair(store Store, opts RepairOptions) (RepairStats, error) {
-	return c.rep.Repair(store, opts)
+// block is rebuilt or no more progress is possible. Each round issues one
+// Missing enumeration and commits its repairs with a single PutMany, so a
+// batch-native store moves whole rounds in one exchange per location.
+func (c *Code) Repair(ctx context.Context, st BlockStore, opts RepairOptions) (RepairStats, error) {
+	return c.rep.Repair(ctx, st, opts)
 }
 
 // Audit verifies data block i against each of its α strands; a block that
 // disagrees with a strand has been modified after entanglement.
-func (c *Code) Audit(src Source, i int) (AuditResult, error) {
-	return c.rep.Audit(src, i)
+func (c *Code) Audit(ctx context.Context, src Source, i int) (AuditResult, error) {
+	return c.rep.Audit(ctx, src, i)
 }
 
 // TamperScope returns the parities an attacker would have to recompute to

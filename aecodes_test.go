@@ -1,6 +1,8 @@
 package aecodes_test
 
 import (
+	"aecodes/internal/blockstore"
+	"aecodes/internal/filestore"
 	"bytes"
 	"errors"
 	"math/rand"
@@ -36,11 +38,11 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		if ent.Index != i {
 			t.Fatalf("index %d, want %d", ent.Index, i)
 		}
-		if err := store.PutData(ent.Index, data); err != nil {
+		if err := store.PutData(bg, ent.Index, data); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -48,14 +50,14 @@ func TestPublicQuickstartFlow(t *testing.T) {
 
 	// Single failure: one XOR.
 	store.LoseData(42)
-	got, err := code.RepairData(store, 42)
+	got, err := code.RepairData(bg, store, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, originals[42]) {
 		t.Error("repaired content mismatch")
 	}
-	if err := store.PutData(42, got); err != nil {
+	if err := store.PutData(bg, 42, got); err != nil {
 		t.Fatal(err)
 	}
 
@@ -63,7 +65,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	for i := 50; i <= 60; i++ {
 		store.LoseData(i)
 	}
-	stats, err := code.Repair(store, aecodes.RepairOptions{})
+	stats, err := code.Repair(bg, store, aecodes.RepairOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	}
 
 	// Audit.
-	audit, err := code.Audit(store, 42)
+	audit, err := code.Audit(bg, store, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +126,11 @@ func TestPublicErrUnrepairable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := store.PutData(ent.Index, make([]byte, 16)); err != nil {
+		if err := store.PutData(bg, ent.Index, make([]byte, 16)); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -137,7 +139,7 @@ func TestPublicErrUnrepairable(t *testing.T) {
 	store.LoseData(5)
 	store.LoseData(6)
 	store.LoseParity(aecodes.Edge{Class: aecodes.Horizontal, Left: 5, Right: 6})
-	if _, err := code.RepairData(store, 5); !errors.Is(err, aecodes.ErrUnrepairable) {
+	if _, err := code.RepairData(bg, store, 5); !errors.Is(err, aecodes.ErrUnrepairable) {
 		t.Errorf("RepairData = %v, want ErrUnrepairable", err)
 	}
 }
@@ -221,3 +223,11 @@ func TestPublicMinimalErasure(t *testing.T) {
 		t.Errorf("|ME(2)| = %d, want 8", pat.Size())
 	}
 }
+
+// Every in-repo store speaks the unified dialect (the cooperative
+// netStore carries the same assertion in its own package).
+var (
+	_ aecodes.BlockStore = (*aecodes.MemoryStore)(nil)
+	_ aecodes.BlockStore = (*blockstore.LatticeView)(nil)
+	_ aecodes.BlockStore = aecodes.NewBatchAdapter(&filestore.Store{})
+)

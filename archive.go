@@ -1,0 +1,369 @@
+package aecodes
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"aecodes/internal/pipeline"
+	"aecodes/internal/xorblock"
+)
+
+// Archive stream framing: every data block starts with a 4-byte big-endian
+// header whose top bit marks the archive's final block and whose low 31
+// bits give the payload bytes carried by this block. Non-final blocks are
+// always full; the final block holds the tail (possibly zero bytes, for an
+// empty archive) and is zero-padded to the block size. The framing makes
+// an archive self-describing on any BlockStore — no out-of-band length or
+// block count is needed to read it back, and a missing interior block is
+// distinguishable from end-of-archive.
+const (
+	archiveHeaderLen = 4
+	archiveLastFlag  = 1 << 31
+	archiveLenMask   = archiveLastFlag - 1
+)
+
+// archiveCapacity returns the payload bytes per block.
+func archiveCapacity(blockSize int) int { return blockSize - archiveHeaderLen }
+
+// ArchiveOptions tunes the streaming archive reader and writer.
+type ArchiveOptions struct {
+	// Context cancels in-flight encode or read work; nil means Background.
+	Context context.Context
+	// Workers is the number of encode pipeline workers (writer only);
+	// values < 1 default to GOMAXPROCS capped at the strand count.
+	Workers int
+	// Depth bounds each worker's queue, and with Workers bounds the
+	// writer's in-flight window: at most Workers·Depth+2 block buffers are
+	// live regardless of file size. Values < 1 default to 16.
+	Depth int
+	// Window is the reader's prefetch span in blocks, fetched with one
+	// GetMany per refill. Values < 1 default to 16.
+	Window int
+}
+
+func (o ArchiveOptions) context() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
+}
+
+func (o ArchiveOptions) window() int {
+	if o.Window < 1 {
+		return 16
+	}
+	return o.Window
+}
+
+// ArchiveWriter streams a payload of any length into an entangled archive
+// with bounded memory: input bytes are framed into pooled blocks and fed
+// to the concurrent encode pipeline, which writes each data block and its
+// α parities to the BlockStore as it goes. The caller owns Close, which
+// seals the final block and waits for the pipeline to drain.
+//
+// ArchiveWriter is not safe for concurrent use.
+type ArchiveWriter struct {
+	code *Code
+	pool *xorblock.Pool
+	ch   chan []byte
+	done chan struct{}
+
+	cur    []byte // current partially filled block (nil until first byte)
+	curN   int    // payload bytes in cur
+	blocks int
+	bytes  int64
+
+	closed   bool
+	closeErr error
+
+	encStats pipeline.Stats
+	encErr   error // valid once done is closed
+}
+
+var _ io.WriteCloser = (*ArchiveWriter)(nil)
+
+// NewArchiveWriter returns a writer streaming into st through code. The
+// codec must be fresh (nothing entangled yet): the archive occupies
+// lattice positions 1..Blocks(). Storage obeys the BlockStore contract —
+// blocks are copied or transmitted before Put returns.
+func NewArchiveWriter(code *Code, st BlockStore, opts ArchiveOptions) (*ArchiveWriter, error) {
+	if code == nil {
+		return nil, errors.New("aecodes: nil code")
+	}
+	if st == nil {
+		return nil, errors.New("aecodes: nil store")
+	}
+	if code.BlockSize() <= archiveHeaderLen {
+		return nil, fmt.Errorf("aecodes: block size %d too small for archive framing (need > %d)",
+			code.BlockSize(), archiveHeaderLen)
+	}
+	if code.Next() != 1 {
+		return nil, fmt.Errorf("aecodes: archive writer needs a fresh codec (next position %d, want 1)", code.Next())
+	}
+	w := &ArchiveWriter{
+		code: code,
+		pool: xorblock.PoolFor(code.BlockSize()),
+		ch:   make(chan []byte),
+		done: make(chan struct{}),
+	}
+	ctx := opts.context()
+	go func() {
+		defer close(w.done)
+		w.encStats, w.encErr = pipeline.Encode(ctx, code.enc, w.ch, st, pipeline.Options{
+			Workers:   opts.Workers,
+			Depth:     opts.Depth,
+			StoreData: true,
+			Release:   w.pool.Put,
+		})
+	}()
+	return w, nil
+}
+
+// failed reports a pipeline that already died, without blocking.
+func (w *ArchiveWriter) failed() error {
+	select {
+	case <-w.done:
+		if w.encErr != nil {
+			return w.encErr
+		}
+		return errors.New("aecodes: encode pipeline exited early")
+	default:
+		return nil
+	}
+}
+
+// emit seals the current block (zero-padding the tail) and hands it to the
+// pipeline. The pipeline drains its input even after a failure, so the
+// send cannot deadlock; the error surfaces on Close (or the next Write).
+func (w *ArchiveWriter) emit(last bool) {
+	hdr := uint32(w.curN)
+	if last {
+		hdr |= archiveLastFlag
+	}
+	binary.BigEndian.PutUint32(w.cur[:archiveHeaderLen], hdr)
+	tail := w.cur[archiveHeaderLen+w.curN:]
+	for i := range tail {
+		tail[i] = 0
+	}
+	select {
+	case w.ch <- w.cur:
+	case <-w.done:
+		w.pool.Put(w.cur) // pipeline gone; recycle ourselves
+	}
+	w.cur = nil
+	w.curN = 0
+	w.blocks++
+}
+
+// Write implements io.Writer: input is framed into blocks and entangled
+// as soon as each block is known not to be the archive's last.
+func (w *ArchiveWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("aecodes: write on closed ArchiveWriter")
+	}
+	if err := w.failed(); err != nil {
+		return 0, err
+	}
+	written := 0
+	capacity := archiveCapacity(w.code.BlockSize())
+	for len(p) > 0 {
+		if w.cur != nil && w.curN == capacity {
+			// More bytes are arriving, so the held block is not the last.
+			w.emit(false)
+		}
+		if w.cur == nil {
+			w.cur = w.pool.Get()
+		}
+		n := copy(w.cur[archiveHeaderLen+w.curN:], p)
+		w.curN += n
+		p = p[n:]
+		written += n
+		w.bytes += int64(n)
+	}
+	return written, nil
+}
+
+// Close seals the final block (an empty archive still gets one, so
+// readers can tell "empty" from "destroyed"), waits for the pipeline to
+// finish, and reports any encode or store error.
+func (w *ArchiveWriter) Close() error {
+	if w.closed {
+		return w.closeErr
+	}
+	w.closed = true
+	if w.cur == nil {
+		w.cur = w.pool.Get()
+	}
+	w.emit(true)
+	close(w.ch)
+	<-w.done
+	w.closeErr = w.encErr
+	return w.closeErr
+}
+
+// Blocks returns the number of data blocks emitted so far (all of them
+// after Close).
+func (w *ArchiveWriter) Blocks() int { return w.blocks }
+
+// Bytes returns the payload bytes consumed so far.
+func (w *ArchiveWriter) Bytes() int64 { return w.bytes }
+
+// Parities returns the number of parity blocks the pipeline computed;
+// valid after Close.
+func (w *ArchiveWriter) Parities() int { return w.encStats.Parities }
+
+// ArchiveReader streams an archive's payload back out of a BlockStore,
+// prefetching Window blocks per GetMany batch and regenerating any
+// missing block on the fly with a degraded read (one XOR when a pp-tuple
+// survives). It holds one prefetch window of blocks at a time, so memory
+// stays bounded regardless of archive size.
+//
+// A missing block that cannot be repaired is an error, never a silent
+// EOF: end-of-archive is determined solely by the final-block flag the
+// writer embedded.
+//
+// ArchiveReader is not safe for concurrent use.
+type ArchiveReader struct {
+	code   *Code
+	st     BlockStore
+	ctx    context.Context
+	window int
+
+	next    int      // lattice position of the next block to consume
+	pending [][]byte // prefetched raw blocks for positions next, next+1, ...
+	payload []byte   // unread payload of the current block
+	fin     bool     // final block consumed: next Read returns EOF
+	err     error    // sticky failure
+}
+
+var _ io.Reader = (*ArchiveReader)(nil)
+
+// OpenArchive returns a streaming reader over the archive in st with
+// default options.
+func OpenArchive(code *Code, st BlockStore) *ArchiveReader {
+	return OpenArchiveOptions(code, st, ArchiveOptions{})
+}
+
+// OpenArchiveOptions is OpenArchive with explicit options (context and
+// prefetch window).
+func OpenArchiveOptions(code *Code, st BlockStore, opts ArchiveOptions) *ArchiveReader {
+	return &ArchiveReader{
+		code:   code,
+		st:     st,
+		ctx:    opts.context(),
+		window: opts.window(),
+		next:   1,
+	}
+}
+
+// refill prefetches the next window of raw blocks with one GetMany.
+func (r *ArchiveReader) refill() error {
+	refs := make([]BlockRef, r.window)
+	for i := range refs {
+		refs[i] = DataRef(r.next + i)
+	}
+	blocks, err := r.st.GetMany(r.ctx, refs)
+	if err != nil {
+		return fmt.Errorf("aecodes: prefetching archive blocks %d..%d: %w", r.next, r.next+r.window-1, err)
+	}
+	if len(blocks) != len(refs) {
+		return fmt.Errorf("aecodes: prefetch returned %d entries, want %d", len(blocks), len(refs))
+	}
+	r.pending = blocks
+	return nil
+}
+
+// advance loads the next block's payload, repairing the block if the
+// store cannot serve it.
+func (r *ArchiveReader) advance() error {
+	if len(r.pending) == 0 {
+		if err := r.refill(); err != nil {
+			return err
+		}
+	}
+	raw := r.pending[0]
+	r.pending = r.pending[1:]
+	if raw == nil {
+		// Degraded read: rebuild this block from its strands, one XOR if a
+		// pp-tuple survives (§III), without writing anything back.
+		repaired, err := r.code.RepairData(r.ctx, r.st, r.next)
+		if err != nil {
+			return fmt.Errorf("aecodes: archive block d%d unreadable (damaged beyond degraded read; run Repair): %w", r.next, err)
+		}
+		raw = repaired
+	}
+	if len(raw) != r.code.BlockSize() {
+		return fmt.Errorf("aecodes: archive block d%d has %d bytes, want %d", r.next, len(raw), r.code.BlockSize())
+	}
+	hdr := binary.BigEndian.Uint32(raw[:archiveHeaderLen])
+	n := int(hdr & archiveLenMask)
+	last := hdr&archiveLastFlag != 0
+	capacity := archiveCapacity(r.code.BlockSize())
+	if n > capacity || (!last && n != capacity) {
+		return fmt.Errorf("aecodes: archive block d%d has corrupt framing (len %d, last %v)", r.next, n, last)
+	}
+	r.payload = raw[archiveHeaderLen : archiveHeaderLen+n]
+	r.fin = last
+	r.next++
+	return nil
+}
+
+// Read implements io.Reader.
+func (r *ArchiveReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	total := 0
+	for total < len(p) {
+		if len(r.payload) == 0 {
+			if r.fin {
+				if total > 0 {
+					return total, nil
+				}
+				return 0, io.EOF
+			}
+			if err := r.advance(); err != nil {
+				r.err = err
+				if total > 0 {
+					return total, nil
+				}
+				return 0, err
+			}
+			continue
+		}
+		n := copy(p[total:], r.payload)
+		r.payload = r.payload[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// WriteTo implements io.WriterTo, letting io.Copy stream without an
+// intermediate buffer.
+func (r *ArchiveReader) WriteTo(dst io.Writer) (int64, error) {
+	var total int64
+	for {
+		if len(r.payload) == 0 {
+			if r.err != nil {
+				return total, r.err
+			}
+			if r.fin {
+				return total, nil
+			}
+			if err := r.advance(); err != nil {
+				r.err = err
+				return total, err
+			}
+			continue
+		}
+		n, err := dst.Write(r.payload)
+		total += int64(n)
+		r.payload = r.payload[n:]
+		if err != nil {
+			return total, err
+		}
+	}
+}

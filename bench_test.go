@@ -552,11 +552,11 @@ func BenchmarkRepairSingleFailureAE3(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := store.PutData(ent.Index, data); err != nil {
+		if err := store.PutData(bg, ent.Index, data); err != nil {
 			b.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -565,7 +565,7 @@ func BenchmarkRepairSingleFailureAE3(b *testing.B) {
 	b.SetBytes(microBlockSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := code.RepairData(store, 50); err != nil {
+		if _, err := code.RepairData(bg, store, 50); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -670,7 +670,7 @@ func BenchmarkEncodePipelinedAE355(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.EncodePooled(enc, pipeBatch, fill, pipeline.NullSink{}, pool, pipeline.Options{}); err != nil {
+		if _, err := pipeline.EncodePooled(bg, enc, pipeBatch, fill, pipeline.NullSink{}, pool, pipeline.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -703,11 +703,11 @@ func benchmarkRepairRound(b *testing.B, workers int) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := store.PutData(ent.Index, data); err != nil {
+			if err := store.PutData(bg, ent.Index, data); err != nil {
 				b.Fatal(err)
 			}
 			for _, p := range ent.Parities {
-				if err := store.PutParity(p.Edge, p.Data); err != nil {
+				if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -734,7 +734,7 @@ func benchmarkRepairRound(b *testing.B, workers int) {
 		b.StopTimer()
 		store := build()
 		b.StartTimer()
-		if _, err := rep.Repair(store, entangle.Options{Workers: workers}); err != nil {
+		if _, err := rep.Repair(bg, store, entangle.Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -775,20 +775,20 @@ func benchmarkTransport(b *testing.B, batched bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if batched {
-			if err := c.PutMany(items); err != nil {
+			if err := c.PutMany(bg, items); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := c.GetMany(keys); err != nil {
+			if _, err := c.GetMany(bg, keys); err != nil {
 				b.Fatal(err)
 			}
 		} else {
 			for _, it := range items {
-				if err := c.Put(it.Key, it.Data); err != nil {
+				if err := c.Put(bg, it.Key, it.Data); err != nil {
 					b.Fatal(err)
 				}
 			}
 			for _, k := range keys {
-				if _, err := c.Get(k); err != nil {
+				if _, err := c.Get(bg, k); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -322,7 +323,7 @@ func encodeBench(cfg encodeConfig) error {
 	}
 	fill := func(_ int, buf []byte) { copy(buf, data) }
 	start = time.Now()
-	if _, err := pipeline.EncodePooled(penc, cfg.blocks, fill, pipeline.NullSink{}, pool, pipeline.Options{}); err != nil {
+	if _, err := pipeline.EncodePooled(context.Background(), penc, cfg.blocks, fill, pipeline.NullSink{}, pool, pipeline.Options{}); err != nil {
 		return err
 	}
 	pip := time.Since(start)
@@ -354,11 +355,11 @@ func repairRoundBench() error {
 			if err != nil {
 				return nil, err
 			}
-			if err := store.PutData(ent.Index, data); err != nil {
+			if err := store.PutData(context.Background(), ent.Index, data); err != nil {
 				return nil, err
 			}
 			for _, p := range ent.Parities {
-				if err := store.PutParity(p.Edge, p.Data); err != nil {
+				if err := store.PutParity(context.Background(), p.Edge, p.Data); err != nil {
 					return nil, err
 				}
 			}
@@ -402,7 +403,7 @@ func repairRoundBench() error {
 			return err
 		}
 		start := time.Now()
-		stats, err := rep.Repair(store, entangle.Options{Workers: workers})
+		stats, err := rep.Repair(context.Background(), store, entangle.Options{Workers: workers})
 		if err != nil {
 			return err
 		}
@@ -414,7 +415,7 @@ func repairRoundBench() error {
 }
 
 func ablations(cfg sim.Config) error {
-	fmt.Println("Ablations (see EXPERIMENTS.md)")
+	fmt.Println("Ablations (placement, puncturing, repair policy)")
 
 	// Placement policy.
 	ae3, err := sim.NewAE(lattice.Params{Alpha: 3, S: 2, P: 5})

@@ -1,7 +1,15 @@
-// Command aefile archives files with alpha entanglement codes: it splits a
-// payload into blocks, entangles them, and stores everything as plain
-// files in a directory — a miniature of the log-structured, append-only
-// archival store the paper targets.
+// Command aefile archives files with alpha entanglement codes: it streams
+// a payload of any size through the concurrent encode pipeline into
+// per-block files in a directory — a miniature of the log-structured,
+// append-only archival store the paper targets.
+//
+// Encoding and decoding are fully streamed through the root package's
+// Archive API: memory stays bounded by the pipeline's in-flight window
+// (-workers × -depth blocks) no matter how large the input file is, and
+// every block file carries a 4-byte frame header (payload length plus a
+// final-block flag) so the archive is self-describing. Decoding repairs
+// missing blocks on the fly where a repair tuple survives; whole-system
+// recovery uses the repair command.
 //
 // Usage:
 //
@@ -13,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +71,8 @@ func cmdEncode(args []string) error {
 	s := fs.Int("s", 2, "horizontal strands")
 	p := fs.Int("p", 5, "helical strands per class")
 	block := fs.Int("block", 4096, "block size in bytes")
+	workers := fs.Int("workers", 0, "encode pipeline workers (0 = GOMAXPROCS)")
+	depth := fs.Int("depth", 0, "per-worker queue depth bounding in-flight blocks (0 = default)")
 	fs.Parse(args)
 	if *in == "" || *dir == "" {
 		return fmt.Errorf("encode: -in and -dir are required")
@@ -73,7 +84,8 @@ func cmdEncode(args []string) error {
 		return err
 	}
 	store, err := filestore.Create(*dir, filestore.Manifest{
-		Alpha: *alpha, S: *s, P: *p, BlockSize: *block,
+		Format: filestore.FormatFramed,
+		Alpha:  *alpha, S: *s, P: *p, BlockSize: *block,
 	})
 	if err != nil {
 		return err
@@ -84,47 +96,27 @@ func cmdEncode(args []string) error {
 	}
 	defer f.Close()
 
-	buf := make([]byte, *block)
-	var total int64
-	blocks := 0
-	for {
-		n, rerr := io.ReadFull(f, buf)
-		if rerr == io.EOF {
-			break
-		}
-		if rerr == io.ErrUnexpectedEOF {
-			for i := n; i < len(buf); i++ {
-				buf[i] = 0
-			}
-		} else if rerr != nil {
-			return rerr
-		}
-		ent, err := code.Entangle(buf)
-		if err != nil {
-			return err
-		}
-		if err := store.PutData(ent.Index, buf); err != nil {
-			return err
-		}
-		for _, par := range ent.Parities {
-			if err := store.PutParity(par.Edge, par.Data); err != nil {
-				return err
-			}
-		}
-		total += int64(n)
-		blocks++
-		if rerr == io.ErrUnexpectedEOF {
-			break
-		}
+	// The file streams through the pipeline: io.Copy hands the writer one
+	// bounded buffer at a time, never the whole payload.
+	w, err := aecodes.NewArchiveWriter(code, aecodes.NewBatchAdapter(store), aecodes.ArchiveOptions{
+		Workers: *workers,
+		Depth:   *depth,
+	})
+	if err != nil {
+		return err
 	}
-	if blocks == 0 {
-		return fmt.Errorf("encode: empty input")
+	if _, err := io.Copy(w, f); err != nil {
+		w.Close()
+		return fmt.Errorf("encode: streaming %s: %w", *in, err)
 	}
-	if err := store.SetPayload(blocks, total); err != nil {
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := store.SetPayload(w.Blocks(), w.Bytes()); err != nil {
 		return err
 	}
 	fmt.Printf("encoded %d bytes into %d data blocks + %d parities (%v, block %dB) in %s\n",
-		total, blocks, blocks**alpha, params, *block, *dir)
+		w.Bytes(), w.Blocks(), w.Blocks()**alpha, params, *block, *dir)
 	return nil
 }
 
@@ -178,7 +170,7 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
-	stats, err := code.Repair(store, aecodes.RepairOptions{})
+	stats, err := code.Repair(context.Background(), aecodes.NewBatchAdapter(store), aecodes.RepairOptions{})
 	if err != nil {
 		return err
 	}
@@ -201,6 +193,7 @@ func cmdDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	dir := fs.String("dir", "", "archive directory")
 	out := fs.String("out", "", "output file")
+	window := fs.Int("window", 16, "read-ahead window in blocks")
 	fs.Parse(args)
 	if *dir == "" || *out == "" {
 		return fmt.Errorf("decode: -dir and -out are required")
@@ -210,6 +203,9 @@ func cmdDecode(args []string) error {
 		return err
 	}
 	m := store.Manifest()
+	if m.Format != filestore.FormatFramed {
+		return fmt.Errorf("decode: archive format %d predates stream framing — re-encode it with this aefile", m.Format)
+	}
 	code, err := aecodes.New(m.Params(), m.BlockSize)
 	if err != nil {
 		return err
@@ -220,26 +216,14 @@ func cmdDecode(args []string) error {
 	}
 	defer f.Close()
 
-	remaining := m.PayloadLen
-	for i := 1; i <= m.Blocks; i++ {
-		block, ok := store.Data(i)
-		if !ok {
-			// Degraded read: one XOR if a tuple survives.
-			block, err = code.RepairData(store, i)
-			if err != nil {
-				return fmt.Errorf("decode: block %d unreadable (run `aefile repair` first?): %w", i, err)
-			}
-		}
-		n := int64(len(block))
-		if n > remaining {
-			n = remaining
-		}
-		if _, err := f.Write(block[:n]); err != nil {
-			return err
-		}
-		remaining -= n
+	r := aecodes.OpenArchiveOptions(code, aecodes.NewBatchAdapter(store), aecodes.ArchiveOptions{
+		Window: *window,
+	})
+	n, err := io.Copy(f, r)
+	if err != nil {
+		return fmt.Errorf("decode: streaming to %s after %d bytes (run `aefile repair` first?): %w", *out, n, err)
 	}
-	fmt.Printf("decoded %d bytes to %s\n", m.PayloadLen, *out)
+	fmt.Printf("decoded %d bytes to %s\n", n, *out)
 	return nil
 }
 
@@ -255,10 +239,12 @@ func cmdStatus(args []string) error {
 		return err
 	}
 	m := store.Manifest()
-	missData := store.MissingData()
-	missPar := store.MissingParities()
+	missing, err := store.Missing(context.Background())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("archive %s: %v, block %dB, %d data blocks, %d payload bytes\n",
 		*dir, m.Params(), m.BlockSize, m.Blocks, m.PayloadLen)
-	fmt.Printf("missing: %d data blocks, %d parities\n", len(missData), len(missPar))
+	fmt.Printf("missing: %d data blocks, %d parities\n", len(missing.Data), len(missing.Parities))
 	return nil
 }

@@ -22,14 +22,14 @@ func ExampleCode_Entangle() {
 		fmt.Println(err)
 		return
 	}
-	store.PutData(ent.Index, block)
+	store.PutData(bg, ent.Index, block)
 	for _, p := range ent.Parities {
-		store.PutParity(p.Edge, p.Data)
+		store.PutParity(bg, p.Edge, p.Data)
 	}
 	fmt.Printf("block %d entangled into %d strands\n", ent.Index, len(ent.Parities))
 
 	store.LoseData(ent.Index)
-	repaired, err := code.RepairData(store, ent.Index)
+	repaired, err := code.RepairData(bg, store, ent.Index)
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -55,15 +55,15 @@ func ExampleCode_Repair() {
 			fmt.Println(err)
 			return
 		}
-		store.PutData(ent.Index, block)
+		store.PutData(bg, ent.Index, block)
 		for _, p := range ent.Parities {
-			store.PutParity(p.Edge, p.Data)
+			store.PutParity(bg, p.Edge, p.Data)
 		}
 	}
 	for i := 10; i <= 20; i++ {
 		store.LoseData(i)
 	}
-	stats, err := code.Repair(store, aecodes.RepairOptions{})
+	stats, err := code.Repair(bg, store, aecodes.RepairOptions{})
 	if err != nil {
 		fmt.Println(err)
 		return

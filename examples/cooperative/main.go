@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,11 +29,15 @@ const (
 	nodeCount = 5
 )
 
-// tcpNode adapts a transport.Client to cooperative.NodeStore (the
-// signatures already match; the type just documents the intent).
+// tcpNode adapts a transport.Client to cooperative.BatchNodeStore (the
+// signatures already match, batch frames included; the type just
+// documents the intent).
 type tcpNode struct{ *transport.Client }
 
+var _ cooperative.BatchNodeStore = tcpNode{}
+
 func main() {
+	ctx := context.Background()
 	// Lower tier: five storage nodes, each a real TCP server.
 	stores := make([]*transport.MemStore, nodeCount)
 	servers := make([]*transport.Server, nodeCount)
@@ -74,7 +79,7 @@ func main() {
 		data := make([]byte, blockSize)
 		rng.Read(data)
 		originals[i] = data
-		if _, err := broker.Backup(data); err != nil {
+		if _, err := broker.Backup(ctx, data); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -89,7 +94,7 @@ func main() {
 	broker.DropLocal()
 	ok := true
 	for i := 1; i <= 40; i++ {
-		got, err := broker.Read(i)
+		got, err := broker.Read(ctx, i)
 		if err != nil {
 			log.Fatalf("Read(%d): %v", i, err)
 		}
@@ -104,7 +109,7 @@ func main() {
 	// re-uploads them.
 	lost := stores[2].Len()
 	stores[2].Clear()
-	stats, err := broker.RepairLattice()
+	stats, err := broker.RepairLattice(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,12 +126,12 @@ func main() {
 	for i := 1; i <= 40; i++ {
 		local[i] = originals[i]
 	}
-	if err := recovered.Recover(40, local); err != nil {
+	if err := recovered.Recover(ctx, 40, local); err != nil {
 		log.Fatal(err)
 	}
 	extra := make([]byte, blockSize)
 	rng.Read(extra)
-	pos, err := recovered.Backup(extra)
+	pos, err := recovered.Backup(ctx, extra)
 	if err != nil {
 		log.Fatal(err)
 	}

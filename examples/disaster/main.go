@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,6 +29,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := blockstore.NewCluster(locations)
 	if err != nil {
 		log.Fatal(err)
@@ -65,11 +67,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := view.PutData(ent.Index, buf); err != nil {
+		if err := view.PutData(ctx, ent.Index, buf); err != nil {
 			log.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := view.PutParity(p.Edge, p.Data); err != nil {
+			if err := view.PutParity(ctx, p.Edge, p.Data); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -93,7 +95,7 @@ func main() {
 		len(d.Failed), len(missData), len(missPar))
 
 	// Round-based repair regenerates everything onto surviving locations.
-	stats, err := code.Repair(view, aecodes.RepairOptions{})
+	stats, err := code.Repair(ctx, view, aecodes.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 const blockSize = 1024
 
 func main() {
+	ctx := context.Background()
 	// AE(3,2,5): triple entanglement — every block gets 3 parities on 12
 	// strands; single failures always repair with one XOR of two blocks.
 	code, err := aecodes.New(aecodes.Params{Alpha: 3, S: 2, P: 5}, blockSize)
@@ -38,11 +40,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := store.PutData(ent.Index, data); err != nil {
+		if err := store.PutData(ctx, ent.Index, data); err != nil {
 			log.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(ctx, p.Edge, p.Data); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -52,13 +54,13 @@ func main() {
 
 	// 1. A single failure repairs with exactly one XOR of two parities.
 	store.LoseData(77)
-	repaired, err := code.RepairData(store, 77)
+	repaired, err := code.RepairData(ctx, store, 77)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("single failure d77: repaired with one XOR, content ok = %v\n",
 		bytes.Equal(repaired, originals[77]))
-	if err := store.PutData(77, repaired); err != nil {
+	if err := store.PutData(ctx, 77, repaired); err != nil {
 		log.Fatal(err)
 	}
 
@@ -76,7 +78,7 @@ func main() {
 			store.LoseParity(tuples[1].In)
 		}
 	}
-	stats, err := code.Repair(store, aecodes.RepairOptions{})
+	stats, err := code.Repair(ctx, store, aecodes.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func main() {
 
 	// 3. Anti-tampering: a modified block disagrees with all of its
 	// strands unless the attacker rewrites every one of them.
-	audit, err := code.Audit(store, 50)
+	audit, err := code.Audit(ctx, store, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func main() {
 	if err := store.CorruptData(50, evil); err != nil {
 		log.Fatal(err)
 	}
-	audit, err = code.Audit(store, 50)
+	audit, err = code.Audit(ctx, store, 50)
 	if err != nil {
 		log.Fatal(err)
 	}

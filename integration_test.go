@@ -58,7 +58,7 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 		data := make([]byte, blockSize)
 		rng.Read(data)
 		originals[i] = data
-		if _, err := broker.Backup(data); err != nil {
+		if _, err := broker.Backup(bg, data); err != nil {
 			t.Fatalf("Backup(%d): %v", i, err)
 		}
 	}
@@ -73,7 +73,7 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 	// Total local loss: every block decoded over TCP.
 	broker.DropLocal()
 	for i := 1; i <= 50; i++ {
-		got, err := broker.Read(i)
+		got, err := broker.Read(bg, i)
 		if err != nil {
 			t.Fatalf("Read(%d): %v", i, err)
 		}
@@ -85,7 +85,7 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 	// Storage node disk loss: regenerate its parities remotely.
 	lost := stores[1].Len()
 	stores[1].Clear()
-	stats, err := broker.RepairLattice()
+	stats, err := broker.RepairLattice(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,12 +106,12 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 	for i := 1; i <= 50; i++ {
 		local[i] = originals[i]
 	}
-	if err := resumed.Recover(50, local); err != nil {
+	if err := resumed.Recover(bg, 50, local); err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
 	extra := make([]byte, blockSize)
 	rng.Read(extra)
-	pos, err := resumed.Backup(extra)
+	pos, err := resumed.Backup(bg, extra)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range refEnt.Parities {
-		got, err := resumed.RepairParity(p.Edge) // regenerates + re-uploads
+		got, err := resumed.RepairParity(bg, p.Edge) // regenerates + re-uploads
 		_ = got
 		if err != nil {
 			t.Fatalf("verifying parity %v: %v", p.Edge, err)
@@ -161,11 +161,11 @@ func TestIntegrationArchiveRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := store.PutData(ent.Index, data); err != nil {
+		if err := store.PutData(bg, ent.Index, data); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -186,7 +186,7 @@ func TestIntegrationArchiveRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	stats, err := code.Repair(store, aecodes.RepairOptions{})
+	stats, err := code.Repair(bg, store, aecodes.RepairOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,13 +69,19 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 // Put stores a block on the given node, overwriting any previous content
 // under the same key anywhere in the cluster.
 func (c *Cluster) Put(node int, key string, data []byte) error {
-	if node < 0 || node >= len(c.nodes) {
-		return fmt.Errorf("blockstore: node %d out of range [0,%d)", node, len(c.nodes))
-	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.putLocked(node, key, cp)
+}
+
+// putLocked stores an already-copied block under c.mu; batch writers use
+// it to apply many entries per lock acquisition.
+func (c *Cluster) putLocked(node int, key string, cp []byte) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("blockstore: node %d out of range [0,%d)", node, len(c.nodes))
+	}
 	if prev, ok := c.index[key]; ok && prev != node {
 		delete(c.nodes[prev].blocks, key)
 	}
@@ -89,17 +95,24 @@ func (c *Cluster) Put(node int, key string, data []byte) error {
 func (c *Cluster) Get(key string) ([]byte, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	b := c.getLocked(key)
+	return b, b != nil
+}
+
+// getLocked returns a copy of the block, or nil when it is missing or its
+// node is down. Callers hold c.mu.
+func (c *Cluster) getLocked(key string) []byte {
 	node, ok := c.index[key]
 	if !ok || !c.nodes[node].available {
-		return nil, false
+		return nil
 	}
 	b, ok := c.nodes[node].blocks[key]
 	if !ok {
-		return nil, false
+		return nil
 	}
 	out := make([]byte, len(b))
 	copy(out, b)
-	return out, true
+	return out
 }
 
 // Locate returns the node storing key and whether the key is known.

@@ -2,6 +2,7 @@ package blockstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -180,7 +181,7 @@ func TestLatticeViewStoreContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := view.PutData(1, []byte{1, 2, 3, 4}); err != nil {
+	if err := view.PutData(bg, 1, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := view.Data(1)
@@ -188,7 +189,7 @@ func TestLatticeViewStoreContract(t *testing.T) {
 		t.Fatalf("Data = %v,%v", got, ok)
 	}
 	e := lattice.Edge{Class: lattice.Horizontal, Left: 1, Right: 2}
-	if err := view.PutParity(e, []byte{9, 9, 9, 9}); err != nil {
+	if err := view.PutParity(bg, e, []byte{9, 9, 9, 9}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := view.Parity(e); !ok {
@@ -200,14 +201,14 @@ func TestLatticeViewStoreContract(t *testing.T) {
 	if !ok || !bytes.Equal(zb, make([]byte, 4)) {
 		t.Error("virtual edge not zero/available")
 	}
-	if err := view.PutParity(virt, make([]byte, 4)); err == nil {
+	if err := view.PutParity(bg, virt, make([]byte, 4)); err == nil {
 		t.Error("PutParity accepted virtual edge")
 	}
 	// Size validation.
-	if err := view.PutData(2, []byte{1}); err == nil {
+	if err := view.PutData(bg, 2, []byte{1}); err == nil {
 		t.Error("PutData accepted wrong size")
 	}
-	if err := view.PutParity(e, []byte{1}); err == nil {
+	if err := view.PutParity(bg, e, []byte{1}); err == nil {
 		t.Error("PutParity accepted wrong size")
 	}
 }
@@ -228,10 +229,10 @@ func TestLatticeViewMissingEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := view.PutData(1, []byte{1, 1}); err != nil {
+	if err := view.PutData(bg, 1, []byte{1, 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := view.PutData(2, []byte{2, 2}); err != nil {
+	if err := view.PutData(bg, 2, []byte{2, 2}); err != nil {
 		t.Fatal(err)
 	}
 	edges := []lattice.Edge{
@@ -239,7 +240,7 @@ func TestLatticeViewMissingEnumeration(t *testing.T) {
 		{Class: lattice.RightHanded, Left: 2, Right: 3},
 	}
 	for _, e := range edges {
-		if err := view.PutParity(e, []byte{3, 3}); err != nil {
+		if err := view.PutParity(bg, e, []byte{3, 3}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -289,3 +290,6 @@ func TestClusterConcurrency(t *testing.T) {
 		t.Errorf("total blocks = %d, want 1600", total)
 	}
 }
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()

@@ -1,21 +1,22 @@
 package blockstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
-	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 )
 
-// LatticeView adapts a Cluster to the entangle.Store interface so the
+// LatticeView adapts a Cluster to the unified BlockStore dialect so the
 // entanglement repair engine can rebuild blocks spread across storage
 // locations. Repaired blocks are written back through the placement
 // function, which decides where regenerated blocks land (they may move to a
 // healthy node, as when "other nodes can do repairs on their behalf",
-// §IV.A).
+// §IV.A). Its batch operations take the cluster lock once per batch.
 type LatticeView struct {
 	cluster   *Cluster
 	blockSize int
@@ -23,7 +24,7 @@ type LatticeView struct {
 	place func(key string) int
 }
 
-var _ entangle.Store = (*LatticeView)(nil)
+var _ store.BlockStore = (*LatticeView)(nil)
 
 // NewLatticeView returns a view over cluster for blocks of the given size,
 // using place to position writes. place must return a valid node id for any
@@ -41,21 +42,40 @@ func NewLatticeView(cluster *Cluster, blockSize int, place func(key string) int)
 	return &LatticeView{cluster: cluster, blockSize: blockSize, place: place}, nil
 }
 
-// Data implements entangle.Source.
+// Data returns data block i and whether its location serves it.
 func (v *LatticeView) Data(i int) ([]byte, bool) {
 	return v.cluster.Get(DataKey(i))
 }
 
-// Parity implements entangle.Source; virtual edges read as zero.
+// Parity returns the parity on e and whether its location serves it;
+// virtual edges read as zero.
 func (v *LatticeView) Parity(e lattice.Edge) ([]byte, bool) {
 	if e.IsVirtual() {
-		return entangle.ZeroBlock(v.blockSize), true
+		return store.ZeroBlock(v.blockSize), true
 	}
 	return v.cluster.Get(ParityKey(e))
 }
 
-// PutData implements entangle.Store.
-func (v *LatticeView) PutData(i int, b []byte) error {
+// GetData implements store.Source.
+func (v *LatticeView) GetData(ctx context.Context, i int) ([]byte, error) {
+	b, ok := v.Data(i)
+	if !ok {
+		return nil, fmt.Errorf("blockstore: d%d: %w", i, store.ErrNotFound)
+	}
+	return b, nil
+}
+
+// GetParity implements store.Source.
+func (v *LatticeView) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
+	b, ok := v.Parity(e)
+	if !ok {
+		return nil, fmt.Errorf("blockstore: parity %v: %w", e, store.ErrNotFound)
+	}
+	return b, nil
+}
+
+// PutData implements store.Single.
+func (v *LatticeView) PutData(ctx context.Context, i int, b []byte) error {
 	if len(b) != v.blockSize {
 		return fmt.Errorf("blockstore: data block %d has %d bytes, want %d", i, len(b), v.blockSize)
 	}
@@ -63,8 +83,8 @@ func (v *LatticeView) PutData(i int, b []byte) error {
 	return v.cluster.Put(v.place(key), key, b)
 }
 
-// PutParity implements entangle.Store.
-func (v *LatticeView) PutParity(e lattice.Edge, b []byte) error {
+// PutParity implements store.Single.
+func (v *LatticeView) PutParity(ctx context.Context, e lattice.Edge, b []byte) error {
 	if e.IsVirtual() {
 		return fmt.Errorf("blockstore: cannot store virtual edge %v", e)
 	}
@@ -75,7 +95,76 @@ func (v *LatticeView) PutParity(e lattice.Edge, b []byte) error {
 	return v.cluster.Put(v.place(key), key, b)
 }
 
-// MissingData implements entangle.Store: data blocks whose node is down.
+// refKey names the block a ref addresses.
+func refKey(r store.Ref) string {
+	if r.Parity {
+		return ParityKey(r.Edge)
+	}
+	return DataKey(r.Index)
+}
+
+// GetMany implements store.BlockStore: the whole batch reads under one
+// cluster lock acquisition. Entries whose location is down are nil.
+func (v *LatticeView) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(refs))
+	v.cluster.mu.RLock()
+	defer v.cluster.mu.RUnlock()
+	for idx, r := range refs {
+		if r.Parity && r.Edge.IsVirtual() {
+			out[idx] = store.ZeroBlock(v.blockSize)
+			continue
+		}
+		out[idx] = v.cluster.getLocked(refKey(r))
+	}
+	return out, nil
+}
+
+// PutMany implements store.BlockStore: the batch is validated and placed
+// first, then applied under one cluster lock acquisition.
+func (v *LatticeView) PutMany(ctx context.Context, blocks []store.Block) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	type placed struct {
+		node int
+		key  string
+		data []byte
+	}
+	ps := make([]placed, len(blocks))
+	for idx, b := range blocks {
+		if b.Ref.Parity && b.Ref.Edge.IsVirtual() {
+			return fmt.Errorf("blockstore: cannot store virtual edge %v", b.Ref.Edge)
+		}
+		if len(b.Data) != v.blockSize {
+			return fmt.Errorf("blockstore: %v has %d bytes, want %d", b.Ref, len(b.Data), v.blockSize)
+		}
+		key := refKey(b.Ref)
+		cp := make([]byte, len(b.Data))
+		copy(cp, b.Data)
+		ps[idx] = placed{node: v.place(key), key: key, data: cp}
+	}
+	v.cluster.mu.Lock()
+	defer v.cluster.mu.Unlock()
+	for _, p := range ps {
+		if err := v.cluster.putLocked(p.node, p.key, p.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Missing implements store.Single: every block whose location is down.
+func (v *LatticeView) Missing(ctx context.Context) (store.Missing, error) {
+	if err := ctx.Err(); err != nil {
+		return store.Missing{}, err
+	}
+	return store.Missing{Data: v.MissingData(), Parities: v.MissingParities()}, nil
+}
+
+// MissingData lists data blocks whose node is down, ascending.
 func (v *LatticeView) MissingData() []int {
 	var out []int
 	for _, key := range v.cluster.UnavailableKeys() {
@@ -89,8 +178,7 @@ func (v *LatticeView) MissingData() []int {
 	return out
 }
 
-// MissingParities implements entangle.Store: parity blocks whose node is
-// down.
+// MissingParities lists parity blocks whose node is down.
 func (v *LatticeView) MissingParities() []lattice.Edge {
 	var out []lattice.Edge
 	for _, key := range v.cluster.UnavailableKeys() {

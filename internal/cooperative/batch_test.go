@@ -18,7 +18,7 @@ func buildBrokerSystem(t *testing.T, b *Broker, n int, seed int64) [][]byte {
 		data := make([]byte, b.BlockSize())
 		rng.Read(data)
 		originals[i] = data
-		if _, err := b.Backup(data); err != nil {
+		if _, err := b.Backup(bg, data); err != nil {
 			t.Fatalf("Backup(%d): %v", i, err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestRepairRoundBatchesPerNode(t *testing.T) {
 		m.ResetCounters()
 	}
 
-	stats, err := b.RepairLattice()
+	stats, err := b.RepairLattice(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestRepairRoundBatchesPerNode(t *testing.T) {
 		t.Fatalf("repair left %d data blocks missing", len(stats.UnrepairedData))
 	}
 	for i := 1; i <= n; i++ {
-		got, err := b.Read(i)
+		got, err := b.Read(bg, i)
 		if err != nil {
 			t.Fatalf("Read(%d): %v", i, err)
 		}
@@ -75,11 +75,12 @@ func TestRepairRoundBatchesPerNode(t *testing.T) {
 		}
 	}
 
-	// Repair ran stats.Rounds productive rounds plus one fixpoint-check
-	// round plus the final missing-set accounting: every one of those
-	// enumerations is allowed one batch frame per node, and nothing may
-	// fall back to single-block chatter.
-	maxBatches := stats.Rounds + 2
+	// Repair ran stats.Rounds productive rounds plus one closing
+	// enumeration (which doubles as the fixpoint check and the final
+	// missing-set accounting): every one of those enumerations is allowed
+	// one batch frame per node, and nothing may fall back to single-block
+	// chatter.
+	maxBatches := stats.Rounds + 1
 	for i, m := range mems {
 		if m.GetCalls() != 0 {
 			t.Errorf("node %d served %d single Gets during repair, want 0 (batching bypassed)", i, m.GetCalls())
@@ -121,7 +122,7 @@ func TestRepairAfterNodeWipeBatched(t *testing.T) {
 	for _, m := range mems {
 		m.ResetCounters()
 	}
-	stats, err := b.RepairLattice()
+	stats, err := b.RepairLattice(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,19 +170,114 @@ func TestMissingParitiesUnreachableNode(t *testing.T) {
 	}
 	buildBrokerSystem(t, b, 40, 3)
 
-	store := b.netStore()
-	if missing := store.MissingParities(); len(missing) != 0 {
-		t.Fatalf("healthy network reports %d missing parities", len(missing))
+	ns := b.netStore()
+	if missing, err := ns.Missing(bg); err != nil || len(missing.Parities) != 0 {
+		t.Fatalf("healthy network reports %d missing parities (err %v)", len(missing.Parities), err)
 	}
 	mems[1].SetDown(true)
-	missing := store.MissingParities()
-	if len(missing) == 0 {
+	missing, err := ns.Missing(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing.Parities) == 0 {
 		t.Fatal("unreachable node's parities not reported missing")
 	}
-	for _, e := range missing {
+	for _, e := range missing.Parities {
 		key := b.parityKey(e)
 		if idx := b.placer.PlaceKey(key); idx != 1 {
 			t.Errorf("parity %v reported missing but lives on healthy node %d", e, idx)
+		}
+	}
+}
+
+// TestBackupBatchesPerNode asserts the upload shape of initial backup:
+// every Backup call groups its α parities by responsible node and ships
+// at most one PutMany frame per node — zero single-block Put round-trips.
+func TestBackupBatchesPerNode(t *testing.T) {
+	const (
+		nodesCount = 4
+		n          = 60
+		blockSize  = 32
+	)
+	nodes := make([]NodeStore, nodesCount)
+	mems := make([]*InMemoryNode, nodesCount)
+	for i := range nodes {
+		mems[i] = NewInMemoryNode()
+		nodes[i] = mems[i]
+	}
+	b, err := NewBroker("dora", lattice.Params{Alpha: 3, S: 2, P: 5}, blockSize, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, blockSize)
+	for i := 1; i <= n; i++ {
+		for _, m := range mems {
+			m.ResetCounters()
+		}
+		if _, err := b.Backup(bg, data); err != nil {
+			t.Fatalf("Backup(%d): %v", i, err)
+		}
+		for j, m := range mems {
+			if m.PutCalls() != 0 {
+				t.Fatalf("backup %d: node %d served %d single Puts, want 0 (batching bypassed)", i, j, m.PutCalls())
+			}
+			if m.BatchPutCalls() > 1 {
+				t.Fatalf("backup %d: node %d served %d PutMany frames, want ≤ 1", i, j, m.BatchPutCalls())
+			}
+		}
+	}
+	total := 0
+	for _, m := range mems {
+		total += m.Len()
+	}
+	if want := n * 3; total != want {
+		t.Errorf("network holds %d parities after batched backup, want %d", total, want)
+	}
+}
+
+// TestRepairCommitBatchesPerNode asserts the write half of the repair
+// traffic shape: a repair round's commit arrives as PutMany frames — at
+// most one per node per round — with zero single-block Put round-trips.
+func TestRepairCommitBatchesPerNode(t *testing.T) {
+	const (
+		nodesCount = 5
+		n          = 90
+		blockSize  = 24
+	)
+	nodes := make([]NodeStore, nodesCount)
+	mems := make([]*InMemoryNode, nodesCount)
+	for i := range nodes {
+		mems[i] = NewInMemoryNode()
+		nodes[i] = mems[i]
+	}
+	b, err := NewBroker("erin", lattice.Params{Alpha: 3, S: 2, P: 5}, blockSize, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildBrokerSystem(t, b, n, 23)
+
+	lost := mems[1].Len()
+	if lost == 0 {
+		t.Skip("placement put nothing on node 1 for this seed")
+	}
+	mems[1].blocks = map[string][]byte{}
+	for _, m := range mems {
+		m.ResetCounters()
+	}
+	stats, err := b.RepairLattice(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ParityRepaired != lost {
+		t.Fatalf("repaired %d parities, want %d", stats.ParityRepaired, lost)
+	}
+	for i, m := range mems {
+		if m.PutCalls() != 0 {
+			t.Errorf("node %d served %d single Puts during repair commit, want 0", i, m.PutCalls())
+		}
+		if m.BatchPutCalls() > stats.Rounds {
+			t.Errorf("node %d served %d PutMany frames over %d rounds, want ≤ one per round",
+				i, m.BatchPutCalls(), stats.Rounds)
 		}
 	}
 }

@@ -8,7 +8,8 @@
 // p-block per strand), and uploads the α parities of every block to storage
 // nodes chosen by hashing the block key. The lower tier is any set of
 // NodeStore implementations — in-memory nodes for tests and simulations, or
-// transport.Client values for real TCP storage nodes.
+// transport.Client / transport.PoolClient values for real TCP storage
+// nodes (both satisfy BatchNodeStore directly).
 //
 // Repair follows Table III: to regenerate a parity lost with a faulty node,
 // the broker obtains the dp-tuple ids from the lattice, chooses a p-block,
@@ -16,10 +17,13 @@
 // XORs it with the local d-block. Data blocks lost with the user's machine
 // are regenerated from pp-tuples fetched from two nodes. Whole-lattice
 // repair reuses the round-based engine of internal/entangle through a
-// network-backed store adapter.
+// network-backed BlockStore adapter: each round's reads arrive as one
+// GetMany frame per storage node, and each round's commit leaves as one
+// PutMany frame per storage node.
 package cooperative
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,44 +34,51 @@ import (
 	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
 	"aecodes/internal/placement"
+	"aecodes/internal/store"
 )
 
-// ErrNotFound is returned by NodeStore implementations for missing blocks.
-var ErrNotFound = errors.New("cooperative: block not found")
+// ErrNotFound is returned by NodeStore implementations for missing
+// blocks. It wraps the repository-wide store.ErrNotFound sentinel, so
+// errors.Is works with either across every backend.
+var ErrNotFound = fmt.Errorf("cooperative: %w", store.ErrNotFound)
 
 // NodeStore is one remote storage node. transport.Client satisfies this
-// interface up to error mapping; InMemoryNode provides a local test double.
+// interface; InMemoryNode provides a local test double.
 type NodeStore interface {
 	// Get fetches a block; implementations return ErrNotFound (or any
 	// error) when the block is unavailable.
-	Get(key string) ([]byte, error)
+	Get(ctx context.Context, key string) ([]byte, error)
 	// Put stores a block.
-	Put(key string, data []byte) error
+	Put(ctx context.Context, key string, data []byte) error
 }
 
-// BatchNodeStore is an optional NodeStore extension for bulk fetches.
-// transport.Client and transport.PoolClient both provide GetMany; nodes
-// that implement it let the broker fetch a whole repair round in one
-// request frame per node instead of one round-trip per block.
+// BatchNodeStore is an optional NodeStore extension for bulk transfers.
+// transport.Client and transport.PoolClient both provide it; nodes that
+// implement it let the broker move a whole encode batch or repair round
+// in one request frame per node instead of one round-trip per block.
 type BatchNodeStore interface {
 	NodeStore
 	// GetMany returns one entry per key in order; missing blocks are nil.
 	// A missing block is not an error.
-	GetMany(keys []string) ([][]byte, error)
+	GetMany(ctx context.Context, keys []string) ([][]byte, error)
+	// PutMany stores all items in one exchange; items are applied in
+	// order and the first store error aborts the batch.
+	PutMany(ctx context.Context, items []store.KV) error
 }
 
-// batchChunk bounds one GetMany call by entry count (conservatively below
-// transport.MaxBatchEntries = 4096, without importing that package), and
-// batchChunkBytes bounds the expected response size so a chunk of large
-// blocks cannot overflow a transport frame (MaxPayloadLen = 64 MiB) and
-// get the whole node misreported as unreachable.
+// batchChunk bounds one GetMany/PutMany call by entry count
+// (conservatively below transport.MaxBatchEntries = 4096, without
+// importing that package), and batchChunkBytes bounds the expected frame
+// size so a chunk of large blocks cannot overflow a transport frame
+// (MaxPayloadLen = 64 MiB) and get the whole node misreported as
+// unreachable.
 const (
 	batchChunk      = 1024
 	batchChunkBytes = 32 << 20
 )
 
 // chunkEntries returns how many blocks of the given size fit one batched
-// fetch, always at least 1.
+// transfer, always at least 1.
 func chunkEntries(blockSize int) int {
 	perEntry := blockSize + 64 // content plus generous per-entry framing
 	n := batchChunkBytes / perEntry
@@ -82,13 +93,16 @@ func chunkEntries(blockSize int) int {
 
 // InMemoryNode is a NodeStore backed by a map, with a switchable
 // availability flag to simulate node failures. It is safe for concurrent
-// use and counts Get/GetMany calls so tests can assert traffic shapes.
+// use and counts single-block and batched requests in both directions so
+// tests can assert traffic shapes.
 type InMemoryNode struct {
-	mu         sync.RWMutex
-	blocks     map[string][]byte
-	down       bool
-	getCalls   int
-	batchCalls int
+	mu            sync.RWMutex
+	blocks        map[string][]byte
+	down          bool
+	getCalls      int
+	batchGetCalls int
+	putCalls      int
+	batchPutCalls int
 }
 
 var _ BatchNodeStore = (*InMemoryNode)(nil)
@@ -106,12 +120,12 @@ func (n *InMemoryNode) SetDown(down bool) {
 }
 
 // Get implements NodeStore.
-func (n *InMemoryNode) Get(key string) ([]byte, error) {
+func (n *InMemoryNode) Get(ctx context.Context, key string) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.getCalls++
 	if n.down {
-		return nil, fmt.Errorf("cooperative: node unavailable")
+		return nil, fmt.Errorf("cooperative: %w", store.ErrUnavailable)
 	}
 	b, ok := n.blocks[key]
 	if !ok {
@@ -124,12 +138,12 @@ func (n *InMemoryNode) Get(key string) ([]byte, error) {
 
 // GetMany implements BatchNodeStore: one simulated request frame however
 // many keys are asked for.
-func (n *InMemoryNode) GetMany(keys []string) ([][]byte, error) {
+func (n *InMemoryNode) GetMany(ctx context.Context, keys []string) ([][]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.batchCalls++
+	n.batchGetCalls++
 	if n.down {
-		return nil, fmt.Errorf("cooperative: node unavailable")
+		return nil, fmt.Errorf("cooperative: %w", store.ErrUnavailable)
 	}
 	out := make([][]byte, len(keys))
 	for i, key := range keys {
@@ -140,6 +154,39 @@ func (n *InMemoryNode) GetMany(keys []string) ([][]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// Put implements NodeStore.
+func (n *InMemoryNode) Put(ctx context.Context, key string, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.putCalls++
+	if n.down {
+		return fmt.Errorf("cooperative: %w", store.ErrUnavailable)
+	}
+	n.storeLocked(key, data)
+	return nil
+}
+
+// PutMany implements BatchNodeStore: one simulated request frame for the
+// whole batch.
+func (n *InMemoryNode) PutMany(ctx context.Context, items []store.KV) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.batchPutCalls++
+	if n.down {
+		return fmt.Errorf("cooperative: %w", store.ErrUnavailable)
+	}
+	for _, it := range items {
+		n.storeLocked(it.Key, it.Data)
+	}
+	return nil
+}
+
+func (n *InMemoryNode) storeLocked(key string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.blocks[key] = cp
 }
 
 // GetCalls returns the number of single-block Get requests served.
@@ -153,27 +200,28 @@ func (n *InMemoryNode) GetCalls() int {
 func (n *InMemoryNode) BatchCalls() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.batchCalls
+	return n.batchGetCalls
+}
+
+// PutCalls returns the number of single-block Put requests served.
+func (n *InMemoryNode) PutCalls() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.putCalls
+}
+
+// BatchPutCalls returns the number of PutMany requests served.
+func (n *InMemoryNode) BatchPutCalls() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.batchPutCalls
 }
 
 // ResetCounters zeroes the request counters.
 func (n *InMemoryNode) ResetCounters() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.getCalls, n.batchCalls = 0, 0
-}
-
-// Put implements NodeStore.
-func (n *InMemoryNode) Put(key string, data []byte) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.down {
-		return fmt.Errorf("cooperative: node unavailable")
-	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	n.blocks[key] = cp
-	return nil
+	n.getCalls, n.batchGetCalls, n.putCalls, n.batchPutCalls = 0, 0, 0, 0
 }
 
 // Len returns the number of blocks held (even while down).
@@ -236,10 +284,8 @@ func (b *Broker) BlockSize() int { return b.blockSize }
 // Count returns the number of blocks backed up.
 func (b *Broker) Count() int { return b.count }
 
-// dataKey and parityKey derive the system-wide block names: "a value
-// derived from the node id and the block position in the lattice" (§IV.A).
-func (b *Broker) dataKey(i int) string { return b.user + "/" + blockstore.DataKey(i) }
-
+// parityKey derives the system-wide block name: "a value derived from
+// the node id and the block position in the lattice" (§IV.A).
 func (b *Broker) parityKey(e lattice.Edge) string {
 	return b.user + "/" + blockstore.ParityKey(e)
 }
@@ -250,9 +296,44 @@ func (b *Broker) nodeFor(key string) NodeStore {
 	return b.nodes[b.placer.PlaceKey(key)]
 }
 
+// uploadGrouped ships key/block pairs grouped by their responsible node:
+// batch-capable nodes receive one PutMany frame per chunkEntries-sized
+// chunk (one frame per node for any realistic α or repair round), plain
+// nodes fall back to per-block Puts.
+func (b *Broker) uploadGrouped(ctx context.Context, byNode map[int][]store.KV) error {
+	idxs := make([]int, 0, len(byNode))
+	for idx := range byNode {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs) // deterministic upload order
+	for _, idx := range idxs {
+		items := byNode[idx]
+		node := b.nodes[idx]
+		bn, batched := node.(BatchNodeStore)
+		if !batched {
+			for _, it := range items {
+				if err := node.Put(ctx, it.Key, it.Data); err != nil {
+					return fmt.Errorf("cooperative: uploading %s: %w", it.Key, err)
+				}
+			}
+			continue
+		}
+		step := chunkEntries(b.blockSize)
+		for start := 0; start < len(items); start += step {
+			chunk := items[start:min(start+step, len(items))]
+			if err := bn.PutMany(ctx, chunk); err != nil {
+				return fmt.Errorf("cooperative: uploading %d blocks to node %d: %w", len(chunk), idx, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Backup entangles one data block: the block stays local, its α parities
-// are uploaded to their responsible nodes. It returns the lattice position.
-func (b *Broker) Backup(data []byte) (int, error) {
+// are uploaded to their responsible nodes — grouped so every storage node
+// receives at most one batched frame per Backup call. It returns the
+// lattice position.
+func (b *Broker) Backup(ctx context.Context, data []byte) (int, error) {
 	if len(data) != b.blockSize {
 		return 0, fmt.Errorf("cooperative: block has %d bytes, want %d", len(data), b.blockSize)
 	}
@@ -260,11 +341,14 @@ func (b *Broker) Backup(data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	byNode := make(map[int][]store.KV, len(ent.Parities))
 	for _, p := range ent.Parities {
 		key := b.parityKey(p.Edge)
-		if err := b.nodeFor(key).Put(key, p.Data); err != nil {
-			return 0, fmt.Errorf("cooperative: uploading %s: %w", key, err)
-		}
+		idx := b.placer.PlaceKey(key)
+		byNode[idx] = append(byNode[idx], store.KV{Key: key, Data: p.Data})
+	}
+	if err := b.uploadGrouped(ctx, byNode); err != nil {
+		return 0, err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -275,7 +359,7 @@ func (b *Broker) Backup(data []byte) (int, error) {
 
 // BackupStream splits r into blockSize blocks (zero-padding the tail) and
 // backs up each. It returns the positions written and the total bytes read.
-func (b *Broker) BackupStream(r io.Reader) (positions []int, n int64, err error) {
+func (b *Broker) BackupStream(ctx context.Context, r io.Reader) (positions []int, n int64, err error) {
 	buf := make([]byte, b.blockSize)
 	for {
 		read, rerr := io.ReadFull(r, buf)
@@ -286,8 +370,7 @@ func (b *Broker) BackupStream(r io.Reader) (positions []int, n int64, err error)
 			for i := read; i < len(buf); i++ {
 				buf[i] = 0
 			}
-			rerr = nil
-			pos, berr := b.Backup(buf)
+			pos, berr := b.Backup(ctx, buf)
 			if berr != nil {
 				return positions, n, berr
 			}
@@ -296,7 +379,7 @@ func (b *Broker) BackupStream(r io.Reader) (positions []int, n int64, err error)
 		if rerr != nil {
 			return positions, n, fmt.Errorf("cooperative: reading stream: %w", rerr)
 		}
-		pos, berr := b.Backup(buf)
+		pos, berr := b.Backup(ctx, buf)
 		if berr != nil {
 			return positions, n, berr
 		}
@@ -321,7 +404,7 @@ func (b *Broker) DropLocal(positions ...int) {
 // ("users can access their data directly from their local computers,
 // decoding is not required"), otherwise decoded from remote parities via
 // the first complete pp-tuple, falling back to multi-round repair.
-func (b *Broker) Read(i int) ([]byte, error) {
+func (b *Broker) Read(ctx context.Context, i int) ([]byte, error) {
 	if i < 1 || i > b.count {
 		return nil, fmt.Errorf("cooperative: position %d out of range [1,%d]", i, b.count)
 	}
@@ -330,15 +413,15 @@ func (b *Broker) Read(i int) ([]byte, error) {
 		copy(out, d)
 		return out, nil
 	}
-	store := b.netStore()
-	if data, err := b.rep.RepairData(store, i); err == nil {
+	st := b.netStore()
+	if data, err := b.rep.RepairData(ctx, st, i); err == nil {
 		b.local[i] = data
 		out := make([]byte, len(data))
 		copy(out, data)
 		return out, nil
 	}
 	// Single XOR failed: run rounds over the whole lattice, then retry.
-	if _, err := b.rep.Repair(store, entangle.Options{}); err != nil {
+	if _, err := b.rep.Repair(ctx, st, entangle.Options{}); err != nil {
 		return nil, err
 	}
 	if d, ok := b.local[i]; ok {
@@ -351,14 +434,14 @@ func (b *Broker) Read(i int) ([]byte, error) {
 
 // RepairParity regenerates one parity block following the Table III steps
 // and re-uploads it. It returns the node index now holding the block.
-func (b *Broker) RepairParity(e lattice.Edge) (int, error) {
-	data, err := b.rep.RepairParity(b.netStore(), e)
+func (b *Broker) RepairParity(ctx context.Context, e lattice.Edge) (int, error) {
+	data, err := b.rep.RepairParity(ctx, b.netStore(), e)
 	if err != nil {
 		return 0, err
 	}
 	key := b.parityKey(e)
 	idx := b.placer.PlaceKey(key)
-	if err := b.nodes[idx].Put(key, data); err != nil {
+	if err := b.nodes[idx].Put(ctx, key, data); err != nil {
 		return 0, fmt.Errorf("cooperative: re-uploading %s: %w", key, err)
 	}
 	return idx, nil
@@ -368,8 +451,8 @@ func (b *Broker) RepairParity(e lattice.Edge) (int, error) {
 // regenerating every reachable missing data and parity block ("all users
 // will be interested in the regeneration of their lattices to maintain the
 // same level of redundancy", §IV.A). It returns the engine statistics.
-func (b *Broker) RepairLattice() (entangle.Stats, error) {
-	return b.rep.Repair(b.netStore(), entangle.Options{})
+func (b *Broker) RepairLattice(ctx context.Context) (entangle.Stats, error) {
+	return b.rep.Repair(ctx, b.netStore(), entangle.Options{})
 }
 
 // Recover rebuilds a broker's encoder state after a crash: the strand
@@ -377,7 +460,7 @@ func (b *Broker) RepairLattice() (entangle.Stats, error) {
 // retrieve the p-blocks from the remote nodes"). count tells the recovered
 // broker how many blocks had been backed up; local data blocks are those
 // still present on the user's machine.
-func (b *Broker) Recover(count int, local map[int][]byte) error {
+func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) error {
 	if count < 0 {
 		return fmt.Errorf("cooperative: negative count %d", count)
 	}
@@ -409,7 +492,7 @@ func (b *Broker) Recover(count int, local map[int][]byte) error {
 				return err
 			}
 			key := b.parityKey(out)
-			data, err := b.nodeFor(key).Get(key)
+			data, err := b.nodeFor(key).Get(ctx, key)
 			if err != nil {
 				return fmt.Errorf("cooperative: recovering head %s: %w", key, err)
 			}
@@ -420,15 +503,17 @@ func (b *Broker) Recover(count int, local map[int][]byte) error {
 	return b.enc.RestoreHeads(next, heads)
 }
 
-// netStore adapts the broker's view of the network to entangle.Store so
-// the generic repair engine can drive repairs.
+// netStore adapts the broker's view of the network to the unified
+// BlockStore dialect so the generic repair engine can drive repairs.
 //
-// It keeps a per-round content cache: MissingParities — which the repair
+// Reads: it keeps a per-round content cache. Missing — which the repair
 // engine calls at the start of every round — enumerates the lattice's
 // expected parities with one batched GetMany per storage node (for nodes
 // implementing BatchNodeStore) and records every fetched block, so the
-// round's planning reads are all cache hits. A whole repair round thus
-// issues one request frame per node instead of one per block.
+// round's planning reads are all cache hits. Writes: PutMany groups the
+// round's repaired parities by responsible node and forwards one batched
+// frame per node (Table III step 5, amortised). A whole repair round thus
+// exchanges one request frame per node in each direction.
 type netStore struct {
 	b *Broker
 	// mu guards the broker's local map and the round cache so the repair
@@ -441,43 +526,45 @@ type netStore struct {
 	cache map[string][]byte
 }
 
-var _ entangle.Store = (*netStore)(nil)
+var _ store.BlockStore = (*netStore)(nil)
 
 func (b *Broker) netStore() *netStore { return &netStore{b: b} }
 
-// Data implements entangle.Source: the user's local block store.
-func (s *netStore) Data(i int) ([]byte, bool) {
+// GetData implements store.Source: the user's local block store.
+func (s *netStore) GetData(ctx context.Context, i int) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.b.local[i]
-	return d, ok
+	if !ok {
+		return nil, fmt.Errorf("cooperative: d%d: %w", i, store.ErrNotFound)
+	}
+	return d, nil
 }
 
-// Parity implements entangle.Source: a round-cache hit, or a remote fetch
+// GetParity implements store.Source: a round-cache hit, or a remote fetch
 // (Table III step 4) for reads outside round-based repair.
-func (s *netStore) Parity(e lattice.Edge) ([]byte, bool) {
+func (s *netStore) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
 	if e.IsVirtual() {
-		return entangle.ZeroBlock(s.b.blockSize), true
+		return store.ZeroBlock(s.b.blockSize), nil
 	}
 	if e.Left > s.b.count {
-		return nil, false // never created
+		return nil, fmt.Errorf("cooperative: parity %v never created: %w", e, store.ErrNotFound)
 	}
 	key := s.b.parityKey(e)
 	s.mu.RLock()
 	data, ok := s.cache[key]
 	s.mu.RUnlock()
 	if ok {
-		return data, data != nil
+		if data == nil {
+			return nil, fmt.Errorf("cooperative: parity %v: %w", e, store.ErrNotFound)
+		}
+		return data, nil
 	}
-	data, err := s.b.nodeFor(key).Get(key)
-	if err != nil {
-		return nil, false
-	}
-	return data, true
+	return s.b.nodeFor(key).Get(ctx, key)
 }
 
-// PutData implements entangle.Store: repaired data returns to the user.
-func (s *netStore) PutData(i int, b []byte) error {
+// PutData implements store.Single: repaired data returns to the user.
+func (s *netStore) PutData(ctx context.Context, i int, b []byte) error {
 	cp := make([]byte, len(b))
 	copy(cp, b)
 	s.mu.Lock()
@@ -486,14 +573,20 @@ func (s *netStore) PutData(i int, b []byte) error {
 	return nil
 }
 
-// PutParity implements entangle.Store: repaired parities are re-uploaded
+// PutParity implements store.Single: repaired parities are re-uploaded
 // (Table III step 5) and written through to the round cache. The input is
 // copied; callers may recycle it after return.
-func (s *netStore) PutParity(e lattice.Edge, data []byte) error {
+func (s *netStore) PutParity(ctx context.Context, e lattice.Edge, data []byte) error {
 	key := s.b.parityKey(e)
-	if err := s.b.nodeFor(key).Put(key, data); err != nil {
+	if err := s.b.nodeFor(key).Put(ctx, key, data); err != nil {
 		return err
 	}
+	s.cacheParity(key, data)
+	return nil
+}
+
+// cacheParity writes a freshly uploaded parity through to the round cache.
+func (s *netStore) cacheParity(key string, data []byte) {
 	s.mu.Lock()
 	if s.cache != nil {
 		cp := make([]byte, len(data))
@@ -501,28 +594,134 @@ func (s *netStore) PutParity(e lattice.Edge, data []byte) error {
 		s.cache[key] = cp
 	}
 	s.mu.Unlock()
-	return nil
 }
 
-// MissingData implements entangle.Store.
-func (s *netStore) MissingData() []int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []int
-	for i := 1; i <= s.b.count; i++ {
-		if _, ok := s.b.local[i]; !ok {
-			out = append(out, i)
+// fetchFromNode fetches keys from one node with the fewest possible
+// exchanges: one GetMany frame per chunkEntries-sized chunk for
+// batch-capable nodes, per-key Gets otherwise. The result has one entry
+// per key; a nil entry means the block is missing or the node was
+// unreachable for its chunk.
+func (s *netStore) fetchFromNode(ctx context.Context, node NodeStore, keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	bn, batched := node.(BatchNodeStore)
+	if !batched {
+		for i, key := range keys {
+			if data, err := node.Get(ctx, key); err == nil {
+				out[i] = data
+			}
 		}
+		return out
+	}
+	step := chunkEntries(s.b.blockSize)
+	for start := 0; start < len(keys); start += step {
+		end := min(start+step, len(keys))
+		blocks, err := bn.GetMany(ctx, keys[start:end])
+		if err != nil || len(blocks) != end-start {
+			continue // node unreachable (or confused): chunk stays nil
+		}
+		copy(out[start:end], blocks)
 	}
 	return out
 }
 
-// MissingParities implements entangle.Store: every parity the lattice says
-// should exist but no node serves. Enumeration doubles as the round's bulk
-// fetch — batch-capable nodes answer with one GetMany frame per node (in
-// MaxBatchEntries-sized chunks) and the returned contents seed the round
+// GetMany implements store.BlockStore: data refs are served from the
+// user's machine, parity refs from the round cache, and the remainder is
+// grouped by responsible node and fetched with one batched frame per node
+// where the node supports it.
+func (s *netStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, error) {
+	out := make([][]byte, len(refs))
+	type want struct {
+		pos int // index into out
+		key string
+	}
+	byNode := make(map[int][]want)
+	s.mu.RLock()
+	for idx, r := range refs {
+		if !r.Parity {
+			if d, ok := s.b.local[r.Index]; ok {
+				out[idx] = d
+			}
+			continue
+		}
+		if r.Edge.IsVirtual() {
+			out[idx] = store.ZeroBlock(s.b.blockSize)
+			continue
+		}
+		if r.Edge.Left > s.b.count {
+			continue // never created
+		}
+		key := s.b.parityKey(r.Edge)
+		if data, ok := s.cache[key]; ok {
+			out[idx] = data
+			continue
+		}
+		nidx := s.b.placer.PlaceKey(key)
+		byNode[nidx] = append(byNode[nidx], want{pos: idx, key: key})
+	}
+	s.mu.RUnlock()
+	for nidx, wanted := range byNode {
+		keys := make([]string, len(wanted))
+		for j, w := range wanted {
+			keys[j] = w.key
+		}
+		blocks := s.fetchFromNode(ctx, s.b.nodes[nidx], keys)
+		for j, w := range wanted {
+			out[w.pos] = blocks[j]
+		}
+	}
+	return out, nil
+}
+
+// PutMany implements store.BlockStore: repaired data blocks return to the
+// user's machine, repaired parities are grouped by responsible node and
+// re-uploaded as one batched frame per node — the commit half of the
+// one-frame-per-node-per-round traffic shape.
+func (s *netStore) PutMany(ctx context.Context, blocks []store.Block) error {
+	byNode := make(map[int][]store.KV)
+	for _, blk := range blocks {
+		if !blk.Ref.Parity {
+			if err := s.PutData(ctx, blk.Ref.Index, blk.Data); err != nil {
+				return err
+			}
+			continue
+		}
+		key := s.b.parityKey(blk.Ref.Edge)
+		idx := s.b.placer.PlaceKey(key)
+		// blk.Data stays valid for the whole call (the engine recycles it
+		// only after PutMany returns); uploads transmit synchronously and
+		// cacheParity copies, so no extra copy is needed here.
+		byNode[idx] = append(byNode[idx], store.KV{Key: key, Data: blk.Data})
+	}
+	if err := s.b.uploadGrouped(ctx, byNode); err != nil {
+		return err
+	}
+	for _, items := range byNode {
+		for _, it := range items {
+			s.cacheParity(it.Key, it.Data)
+		}
+	}
+	return nil
+}
+
+// Missing implements store.Single: every data block the user's machine
+// lost, and every parity the lattice says should exist but no node
+// serves. Parity enumeration doubles as the round's bulk fetch —
+// batch-capable nodes answer with one GetMany frame per node (in
+// chunkEntries-sized chunks) and the returned contents seed the round
 // cache.
-func (s *netStore) MissingParities() []lattice.Edge {
+func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
+	if err := ctx.Err(); err != nil {
+		return store.Missing{}, err
+	}
+	var m store.Missing
+	s.mu.RLock()
+	for i := 1; i <= s.b.count; i++ {
+		if _, ok := s.b.local[i]; !ok {
+			m.Data = append(m.Data, i)
+		}
+	}
+	s.mu.RUnlock()
+
 	type expected struct {
 		edge lattice.Edge
 		key  string
@@ -541,55 +740,29 @@ func (s *netStore) MissingParities() []lattice.Edge {
 		}
 	}
 	cache := make(map[string][]byte, s.b.count*len(lat.Classes()))
-	var out []lattice.Edge
 	for idx, wanted := range byNode {
-		node := s.b.nodes[idx]
-		bn, batched := node.(BatchNodeStore)
-		if !batched {
-			for _, w := range wanted {
-				data, err := node.Get(w.key)
-				if err != nil {
-					cache[w.key] = nil
-					out = append(out, w.edge)
-					continue
-				}
-				cache[w.key] = data
-			}
-			continue
+		keys := make([]string, len(wanted))
+		for j, w := range wanted {
+			keys[j] = w.key
 		}
-		step := chunkEntries(s.b.blockSize)
-		for start := 0; start < len(wanted); start += step {
-			chunk := wanted[start:min(start+step, len(wanted))]
-			keys := make([]string, len(chunk))
-			for j, w := range chunk {
-				keys[j] = w.key
-			}
-			blocks, err := bn.GetMany(keys)
-			if err != nil || len(blocks) != len(chunk) {
-				// Node unreachable (or confused): everything it holds is
-				// missing this round.
-				for _, w := range chunk {
-					cache[w.key] = nil
-					out = append(out, w.edge)
-				}
-				continue
-			}
-			for j, w := range chunk {
-				cache[w.key] = blocks[j]
-				if blocks[j] == nil {
-					out = append(out, w.edge)
-				}
+		blocks := s.fetchFromNode(ctx, s.b.nodes[idx], keys)
+		for j, w := range wanted {
+			// A nil entry covers both "node answered: not held" and "node
+			// unreachable" — either way the block is missing this round.
+			cache[w.key] = blocks[j]
+			if blocks[j] == nil {
+				m.Parities = append(m.Parities, w.edge)
 			}
 		}
 	}
 	s.mu.Lock()
 	s.cache = cache
 	s.mu.Unlock()
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Class != out[b].Class {
-			return out[a].Class < out[b].Class
+	sort.Slice(m.Parities, func(a, b int) bool {
+		if m.Parities[a].Class != m.Parities[b].Class {
+			return m.Parities[a].Class < m.Parities[b].Class
 		}
-		return out[a].Left < out[b].Left
+		return m.Parities[a].Left < m.Parities[b].Left
 	})
-	return out
+	return m, nil
 }

@@ -42,7 +42,7 @@ func backupRandom(t *testing.T, b *Broker, n int, seed int64) [][]byte {
 		data := make([]byte, testBlockSize)
 		rng.Read(data)
 		originals[i] = data
-		pos, err := b.Backup(data)
+		pos, err := b.Backup(bg, data)
 		if err != nil {
 			t.Fatalf("Backup(%d): %v", i, err)
 		}
@@ -100,7 +100,7 @@ func TestReadFailureFreeIsLocal(t *testing.T) {
 		m.SetDown(true)
 	}
 	for i := 1; i <= 20; i++ {
-		got, err := b.Read(i)
+		got, err := b.Read(bg, i)
 		if err != nil {
 			t.Fatalf("Read(%d): %v", i, err)
 		}
@@ -116,7 +116,7 @@ func TestReadDecodesAfterLocalLoss(t *testing.T) {
 	originals := backupRandom(t, b, 30, 3)
 	b.DropLocal(7, 8, 15)
 	for _, i := range []int{7, 8, 15} {
-		got, err := b.Read(i)
+		got, err := b.Read(bg, i)
 		if err != nil {
 			t.Fatalf("Read(%d) after local loss: %v", i, err)
 		}
@@ -134,7 +134,7 @@ func TestReadTotalLocalLoss(t *testing.T) {
 	originals := backupRandom(t, b, 40, 4)
 	b.DropLocal()
 	for i := 1; i <= 40; i++ {
-		got, err := b.Read(i)
+		got, err := b.Read(bg, i)
 		if err != nil {
 			t.Fatalf("Read(%d) after total loss: %v", i, err)
 		}
@@ -148,10 +148,10 @@ func TestReadValidation(t *testing.T) {
 	nodes, _ := newNetwork(3)
 	b := newBroker(t, nodes)
 	backupRandom(t, b, 5, 5)
-	if _, err := b.Read(0); err == nil {
+	if _, err := b.Read(bg, 0); err == nil {
 		t.Error("Read(0) succeeded")
 	}
-	if _, err := b.Read(6); err == nil {
+	if _, err := b.Read(bg, 6); err == nil {
 		t.Error("Read past count succeeded")
 	}
 }
@@ -169,7 +169,7 @@ func TestRepairParityTableIIIFlow(t *testing.T) {
 	}
 	key := b.parityKey(e)
 	idx := b.placer.PlaceKey(key)
-	before, err := mems[idx].Get(key)
+	before, err := mems[idx].Get(bg, key)
 	if err != nil {
 		t.Fatalf("parity %s not on its node: %v", key, err)
 	}
@@ -179,14 +179,14 @@ func TestRepairParityTableIIIFlow(t *testing.T) {
 	// so bring it back first (recovered hardware) after deleting content.
 	mems[idx].SetDown(false)
 	mems[idx].blocks = map[string][]byte{}
-	gotIdx, err := b.RepairParity(e)
+	gotIdx, err := b.RepairParity(bg, e)
 	if err != nil {
 		t.Fatalf("RepairParity: %v", err)
 	}
 	if gotIdx != idx {
 		t.Errorf("repaired parity stored on node %d, want %d", gotIdx, idx)
 	}
-	after, err := mems[idx].Get(key)
+	after, err := mems[idx].Get(bg, key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestRepairLatticeAfterNodeWipe(t *testing.T) {
 	if lost == 0 {
 		t.Skip("placement put nothing on node 3 for this seed")
 	}
-	stats, err := b.RepairLattice()
+	stats, err := b.RepairLattice(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestBrokerCrashRecovery(t *testing.T) {
 	ref := newBroker(t, nodes)
 	refKeys := make(map[int][3]string)
 	for bi, data := range blocks {
-		pos, err := ref.Backup(data)
+		pos, err := ref.Backup(bg, data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +260,7 @@ func TestBrokerCrashRecovery(t *testing.T) {
 	}
 	localCopy := make(map[int][]byte)
 	for i, data := range blocks[:25] {
-		if _, err := first.Backup(data); err != nil {
+		if _, err := first.Backup(bg, data); err != nil {
 			t.Fatal(err)
 		}
 		cp := make([]byte, len(data))
@@ -273,11 +273,11 @@ func TestBrokerCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := second.Recover(25, localCopy); err != nil {
+	if err := second.Recover(bg, 25, localCopy); err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
 	for _, data := range blocks[25:] {
-		if _, err := second.Backup(data); err != nil {
+		if _, err := second.Backup(bg, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -291,12 +291,12 @@ func TestBrokerCrashRecovery(t *testing.T) {
 				t.Fatal(err)
 			}
 			bobKey := second.parityKey(e)
-			bobParity, err := second.nodeFor(bobKey).Get(bobKey)
+			bobParity, err := second.nodeFor(bobKey).Get(bg, bobKey)
 			if err != nil {
 				t.Fatalf("bob's parity %s missing: %v", bobKey, err)
 			}
 			aliceKey := ref.parityKey(e)
-			aliceParity, err := ref.nodeFor(aliceKey).Get(aliceKey)
+			aliceParity, err := ref.nodeFor(aliceKey).Get(bg, aliceKey)
 			if err != nil {
 				t.Fatalf("alice's parity %s missing: %v", aliceKey, err)
 			}
@@ -311,7 +311,7 @@ func TestBackupStream(t *testing.T) {
 	nodes, _ := newNetwork(4)
 	b := newBroker(t, nodes)
 	payload := strings.Repeat("helical lattice! ", 20) // 340 bytes
-	positions, n, err := b.BackupStream(strings.NewReader(payload))
+	positions, n, err := b.BackupStream(bg, strings.NewReader(payload))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestBackupStream(t *testing.T) {
 	// Reassemble.
 	var sb bytes.Buffer
 	for _, pos := range positions {
-		block, err := b.Read(pos)
+		block, err := b.Read(bg, pos)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -361,11 +361,11 @@ func TestMultipleLatticesCoexist(t *testing.T) {
 	alice.DropLocal()
 	bob.DropLocal()
 	for i := 1; i <= 20; i++ {
-		ga, err := alice.Read(i)
+		ga, err := alice.Read(bg, i)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gb, err := bob.Read(i)
+		gb, err := bob.Read(bg, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -383,7 +383,7 @@ func backupRandomBroker(t *testing.T, b *Broker, n int, seed int64) [][]byte {
 		data := make([]byte, b.BlockSize())
 		rng.Read(data)
 		originals[i] = data
-		if _, err := b.Backup(data); err != nil {
+		if _, err := b.Backup(bg, data); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -392,18 +392,18 @@ func backupRandomBroker(t *testing.T, b *Broker, n int, seed int64) [][]byte {
 
 func TestInMemoryNodeDown(t *testing.T) {
 	n := NewInMemoryNode()
-	if err := n.Put("k", []byte{1}); err != nil {
+	if err := n.Put(bg, "k", []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	n.SetDown(true)
-	if _, err := n.Get("k"); err == nil {
+	if _, err := n.Get(bg, "k"); err == nil {
 		t.Error("Get succeeded on a down node")
 	}
-	if err := n.Put("k2", nil); err == nil {
+	if err := n.Put(bg, "k2", nil); err == nil {
 		t.Error("Put succeeded on a down node")
 	}
 	n.SetDown(false)
-	if _, err := n.Get("k"); err != nil {
+	if _, err := n.Get(bg, "k"); err != nil {
 		t.Errorf("content lost across downtime: %v", err)
 	}
 }
@@ -411,7 +411,7 @@ func TestInMemoryNodeDown(t *testing.T) {
 func TestBackupValidatesSize(t *testing.T) {
 	nodes, _ := newNetwork(2)
 	b := newBroker(t, nodes)
-	if _, err := b.Backup(make([]byte, 5)); err == nil {
+	if _, err := b.Backup(bg, make([]byte, 5)); err == nil {
 		t.Error("Backup accepted wrong-size block")
 	}
 }
@@ -419,7 +419,7 @@ func TestBackupValidatesSize(t *testing.T) {
 func TestRecoverValidation(t *testing.T) {
 	nodes, _ := newNetwork(2)
 	b := newBroker(t, nodes)
-	if err := b.Recover(-1, nil); err == nil {
+	if err := b.Recover(bg, -1, nil); err == nil {
 		t.Error("Recover accepted negative count")
 	}
 }

@@ -1,0 +1,13 @@
+package cooperative
+
+import (
+	"context"
+
+	"aecodes"
+)
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()
+
+// The network adapter speaks the unified root dialect.
+var _ aecodes.BlockStore = (*netStore)(nil)

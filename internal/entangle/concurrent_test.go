@@ -43,7 +43,7 @@ func TestConcurrentRepairMatchesSerial(t *testing.T) {
 	serialStore, originals := buildSystem(t, params, n, blockSize, 77)
 	damageSystem(t, serialStore, params, n, 123)
 	r := mustRepairer(t, params)
-	serialStats, err := r.Repair(serialStore, Options{})
+	serialStats, err := r.Repair(bg, serialStore, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestConcurrentRepairMatchesSerial(t *testing.T) {
 	for _, workers := range []int{2, 4, 8} {
 		store, _ := buildSystem(t, params, n, blockSize, 77)
 		damageSystem(t, store, params, n, 123)
-		stats, err := r.Repair(store, Options{Workers: workers})
+		stats, err := r.Repair(bg, store, Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -104,11 +104,11 @@ func BenchmarkRepairWorkers(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := base.PutData(i, data); err != nil {
+				if err := base.PutData(bg, i, data); err != nil {
 					b.Fatal(err)
 				}
 				for _, p := range ent.Parities {
-					if err := base.PutParity(p.Edge, p.Data); err != nil {
+					if err := base.PutParity(bg, p.Edge, p.Data); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -136,7 +136,7 @@ func BenchmarkRepairWorkers(b *testing.B) {
 					}
 				}
 				b.StartTimer()
-				if _, err := r.Repair(base, Options{Workers: workers}); err != nil {
+				if _, err := r.Repair(bg, base, Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -31,14 +31,14 @@ func buildSystem(t *testing.T, params lattice.Params, n, blockSize int, seed int
 		if ent.Index != i {
 			t.Fatalf("Entangle assigned index %d, want %d", ent.Index, i)
 		}
-		if err := store.PutData(i, data); err != nil {
+		if err := store.PutData(bg, i, data); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 		for _, p := range ent.Parities {
 			if !p.Stored {
 				continue
 			}
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				t.Fatalf("PutParity(%v): %v", p.Edge, err)
 			}
 		}
@@ -292,7 +292,7 @@ func TestMemoryStoreVirtualEdges(t *testing.T) {
 	if !xorblock.IsZero(b) {
 		t.Error("virtual edge is non-zero")
 	}
-	err := store.PutParity(lattice.Edge{Class: lattice.Horizontal, Left: 0, Right: 1}, make([]byte, 8))
+	err := store.PutParity(bg, lattice.Edge{Class: lattice.Horizontal, Left: 0, Right: 1}, make([]byte, 8))
 	if err == nil {
 		t.Error("PutParity accepted a virtual edge")
 	}
@@ -300,7 +300,7 @@ func TestMemoryStoreVirtualEdges(t *testing.T) {
 
 func TestMemoryStoreLoseAndRestore(t *testing.T) {
 	store := NewMemoryStore(4)
-	if err := store.PutData(1, []byte{1, 2, 3, 4}); err != nil {
+	if err := store.PutData(bg, 1, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.Data(1); !ok {
@@ -313,7 +313,7 @@ func TestMemoryStoreLoseAndRestore(t *testing.T) {
 	if got := store.MissingData(); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("MissingData = %v, want [1]", got)
 	}
-	if err := store.PutData(1, []byte{1, 2, 3, 4}); err != nil {
+	if err := store.PutData(bg, 1, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.Data(1); !ok {
@@ -332,14 +332,14 @@ func TestMemoryStoreLoseAndRestore(t *testing.T) {
 
 func TestMemoryStoreValidation(t *testing.T) {
 	store := NewMemoryStore(4)
-	if err := store.PutData(0, make([]byte, 4)); err == nil {
+	if err := store.PutData(bg, 0, make([]byte, 4)); err == nil {
 		t.Error("PutData accepted position 0")
 	}
-	if err := store.PutData(1, make([]byte, 3)); err == nil {
+	if err := store.PutData(bg, 1, make([]byte, 3)); err == nil {
 		t.Error("PutData accepted wrong size")
 	}
 	e := lattice.Edge{Class: lattice.Horizontal, Left: 1, Right: 2}
-	if err := store.PutParity(e, make([]byte, 5)); err == nil {
+	if err := store.PutParity(bg, e, make([]byte, 5)); err == nil {
 		t.Error("PutParity accepted wrong size")
 	}
 	if err := store.CorruptData(1, make([]byte, 4)); err == nil {

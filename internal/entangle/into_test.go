@@ -207,7 +207,7 @@ func TestRepairIntoVariants(t *testing.T) {
 
 	store.LoseData(17)
 	dst := make([]byte, blockSize)
-	if err := r.RepairDataInto(dst, store, 17); err != nil {
+	if err := r.RepairDataInto(bg, dst, store, 17); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(dst, originals[17]) {
@@ -225,7 +225,7 @@ func TestRepairIntoVariants(t *testing.T) {
 	}
 	want = append([]byte(nil), want...)
 	store.LoseParity(e)
-	if err := r.RepairParityInto(dst, store, e); err != nil {
+	if err := r.RepairParityInto(bg, dst, store, e); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(dst, want) {
@@ -237,12 +237,12 @@ func TestRepairIntoVariants(t *testing.T) {
 	copy(dst, marker)
 	hopeless := NewMemoryStore(blockSize)
 	for i := 1; i <= n; i++ {
-		hopeless.PutData(i, originals[i])
+		hopeless.PutData(bg, i, originals[i])
 		hopeless.LoseData(i)
 	}
 	// No parities at all: nothing to XOR... except virtual-edge tuples near
 	// the origin, so probe a deep position.
-	if err := r.RepairDataInto(dst, hopeless, 30); err != ErrUnrepairable {
+	if err := r.RepairDataInto(bg, dst, hopeless, 30); err != ErrUnrepairable {
 		t.Fatalf("err = %v, want ErrUnrepairable", err)
 	}
 	if !bytes.Equal(dst, marker) {

@@ -1,11 +1,13 @@
 package entangle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 	"aecodes/internal/xorblock"
 )
 
@@ -16,6 +18,11 @@ var ErrUnrepairable = errors.New("entangle: no complete repair tuple available")
 
 // Repairer rebuilds missing blocks using the lattice geometry. Repairers are
 // stateless and safe for concurrent use.
+//
+// The repairer reads through the context-aware Source dialect and treats
+// any read error as "block unavailable" — a node that cannot be reached
+// holds nothing this round. Context cancellation is checked at every
+// tuple search and round boundary and surfaces as ctx.Err().
 type Repairer struct {
 	lat *lattice.Lattice
 }
@@ -32,6 +39,15 @@ func NewRepairer(params lattice.Params) (*Repairer, error) {
 // Lattice returns the geometry this repairer operates on.
 func (r *Repairer) Lattice() *lattice.Lattice { return r.lat }
 
+// available adapts a dialect read to the planner's availability view: any
+// error means the block cannot be used this round.
+func available(b []byte, err error) ([]byte, bool) {
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
 // RepairData rebuilds data block i from the first complete pp-tuple among
 // its α strands — "the decoder uses the shortest available path", and the
 // one-hop paths are exactly the pp-tuples. The repair cost is always one
@@ -39,8 +55,8 @@ func (r *Repairer) Lattice() *lattice.Lattice { return r.lat }
 // three parameters change the cost of a single failure).
 //
 // It returns ErrUnrepairable when every tuple is incomplete.
-func (r *Repairer) RepairData(src Source, i int) ([]byte, error) {
-	in, out, err := r.findDataTuple(src, i)
+func (r *Repairer) RepairData(ctx context.Context, src Source, i int) ([]byte, error) {
+	in, out, err := r.findDataTuple(ctx, src, i)
 	if err != nil {
 		return nil, err
 	}
@@ -50,8 +66,8 @@ func (r *Repairer) RepairData(src Source, i int) ([]byte, error) {
 // RepairDataInto is RepairData writing into a caller-supplied buffer, so
 // hot repair loops can recycle blocks instead of allocating one per repair.
 // dst must have the block size; it is untouched on ErrUnrepairable.
-func (r *Repairer) RepairDataInto(dst []byte, src Source, i int) error {
-	in, out, err := r.findDataTuple(src, i)
+func (r *Repairer) RepairDataInto(ctx context.Context, dst []byte, src Source, i int) error {
+	in, out, err := r.findDataTuple(ctx, src, i)
 	if err != nil {
 		return err
 	}
@@ -60,17 +76,20 @@ func (r *Repairer) RepairDataInto(dst []byte, src Source, i int) error {
 
 // findDataTuple locates the first complete pp-tuple for data block i and
 // returns its two parity blocks.
-func (r *Repairer) findDataTuple(src Source, i int) (in, out []byte, err error) {
+func (r *Repairer) findDataTuple(ctx context.Context, src Source, i int) (in, out []byte, err error) {
 	tuples, err := r.lat.Tuples(i)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, t := range tuples {
-		in, okIn := src.Parity(t.In)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		in, okIn := available(src.GetParity(ctx, t.In))
 		if !okIn {
 			continue
 		}
-		out, okOut := src.Parity(t.Out)
+		out, okOut := available(src.GetParity(ctx, t.Out))
 		if !okOut {
 			continue
 		}
@@ -84,8 +103,8 @@ func (r *Repairer) findDataTuple(src Source, i int) (in, out []byte, err error) 
 // always two options").
 //
 // It returns ErrUnrepairable when both options are incomplete.
-func (r *Repairer) RepairParity(src Source, e lattice.Edge) ([]byte, error) {
-	d, p, err := r.findParityOption(src, e)
+func (r *Repairer) RepairParity(ctx context.Context, src Source, e lattice.Edge) ([]byte, error) {
+	d, p, err := r.findParityOption(ctx, src, e)
 	if err != nil {
 		return nil, err
 	}
@@ -94,8 +113,8 @@ func (r *Repairer) RepairParity(src Source, e lattice.Edge) ([]byte, error) {
 
 // RepairParityInto is RepairParity writing into a caller-supplied buffer.
 // dst must have the block size; it is untouched on ErrUnrepairable.
-func (r *Repairer) RepairParityInto(dst []byte, src Source, e lattice.Edge) error {
-	d, p, err := r.findParityOption(src, e)
+func (r *Repairer) RepairParityInto(ctx context.Context, dst []byte, src Source, e lattice.Edge) error {
+	d, p, err := r.findParityOption(ctx, src, e)
 	if err != nil {
 		return err
 	}
@@ -104,17 +123,20 @@ func (r *Repairer) RepairParityInto(dst []byte, src Source, e lattice.Edge) erro
 
 // findParityOption locates the first complete dp-tuple for the parity on e
 // and returns the data block and companion parity.
-func (r *Repairer) findParityOption(src Source, e lattice.Edge) (d, p []byte, err error) {
+func (r *Repairer) findParityOption(ctx context.Context, src Source, e lattice.Edge) (d, p []byte, err error) {
 	opts, err := r.lat.ParityOptions(e)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, opt := range opts {
-		d, okD := src.Data(opt.Data)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		d, okD := available(src.GetData(ctx, opt.Data))
 		if !okD {
 			continue
 		}
-		p, okP := src.Parity(opt.Parity)
+		p, okP := available(src.GetParity(ctx, opt.Parity))
 		if !okP {
 			continue
 		}
@@ -173,47 +195,65 @@ func (s Stats) DataLoss() int { return len(s.UnrepairedData) }
 // hit. Within a round every repair reads only blocks that were available
 // when the round started, so the round count matches the paper's Table VI
 // semantics; newly repaired blocks become usable in the next round.
-func (r *Repairer) Repair(store Store, opts Options) (Stats, error) {
+//
+// Each round issues one Missing enumeration and commits all of its
+// repairs with a single PutMany batch, so a batch-native store moves a
+// whole round in one request per storage location in each direction.
+func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, error) {
 	var stats Stats
+	// final remembers the last enumeration when nothing was committed
+	// after it, so the usual exits (lattice healthy, fixpoint) do not pay
+	// a second whole-store sweep just for the closing statistics.
+	var final *store.Missing
 	for round := 1; ; round++ {
 		if opts.MaxRounds > 0 && round > opts.MaxRounds {
 			break
 		}
-		missingData := store.MissingData()
-		var missingPar []lattice.Edge
-		if !opts.DataOnly {
-			missingPar = store.MissingParities()
+		if err := ctx.Err(); err != nil {
+			return stats, err
 		}
-		if len(missingData) == 0 && len(missingPar) == 0 {
+		missing, err := st.Missing(ctx)
+		if err != nil {
+			return stats, fmt.Errorf("entangle: enumerating missing blocks: %w", err)
+		}
+		missingPar := missing.Parities
+		if opts.DataOnly {
+			missingPar = nil
+		}
+		if len(missing.Data) == 0 && len(missingPar) == 0 {
+			final = &missing
 			break
 		}
 
 		// Plan the whole round against the frozen pre-round state...
-		dataFixes, parFixes, err := r.planRound(store, missingData, missingPar, opts.Workers)
+		dataFixes, parFixes, err := r.planRound(ctx, st, missing.Data, missingPar, opts.Workers)
 		if err != nil {
 			return stats, err
 		}
 
 		if len(dataFixes) == 0 && len(parFixes) == 0 {
+			final = &missing
 			break // fixpoint: nothing more is repairable
 		}
 
-		// ...then commit, making this round's repairs visible to the next.
-		// Store implementations copy on Put (see the Store contract), so the
-		// planner's pooled buffers can be recycled as soon as each Put
-		// returns, keeping whole-round repair allocation-free in steady
-		// state.
+		// ...then commit the round as one batch, making this round's
+		// repairs visible to the next. Store implementations copy (or
+		// transmit) on PutMany — see the Store contract — so the planner's
+		// pooled buffers can be recycled as soon as the commit returns,
+		// keeping whole-round repair allocation-free in steady state.
+		commit := make([]store.Block, 0, len(dataFixes)+len(parFixes))
 		for _, f := range dataFixes {
-			if err := store.PutData(f.pos, f.buf); err != nil {
-				return stats, fmt.Errorf("entangle: storing repaired d%d: %w", f.pos, err)
-			}
-			xorblock.PoolFor(len(f.buf)).Put(f.buf)
+			commit = append(commit, store.Block{Ref: store.DataRef(f.pos), Data: f.buf})
 		}
 		for _, f := range parFixes {
-			if err := store.PutParity(f.edge, f.buf); err != nil {
-				return stats, fmt.Errorf("entangle: storing repaired %v: %w", f.edge, err)
-			}
-			xorblock.PoolFor(len(f.buf)).Put(f.buf)
+			commit = append(commit, store.Block{Ref: store.ParityRef(f.edge), Data: f.buf})
+		}
+		err = st.PutMany(ctx, commit)
+		for _, b := range commit {
+			xorblock.PoolFor(len(b.Data)).Put(b.Data)
+		}
+		if err != nil {
+			return stats, fmt.Errorf("entangle: committing round %d (%d blocks): %w", round, len(commit), err)
 		}
 
 		rs := RoundStats{Round: round, DataRepaired: len(dataFixes), ParityRepaired: len(parFixes)}
@@ -225,8 +265,17 @@ func (r *Repairer) Repair(store Store, opts Options) (Stats, error) {
 			stats.FirstRoundData = rs.DataRepaired
 		}
 	}
-	stats.UnrepairedData = store.MissingData()
-	stats.UnrepairedParities = store.MissingParities()
+	if final == nil {
+		// Only the MaxRounds exit lands here: a commit happened after the
+		// last enumeration, so the accounting needs a fresh sweep.
+		m, err := st.Missing(ctx)
+		if err != nil {
+			return stats, fmt.Errorf("entangle: final missing-block accounting: %w", err)
+		}
+		final = &m
+	}
+	stats.UnrepairedData = final.Data
+	stats.UnrepairedParities = final.Parities
 	return stats, nil
 }
 
@@ -245,9 +294,9 @@ type parFix struct {
 // state without committing anything. With workers ≥ 2 the planning fans
 // out over goroutines; results keep the input order either way, so the
 // round outcome is identical.
-func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattice.Edge, workers int) ([]dataFix, []parFix, error) {
+func (r *Repairer) planRound(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge, workers int) ([]dataFix, []parFix, error) {
 	if workers < 2 {
-		return r.planSerial(store, missingData, missingPar)
+		return r.planSerial(ctx, st, missingData, missingPar)
 	}
 	dataBufs := make([][]byte, len(missingData))
 	parBufs := make([][]byte, len(missingPar))
@@ -258,7 +307,7 @@ func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattic
 		go func(w int) {
 			defer wg.Done()
 			for idx := w; idx < len(missingData); idx += workers {
-				buf, err := r.repairDataPooled(store, missingData[idx])
+				buf, err := r.repairDataPooled(ctx, st, missingData[idx])
 				if errors.Is(err, ErrUnrepairable) {
 					continue
 				}
@@ -269,7 +318,7 @@ func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattic
 				dataBufs[idx] = buf
 			}
 			for idx := w; idx < len(missingPar); idx += workers {
-				buf, err := r.repairParityPooled(store, missingPar[idx])
+				buf, err := r.repairParityPooled(ctx, st, missingPar[idx])
 				if errors.Is(err, ErrUnrepairable) {
 					continue
 				}
@@ -302,11 +351,11 @@ func (r *Repairer) planRound(store Store, missingData []int, missingPar []lattic
 	return dataFixes, parFixes, nil
 }
 
-func (r *Repairer) planSerial(store Store, missingData []int, missingPar []lattice.Edge) ([]dataFix, []parFix, error) {
+func (r *Repairer) planSerial(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge) ([]dataFix, []parFix, error) {
 	dataFixes := make([]dataFix, 0, len(missingData))
 	parFixes := make([]parFix, 0, len(missingPar))
 	for _, i := range missingData {
-		buf, err := r.repairDataPooled(store, i)
+		buf, err := r.repairDataPooled(ctx, st, i)
 		if errors.Is(err, ErrUnrepairable) {
 			continue
 		}
@@ -316,7 +365,7 @@ func (r *Repairer) planSerial(store Store, missingData []int, missingPar []latti
 		dataFixes = append(dataFixes, dataFix{pos: i, buf: buf})
 	}
 	for _, e := range missingPar {
-		buf, err := r.repairParityPooled(store, e)
+		buf, err := r.repairParityPooled(ctx, st, e)
 		if errors.Is(err, ErrUnrepairable) {
 			continue
 		}
@@ -329,9 +378,9 @@ func (r *Repairer) planSerial(store Store, missingData []int, missingPar []latti
 }
 
 // repairDataPooled is RepairData drawing its output from the process-wide
-// block pool; the Repair commit loop returns the buffer after Put.
-func (r *Repairer) repairDataPooled(src Source, i int) ([]byte, error) {
-	in, out, err := r.findDataTuple(src, i)
+// block pool; the Repair commit loop returns the buffer after PutMany.
+func (r *Repairer) repairDataPooled(ctx context.Context, src Source, i int) ([]byte, error) {
+	in, out, err := r.findDataTuple(ctx, src, i)
 	if err != nil {
 		return nil, err
 	}
@@ -345,8 +394,8 @@ func (r *Repairer) repairDataPooled(src Source, i int) ([]byte, error) {
 
 // repairParityPooled is RepairParity drawing its output from the
 // process-wide block pool.
-func (r *Repairer) repairParityPooled(src Source, e lattice.Edge) ([]byte, error) {
-	d, p, err := r.findParityOption(src, e)
+func (r *Repairer) repairParityPooled(ctx context.Context, src Source, e lattice.Edge) ([]byte, error) {
+	d, p, err := r.findParityOption(ctx, src, e)
 	if err != nil {
 		return nil, err
 	}
@@ -395,13 +444,13 @@ func (a AuditResult) CheckedStrands() int {
 // the strand has): to tamper undetectably an attacker must recompute "all
 // the parities computed from its position to the closest strand extremity"
 // on every one of the α strands (§III).
-func (r *Repairer) Audit(src Source, i int) (AuditResult, error) {
+func (r *Repairer) Audit(ctx context.Context, src Source, i int) (AuditResult, error) {
 	res := AuditResult{
 		Index:      i,
 		Consistent: make(map[lattice.Class]bool, r.lat.Params().Alpha),
 		Checked:    make(map[lattice.Class]bool, r.lat.Params().Alpha),
 	}
-	d, ok := src.Data(i)
+	d, ok := available(src.GetData(ctx, i))
 	if !ok {
 		return res, fmt.Errorf("entangle: data block %d unavailable for audit", i)
 	}
@@ -410,8 +459,11 @@ func (r *Repairer) Audit(src Source, i int) (AuditResult, error) {
 		return res, err
 	}
 	for _, t := range tuples {
-		in, okIn := src.Parity(t.In)
-		out, okOut := src.Parity(t.Out)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		in, okIn := available(src.GetParity(ctx, t.In))
+		out, okOut := available(src.GetParity(ctx, t.Out))
 		if !okIn || !okOut {
 			res.Checked[t.In.Class] = false
 			continue

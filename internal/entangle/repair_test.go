@@ -35,14 +35,14 @@ func TestSingleDataFailureAllSettings(t *testing.T) {
 			// pp-tuple, anywhere in the lattice.
 			for _, i := range []int{1, 2, 7, 60, 119, 120} {
 				store.LoseData(i)
-				got, err := r.RepairData(store, i)
+				got, err := r.RepairData(bg, store, i)
 				if err != nil {
 					t.Fatalf("RepairData(%d): %v", i, err)
 				}
 				if !bytes.Equal(got, originals[i]) {
 					t.Errorf("RepairData(%d) content mismatch", i)
 				}
-				if err := store.PutData(i, got); err != nil {
+				if err := store.PutData(bg, i, got); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -71,14 +71,14 @@ func TestSingleParityFailure(t *testing.T) {
 			want := make([]byte, len(orig))
 			copy(want, orig)
 			store.LoseParity(e)
-			got, err := r.RepairParity(store, e)
+			got, err := r.RepairParity(bg, store, e)
 			if err != nil {
 				t.Fatalf("RepairParity(%v): %v", e, err)
 			}
 			if !bytes.Equal(got, want) {
 				t.Errorf("RepairParity(%v) content mismatch", e)
 			}
-			if err := store.PutParity(e, got); err != nil {
+			if err := store.PutParity(bg, e, got); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -102,7 +102,7 @@ func TestRepairDataPrefersAnyAvailableStrand(t *testing.T) {
 	store.LoseData(target)
 	store.LoseParity(tuples[0].In)  // break H in
 	store.LoseParity(tuples[1].Out) // break RH out
-	got, err := r.RepairData(store, target)
+	got, err := r.RepairData(bg, store, target)
 	if err != nil {
 		t.Fatalf("RepairData with 2 broken strands: %v", err)
 	}
@@ -112,7 +112,7 @@ func TestRepairDataPrefersAnyAvailableStrand(t *testing.T) {
 
 	// Break the third strand too: now unrepairable in one step.
 	store.LoseParity(tuples[2].In)
-	if _, err := r.RepairData(store, target); !errors.Is(err, ErrUnrepairable) {
+	if _, err := r.RepairData(bg, store, target); !errors.Is(err, ErrUnrepairable) {
 		t.Errorf("RepairData with all strands broken = %v, want ErrUnrepairable", err)
 	}
 }
@@ -137,7 +137,7 @@ func TestRoundRepairBackwardCascade(t *testing.T) {
 		}
 	}
 
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestContiguousAnnihilationIsClosed(t *testing.T) {
 		}
 	}
 
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestRoundSemanticsTwoRoundCascade(t *testing.T) {
 		store.LoseParity(tup.Out)
 	}
 
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestPrimitiveFormIUnrecoverable(t *testing.T) {
 	store.LoseData(51)
 	store.LoseParity(lattice.Edge{Class: lattice.Horizontal, Left: 50, Right: 51})
 
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestPrimitiveFormInnocuousForAlpha2(t *testing.T) {
 	store.LoseData(51)
 	store.LoseParity(lattice.Edge{Class: lattice.Horizontal, Left: 50, Right: 51})
 
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestComplexFormAUnrecoverableForAlpha2(t *testing.T) {
 	store.LoseParity(lattice.Edge{Class: lattice.Horizontal, Left: 50, Right: 51})
 	store.LoseParity(lattice.Edge{Class: lattice.RightHanded, Left: 50, Right: 51})
 
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestDataOnlyRepairLeavesParities(t *testing.T) {
 	}
 	store.LoseParity(tup[0].Out) // unrelated parity loss
 
-	stats, err := r.Repair(store, Options{DataOnly: true})
+	stats, err := r.Repair(bg, store, Options{DataOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestMaxRoundsCap(t *testing.T) {
 		store.LoseParity(tup.In)
 		store.LoseParity(tup.Out)
 	}
-	stats, err := r.Repair(store, Options{MaxRounds: 1})
+	stats, err := r.Repair(bg, store, Options{MaxRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +370,7 @@ func TestRepairStatsFirstRoundShare(t *testing.T) {
 	for i := 20; i <= 380; i += 40 {
 		store.LoseData(i)
 	}
-	stats, err := r.Repair(store, Options{})
+	stats, err := r.Repair(bg, store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestAuditDetectsTampering(t *testing.T) {
 	r := mustRepairer(t, params)
 
 	const target = 26
-	clean, err := r.Audit(store, target)
+	clean, err := r.Audit(bg, store, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestAuditDetectsTampering(t *testing.T) {
 	if err := store.CorruptData(target, tampered); err != nil {
 		t.Fatal(err)
 	}
-	dirty, err := r.Audit(store, target)
+	dirty, err := r.Audit(bg, store, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +426,7 @@ func TestAuditUnavailableBlock(t *testing.T) {
 	store, _ := buildSystem(t, params, 50, 16, 15)
 	r := mustRepairer(t, params)
 	store.LoseData(10)
-	if _, err := r.Audit(store, 10); err == nil {
+	if _, err := r.Audit(bg, store, 10); err == nil {
 		t.Error("Audit of unavailable block succeeded, want error")
 	}
 }
@@ -457,7 +457,7 @@ func TestPropertyRandomParityLossAlwaysRecoverable(t *testing.T) {
 				}
 			}
 		}
-		stats, err := r.Repair(store, Options{})
+		stats, err := r.Repair(bg, store, Options{})
 		if err != nil {
 			return false
 		}
@@ -486,7 +486,7 @@ func TestPropertyScatteredDataLossRecoverable(t *testing.T) {
 				store.LoseData(i)
 			}
 		}
-		stats, err := r.Repair(store, Options{})
+		stats, err := r.Repair(bg, store, Options{})
 		if err != nil {
 			return false
 		}
@@ -514,11 +514,11 @@ func buildSystemQuick(params lattice.Params, n, blockSize int, seed int64) (*Mem
 		if err != nil {
 			panic(err)
 		}
-		if err := store.PutData(i, data); err != nil {
+		if err := store.PutData(bg, i, data); err != nil {
 			panic(err)
 		}
 		for _, p := range ent.Parities {
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				panic(err)
 			}
 		}

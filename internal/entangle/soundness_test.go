@@ -81,7 +81,7 @@ func TestRepairSoundnessAllSettings(t *testing.T) {
 					t.Fatal(err)
 				}
 				rep := mustRepairer(t, params)
-				if _, err := rep.Repair(store, Options{}); err != nil {
+				if _, err := rep.Repair(bg, store, Options{}); err != nil {
 					t.Fatal(err)
 				}
 

@@ -1,50 +1,35 @@
 package entangle
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 )
 
-// Source is the read view the repair engine needs: content plus
-// availability for data and parity blocks. Implementations must treat
-// virtual edges (Edge.IsVirtual) as always available with all-zero content;
-// ZeroBlock helps with that.
-type Source interface {
-	// Data returns the content of data block i and whether it is available.
-	Data(i int) ([]byte, bool)
-	// Parity returns the content of the parity on edge e and whether it is
-	// available.
-	Parity(e lattice.Edge) ([]byte, bool)
-}
+// Source is the read view the repair engine needs: the context-aware read
+// slice of the unified storage dialect. Implementations must treat
+// virtual edges (Edge.IsVirtual) as always available with all-zero
+// content; ZeroBlock helps with that. Reads of unavailable blocks return
+// an error wrapping store.ErrNotFound.
+type Source = store.Source
 
-// Store extends Source with mutation: the repair engine writes repaired
-// blocks back and enumerates what is missing.
+// Store is the full batch-native dialect the round-based repair engine
+// drives: reads, writes, missing-block enumeration and the GetMany /
+// PutMany batches the engine uses to move whole rounds at once.
 //
-// Put implementations must not retain b after returning (copy it, or
-// transmit it before returning): the engines recycle block buffers through
-// a pool the moment a Put call completes. Every Store in this repository
-// already copies.
-type Store interface {
-	Source
-	// PutData stores a repaired data block.
-	PutData(i int, b []byte) error
-	// PutParity stores a repaired parity block.
-	PutParity(e lattice.Edge, b []byte) error
-	// MissingData lists the positions of unavailable data blocks, ascending.
-	MissingData() []int
-	// MissingParities lists the unavailable parity edges in a deterministic
-	// order.
-	MissingParities() []lattice.Edge
-}
+// Put implementations must not retain the block slice after returning
+// (copy it, or transmit it before returning): the engines recycle block
+// buffers through a pool the moment a Put or PutMany call completes.
+// Every Store in this repository already copies.
+type Store = store.BlockStore
 
-// ZeroBlock returns a shared all-zero block of the given size. Callers must
-// not mutate the returned slice; it backs every virtual-edge read.
-func ZeroBlock(size int) []byte {
-	return make([]byte, size)
-}
+// ZeroBlock returns an all-zero block of the given size, backing every
+// virtual-edge read. Callers must not mutate the returned slice.
+func ZeroBlock(size int) []byte { return store.ZeroBlock(size) }
 
 // edgeKey uniquely identifies a stored parity: (class, left) determines the
 // right endpoint, but keeping Right in the key lets us detect inconsistent
@@ -57,11 +42,16 @@ type edgeKey struct {
 
 func keyOf(e lattice.Edge) edgeKey { return edgeKey{Class: e.Class, Left: e.Left, Right: e.Right} }
 
-// MemoryStore is an in-memory Store for tests, examples and the cooperative
-// broker. A block is "available" when present and not marked lost. The
-// zero value is not usable; construct with NewMemoryStore.
+// MemoryStore is an in-memory BlockStore for tests, tools and examples.
+// A block is "available" when present and not marked lost. The zero value
+// is not usable; construct with NewMemoryStore.
 //
-// MemoryStore is safe for concurrent use.
+// Beyond the interface it keeps bool-style accessors (Data, Parity,
+// MissingData, MissingParities) and the failure levers (LoseData,
+// LoseParity, CorruptData) used by tests and simulators.
+//
+// MemoryStore is safe for concurrent use. Its batch operations are
+// natively batched: one lock acquisition per GetMany/PutMany call.
 type MemoryStore struct {
 	mu        sync.RWMutex
 	blockSize int
@@ -71,7 +61,7 @@ type MemoryStore struct {
 	lostPar   map[edgeKey]bool
 }
 
-var _ Store = (*MemoryStore)(nil)
+var _ store.BlockStore = (*MemoryStore)(nil)
 
 // NewMemoryStore returns an empty store for blocks of the given size.
 func NewMemoryStore(blockSize int) *MemoryStore {
@@ -84,10 +74,14 @@ func NewMemoryStore(blockSize int) *MemoryStore {
 	}
 }
 
-// Data implements Source.
+// Data returns the content of data block i and whether it is available.
 func (m *MemoryStore) Data(i int) ([]byte, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.dataLocked(i)
+}
+
+func (m *MemoryStore) dataLocked(i int) ([]byte, bool) {
 	if m.lostData[i] {
 		return nil, false
 	}
@@ -95,13 +89,21 @@ func (m *MemoryStore) Data(i int) ([]byte, bool) {
 	return b, ok
 }
 
-// Parity implements Source. Virtual edges read as zero blocks.
+// Parity returns the content of the parity on edge e and whether it is
+// available. Virtual edges read as zero blocks.
 func (m *MemoryStore) Parity(e lattice.Edge) ([]byte, bool) {
 	if e.IsVirtual() {
 		return ZeroBlock(m.blockSize), true
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.parityLocked(e)
+}
+
+func (m *MemoryStore) parityLocked(e lattice.Edge) ([]byte, bool) {
+	if e.IsVirtual() {
+		return ZeroBlock(m.blockSize), true
+	}
 	k := keyOf(e)
 	if m.lostPar[k] {
 		return nil, false
@@ -110,37 +112,134 @@ func (m *MemoryStore) Parity(e lattice.Edge) ([]byte, bool) {
 	return b, ok
 }
 
+// GetData implements Source.
+func (m *MemoryStore) GetData(ctx context.Context, i int) ([]byte, error) {
+	b, ok := m.Data(i)
+	if !ok {
+		return nil, fmt.Errorf("entangle: d%d: %w", i, store.ErrNotFound)
+	}
+	return b, nil
+}
+
+// GetParity implements Source.
+func (m *MemoryStore) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
+	b, ok := m.Parity(e)
+	if !ok {
+		return nil, fmt.Errorf("entangle: parity %v: %w", e, store.ErrNotFound)
+	}
+	return b, nil
+}
+
 // PutData stores (or restores) a data block and clears its lost mark.
-func (m *MemoryStore) PutData(i int, b []byte) error {
-	if i < 1 {
-		return fmt.Errorf("entangle: data position must be >= 1, got %d", i)
+func (m *MemoryStore) PutData(ctx context.Context, i int, b []byte) error {
+	cp, err := m.checkData(i, b)
+	if err != nil {
+		return err
 	}
-	if len(b) != m.blockSize {
-		return fmt.Errorf("entangle: data block %d has %d bytes, want %d", i, len(b), m.blockSize)
-	}
-	cp := make([]byte, len(b))
-	copy(cp, b)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.data[i] = cp
-	delete(m.lostData, i)
+	m.putDataLocked(i, cp)
 	return nil
 }
 
-// PutParity stores (or restores) a parity block and clears its lost mark.
-func (m *MemoryStore) PutParity(e lattice.Edge, b []byte) error {
-	if e.IsVirtual() {
-		return fmt.Errorf("entangle: cannot store virtual edge %v", e)
+func (m *MemoryStore) checkData(i int, b []byte) ([]byte, error) {
+	if i < 1 {
+		return nil, fmt.Errorf("entangle: data position must be >= 1, got %d", i)
 	}
 	if len(b) != m.blockSize {
-		return fmt.Errorf("entangle: parity %v has %d bytes, want %d", e, len(b), m.blockSize)
+		return nil, fmt.Errorf("entangle: data block %d has %d bytes, want %d", i, len(b), m.blockSize)
 	}
 	cp := make([]byte, len(b))
 	copy(cp, b)
+	return cp, nil
+}
+
+func (m *MemoryStore) putDataLocked(i int, cp []byte) {
+	m.data[i] = cp
+	delete(m.lostData, i)
+}
+
+// PutParity stores (or restores) a parity block and clears its lost mark.
+func (m *MemoryStore) PutParity(ctx context.Context, e lattice.Edge, b []byte) error {
+	cp, err := m.checkParity(e, b)
+	if err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.putParityLocked(e, cp)
+	return nil
+}
+
+func (m *MemoryStore) checkParity(e lattice.Edge, b []byte) ([]byte, error) {
+	if e.IsVirtual() {
+		return nil, fmt.Errorf("entangle: cannot store virtual edge %v", e)
+	}
+	if len(b) != m.blockSize {
+		return nil, fmt.Errorf("entangle: parity %v has %d bytes, want %d", e, len(b), m.blockSize)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+func (m *MemoryStore) putParityLocked(e lattice.Edge, cp []byte) {
 	m.parity[keyOf(e)] = cp
 	delete(m.lostPar, keyOf(e))
+}
+
+// GetMany implements Store natively: one lock acquisition for the whole
+// batch. Entries for unavailable blocks are nil.
+func (m *MemoryStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(refs))
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for idx, r := range refs {
+		if r.Parity {
+			if b, ok := m.parityLocked(r.Edge); ok {
+				out[idx] = b
+			}
+			continue
+		}
+		if b, ok := m.dataLocked(r.Index); ok {
+			out[idx] = b
+		}
+	}
+	return out, nil
+}
+
+// PutMany implements Store natively: the whole batch is validated and
+// copied first, then applied under one lock acquisition.
+func (m *MemoryStore) PutMany(ctx context.Context, blocks []store.Block) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	copies := make([][]byte, len(blocks))
+	for idx, b := range blocks {
+		var cp []byte
+		var err error
+		if b.Ref.Parity {
+			cp, err = m.checkParity(b.Ref.Edge, b.Data)
+		} else {
+			cp, err = m.checkData(b.Ref.Index, b.Data)
+		}
+		if err != nil {
+			return err
+		}
+		copies[idx] = cp
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for idx, b := range blocks {
+		if b.Ref.Parity {
+			m.putParityLocked(b.Ref.Edge, copies[idx])
+		} else {
+			m.putDataLocked(b.Ref.Index, copies[idx])
+		}
+	}
 	return nil
 }
 
@@ -181,7 +280,15 @@ func (m *MemoryStore) CorruptData(i int, b []byte) error {
 	return nil
 }
 
-// MissingData implements Store.
+// Missing implements Store.
+func (m *MemoryStore) Missing(ctx context.Context) (store.Missing, error) {
+	if err := ctx.Err(); err != nil {
+		return store.Missing{}, err
+	}
+	return store.Missing{Data: m.MissingData(), Parities: m.MissingParities()}, nil
+}
+
+// MissingData lists the positions of unavailable data blocks, ascending.
 func (m *MemoryStore) MissingData() []int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -193,7 +300,8 @@ func (m *MemoryStore) MissingData() []int {
 	return out
 }
 
-// MissingParities implements Store. Order: by class, then left index.
+// MissingParities lists the unavailable parity edges; order: by class,
+// then left index.
 func (m *MemoryStore) MissingParities() []lattice.Edge {
 	m.mu.RLock()
 	defer m.mu.RUnlock()

@@ -49,7 +49,7 @@ func TestTableVWalkthrough(t *testing.T) {
 		want[i] = p2526[i] ^ p2632[i]
 	}
 
-	got, err := r.RepairData(store, 26)
+	got, err := r.RepairData(bg, store, 26)
 	if err != nil {
 		t.Fatalf("RepairData(26): %v", err)
 	}
@@ -62,7 +62,7 @@ func TestTableVWalkthrough(t *testing.T) {
 
 	// Table III's parity-repair flow on the same lattice: regenerate
 	// p21,26 from the dp-tuple (d21, p16,21) after d26 is restored.
-	if err := store.PutData(26, got); err != nil {
+	if err := store.PutData(bg, 26, got); err != nil {
 		t.Fatal(err)
 	}
 	e2126 := lattice.Edge{Class: lattice.Horizontal, Left: 21, Right: 26}
@@ -73,7 +73,7 @@ func TestTableVWalkthrough(t *testing.T) {
 	if opts[0].Data != 21 || opts[0].Parity != (lattice.Edge{Class: lattice.Horizontal, Left: 16, Right: 21}) {
 		t.Fatalf("Table III step 1 ids wrong: %+v", opts[0])
 	}
-	rebuilt, err := r.RepairParity(store, e2126)
+	rebuilt, err := r.RepairParity(bg, store, e2126)
 	if err != nil {
 		t.Fatalf("RepairParity(p21,26): %v", err)
 	}

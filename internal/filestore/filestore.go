@@ -7,6 +7,7 @@
 package filestore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,12 +16,19 @@ import (
 	"strconv"
 	"strings"
 
-	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 )
+
+// FormatFramed marks archives whose data blocks carry the root package's
+// 4-byte stream framing (payload length + final-block flag). Manifests
+// without a format field (the pre-framing layout) unmarshal as 0, letting
+// tools reject them cleanly instead of misparsing block content.
+const FormatFramed = 2
 
 // Manifest describes the archive in a directory.
 type Manifest struct {
+	Format     int   `json:"format,omitempty"`
 	Alpha      int   `json:"alpha"`
 	S          int   `json:"s"`
 	P          int   `json:"p"`
@@ -37,15 +45,23 @@ func (m Manifest) Params() lattice.Params {
 // manifestName is the archive metadata file.
 const manifestName = "manifest.json"
 
-// Store is an entangle.Store backed by a directory. It is not safe for
-// concurrent use.
+// Store is a single-block store.Single backed by a directory; wrap it in
+// store.Batch (or aecodes.NewBatchAdapter) where the batch-native dialect
+// is needed.
+//
+// Concurrency: the per-block operations (Data/Parity/GetData/GetParity/
+// PutData/PutParity) are safe for concurrent use — each is one stateless
+// os file operation on a block-specific path — which is what the encode
+// pipeline's Sink contract requires. Create, Open, SetPayload and the
+// enumeration/maintenance helpers mutate or scan shared state (the
+// manifest, the directory listing) and must not race the block ops.
 type Store struct {
 	dir      string
 	manifest Manifest
 	lat      *lattice.Lattice
 }
 
-var _ entangle.Store = (*Store)(nil)
+var _ store.Single = (*Store)(nil)
 
 // Create initialises a new archive directory (creating it if necessary)
 // and writes the manifest.
@@ -114,7 +130,7 @@ func (s *Store) parityPath(e lattice.Edge) string {
 	return filepath.Join(s.dir, fmt.Sprintf("p_%s_%d_%d", e.Class, e.Left, e.Right))
 }
 
-// Data implements entangle.Source.
+// Data returns data block i and whether its file is intact.
 func (s *Store) Data(i int) ([]byte, bool) {
 	b, err := os.ReadFile(s.dataPath(i))
 	if err != nil || len(b) != s.manifest.BlockSize {
@@ -123,10 +139,11 @@ func (s *Store) Data(i int) ([]byte, bool) {
 	return b, true
 }
 
-// Parity implements entangle.Source.
+// Parity returns the parity on e and whether its file is intact; virtual
+// edges read as zero.
 func (s *Store) Parity(e lattice.Edge) ([]byte, bool) {
 	if e.IsVirtual() {
-		return entangle.ZeroBlock(s.manifest.BlockSize), true
+		return store.ZeroBlock(s.manifest.BlockSize), true
 	}
 	b, err := os.ReadFile(s.parityPath(e))
 	if err != nil || len(b) != s.manifest.BlockSize {
@@ -135,16 +152,34 @@ func (s *Store) Parity(e lattice.Edge) ([]byte, bool) {
 	return b, true
 }
 
-// PutData implements entangle.Store.
-func (s *Store) PutData(i int, b []byte) error {
+// GetData implements store.Source.
+func (s *Store) GetData(ctx context.Context, i int) ([]byte, error) {
+	b, ok := s.Data(i)
+	if !ok {
+		return nil, fmt.Errorf("filestore: d%d: %w", i, store.ErrNotFound)
+	}
+	return b, nil
+}
+
+// GetParity implements store.Source.
+func (s *Store) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
+	b, ok := s.Parity(e)
+	if !ok {
+		return nil, fmt.Errorf("filestore: parity %v: %w", e, store.ErrNotFound)
+	}
+	return b, nil
+}
+
+// PutData implements store.Single.
+func (s *Store) PutData(ctx context.Context, i int, b []byte) error {
 	if len(b) != s.manifest.BlockSize {
 		return fmt.Errorf("filestore: data block %d has %d bytes, want %d", i, len(b), s.manifest.BlockSize)
 	}
 	return os.WriteFile(s.dataPath(i), b, 0o644)
 }
 
-// PutParity implements entangle.Store.
-func (s *Store) PutParity(e lattice.Edge, b []byte) error {
+// PutParity implements store.Single.
+func (s *Store) PutParity(ctx context.Context, e lattice.Edge, b []byte) error {
 	if e.IsVirtual() {
 		return fmt.Errorf("filestore: cannot store virtual edge %v", e)
 	}
@@ -154,8 +189,16 @@ func (s *Store) PutParity(e lattice.Edge, b []byte) error {
 	return os.WriteFile(s.parityPath(e), b, 0o644)
 }
 
-// MissingData implements entangle.Store: data positions in [1, Blocks]
-// whose file is absent or truncated.
+// Missing implements store.Single.
+func (s *Store) Missing(ctx context.Context) (store.Missing, error) {
+	if err := ctx.Err(); err != nil {
+		return store.Missing{}, err
+	}
+	return store.Missing{Data: s.MissingData(), Parities: s.MissingParities()}, nil
+}
+
+// MissingData lists data positions in [1, Blocks] whose file is absent or
+// truncated.
 func (s *Store) MissingData() []int {
 	var out []int
 	for i := 1; i <= s.manifest.Blocks; i++ {
@@ -166,7 +209,8 @@ func (s *Store) MissingData() []int {
 	return out
 }
 
-// MissingParities implements entangle.Store.
+// MissingParities lists expected parity edges whose file is absent or
+// truncated.
 func (s *Store) MissingParities() []lattice.Edge {
 	var out []lattice.Edge
 	for i := 1; i <= s.manifest.Blocks; i++ {

@@ -2,11 +2,13 @@ package filestore
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
 	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 )
 
 func testManifest() Manifest {
@@ -55,7 +57,7 @@ func TestStoreContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte{7}, 32)
-	if err := s.PutData(1, data); err != nil {
+	if err := s.PutData(bg, 1, data); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := s.Data(1)
@@ -63,7 +65,7 @@ func TestStoreContract(t *testing.T) {
 		t.Fatalf("Data = %v,%v", got, ok)
 	}
 	e := lattice.Edge{Class: lattice.RightHanded, Left: 1, Right: 4}
-	if err := s.PutParity(e, data); err != nil {
+	if err := s.PutParity(bg, e, data); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Parity(e); !ok {
@@ -74,13 +76,13 @@ func TestStoreContract(t *testing.T) {
 	if !ok || !bytes.Equal(zb, make([]byte, 32)) {
 		t.Error("virtual edge not zero/available")
 	}
-	if err := s.PutParity(virt, data); err == nil {
+	if err := s.PutParity(bg, virt, data); err == nil {
 		t.Error("stored virtual edge")
 	}
-	if err := s.PutData(2, []byte{1}); err == nil {
+	if err := s.PutData(bg, 2, []byte{1}); err == nil {
 		t.Error("accepted short data block")
 	}
-	if err := s.PutParity(e, []byte{1}); err == nil {
+	if err := s.PutParity(bg, e, []byte{1}); err == nil {
 		t.Error("accepted short parity block")
 	}
 }
@@ -108,11 +110,11 @@ func TestEndToEndRepair(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.PutData(ent.Index, data); err != nil {
+		if err := s.PutData(bg, ent.Index, data); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range ent.Parities {
-			if err := s.PutParity(p.Edge, p.Data); err != nil {
+			if err := s.PutParity(bg, p.Edge, p.Data); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -134,7 +136,7 @@ func TestEndToEndRepair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := rep.Repair(s, entangle.Options{})
+	stats, err := rep.Repair(bg, store.Batch(s), entangle.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestListAndDeleteSafety(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutData(1, make([]byte, 32)); err != nil {
+	if err := s.PutData(bg, 1, make([]byte, 32)); err != nil {
 		t.Fatal(err)
 	}
 	names, err := s.List()
@@ -183,3 +185,6 @@ func TestParseParityName(t *testing.T) {
 		}
 	}
 }
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()

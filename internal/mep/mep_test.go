@@ -106,7 +106,7 @@ func TestFig9ME4Square(t *testing.T) {
 // |ME(4)| increases with s, and p has little impact — the curve plateaus
 // for p ≥ 5 (14 for s=2, 18 for s=3).
 //
-// Reproduction note (recorded in EXPERIMENTS.md): the paper presents the
+// Reproduction note: the paper presents the
 // α=3 curves as flat in p, but exhaustive search finds strictly smaller
 // verified-minimal patterns at small p (notably size 12 at p=4 for both
 // s=2 and s=3). The paper's own §V.A concedes "this study does not
@@ -140,7 +140,7 @@ func TestFig9ME4Alpha3GrowsWithSNotP(t *testing.T) {
 	// verified pattern of size 12 at p=4.
 	for _, s := range []int{2, 3} {
 		if got := at(s, 4); got != 12 {
-			t.Errorf("AE(3,%d,4): |ME(4)| = %d, want 12 (see EXPERIMENTS.md)", s, got)
+			t.Errorf("AE(3,%d,4): |ME(4)| = %d, want 12 (see the reproduction note above)", s, got)
 		}
 	}
 }

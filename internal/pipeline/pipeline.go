@@ -21,6 +21,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -29,30 +30,27 @@ import (
 
 	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 	"aecodes/internal/xorblock"
 )
 
-// Sink receives the pipeline's output. Implementations must be safe for
-// concurrent use and must not retain the block slice after returning:
-// parity slices alias live strand heads and data slices may be recycled by
-// the producer via Options.Release. The Store implementations in this
-// repository satisfy both requirements.
-type Sink interface {
-	// PutData stores one input data block at its lattice position.
-	PutData(i int, b []byte) error
-	// PutParity stores one freshly computed parity block.
-	PutParity(e lattice.Edge, b []byte) error
-}
+// Sink receives the pipeline's output: the write slice of the unified
+// storage dialect, so every BlockStore is a Sink. Implementations must be
+// safe for concurrent use and must not retain the block slice after
+// returning: parity slices alias live strand heads and data slices may be
+// recycled by the producer via Options.Release. The store implementations
+// in this repository satisfy both requirements.
+type Sink = store.Putter
 
 // NullSink discards everything. It isolates coding throughput in
 // benchmarks.
 type NullSink struct{}
 
 // PutData implements Sink.
-func (NullSink) PutData(int, []byte) error { return nil }
+func (NullSink) PutData(context.Context, int, []byte) error { return nil }
 
 // PutParity implements Sink.
-func (NullSink) PutParity(lattice.Edge, []byte) error { return nil }
+func (NullSink) PutParity(context.Context, lattice.Edge, []byte) error { return nil }
 
 // Options configures a pipeline run.
 type Options struct {
@@ -100,11 +98,12 @@ type blockState struct {
 }
 
 // Encode drives the encoder over the blocks channel until it closes (or a
-// sink/encoder error occurs) and returns the run statistics. The encoder
+// sink/encoder error occurs, or ctx is canceled) and returns the run
+// statistics. The encoder
 // must not be used concurrently by anyone else during the run; on return it
 // is sequentially consistent with having called Entangle for every consumed
 // block, so Heads snapshots and sequential encoding can resume afterwards.
-func Encode(enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options) (Stats, error) {
+func Encode(ctx context.Context, enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options) (Stats, error) {
 	if enc == nil {
 		return Stats{}, errors.New("pipeline: nil encoder")
 	}
@@ -158,7 +157,7 @@ func Encode(enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options
 					continue
 				}
 				if t.data {
-					if err := sink.PutData(t.block.index, t.block.buf); err != nil {
+					if err := sink.PutData(ctx, t.block.index, t.block.buf); err != nil {
 						fail(fmt.Errorf("pipeline: storing d%d: %w", t.block.index, err))
 					}
 					done(t)
@@ -174,7 +173,7 @@ func Encode(enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options
 					// par.Data aliases the strand head; the sink must be done
 					// with it before this worker's next op on the same strand,
 					// which FIFO queue order guarantees.
-					if err := sink.PutParity(par.Edge, par.Data); err != nil {
+					if err := sink.PutParity(ctx, par.Edge, par.Data); err != nil {
 						fail(fmt.Errorf("pipeline: storing %v: %w", par.Edge, err))
 					}
 				}
@@ -185,6 +184,9 @@ func Encode(enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options
 
 	var rr int // round-robin target for data-store tasks
 	for data := range blocks {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+		}
 		if failed.Load() {
 			if opts.Release != nil {
 				opts.Release(data)
@@ -229,20 +231,20 @@ func Encode(enc *entangle.Encoder, blocks <-chan []byte, sink Sink, opts Options
 }
 
 // EncodeSlice is Encode over an in-memory slice of blocks.
-func EncodeSlice(enc *entangle.Encoder, blocks [][]byte, sink Sink, opts Options) (Stats, error) {
+func EncodeSlice(ctx context.Context, enc *entangle.Encoder, blocks [][]byte, sink Sink, opts Options) (Stats, error) {
 	ch := make(chan []byte, len(blocks))
 	for _, b := range blocks {
 		ch <- b
 	}
 	close(ch)
-	return Encode(enc, ch, sink, opts)
+	return Encode(ctx, enc, ch, sink, opts)
 }
 
 // EncodePooled entangles n blocks produced on demand by fill, recycling
 // block buffers through pool: at most Workers·Depth+1 block buffers are
 // live at any moment regardless of n. fill must write the block content for
 // position seq (0-based consumption order) into the buffer it is handed.
-func EncodePooled(enc *entangle.Encoder, n int, fill func(seq int, buf []byte), sink Sink, pool *xorblock.Pool, opts Options) (Stats, error) {
+func EncodePooled(ctx context.Context, enc *entangle.Encoder, n int, fill func(seq int, buf []byte), sink Sink, pool *xorblock.Pool, opts Options) (Stats, error) {
 	if pool == nil {
 		return Stats{}, errors.New("pipeline: nil pool")
 	}
@@ -264,5 +266,5 @@ func EncodePooled(enc *entangle.Encoder, n int, fill func(seq int, buf []byte), 
 			ch <- buf
 		}
 	}()
-	return Encode(enc, ch, sink, opts)
+	return Encode(ctx, enc, ch, sink, opts)
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,6 +14,9 @@ import (
 	"aecodes/internal/lattice"
 	"aecodes/internal/xorblock"
 )
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()
 
 func randBlocks(n, blockSize int, seed int64) [][]byte {
 	rng := rand.New(rand.NewSource(seed))
@@ -39,14 +43,14 @@ func sequentialReference(t *testing.T, params lattice.Params, blocks [][]byte, b
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := store.PutData(i+1, data); err != nil {
+		if err := store.PutData(bg, i+1, data); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range ent.Parities {
 			if !p.Stored {
 				continue
 			}
-			if err := store.PutParity(p.Edge, p.Data); err != nil {
+			if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -107,7 +111,7 @@ func TestEncodeMatchesSequential(t *testing.T) {
 					t.Fatal(err)
 				}
 				got := entangle.NewMemoryStore(blockSize)
-				stats, err := EncodeSlice(enc, blocks, got, Options{Workers: workers, StoreData: true})
+				stats, err := EncodeSlice(bg, enc, blocks, got, Options{Workers: workers, StoreData: true})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -152,7 +156,7 @@ func TestEncodeHonoursPuncture(t *testing.T) {
 	}
 	enc.SetPuncture(puncture)
 	got := entangle.NewMemoryStore(blockSize)
-	stats, err := EncodeSlice(enc, blocks, got, Options{StoreData: true})
+	stats, err := EncodeSlice(bg, enc, blocks, got, Options{StoreData: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +177,7 @@ func TestEncodePooledRecyclesEveryBlock(t *testing.T) {
 	}
 	var filled atomic.Int32
 	seedBlocks := randBlocks(1, blockSize, 4)
-	stats, err := EncodePooled(enc, n, func(seq int, buf []byte) {
+	stats, err := EncodePooled(bg, enc, n, func(seq int, buf []byte) {
 		filled.Add(1)
 		copy(buf, seedBlocks[0])
 	}, NullSink{}, pool, Options{Workers: 4, Depth: 2})
@@ -188,12 +192,12 @@ func TestEncodePooledRecyclesEveryBlock(t *testing.T) {
 	}
 
 	// A caller-supplied Release is rejected (EncodePooled owns recycling).
-	_, err = EncodePooled(enc, 1, nil, NullSink{}, pool, Options{Release: func([]byte) {}})
+	_, err = EncodePooled(bg, enc, 1, nil, NullSink{}, pool, Options{Release: func([]byte) {}})
 	if err == nil {
 		t.Error("EncodePooled accepted a Release override")
 	}
 	// Pool size mismatch is rejected.
-	if _, err := EncodePooled(enc, 1, nil, NullSink{}, xorblock.NewPool(blockSize+8), Options{}); err == nil {
+	if _, err := EncodePooled(bg, enc, 1, nil, NullSink{}, xorblock.NewPool(blockSize+8), Options{}); err == nil {
 		t.Error("EncodePooled accepted a mismatched pool")
 	}
 }
@@ -206,9 +210,9 @@ type failSink struct {
 	after int
 }
 
-func (f *failSink) PutData(int, []byte) error { return nil }
+func (f *failSink) PutData(context.Context, int, []byte) error { return nil }
 
-func (f *failSink) PutParity(lattice.Edge, []byte) error {
+func (f *failSink) PutParity(_ context.Context, _ lattice.Edge, _ []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.after++
@@ -228,7 +232,7 @@ func TestEncodePropagatesSinkError(t *testing.T) {
 	boom := errors.New("disk on fire")
 	var released atomic.Int32
 	blocks := randBlocks(n, blockSize, 8)
-	_, err = EncodeSlice(enc, blocks, &failSink{left: 10, fail: boom}, Options{
+	_, err = EncodeSlice(bg, enc, blocks, &failSink{left: 10, fail: boom}, Options{
 		Workers: 3,
 		Release: func([]byte) { released.Add(1) },
 	})
@@ -247,13 +251,13 @@ func TestEncodeNilArguments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EncodeSlice(nil, nil, NullSink{}, Options{}); err == nil {
+	if _, err := EncodeSlice(bg, nil, nil, NullSink{}, Options{}); err == nil {
 		t.Error("nil encoder accepted")
 	}
-	if _, err := EncodeSlice(enc, nil, nil, Options{}); err == nil {
+	if _, err := EncodeSlice(bg, enc, nil, nil, Options{}); err == nil {
 		t.Error("nil sink accepted")
 	}
-	if _, err := EncodePooled(enc, 1, nil, NullSink{}, nil, Options{}); err == nil {
+	if _, err := EncodePooled(bg, enc, 1, nil, NullSink{}, nil, Options{}); err == nil {
 		t.Error("nil pool accepted")
 	}
 }
@@ -263,7 +267,7 @@ func TestEncodeEmptyStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := EncodeSlice(enc, nil, entangle.NewMemoryStore(8), Options{})
+	stats, err := EncodeSlice(bg, enc, nil, entangle.NewMemoryStore(8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +305,7 @@ func TestEncodeThenResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EncodeSlice(enc, blocks[:n], NullSink{}, Options{}); err != nil {
+	if _, err := EncodeSlice(bg, enc, blocks[:n], NullSink{}, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	next, heads := enc.Heads()

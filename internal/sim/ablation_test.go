@@ -8,7 +8,7 @@ import (
 )
 
 // The ablation studies answer questions the paper itself raises but does
-// not measure; EXPERIMENTS.md records the numbers.
+// not measure; the ablation output of cmd/aebench records the numbers.
 
 // TestAblationPlacement answers §V.C's open question ("we think a round
 // robin placement might be difficult to implement … what happens if we

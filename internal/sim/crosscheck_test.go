@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -86,11 +87,11 @@ func TestCrossCheckSimVsEntangleEngine(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := store.PutData(i, data); err != nil {
+			if err := store.PutData(bg, i, data); err != nil {
 				t.Fatal(err)
 			}
 			for _, p := range ent.Parities {
-				if err := store.PutParity(p.Edge, p.Data); err != nil {
+				if err := store.PutParity(bg, p.Edge, p.Data); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -113,7 +114,7 @@ func TestCrossCheckSimVsEntangleEngine(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stats, err := rep.Repair(store, entangle.Options{})
+		stats, err := rep.Repair(bg, store, entangle.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,3 +142,6 @@ func TestCrossCheckSimVsEntangleEngine(t *testing.T) {
 		}
 	}
 }
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()

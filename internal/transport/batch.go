@@ -15,25 +15,27 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
+
+	"aecodes/internal/store"
 )
 
 // MaxBatchEntries caps the number of blocks in one batch frame.
 const MaxBatchEntries = 4096
 
-// KV is one key/block pair of a PutMany batch.
-type KV struct {
-	Key  string
-	Data []byte
-}
+// KV is one key/block pair of a PutMany batch — the repository-wide
+// store.KV, so keyed backends and their adapters share one batch item
+// type.
+type KV = store.KV
 
 // roundTripper is the request/response capability shared by Client and
 // the pooled pipeConn, letting both reuse one batch-op implementation.
 type roundTripper interface {
-	roundTrip(op byte, key string, payload []byte) (byte, []byte, error)
-	roundTripSegments(segs net.Buffers) (byte, []byte, error)
+	roundTrip(ctx context.Context, op byte, key string, payload []byte) (byte, []byte, error)
+	roundTripSegments(ctx context.Context, segs net.Buffers) (byte, []byte, error)
 }
 
 // PutMany stores all items in one round-trip. The whole batch goes out as
@@ -41,16 +43,16 @@ type roundTripper interface {
 // place, never copied into a contiguous payload. The server applies items
 // in order and reports the first store error; earlier items may have been
 // stored when an error is returned.
-func (c *Client) PutMany(items []KV) error {
-	return putMany(c, items)
+func (c *Client) PutMany(ctx context.Context, items []KV) error {
+	return putMany(ctx, c, items)
 }
 
-func putMany(rt roundTripper, items []KV) error {
+func putMany(ctx context.Context, rt roundTripper, items []KV) error {
 	segs, err := putManySegments(items)
 	if err != nil {
 		return err
 	}
-	status, resp, err := rt.roundTripSegments(segs)
+	status, resp, err := rt.roundTripSegments(ctx, segs)
 	if err != nil {
 		return err
 	}
@@ -107,16 +109,16 @@ func putManySegments(items []KV) (net.Buffers, error) {
 // GetMany fetches all keys in one round-trip. The result has one entry per
 // key in order; missing blocks are nil (a present-but-empty block comes
 // back as a non-nil empty slice). A missing block is not an error.
-func (c *Client) GetMany(keys []string) ([][]byte, error) {
-	return getMany(c, keys)
+func (c *Client) GetMany(ctx context.Context, keys []string) ([][]byte, error) {
+	return getMany(ctx, c, keys)
 }
 
-func getMany(rt roundTripper, keys []string) ([][]byte, error) {
+func getMany(ctx context.Context, rt roundTripper, keys []string) ([][]byte, error) {
 	payload, err := encodeGetManyReq(keys)
 	if err != nil {
 		return nil, err
 	}
-	status, resp, err := rt.roundTrip(OpGetMany, "", payload)
+	status, resp, err := rt.roundTrip(ctx, OpGetMany, "", payload)
 	if err != nil {
 		return nil, err
 	}

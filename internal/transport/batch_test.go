@@ -20,14 +20,14 @@ func TestPutManyGetManyRoundTrip(t *testing.T) {
 		{Key: "b", Data: []byte{}},
 		{Key: "c", Data: bytes.Repeat([]byte{0xEE}, 4096)},
 	}
-	if err := c.PutMany(items); err != nil {
+	if err := c.PutMany(bg, items); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 3 {
 		t.Fatalf("store has %d blocks, want 3", store.Len())
 	}
 
-	got, err := c.GetMany([]string{"a", "missing", "b", "c"})
+	got, err := c.GetMany(bg, []string{"a", "missing", "b", "c"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +48,10 @@ func TestPutManyGetManyRoundTrip(t *testing.T) {
 func TestBatchEmpty(t *testing.T) {
 	_, addr := startServer(t)
 	c := dial(t, addr)
-	if err := c.PutMany(nil); err != nil {
+	if err := c.PutMany(bg, nil); err != nil {
 		t.Fatalf("empty PutMany: %v", err)
 	}
-	got, err := c.GetMany(nil)
+	got, err := c.GetMany(bg, nil)
 	if err != nil {
 		t.Fatalf("empty GetMany: %v", err)
 	}
@@ -69,29 +69,29 @@ func TestBatchLimits(t *testing.T) {
 	for i := range keys {
 		keys[i] = fmt.Sprintf("k%d", i)
 	}
-	if _, err := c.GetMany(keys); err == nil {
+	if _, err := c.GetMany(bg, keys); err == nil {
 		t.Error("oversized GetMany batch accepted")
 	}
 	items := make([]KV, MaxBatchEntries+1)
 	for i := range items {
 		items[i] = KV{Key: fmt.Sprintf("k%d", i)}
 	}
-	if err := c.PutMany(items); err == nil {
+	if err := c.PutMany(bg, items); err == nil {
 		t.Error("oversized PutMany batch accepted")
 	}
 	// Oversized key is rejected client-side.
-	if err := c.PutMany([]KV{{Key: strings.Repeat("x", MaxKeyLen+1)}}); err == nil {
+	if err := c.PutMany(bg, []KV{{Key: strings.Repeat("x", MaxKeyLen+1)}}); err == nil {
 		t.Error("oversized key accepted")
 	}
 	// Oversized total payload is rejected client-side before framing.
-	if err := c.PutMany([]KV{
+	if err := c.PutMany(bg, []KV{
 		{Key: "big1", Data: make([]byte, MaxPayloadLen/2)},
 		{Key: "big2", Data: make([]byte, MaxPayloadLen/2)},
 	}); err == nil {
 		t.Error("payload-overflow batch accepted")
 	}
 	// The connection must still be usable after client-side rejections.
-	if err := c.Put("after", []byte("ok")); err != nil {
+	if err := c.Put(bg, "after", []byte("ok")); err != nil {
 		t.Fatalf("connection unusable after rejected batches: %v", err)
 	}
 }
@@ -104,10 +104,10 @@ func TestMalformedBatchFrames(t *testing.T) {
 	c := dial(t, addr)
 
 	bad := [][]byte{
-		{},               // no count
+		{},                 // no count
 		{0x00, 0x00, 0x01}, // short count
-		binary.BigEndian.AppendUint32(nil, MaxBatchEntries+1), // count over limit
-		binary.BigEndian.AppendUint32(nil, 2),                 // count promises entries that never come
+		binary.BigEndian.AppendUint32(nil, MaxBatchEntries+1),     // count over limit
+		binary.BigEndian.AppendUint32(nil, 2),                     // count promises entries that never come
 		append(binary.BigEndian.AppendUint32(nil, 1), 0xFF, 0xFF), // key length over limit
 		func() []byte { // trailing junk after a valid entry
 			b := binary.BigEndian.AppendUint32(nil, 1)
@@ -119,7 +119,7 @@ func TestMalformedBatchFrames(t *testing.T) {
 	}
 	for op, name := range map[byte]string{OpPutMany: "putMany", OpGetMany: "getMany"} {
 		for i, payload := range bad {
-			status, _, err := c.roundTrip(op, "", payload)
+			status, _, err := c.roundTrip(bg, op, "", payload)
 			if err != nil {
 				t.Fatalf("%s[%d]: connection died: %v", name, i, err)
 			}
@@ -129,7 +129,7 @@ func TestMalformedBatchFrames(t *testing.T) {
 		}
 	}
 	// Connection still serves ordinary requests.
-	if err := c.Put("alive", []byte("yes")); err != nil {
+	if err := c.Put(bg, "alive", []byte("yes")); err != nil {
 		t.Fatalf("connection unusable after malformed batches: %v", err)
 	}
 }
@@ -222,13 +222,13 @@ func TestBatchUsesOneFrame(t *testing.T) {
 		items[i] = KV{Key: fmt.Sprintf("blk%03d", i), Data: bytes.Repeat([]byte{byte(i)}, 512)}
 		keys[i] = items[i].Key
 	}
-	if err := c.PutMany(items); err != nil {
+	if err := c.PutMany(bg, items); err != nil {
 		t.Fatal(err)
 	}
 	if got := frames.Load(); got != 1 {
 		t.Errorf("PutMany of %d blocks used %d request frames, want 1", blocks, got)
 	}
-	got, err := c.GetMany(keys)
+	got, err := c.GetMany(bg, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,27 +250,27 @@ func TestPoolClientOps(t *testing.T) {
 	}
 	t.Cleanup(func() { p.Close() })
 
-	if err := p.Put("k", []byte("v")); err != nil {
+	if err := p.Put(bg, "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.Get("k")
+	b, err := p.Get(bg, "k")
 	if err != nil || !bytes.Equal(b, []byte("v")) {
 		t.Fatalf("Get = %q, %v", b, err)
 	}
-	if _, err := p.Get("nope"); err != ErrNotFound {
+	if _, err := p.Get(bg, "nope"); err != ErrNotFound {
 		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
 	}
-	if err := p.PutMany([]KV{{Key: "x", Data: []byte("1")}, {Key: "y", Data: []byte("2")}}); err != nil {
+	if err := p.PutMany(bg, []KV{{Key: "x", Data: []byte("1")}, {Key: "y", Data: []byte("2")}}); err != nil {
 		t.Fatal(err)
 	}
-	many, err := p.GetMany([]string{"x", "gone", "y"})
+	many, err := p.GetMany(bg, []string{"x", "gone", "y"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(many[0], []byte("1")) || many[1] != nil || !bytes.Equal(many[2], []byte("2")) {
 		t.Fatalf("GetMany = %q", many)
 	}
-	if err := p.Del("k"); err != nil {
+	if err := p.Del(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.Get("k"); ok {
@@ -299,11 +299,11 @@ func TestPoolClientPipelines(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				key := fmt.Sprintf("g%d-r%d", g, r)
 				val := []byte(key + "-payload")
-				if err := p.Put(key, val); err != nil {
+				if err := p.Put(bg, key, val); err != nil {
 					errs <- err
 					return
 				}
-				got, err := p.Get(key)
+				got, err := p.Get(bg, key)
 				if err != nil {
 					errs <- err
 					return
@@ -331,7 +331,7 @@ func TestPoolClientClosedConnectionFails(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Put("k", []byte("v")); err == nil {
+	if err := p.Put(bg, "k", []byte("v")); err == nil {
 		t.Error("Put on closed pool succeeded")
 	}
 }

@@ -1,0 +1,6 @@
+package transport
+
+import "context"
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()

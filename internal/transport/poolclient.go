@@ -10,6 +10,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -50,8 +51,8 @@ func (p *PoolClient) pick() *pipeConn {
 }
 
 // Get fetches a block; it returns ErrNotFound for missing keys.
-func (p *PoolClient) Get(key string) ([]byte, error) {
-	status, payload, err := p.pick().roundTrip(OpGet, key, nil)
+func (p *PoolClient) Get(ctx context.Context, key string) ([]byte, error) {
+	status, payload, err := p.pick().roundTrip(ctx, OpGet, key, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -66,17 +67,17 @@ func (p *PoolClient) Get(key string) ([]byte, error) {
 }
 
 // Put stores a block.
-func (p *PoolClient) Put(key string, data []byte) error {
-	return p.simple(OpPut, key, data)
+func (p *PoolClient) Put(ctx context.Context, key string, data []byte) error {
+	return p.simple(ctx, OpPut, key, data)
 }
 
 // Del removes a block.
-func (p *PoolClient) Del(key string) error {
-	return p.simple(OpDel, key, nil)
+func (p *PoolClient) Del(ctx context.Context, key string) error {
+	return p.simple(ctx, OpDel, key, nil)
 }
 
-func (p *PoolClient) simple(op byte, key string, payload []byte) error {
-	status, resp, err := p.pick().roundTrip(op, key, payload)
+func (p *PoolClient) simple(ctx context.Context, op byte, key string, payload []byte) error {
+	status, resp, err := p.pick().roundTrip(ctx, op, key, payload)
 	if err != nil {
 		return err
 	}
@@ -88,13 +89,13 @@ func (p *PoolClient) simple(op byte, key string, payload []byte) error {
 
 // PutMany stores all items in one round-trip on one pooled connection,
 // using vectored I/O like Client.PutMany.
-func (p *PoolClient) PutMany(items []KV) error {
-	return putMany(p.pick(), items)
+func (p *PoolClient) PutMany(ctx context.Context, items []KV) error {
+	return putMany(ctx, p.pick(), items)
 }
 
 // GetMany fetches all keys in one round-trip; missing blocks are nil.
-func (p *PoolClient) GetMany(keys []string) ([][]byte, error) {
-	return getMany(p.pick(), keys)
+func (p *PoolClient) GetMany(ctx context.Context, keys []string) ([][]byte, error) {
+	return getMany(ctx, p.pick(), keys)
 }
 
 // Close closes every pooled connection; in-flight requests fail.
@@ -130,12 +131,22 @@ type pipeConn struct {
 	err     error             // sticky fatal error; guarded by mu
 }
 
-func (c *pipeConn) roundTrip(op byte, key string, payload []byte) (byte, []byte, error) {
+// roundTrip pre-checks the context, then issues the request. Pipelined
+// connections share their socket between many in-flight requests, so a
+// per-request deadline cannot be installed on the connection; a done
+// context fails fast, cancellation mid-flight is not observed.
+func (c *pipeConn) roundTrip(ctx context.Context, op byte, key string, payload []byte) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	return c.send(func() error { return writeRequest(c.conn, op, key, payload) })
 }
 
 // roundTripSegments is roundTrip for a pre-framed scatter/gather request.
-func (c *pipeConn) roundTripSegments(segs net.Buffers) (byte, []byte, error) {
+func (c *pipeConn) roundTripSegments(ctx context.Context, segs net.Buffers) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	return c.send(func() error {
 		_, err := segs.WriteTo(c.conn)
 		return err

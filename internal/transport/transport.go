@@ -15,12 +15,16 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"aecodes/internal/store"
 )
 
 // Protocol operations.
@@ -48,8 +52,10 @@ const (
 	MaxPayloadLen = 64 << 20 // 64 MiB
 )
 
-// ErrNotFound is returned by Client.Get for missing keys.
-var ErrNotFound = errors.New("transport: block not found")
+// ErrNotFound is returned by Client.Get for missing keys. It wraps the
+// repository-wide store.ErrNotFound sentinel, so errors.Is works with
+// either across every backend.
+var ErrNotFound = fmt.Errorf("transport: %w", store.ErrNotFound)
 
 // BlockStore is the storage a Server exposes. Implementations must be safe
 // for concurrent use.
@@ -243,9 +249,22 @@ func (s *Server) Close() error {
 
 // Client is a connection to one storage node. It is safe for concurrent
 // use; requests are serialised over the single connection.
+//
+// Every operation takes a context: a context that is already done fails
+// fast without touching the wire, and a context deadline is applied to
+// the connection for the duration of the round-trip. Cancellation of a
+// deadline-free context is only observed between round-trips.
+//
+// Any I/O failure (including a deadline expiry mid-exchange) poisons the
+// connection: the request/response pairing can no longer be trusted, so
+// the client closes the socket and every later operation returns the
+// original error instead of a stale response. Poisoning is permanent for
+// this Client — recover from a transient node failure by Dialing a fresh
+// one.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	err  error // sticky fatal error; guarded by mu
 }
 
 // Dial connects to a storage node.
@@ -258,8 +277,8 @@ func Dial(addr string) (*Client, error) {
 }
 
 // Get fetches a block; it returns ErrNotFound for missing keys.
-func (c *Client) Get(key string) ([]byte, error) {
-	status, payload, err := c.roundTrip(OpGet, key, nil)
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	status, payload, err := c.roundTrip(ctx, OpGet, key, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -274,8 +293,8 @@ func (c *Client) Get(key string) ([]byte, error) {
 }
 
 // Put stores a block.
-func (c *Client) Put(key string, data []byte) error {
-	status, payload, err := c.roundTrip(OpPut, key, data)
+func (c *Client) Put(ctx context.Context, key string, data []byte) error {
+	status, payload, err := c.roundTrip(ctx, OpPut, key, data)
 	if err != nil {
 		return err
 	}
@@ -286,8 +305,8 @@ func (c *Client) Put(key string, data []byte) error {
 }
 
 // Del removes a block.
-func (c *Client) Del(key string) error {
-	status, payload, err := c.roundTrip(OpDel, key, nil)
+func (c *Client) Del(ctx context.Context, key string) error {
+	status, payload, err := c.roundTrip(ctx, OpDel, key, nil)
 	if err != nil {
 		return err
 	}
@@ -301,27 +320,69 @@ func (c *Client) Del(key string) error {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil // already torn down by a failed exchange
+	}
+	c.err = errors.New("transport: client closed")
 	return c.conn.Close()
 }
 
-func (c *Client) roundTrip(op byte, key string, payload []byte) (byte, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeRequest(c.conn, op, key, payload); err != nil {
-		return 0, nil, err
-	}
-	return readResponse(c.conn)
+func (c *Client) roundTrip(ctx context.Context, op byte, key string, payload []byte) (byte, []byte, error) {
+	return c.exchange(ctx, func() error { return writeRequest(c.conn, op, key, payload) })
 }
 
 // roundTripSegments sends a pre-framed request as scatter/gather segments
 // (one writev on TCP) and reads the response.
-func (c *Client) roundTripSegments(segs net.Buffers) (byte, []byte, error) {
+func (c *Client) roundTripSegments(ctx context.Context, segs net.Buffers) (byte, []byte, error) {
+	return c.exchange(ctx, func() error {
+		_, err := segs.WriteTo(c.conn)
+		return err
+	})
+}
+
+// exchange performs one request/response pair under the client lock. A
+// failure anywhere in the exchange leaves an unknown number of bytes in
+// flight, so it poisons the connection rather than letting the next
+// request read this one's response.
+func (c *Client) exchange(ctx context.Context, write func() error) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := segs.WriteTo(c.conn); err != nil {
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
-	return readResponse(c.conn)
+	defer c.applyDeadline(ctx)()
+	if err := write(); err != nil {
+		return 0, nil, c.poison(err)
+	}
+	status, payload, err := readResponse(c.conn)
+	if err != nil {
+		return 0, nil, c.poison(err)
+	}
+	return status, payload, nil
+}
+
+// poison records the first fatal error and closes the socket. Callers
+// hold c.mu.
+func (c *Client) poison(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("transport: connection broken: %w", err)
+		c.conn.Close()
+	}
+	return c.err
+}
+
+// applyDeadline installs the context deadline (if any) on the connection
+// and returns the undo function. Callers hold c.mu.
+func (c *Client) applyDeadline(ctx context.Context) func() {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return func() {}
+	}
+	c.conn.SetDeadline(d)
+	return func() { c.conn.SetDeadline(time.Time{}) }
 }
 
 func writeRequest(w io.Writer, op byte, key string, payload []byte) error {

@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // startServer returns a ready server, its address, and a cleanup-registered
@@ -41,20 +43,20 @@ func TestPutGetDelRoundTrip(t *testing.T) {
 	c := dial(t, addr)
 
 	data := []byte("entangled parity block p21,26")
-	if err := c.Put("user/p:h:21:26", data); err != nil {
+	if err := c.Put(bg, "user/p:h:21:26", data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("user/p:h:21:26")
+	got, err := c.Get(bg, "user/p:h:21:26")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Errorf("Get = %q, want %q", got, data)
 	}
-	if err := c.Del("user/p:h:21:26"); err != nil {
+	if err := c.Del(bg, "user/p:h:21:26"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("user/p:h:21:26"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(bg, "user/p:h:21:26"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after Del = %v, want ErrNotFound", err)
 	}
 }
@@ -62,7 +64,7 @@ func TestPutGetDelRoundTrip(t *testing.T) {
 func TestGetMissing(t *testing.T) {
 	_, addr := startServer(t)
 	c := dial(t, addr)
-	if _, err := c.Get("absent"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(bg, "absent"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
 	}
 }
@@ -70,10 +72,10 @@ func TestGetMissing(t *testing.T) {
 func TestEmptyPayloadAndKeyEdgeCases(t *testing.T) {
 	_, addr := startServer(t)
 	c := dial(t, addr)
-	if err := c.Put("empty", nil); err != nil {
+	if err := c.Put(bg, "empty", nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("empty")
+	got, err := c.Get(bg, "empty")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestEmptyPayloadAndKeyEdgeCases(t *testing.T) {
 		t.Errorf("empty block came back with %d bytes", len(got))
 	}
 	// Oversized key rejected client-side.
-	if err := c.Put(strings.Repeat("k", MaxKeyLen+1), nil); err == nil {
+	if err := c.Put(bg, strings.Repeat("k", MaxKeyLen+1), nil); err == nil {
 		t.Error("accepted oversized key")
 	}
 }
@@ -90,10 +92,10 @@ func TestLargeBlock(t *testing.T) {
 	_, addr := startServer(t)
 	c := dial(t, addr)
 	big := bytes.Repeat([]byte{0xA5}, 1<<20)
-	if err := c.Put("big", big); err != nil {
+	if err := c.Put(bg, "big", big); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("big")
+	got, err := c.Get(bg, "big")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,12 +109,12 @@ func TestManySequentialRequests(t *testing.T) {
 	c := dial(t, addr)
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if err := c.Put(key, []byte{byte(i)}); err != nil {
+		if err := c.Put(bg, key, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 200; i++ {
-		got, err := c.Get(fmt.Sprintf("k%d", i))
+		got, err := c.Get(bg, fmt.Sprintf("k%d", i))
 		if err != nil || got[0] != byte(i) {
 			t.Fatalf("k%d = %v, %v", i, got, err)
 		}
@@ -135,11 +137,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 50; i++ {
 				key := fmt.Sprintf("w%d/k%d", w, i)
-				if err := c.Put(key, []byte(key)); err != nil {
+				if err := c.Put(bg, key, []byte(key)); err != nil {
 					errs <- err
 					return
 				}
-				got, err := c.Get(key)
+				got, err := c.Get(bg, key)
 				if err != nil || string(got) != key {
 					errs <- fmt.Errorf("round trip %s: %v", key, err)
 					return
@@ -172,13 +174,13 @@ func TestServerCloseStopsService(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("k", []byte{1}); err != nil {
+	if err := c.Put(bg, "k", []byte{1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("k2", []byte{2}); err == nil {
+	if err := c.Put(bg, "k2", []byte{2}); err == nil {
 		t.Error("Put succeeded after server close")
 	}
 	if _, err := Dial(addr); err == nil {
@@ -214,4 +216,53 @@ func TestMemStore(t *testing.T) {
 		t.Error("Get succeeded after Del")
 	}
 	s.Del("absent") // no panic
+}
+
+// slowStore delays Gets so a client deadline can expire mid-exchange.
+type slowStore struct {
+	MemStore
+	delay time.Duration
+}
+
+func (s *slowStore) Get(key string) ([]byte, bool) {
+	time.Sleep(s.delay)
+	return s.MemStore.Get(key)
+}
+
+// TestClientPoisonedAfterDeadline pins the desynchronization fix: once a
+// round-trip dies on a context deadline, the late response must never be
+// attributed to the next request — the connection is torn down and every
+// later operation fails with the original error.
+func TestClientPoisonedAfterDeadline(t *testing.T) {
+	store := &slowStore{delay: 300 * time.Millisecond}
+	store.MemStore.m = map[string][]byte{"a": []byte("AAAA"), "b": []byte("BBBB")}
+	srv, err := NewServer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Get(ctx, "a"); err == nil {
+		t.Fatal("Get survived a 30ms deadline against a 300ms server")
+	}
+	// Without poisoning, this would read request a's late response and
+	// return AAAA for key b.
+	got, err := c.Get(bg, "b")
+	if err == nil {
+		t.Fatalf("Get on a broken connection succeeded with %q", got)
+	}
+	if err := c.Put(bg, "c", []byte("C")); err == nil {
+		t.Fatal("Put on a broken connection succeeded")
+	}
 }
