@@ -5,28 +5,101 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"aecodes/internal/pipeline"
 	"aecodes/internal/xorblock"
 )
 
-// Archive stream framing: every data block starts with a 4-byte big-endian
-// header whose top bit marks the archive's final block and whose low 31
-// bits give the payload bytes carried by this block. Non-final blocks are
-// always full; the final block holds the tail (possibly zero bytes, for an
-// empty archive) and is zero-padded to the block size. The framing makes
-// an archive self-describing on any BlockStore — no out-of-band length or
-// block count is needed to read it back, and a missing interior block is
-// distinguishable from end-of-archive.
+// Archive stream framing, version 2: every data block starts with an
+// 8-byte big-endian header. The first word carries the final-block flag
+// (bit 31), the format-version bit (bit 30, set for v2), and the payload
+// length in its low 30 bits; the second word is a CRC32-C (Castagnoli)
+// checksum over the first header word followed by the payload bytes —
+// covering the header word means a flipped flag or length bit is caught
+// just like payload corruption, so a detected error (and, via a degraded
+// read of the block's strands, usually a repairable one) surfaces at
+// stream-read time instead of a silent truncation. Non-final blocks are
+// always full; the final block holds the tail (possibly zero bytes, for
+// an empty archive) and is zero-padded to the block size. The framing
+// makes an archive self-describing on any BlockStore — no out-of-band
+// length or block count is needed to read it back, and a missing
+// interior block is distinguishable from end-of-archive.
+//
+// Version 1 blocks (a 4-byte header: final-block bit + 31-bit length, no
+// checksum) are still readable: the version bit is clear on every v1
+// block, because a v1 length can never reach 2^30. Writers always emit
+// v2. One writer produced the whole archive, so all its blocks share one
+// version: the reader locks onto the first block's version and treats a
+// block of the other version as corrupt (degraded-repair, then error) —
+// closing the hole where clearing the version bit of a v2 block would
+// otherwise let it masquerade as an unchecksummed v1 block. The first
+// block has no locked version to check against, so when it parses as v1
+// the reader cross-checks it against its strands (one degraded read): a
+// stored block that disagrees with the surviving parities is corrupt and
+// the strand-derived content wins. Only a first block that is corrupted
+// while every one of its repair tuples is also gone can slip through —
+// the same condition under which no repair of any kind is possible.
 const (
-	archiveHeaderLen = 4
-	archiveLastFlag  = 1 << 31
-	archiveLenMask   = archiveLastFlag - 1
+	archiveHeaderLenV1 = 4
+	archiveHeaderLen   = 8
+	archiveLastFlag    = 1 << 31
+	archiveV2Flag      = 1 << 30
+	archiveLenMask     = archiveV2Flag - 1
+	archiveLenMaskV1   = archiveLastFlag - 1
 )
 
-// archiveCapacity returns the payload bytes per block.
+// castagnoli is the CRC32-C table shared by the writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// archiveCapacity returns the payload bytes per block written (v2
+// framing).
 func archiveCapacity(blockSize int) int { return blockSize - archiveHeaderLen }
+
+// archiveCRC computes the v2 block checksum: the first header word (so
+// flag and length corruption is detected, not just payload corruption)
+// followed by the payload.
+func archiveCRC(hdrWord []byte, payload []byte) uint32 {
+	return crc32.Update(crc32.Checksum(hdrWord, castagnoli), castagnoli, payload)
+}
+
+// parseArchiveBlock validates one raw block's framing and returns its
+// payload slice, final-block flag and framing version (1 or 2). For v2
+// blocks the header word and payload are verified against the embedded
+// CRC32-C, so corruption surfaces here instead of flowing silently into
+// the caller's data.
+func parseArchiveBlock(raw []byte, blockSize int) (payload []byte, last bool, version int, err error) {
+	if len(raw) != blockSize {
+		return nil, false, 0, fmt.Errorf("aecodes: archive block has %d bytes, want %d", len(raw), blockSize)
+	}
+	if len(raw) < archiveHeaderLenV1 {
+		return nil, false, 0, fmt.Errorf("aecodes: archive block of %d bytes cannot hold a frame header", len(raw))
+	}
+	hdr := binary.BigEndian.Uint32(raw[:4])
+	last = hdr&archiveLastFlag != 0
+	if hdr&archiveV2Flag != 0 {
+		if len(raw) < archiveHeaderLen {
+			return nil, false, 0, fmt.Errorf("aecodes: archive block of %d bytes cannot hold a v2 frame header", len(raw))
+		}
+		n := int(hdr & archiveLenMask)
+		capacity := blockSize - archiveHeaderLen
+		if n > capacity || (!last && n != capacity) {
+			return nil, false, 0, fmt.Errorf("aecodes: corrupt v2 framing (len %d, last %v)", n, last)
+		}
+		payload = raw[archiveHeaderLen : archiveHeaderLen+n]
+		if got, want := archiveCRC(raw[:4], payload), binary.BigEndian.Uint32(raw[4:8]); got != want {
+			return nil, false, 0, fmt.Errorf("aecodes: block checksum mismatch (crc32c %08x, header says %08x)", got, want)
+		}
+		return payload, last, 2, nil
+	}
+	n := int(hdr & archiveLenMaskV1)
+	capacity := blockSize - archiveHeaderLenV1
+	if n > capacity || (!last && n != capacity) {
+		return nil, false, 0, fmt.Errorf("aecodes: corrupt v1 framing (len %d, last %v)", n, last)
+	}
+	return raw[archiveHeaderLenV1 : archiveHeaderLenV1+n], last, 1, nil
+}
 
 // ArchiveOptions tunes the streaming archive reader and writer.
 type ArchiveOptions struct {
@@ -135,15 +208,17 @@ func (w *ArchiveWriter) failed() error {
 	}
 }
 
-// emit seals the current block (zero-padding the tail) and hands it to the
-// pipeline. The pipeline drains its input even after a failure, so the
-// send cannot deadlock; the error surfaces on Close (or the next Write).
+// emit seals the current block (v2 header: flags + length, then the
+// payload's CRC32-C; zero-padding the tail) and hands it to the pipeline.
+// The pipeline drains its input even after a failure, so the send cannot
+// deadlock; the error surfaces on Close (or the next Write).
 func (w *ArchiveWriter) emit(last bool) {
-	hdr := uint32(w.curN)
+	hdr := uint32(w.curN) | archiveV2Flag
 	if last {
 		hdr |= archiveLastFlag
 	}
-	binary.BigEndian.PutUint32(w.cur[:archiveHeaderLen], hdr)
+	binary.BigEndian.PutUint32(w.cur[0:4], hdr)
+	binary.BigEndian.PutUint32(w.cur[4:8], archiveCRC(w.cur[0:4], w.cur[archiveHeaderLen:archiveHeaderLen+w.curN]))
 	tail := w.cur[archiveHeaderLen+w.curN:]
 	for i := range tail {
 		tail[i] = 0
@@ -236,6 +311,7 @@ type ArchiveReader struct {
 	pending [][]byte // prefetched raw blocks for positions next, next+1, ...
 	payload []byte   // unread payload of the current block
 	fin     bool     // final block consumed: next Read returns EOF
+	ver     int      // framing version locked from the first block; 0 = unknown
 	err     error    // sticky failure
 }
 
@@ -277,7 +353,10 @@ func (r *ArchiveReader) refill() error {
 }
 
 // advance loads the next block's payload, repairing the block if the
-// store cannot serve it.
+// store cannot serve it — or if what the store served fails its framing
+// or checksum validation: detected corruption gets the same degraded
+// read a missing block does, so a flipped bit costs one XOR, not the
+// archive.
 func (r *ArchiveReader) advance() error {
 	if len(r.pending) == 0 {
 		if err := r.refill(); err != nil {
@@ -286,29 +365,58 @@ func (r *ArchiveReader) advance() error {
 	}
 	raw := r.pending[0]
 	r.pending = r.pending[1:]
+	repaired := false
 	if raw == nil {
 		// Degraded read: rebuild this block from its strands, one XOR if a
 		// pp-tuple survives (§III), without writing anything back.
-		repaired, err := r.code.RepairData(r.ctx, r.st, r.next)
+		rep, err := r.code.RepairData(r.ctx, r.st, r.next)
 		if err != nil {
 			return fmt.Errorf("aecodes: archive block d%d unreadable (damaged beyond degraded read; run Repair): %w", r.next, err)
 		}
-		raw = repaired
+		raw, repaired = rep, true
 	}
-	if len(raw) != r.code.BlockSize() {
-		return fmt.Errorf("aecodes: archive block d%d has %d bytes, want %d", r.next, len(raw), r.code.BlockSize())
+	payload, last, ver, err := r.parseChecked(raw)
+	if err != nil && !repaired {
+		// The stored block is corrupt (checksum, framing, or a version
+		// flip). Its strands still hold the truth: degraded-read it and
+		// validate again.
+		if rep, rerr := r.code.RepairData(r.ctx, r.st, r.next); rerr == nil {
+			payload, last, ver, err = r.parseChecked(rep)
+		}
 	}
-	hdr := binary.BigEndian.Uint32(raw[:archiveHeaderLen])
-	n := int(hdr & archiveLenMask)
-	last := hdr&archiveLastFlag != 0
-	capacity := archiveCapacity(r.code.BlockSize())
-	if n > capacity || (!last && n != capacity) {
-		return fmt.Errorf("aecodes: archive block d%d has corrupt framing (len %d, last %v)", r.next, n, last)
+	if err == nil && ver == 1 && r.ver == 0 && !repaired {
+		// An unlocked (first) block parsing as v1 has no checksum and no
+		// locked version to vouch for it — a v2 block with a flipped
+		// version bit would land here too. Cross-check against the
+		// strands: if the surviving parities reconstruct different
+		// content, the stored block is corrupt and the strands win.
+		if rep, rerr := r.code.RepairData(r.ctx, r.st, r.next); rerr == nil && !xorblock.Equal(rep, raw) {
+			payload, last, ver, err = r.parseChecked(rep)
+		}
 	}
-	r.payload = raw[archiveHeaderLen : archiveHeaderLen+n]
+	if err != nil {
+		return fmt.Errorf("aecodes: archive block d%d corrupt beyond degraded repair (run Repair): %w", r.next, err)
+	}
+	r.ver = ver
+	r.payload = payload
 	r.fin = last
 	r.next++
 	return nil
+}
+
+// parseChecked parses one raw block and enforces the archive's locked
+// framing version: one writer framed the whole archive, so a block
+// claiming the other version is corruption (most likely a flipped
+// version bit), not a format change mid-stream.
+func (r *ArchiveReader) parseChecked(raw []byte) ([]byte, bool, int, error) {
+	payload, last, ver, err := parseArchiveBlock(raw, r.code.BlockSize())
+	if err != nil {
+		return nil, false, 0, err
+	}
+	if r.ver != 0 && ver != r.ver {
+		return nil, false, 0, fmt.Errorf("aecodes: block framed as v%d inside a v%d archive", ver, r.ver)
+	}
+	return payload, last, ver, nil
 }
 
 // Read implements io.Reader.

@@ -1,0 +1,54 @@
+package aecodes
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParseArchiveBlock feeds arbitrary raw blocks to the frame parser:
+// whatever a damaged store serves, parsing must never panic, never
+// return a payload outside the declared bounds, and must accept every
+// well-formed frame of either version.
+func FuzzParseArchiveBlock(f *testing.F) {
+	// A valid v2 block.
+	v2 := make([]byte, 64)
+	payload := []byte("hello, entangled world")
+	binary.BigEndian.PutUint32(v2[0:4], uint32(len(payload))|archiveLastFlag|archiveV2Flag)
+	binary.BigEndian.PutUint32(v2[4:8], archiveCRC(v2[0:4], payload))
+	copy(v2[8:], payload)
+	f.Add(v2)
+	// A valid v1 block.
+	v1 := make([]byte, 64)
+	binary.BigEndian.PutUint32(v1[0:4], uint32(len(payload))|archiveLastFlag)
+	copy(v1[4:], payload)
+	f.Add(v1)
+	// Hostile seeds: flipped version bit, oversized length, short block.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(make([]byte, 8))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		payload, last, version, err := parseArchiveBlock(raw, len(raw))
+		if err != nil {
+			return // malformed frames must just error
+		}
+		if len(payload) > len(raw) {
+			t.Fatalf("payload of %d bytes from a %d-byte block", len(payload), len(raw))
+		}
+		switch version {
+		case 2:
+			if archiveCRC(raw[:4], payload) != binary.BigEndian.Uint32(raw[4:8]) {
+				t.Fatal("accepted a v2 block that fails its own checksum")
+			}
+			if !last && len(payload) != len(raw)-archiveHeaderLen {
+				t.Fatal("accepted a short non-final v2 block")
+			}
+		case 1:
+			if !last && len(payload) != len(raw)-archiveHeaderLenV1 {
+				t.Fatal("accepted a short non-final v1 block")
+			}
+		default:
+			t.Fatalf("parser reported version %d", version)
+		}
+	})
+}

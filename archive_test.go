@@ -11,7 +11,7 @@ import (
 	"aecodes"
 )
 
-const archiveParamsBlock = 64 // capacity 60 after the 4-byte frame header
+const archiveParamsBlock = 64 // capacity 56 after the 8-byte v2 frame header
 
 func archiveParams() aecodes.Params { return aecodes.Params{Alpha: 3, S: 2, P: 5} }
 
@@ -64,7 +64,7 @@ func readArchive(t *testing.T, blockSize int, store aecodes.BlockStore, opts aec
 // byte, one byte either side of the per-block capacity and of the block
 // size, exact multiples, and a larger payload.
 func TestArchiveRoundTripSizes(t *testing.T) {
-	capacity := archiveParamsBlock - 4
+	capacity := archiveParamsBlock - 8
 	sizes := []int{
 		0, 1,
 		capacity - 1, capacity, capacity + 1,

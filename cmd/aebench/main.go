@@ -6,13 +6,21 @@
 //	aebench -exp all                         # everything, paper defaults
 //	aebench -exp fig11 -blocks 1000000       # one experiment at 1M blocks
 //	aebench -exp table6 -blocks 200000 -seed 7
+//	aebench -exp encode -json > BENCH.json   # machine-readable perf record
 //
 // Experiments: table4, fig8, fig9, fig10, fig11, fig12, fig13, table6,
 // placement, mirror, all.
+//
+// With -json the human-readable tables are suppressed and a single JSON
+// document is written to stdout: one entry per measurement (ns/op and
+// MB/s where meaningful, wall time per experiment), so successive runs
+// can be archived as BENCH_*.json and diffed to track the perf
+// trajectory.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,6 +40,28 @@ import (
 	"aecodes/internal/xorblock"
 )
 
+// benchResult is one machine-readable measurement emitted by -json.
+type benchResult struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_op,omitempty"`
+	MBps       float64 `json:"mb_s,omitempty"`
+	WallNs     int64   `json:"wall_ns,omitempty"`
+}
+
+// recorder accumulates the run's measurements; emitted as one JSON
+// document when -json is set, ignored otherwise.
+var recorder []benchResult
+
+func record(r benchResult) { recorder = append(recorder, r) }
+
+// benchDocument is the -json output schema.
+type benchDocument struct {
+	Timestamp  string        `json:"timestamp"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|all")
@@ -41,12 +71,39 @@ func main() {
 		trials    = flag.Int("trials", 6000, "Monte-Carlo trials for the mirror experiment")
 		blockSize = flag.Int("blocksize", 1<<20, "block size in bytes for the encode experiment")
 		encBlocks = flag.Int("encblocks", 256, "blocks per measurement in the encode experiment")
+		jsonOut   = flag.Bool("json", false, "emit one JSON document of measurements instead of tables")
 	)
 	flag.Parse()
+	realStdout := os.Stdout
+	if *jsonOut {
+		// The experiments print their tables via fmt.Printf; with -json the
+		// document must be the only thing on stdout, so the tables go to
+		// the void and JSON to the real descriptor.
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aebench:", err)
+			os.Exit(1)
+		}
+		os.Stdout = devnull
+	}
 	encCfg := encodeConfig{blockSize: *blockSize, blocks: *encBlocks}
 	if err := run(*exp, sim.Config{DataBlocks: *blocks, Locations: *locations, Seed: *seed}, *trials, encCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "aebench:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		os.Stdout = realStdout
+		doc := benchDocument{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Results:    recorder,
+		}
+		enc := json.NewEncoder(realStdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "aebench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -80,9 +137,17 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		{"ablation", func(c sim.Config, _ int) error { return ablations(c) }},
 		{"encode", func(c sim.Config, _ int) error { return encodeBench(encCfg) }},
 	}
+	timed := func(e experiment) error {
+		start := time.Now()
+		if err := e.fn(cfg, trials); err != nil {
+			return err
+		}
+		record(benchResult{Experiment: e.name, Name: "wall", WallNs: time.Since(start).Nanoseconds()})
+		return nil
+	}
 	if exp == "all" {
 		for _, e := range experiments {
-			if err := e.fn(cfg, trials); err != nil {
+			if err := timed(e); err != nil {
 				return fmt.Errorf("%s: %w", e.name, err)
 			}
 			fmt.Println()
@@ -91,7 +156,7 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 	}
 	for _, e := range experiments {
 		if e.name == exp {
-			return e.fn(cfg, trials)
+			return timed(e)
 		}
 	}
 	return fmt.Errorf("unknown experiment %q", exp)
@@ -329,6 +394,10 @@ func encodeBench(cfg encodeConfig) error {
 	pip := time.Since(start)
 	fmt.Printf("  sequential: %8.1f MB/s (%v)\n", mbps(seq), seq.Round(time.Millisecond))
 	fmt.Printf("  pipelined:  %8.1f MB/s (%v)  speedup %.2fx\n", mbps(pip), pip.Round(time.Millisecond), seq.Seconds()/pip.Seconds())
+	record(benchResult{Experiment: "encode", Name: "sequential",
+		NsPerOp: float64(seq.Nanoseconds()) / float64(cfg.blocks), MBps: mbps(seq)})
+	record(benchResult{Experiment: "encode", Name: "pipelined",
+		NsPerOp: float64(pip.Nanoseconds()) / float64(cfg.blocks), MBps: mbps(pip)})
 
 	return repairRoundBench()
 }
@@ -407,9 +476,17 @@ func repairRoundBench() error {
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		fmt.Printf("  workers=%-2d %v for %d rounds (%d data + %d parity repairs)\n",
-			workers, time.Since(start).Round(time.Millisecond), stats.Rounds,
+			workers, elapsed.Round(time.Millisecond), stats.Rounds,
 			stats.DataRepaired, stats.ParityRepaired)
+		repairs := stats.DataRepaired + stats.ParityRepaired
+		if repairs > 0 {
+			record(benchResult{Experiment: "repair", Name: fmt.Sprintf("workers=%d", workers),
+				NsPerOp: float64(elapsed.Nanoseconds()) / float64(repairs),
+				MBps:    float64(repairs) * blockSize / (1 << 20) / elapsed.Seconds(),
+				WallNs:  elapsed.Nanoseconds()})
+		}
 	}
 	return nil
 }

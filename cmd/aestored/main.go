@@ -5,9 +5,14 @@
 // Usage:
 //
 //	aestored -addr 127.0.0.1:7070
+//	aestored -addr 127.0.0.1:7070 -idletimeout 2m
 //
 // The node announces its bound address on stdout and serves until
-// interrupted.
+// interrupted. With -idletimeout set, connections idle longer than that
+// are dropped so abandoned broker connections cannot pin sockets
+// forever. It defaults to off: a reaped connection permanently poisons a
+// plain transport.Client (only the pool client redials), so only enable
+// it for nodes whose peers use transport.PoolClient.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	idle := flag.Duration("idletimeout", 0, "drop connections idle this long (0 disables; poisons non-pool clients)")
 	flag.Parse()
 
 	store := transport.NewMemStore()
@@ -30,6 +36,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
 		os.Exit(1)
 	}
+	srv.SetIdleTimeout(*idle)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)

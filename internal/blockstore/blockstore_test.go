@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"aecodes/internal/lattice"
+	"aecodes/internal/store"
 )
 
 func TestKeys(t *testing.T) {
@@ -293,3 +294,51 @@ func TestClusterConcurrency(t *testing.T) {
 
 // bg is the context used by tests that do not exercise cancellation.
 var bg = context.Background()
+
+// TestLatticeViewGetManyPartialUnderDownNode pins the prefetch contract:
+// blocks on a down location come back as nil entries — not a batch error
+// — and Missing agrees with that availability view, so the repair
+// engine's round prefetch sees a consistent picture of the cluster.
+func TestLatticeViewGetManyPartialUnderDownNode(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewLatticeView(c, 4, func(key string) int {
+		if parsed, ok := parseDataKey(key); ok {
+			return parsed % 2
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := view.PutData(bg, i, []byte{byte(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetAvailable(1, false); err != nil { // odd data positions vanish
+		t.Fatal(err)
+	}
+
+	refs := []store.Ref{store.DataRef(1), store.DataRef(2), store.DataRef(3), store.DataRef(4)}
+	blocks, err := view.GetMany(bg, refs)
+	if err != nil {
+		t.Fatalf("GetMany over a half-down cluster failed: %v", err)
+	}
+	if blocks[0] != nil || blocks[2] != nil {
+		t.Errorf("down-location entries = %v, %v; want nil, nil", blocks[0], blocks[2])
+	}
+	if blocks[1] == nil || blocks[3] == nil {
+		t.Error("healthy-location entries missing")
+	}
+	missing, err := view.Missing(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMissing := map[int]bool{1: true, 3: true}
+	if len(missing.Data) != 2 || !wantMissing[missing.Data[0]] || !wantMissing[missing.Data[1]] {
+		t.Errorf("Missing.Data = %v, want the two down positions", missing.Data)
+	}
+}

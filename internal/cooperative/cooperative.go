@@ -17,9 +17,10 @@
 // XORs it with the local d-block. Data blocks lost with the user's machine
 // are regenerated from pp-tuples fetched from two nodes. Whole-lattice
 // repair reuses the round-based engine of internal/entangle through a
-// network-backed BlockStore adapter: each round's reads arrive as one
-// GetMany frame per storage node, and each round's commit leaves as one
-// PutMany frame per storage node.
+// network-backed BlockStore adapter that is pure routing + batching: the
+// engine's missing-block enumeration and its round-prefetch GetMany each
+// travel as one batched frame per storage node, and each round's commit
+// leaves as one PutMany frame per storage node.
 package cooperative
 
 import (
@@ -504,26 +505,18 @@ func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) e
 }
 
 // netStore adapts the broker's view of the network to the unified
-// BlockStore dialect so the generic repair engine can drive repairs.
-//
-// Reads: it keeps a per-round content cache. Missing — which the repair
-// engine calls at the start of every round — enumerates the lattice's
-// expected parities with one batched GetMany per storage node (for nodes
-// implementing BatchNodeStore) and records every fetched block, so the
-// round's planning reads are all cache hits. Writes: PutMany groups the
-// round's repaired parities by responsible node and forwards one batched
-// frame per node (Table III step 5, amortised). A whole repair round thus
-// exchanges one request frame per node in each direction.
+// BlockStore dialect so the generic repair engine can drive repairs. It
+// is pure routing and batching: refs and keys map to responsible nodes,
+// and bulk operations travel as one batched frame per node (for nodes
+// implementing BatchNodeStore). It keeps no cache — round-based repair's
+// read locality lives in the engine's own round prefetch, which arrives
+// here as one GetMany over the round's working set.
 type netStore struct {
 	b *Broker
-	// mu guards the broker's local map and the round cache so the repair
-	// engine's concurrent planners (and any pipeline sink use) can read
-	// and write through the adapter safely.
+	// mu guards the broker's local map so the repair engine's concurrent
+	// planners (and any pipeline sink use) can read and write through the
+	// adapter safely.
 	mu sync.RWMutex
-	// cache maps parity keys fetched this round to their content; a nil
-	// value records a known-missing block. Keys absent from the map fall
-	// back to a single-block Get.
-	cache map[string][]byte
 }
 
 var _ store.BlockStore = (*netStore)(nil)
@@ -541,8 +534,8 @@ func (s *netStore) GetData(ctx context.Context, i int) ([]byte, error) {
 	return d, nil
 }
 
-// GetParity implements store.Source: a round-cache hit, or a remote fetch
-// (Table III step 4) for reads outside round-based repair.
+// GetParity implements store.Source: a remote fetch from the responsible
+// node (Table III step 4).
 func (s *netStore) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
 	if e.IsVirtual() {
 		return store.ZeroBlock(s.b.blockSize), nil
@@ -551,15 +544,6 @@ func (s *netStore) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error
 		return nil, fmt.Errorf("cooperative: parity %v never created: %w", e, store.ErrNotFound)
 	}
 	key := s.b.parityKey(e)
-	s.mu.RLock()
-	data, ok := s.cache[key]
-	s.mu.RUnlock()
-	if ok {
-		if data == nil {
-			return nil, fmt.Errorf("cooperative: parity %v: %w", e, store.ErrNotFound)
-		}
-		return data, nil
-	}
 	return s.b.nodeFor(key).Get(ctx, key)
 }
 
@@ -574,26 +558,11 @@ func (s *netStore) PutData(ctx context.Context, i int, b []byte) error {
 }
 
 // PutParity implements store.Single: repaired parities are re-uploaded
-// (Table III step 5) and written through to the round cache. The input is
-// copied; callers may recycle it after return.
+// (Table III step 5). The node transmits or copies before returning, so
+// callers may recycle the slice after return.
 func (s *netStore) PutParity(ctx context.Context, e lattice.Edge, data []byte) error {
 	key := s.b.parityKey(e)
-	if err := s.b.nodeFor(key).Put(ctx, key, data); err != nil {
-		return err
-	}
-	s.cacheParity(key, data)
-	return nil
-}
-
-// cacheParity writes a freshly uploaded parity through to the round cache.
-func (s *netStore) cacheParity(key string, data []byte) {
-	s.mu.Lock()
-	if s.cache != nil {
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		s.cache[key] = cp
-	}
-	s.mu.Unlock()
+	return s.b.nodeFor(key).Put(ctx, key, data)
 }
 
 // fetchFromNode fetches keys from one node with the fewest possible
@@ -625,9 +594,9 @@ func (s *netStore) fetchFromNode(ctx context.Context, node NodeStore, keys []str
 }
 
 // GetMany implements store.BlockStore: data refs are served from the
-// user's machine, parity refs from the round cache, and the remainder is
-// grouped by responsible node and fetched with one batched frame per node
-// where the node supports it.
+// user's machine, parity refs are grouped by responsible node and fetched
+// with one batched frame per node where the node supports it. This is the
+// path the repair engine's round prefetch travels.
 func (s *netStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, error) {
 	out := make([][]byte, len(refs))
 	type want struct {
@@ -651,10 +620,6 @@ func (s *netStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, err
 			continue // never created
 		}
 		key := s.b.parityKey(r.Edge)
-		if data, ok := s.cache[key]; ok {
-			out[idx] = data
-			continue
-		}
 		nidx := s.b.placer.PlaceKey(key)
 		byNode[nidx] = append(byNode[nidx], want{pos: idx, key: key})
 	}
@@ -688,27 +653,20 @@ func (s *netStore) PutMany(ctx context.Context, blocks []store.Block) error {
 		key := s.b.parityKey(blk.Ref.Edge)
 		idx := s.b.placer.PlaceKey(key)
 		// blk.Data stays valid for the whole call (the engine recycles it
-		// only after PutMany returns); uploads transmit synchronously and
-		// cacheParity copies, so no extra copy is needed here.
+		// only after PutMany returns), and the NodeStore contract has each
+		// node copy or transmit before its Put/PutMany returns — so no
+		// extra copy is needed here.
 		byNode[idx] = append(byNode[idx], store.KV{Key: key, Data: blk.Data})
 	}
-	if err := s.b.uploadGrouped(ctx, byNode); err != nil {
-		return err
-	}
-	for _, items := range byNode {
-		for _, it := range items {
-			s.cacheParity(it.Key, it.Data)
-		}
-	}
-	return nil
+	return s.b.uploadGrouped(ctx, byNode)
 }
 
 // Missing implements store.Single: every data block the user's machine
 // lost, and every parity the lattice says should exist but no node
-// serves. Parity enumeration doubles as the round's bulk fetch —
-// batch-capable nodes answer with one GetMany frame per node (in
-// chunkEntries-sized chunks) and the returned contents seed the round
-// cache.
+// serves. Batch-capable nodes answer the parity enumeration with one
+// GetMany frame per node (in chunkEntries-sized chunks); the contents are
+// discarded — the repair engine prefetches the (much smaller) working set
+// it actually plans against in its own round batch.
 func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
 	if err := ctx.Err(); err != nil {
 		return store.Missing{}, err
@@ -739,7 +697,6 @@ func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
 			byNode[idx] = append(byNode[idx], expected{edge: e, key: key})
 		}
 	}
-	cache := make(map[string][]byte, s.b.count*len(lat.Classes()))
 	for idx, wanted := range byNode {
 		keys := make([]string, len(wanted))
 		for j, w := range wanted {
@@ -749,15 +706,11 @@ func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
 		for j, w := range wanted {
 			// A nil entry covers both "node answered: not held" and "node
 			// unreachable" — either way the block is missing this round.
-			cache[w.key] = blocks[j]
 			if blocks[j] == nil {
 				m.Parities = append(m.Parities, w.edge)
 			}
 		}
 	}
-	s.mu.Lock()
-	s.cache = cache
-	s.mu.Unlock()
 	sort.Slice(m.Parities, func(a, b int) bool {
 		if m.Parities[a].Class != m.Parities[b].Class {
 			return m.Parities[a].Class < m.Parities[b].Class

@@ -1,0 +1,213 @@
+package entangle
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/store"
+)
+
+// countingStore wraps a BlockStore and counts every call per method, so
+// tests can pin the engine's traffic shape exactly.
+type countingStore struct {
+	inner store.BlockStore
+
+	mu        sync.Mutex
+	getData   int
+	getParity int
+	getMany   int
+	putMany   int
+	missing   int
+}
+
+var _ store.BlockStore = (*countingStore)(nil)
+
+func (c *countingStore) bump(n *int) {
+	c.mu.Lock()
+	*n++
+	c.mu.Unlock()
+}
+
+func (c *countingStore) GetData(ctx context.Context, i int) ([]byte, error) {
+	c.bump(&c.getData)
+	return c.inner.GetData(ctx, i)
+}
+
+func (c *countingStore) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
+	c.bump(&c.getParity)
+	return c.inner.GetParity(ctx, e)
+}
+
+func (c *countingStore) PutData(ctx context.Context, i int, b []byte) error {
+	return c.inner.PutData(ctx, i, b)
+}
+
+func (c *countingStore) PutParity(ctx context.Context, e lattice.Edge, b []byte) error {
+	return c.inner.PutParity(ctx, e, b)
+}
+
+func (c *countingStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, error) {
+	c.bump(&c.getMany)
+	return c.inner.GetMany(ctx, refs)
+}
+
+func (c *countingStore) PutMany(ctx context.Context, blocks []store.Block) error {
+	c.bump(&c.putMany)
+	return c.inner.PutMany(ctx, blocks)
+}
+
+func (c *countingStore) Missing(ctx context.Context) (store.Missing, error) {
+	c.bump(&c.missing)
+	return c.inner.Missing(ctx)
+}
+
+func (c *countingStore) counts() (getData, getParity, getMany, putMany, missing int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getData, c.getParity, c.getMany, c.putMany, c.missing
+}
+
+// buildDamagedStore entangles n random blocks into a MemoryStore and marks
+// a fraction of data and parity blocks lost. It returns the store and the
+// originals (1-based).
+func buildDamagedStore(t *testing.T, params lattice.Params, n, blockSize int, lossFrac float64, seed int64) (*MemoryStore, [][]byte) {
+	t.Helper()
+	enc, err := NewEncoder(params, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemoryStore(blockSize)
+	rng := rand.New(rand.NewSource(seed))
+	originals := make([][]byte, n+1)
+	for i := 1; i <= n; i++ {
+		data := make([]byte, blockSize)
+		rng.Read(data)
+		originals[i] = data
+		ent, err := enc.Entangle(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PutData(context.Background(), ent.Index, data); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ent.Parities {
+			if err := st.PutParity(context.Background(), p.Edge, p.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lat := enc.Lattice()
+	for i := 1; i <= n; i++ {
+		if rng.Float64() < lossFrac {
+			st.LoseData(i)
+		}
+		for _, class := range lat.Classes() {
+			if rng.Float64() < lossFrac {
+				if e, err := lat.OutEdge(class, i); err == nil {
+					st.LoseParity(e)
+				}
+			}
+		}
+	}
+	return st, originals
+}
+
+// TestRepairRoundPrefetchShape pins the engine-level traffic shape on any
+// backend: each productive round issues exactly one Missing enumeration
+// and exactly one GetMany prefetch, planning never reads single blocks
+// from the store, and each productive round commits exactly one PutMany.
+func TestRepairRoundPrefetchShape(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		st, originals := buildDamagedStore(t, lattice.Params{Alpha: 3, S: 2, P: 5}, 150, 64, 0.3, int64(41+workers))
+		cs := &countingStore{inner: st}
+		rep, err := NewRepairer(lattice.Params{Alpha: 3, S: 2, P: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := rep.Repair(context.Background(), cs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(stats.UnrepairedData) != 0 {
+			t.Fatalf("workers=%d: %d data blocks unrepaired", workers, len(stats.UnrepairedData))
+		}
+		getData, getParity, getMany, putMany, missing := cs.counts()
+		// Productive rounds plus the closing enumeration each call Missing;
+		// only productive rounds (and a possible final unproductive one that
+		// still had missing blocks) prefetch and commit.
+		if missing < stats.Rounds || missing > stats.Rounds+1 {
+			t.Errorf("workers=%d: %d Missing calls over %d rounds, want %d or %d",
+				workers, missing, stats.Rounds, stats.Rounds, stats.Rounds+1)
+		}
+		if getMany != stats.Rounds {
+			t.Errorf("workers=%d: %d GetMany prefetches over %d productive rounds, want exactly one per round",
+				workers, getMany, stats.Rounds)
+		}
+		if putMany != stats.Rounds {
+			t.Errorf("workers=%d: %d PutMany commits over %d rounds, want exactly one per round",
+				workers, putMany, stats.Rounds)
+		}
+		if getData != 0 || getParity != 0 {
+			t.Errorf("workers=%d: planning read %d data + %d parity single blocks from the store, want 0 (round cache bypassed)",
+				workers, getData, getParity)
+		}
+		for i := 1; i <= 150; i++ {
+			got, err := st.GetData(context.Background(), i)
+			if err != nil {
+				t.Fatalf("workers=%d: d%d unavailable after repair: %v", workers, i, err)
+			}
+			if !bytes.Equal(got, originals[i]) {
+				t.Fatalf("workers=%d: d%d corrupted by repair", workers, i)
+			}
+		}
+	}
+}
+
+// TestRepairPrefetchSnapshotIsolation pins that planning reads only the
+// prefetched snapshot: blocks lost after the prefetch (mid-round faults)
+// do not change what the round's planners see, so the round still commits
+// what the frozen pre-round state allowed.
+func TestRepairPrefetchSnapshotIsolation(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, _ := buildDamagedStore(t, params, 60, 32, 0, 9)
+	st.LoseData(10)
+
+	// losingStore drops a parity from the backend the moment the round's
+	// prefetch completes; a snapshot-reading planner must not notice.
+	ls := &losingStore{MemoryStore: st, lose: func() {
+		lat, _ := lattice.New(params)
+		for _, class := range lat.Classes() {
+			if e, err := lat.OutEdge(class, 10); err == nil {
+				st.LoseParity(e)
+			}
+		}
+	}}
+	rep, err := NewRepairer(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rep.Repair(context.Background(), ls, Options{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DataRepaired != 1 {
+		t.Fatalf("repaired %d data blocks, want 1 (snapshot should shield planning from the mid-round loss)", stats.DataRepaired)
+	}
+}
+
+// losingStore triggers lose once, after the first GetMany returns.
+type losingStore struct {
+	*MemoryStore
+	once sync.Once
+	lose func()
+}
+
+func (l *losingStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, error) {
+	blocks, err := l.MemoryStore.GetMany(ctx, refs)
+	l.once.Do(l.lose)
+	return blocks, err
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"aecodes/internal/lattice"
 	"aecodes/internal/store"
@@ -159,6 +160,31 @@ type Options struct {
 	// result is identical for any worker count: planning is read-only
 	// against the frozen pre-round state and commits stay ordered.
 	Workers int
+	// Patience is the number of consecutive zero-progress rounds tolerated
+	// before declaring a fixpoint. The default 0 stops at the first round
+	// that repairs nothing (the paper's Table VI semantics over a stable
+	// store). Over a flaky backend a round can repair nothing because
+	// reads were dropped rather than because nothing is repairable, so a
+	// small Patience lets repair ride out transient unavailability.
+	Patience int
+	// RetryDelay is the pause between prefetch retry attempts and before
+	// re-enumerating after a zero-progress round, giving a blipped
+	// backend (a transport pool mid-redial, a restarting node) real time
+	// to recover instead of burning every retry and Patience round in
+	// microseconds. Zero defaults to 50ms — on the order of the
+	// transport's first redial backoff; negative disables the pause.
+	RetryDelay time.Duration
+}
+
+// retryDelay resolves the option's default.
+func (o Options) retryDelay() time.Duration {
+	if o.RetryDelay == 0 {
+		return 50 * time.Millisecond
+	}
+	if o.RetryDelay < 0 {
+		return 0
+	}
+	return o.RetryDelay
 }
 
 // RoundStats records what one synchronous repair round achieved.
@@ -196,15 +222,20 @@ func (s Stats) DataLoss() int { return len(s.UnrepairedData) }
 // when the round started, so the round count matches the paper's Table VI
 // semantics; newly repaired blocks become usable in the next round.
 //
-// Each round issues one Missing enumeration and commits all of its
-// repairs with a single PutMany batch, so a batch-native store moves a
-// whole round in one request per storage location in each direction.
+// Each round issues one Missing enumeration, one GetMany prefetch of the
+// round's entire repair-tuple working set into an engine-owned round
+// cache, and commits all of its repairs with a single PutMany batch —
+// so a batch-native store moves a whole round in a constant number of
+// requests per storage location, and planning reads never touch the
+// backend. The prefetch freezes the pre-round state: every planner reads
+// the same snapshot whatever the worker count.
 func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, error) {
 	var stats Stats
 	// final remembers the last enumeration when nothing was committed
 	// after it, so the usual exits (lattice healthy, fixpoint) do not pay
 	// a second whole-store sweep just for the closing statistics.
 	var final *store.Missing
+	zeroRounds := 0
 	for round := 1; ; round++ {
 		if opts.MaxRounds > 0 && round > opts.MaxRounds {
 			break
@@ -225,16 +256,45 @@ func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, e
 			break
 		}
 
-		// Plan the whole round against the frozen pre-round state...
-		dataFixes, parFixes, err := r.planRound(ctx, st, missing.Data, missingPar, opts.Workers)
+		// Prefetch the round's whole repair-tuple working set with one
+		// batch, then plan against that frozen snapshot. A prefetch whose
+		// bounded retries all failed is a backend outage lasting beyond
+		// this round: Patience treats it like a zero-progress round (the
+		// next enumeration starts over), and only when Patience is
+		// exhausted does it surface as the run's error.
+		cache, err := r.prefetchRound(ctx, st, missing.Data, missingPar, opts.retryDelay())
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return stats, cerr
+			}
+			zeroRounds++
+			if zeroRounds > opts.Patience {
+				return stats, fmt.Errorf("entangle: prefetching round %d: %w", round, err)
+			}
+			if serr := store.SleepCtx(ctx, opts.retryDelay()); serr != nil {
+				return stats, serr
+			}
+			continue
+		}
+		dataFixes, parFixes, err := r.planRound(ctx, cache, missing.Data, missingPar, opts.Workers)
 		if err != nil {
 			return stats, err
 		}
 
 		if len(dataFixes) == 0 && len(parFixes) == 0 {
-			final = &missing
-			break // fixpoint: nothing more is repairable
+			zeroRounds++
+			if zeroRounds > opts.Patience {
+				final = &missing
+				break // fixpoint: nothing more is repairable
+			}
+			// Flaky reads may have starved this round; give the backend
+			// time to recover before trying again.
+			if serr := store.SleepCtx(ctx, opts.retryDelay()); serr != nil {
+				return stats, serr
+			}
+			continue
 		}
+		zeroRounds = 0
 
 		// ...then commit the round as one batch, making this round's
 		// repairs visible to the next. Store implementations copy (or
@@ -256,12 +316,16 @@ func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, e
 			return stats, fmt.Errorf("entangle: committing round %d (%d blocks): %w", round, len(commit), err)
 		}
 
-		rs := RoundStats{Round: round, DataRepaired: len(dataFixes), ParityRepaired: len(parFixes)}
+		// Rounds counts productive rounds only, whatever zero-progress
+		// Patience rounds were interleaved: PerRound[i].Round == i+1 always
+		// holds, and the Table VI round count stays comparable across
+		// stable and flaky backends.
+		stats.Rounds++
+		rs := RoundStats{Round: stats.Rounds, DataRepaired: len(dataFixes), ParityRepaired: len(parFixes)}
 		stats.PerRound = append(stats.PerRound, rs)
-		stats.Rounds = round
 		stats.DataRepaired += rs.DataRepaired
 		stats.ParityRepaired += rs.ParityRepaired
-		if round == 1 {
+		if stats.Rounds == 1 {
 			stats.FirstRoundData = rs.DataRepaired
 		}
 	}
@@ -279,6 +343,148 @@ func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, e
 	return stats, nil
 }
 
+// roundCache is the engine-owned snapshot of one repair round's working
+// set: every block any repair tuple of the round's missing blocks could
+// read, fetched with a single GetMany before planning starts. It serves
+// the planner as a Source — a ref absent from the snapshot (or fetched as
+// unavailable) reads as ErrNotFound, so a concurrent fault mid-round
+// cannot make two planners disagree about availability. The cache is
+// read-only after construction and therefore safe for any number of
+// planner goroutines.
+type roundCache struct {
+	blockSize int // learned from the first fetched block; 0 if none
+	data      map[int][]byte
+	par       map[edgeKey][]byte
+}
+
+var _ Source = (*roundCache)(nil)
+
+// GetData implements Source against the snapshot.
+func (c *roundCache) GetData(ctx context.Context, i int) ([]byte, error) {
+	if b := c.data[i]; b != nil {
+		return b, nil
+	}
+	return nil, fmt.Errorf("entangle: d%d not in round snapshot: %w", i, store.ErrNotFound)
+}
+
+// GetParity implements Source against the snapshot; virtual edges read as
+// zero blocks once any real block has told the cache the block size.
+func (c *roundCache) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error) {
+	if e.IsVirtual() {
+		if c.blockSize == 0 {
+			// Nothing real was fetched, so no tuple can complete anyway.
+			return nil, fmt.Errorf("entangle: parity %v: %w", e, store.ErrNotFound)
+		}
+		return store.ZeroBlock(c.blockSize), nil
+	}
+	if b := c.par[keyOf(e)]; b != nil {
+		return b, nil
+	}
+	return nil, fmt.Errorf("entangle: parity %v not in round snapshot: %w", e, store.ErrNotFound)
+}
+
+// prefetchAttempts bounds the in-round retries of the working-set batch,
+// so a short ErrUnavailable burst from a flaky backend costs a retry
+// instead of aborting the whole repair run.
+const prefetchAttempts = 3
+
+// workingSet enumerates, deduplicated, every block the round's planners
+// may read: both parities of every pp-tuple of each missing data block,
+// and the data block plus companion parity of every dp-tuple option of
+// each missing parity. Virtual edges are excluded (they never need
+// fetching).
+func (r *Repairer) workingSet(missingData []int, missingPar []lattice.Edge) ([]store.Ref, error) {
+	var refs []store.Ref
+	seenData := make(map[int]bool)
+	seenPar := make(map[edgeKey]bool)
+	addData := func(i int) {
+		if !seenData[i] {
+			seenData[i] = true
+			refs = append(refs, store.DataRef(i))
+		}
+	}
+	addPar := func(e lattice.Edge) {
+		if e.IsVirtual() {
+			return
+		}
+		if k := keyOf(e); !seenPar[k] {
+			seenPar[k] = true
+			refs = append(refs, store.ParityRef(e))
+		}
+	}
+	for _, i := range missingData {
+		tuples, err := r.lat.Tuples(i)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
+			addPar(t.In)
+			addPar(t.Out)
+		}
+	}
+	for _, e := range missingPar {
+		opts, err := r.lat.ParityOptions(e)
+		if err != nil {
+			return nil, err
+		}
+		for _, opt := range opts {
+			addData(opt.Data)
+			addPar(opt.Parity)
+		}
+	}
+	return refs, nil
+}
+
+// prefetchRound issues the round's single GetMany over the working set
+// and builds the snapshot the planners read from. A failed batch is
+// retried a bounded number of times with delay between attempts (flaky
+// backends burst; pools need their redial backoff to land); nil entries
+// — blocks the store cannot serve — are recorded as known-missing.
+func (r *Repairer) prefetchRound(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge, delay time.Duration) (*roundCache, error) {
+	refs, err := r.workingSet(missingData, missingPar)
+	if err != nil {
+		return nil, err
+	}
+	cache := &roundCache{
+		data: make(map[int][]byte, len(missingPar)),
+		par:  make(map[edgeKey][]byte, len(refs)),
+	}
+	if len(refs) == 0 {
+		return cache, nil
+	}
+	var blocks [][]byte
+	for attempt := 1; ; attempt++ {
+		blocks, err = st.GetMany(ctx, refs)
+		if err == nil {
+			break
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if attempt >= prefetchAttempts {
+			return nil, fmt.Errorf("entangle: working-set prefetch failed after %d attempts: %w", attempt, err)
+		}
+		if serr := store.SleepCtx(ctx, delay); serr != nil {
+			return nil, serr
+		}
+	}
+	if len(blocks) != len(refs) {
+		return nil, fmt.Errorf("entangle: working-set prefetch returned %d entries, want %d", len(blocks), len(refs))
+	}
+	for idx, ref := range refs {
+		b := blocks[idx]
+		if b != nil && cache.blockSize == 0 {
+			cache.blockSize = len(b)
+		}
+		if ref.Parity {
+			cache.par[keyOf(ref.Edge)] = b
+		} else {
+			cache.data[ref.Index] = b
+		}
+	}
+	return cache, nil
+}
+
 // dataFix and parFix are planned repairs awaiting commit.
 type dataFix struct {
 	pos int
@@ -290,13 +496,13 @@ type parFix struct {
 	buf  []byte
 }
 
-// planRound computes every repair possible against the current store
-// state without committing anything. With workers ≥ 2 the planning fans
+// planRound computes every repair possible against the round snapshot
+// without committing anything. With workers ≥ 2 the planning fans
 // out over goroutines; results keep the input order either way, so the
 // round outcome is identical.
-func (r *Repairer) planRound(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge, workers int) ([]dataFix, []parFix, error) {
+func (r *Repairer) planRound(ctx context.Context, src Source, missingData []int, missingPar []lattice.Edge, workers int) ([]dataFix, []parFix, error) {
 	if workers < 2 {
-		return r.planSerial(ctx, st, missingData, missingPar)
+		return r.planSerial(ctx, src, missingData, missingPar)
 	}
 	dataBufs := make([][]byte, len(missingData))
 	parBufs := make([][]byte, len(missingPar))
@@ -307,7 +513,7 @@ func (r *Repairer) planRound(ctx context.Context, st Store, missingData []int, m
 		go func(w int) {
 			defer wg.Done()
 			for idx := w; idx < len(missingData); idx += workers {
-				buf, err := r.repairDataPooled(ctx, st, missingData[idx])
+				buf, err := r.repairDataPooled(ctx, src, missingData[idx])
 				if errors.Is(err, ErrUnrepairable) {
 					continue
 				}
@@ -318,7 +524,7 @@ func (r *Repairer) planRound(ctx context.Context, st Store, missingData []int, m
 				dataBufs[idx] = buf
 			}
 			for idx := w; idx < len(missingPar); idx += workers {
-				buf, err := r.repairParityPooled(ctx, st, missingPar[idx])
+				buf, err := r.repairParityPooled(ctx, src, missingPar[idx])
 				if errors.Is(err, ErrUnrepairable) {
 					continue
 				}
@@ -351,11 +557,11 @@ func (r *Repairer) planRound(ctx context.Context, st Store, missingData []int, m
 	return dataFixes, parFixes, nil
 }
 
-func (r *Repairer) planSerial(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge) ([]dataFix, []parFix, error) {
+func (r *Repairer) planSerial(ctx context.Context, src Source, missingData []int, missingPar []lattice.Edge) ([]dataFix, []parFix, error) {
 	dataFixes := make([]dataFix, 0, len(missingData))
 	parFixes := make([]parFix, 0, len(missingPar))
 	for _, i := range missingData {
-		buf, err := r.repairDataPooled(ctx, st, i)
+		buf, err := r.repairDataPooled(ctx, src, i)
 		if errors.Is(err, ErrUnrepairable) {
 			continue
 		}
@@ -365,7 +571,7 @@ func (r *Repairer) planSerial(ctx context.Context, st Store, missingData []int, 
 		dataFixes = append(dataFixes, dataFix{pos: i, buf: buf})
 	}
 	for _, e := range missingPar {
-		buf, err := r.repairParityPooled(ctx, st, e)
+		buf, err := r.repairParityPooled(ctx, src, e)
 		if errors.Is(err, ErrUnrepairable) {
 			continue
 		}

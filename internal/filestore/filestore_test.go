@@ -188,3 +188,34 @@ func TestParseParityName(t *testing.T) {
 
 // bg is the context used by tests that do not exercise cancellation.
 var bg = context.Background()
+
+// TestGetManyPartialOnDamage pins the prefetch contract over the adapted
+// directory store: damaged or deleted block files come back as nil
+// entries from GetMany — never a batch error — matching every other
+// backend's partial-result semantics.
+func TestGetManyPartialOnDamage(t *testing.T) {
+	s, err := Create(t.TempDir(), testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := bytes.Repeat([]byte{5}, 32)
+	for i := 1; i <= 3; i++ {
+		if err := s.PutData(bg, i, block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("d_2"); err != nil {
+		t.Fatal(err)
+	}
+	bs := store.Batch(s)
+	blocks, err := bs.GetMany(bg, []store.Ref{store.DataRef(1), store.DataRef(2), store.DataRef(3)})
+	if err != nil {
+		t.Fatalf("GetMany over a damaged archive failed: %v", err)
+	}
+	if blocks[0] == nil || blocks[2] == nil {
+		t.Error("intact blocks missing from batch")
+	}
+	if blocks[1] != nil {
+		t.Errorf("deleted block came back non-nil: %v", blocks[1])
+	}
+}

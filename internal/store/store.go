@@ -123,11 +123,25 @@ type Single interface {
 
 // BlockStore is the full dialect: single-block operations plus batches.
 // All in-repo backends implement it (directly, or via Batch).
+//
+// GetMany is the repair engine's round-prefetch primitive, so its
+// partial-result semantics are load-bearing: a nil entry means "this
+// block cannot be served right now" whatever the reason — never written,
+// evicted, or sitting on a location that is down — and is NOT an error.
+// The error return is reserved for failures of the batch itself (context
+// cancellation, a backend that cannot serve anything, a malformed
+// response). Under concurrent faults the result must stay internally
+// consistent: every returned non-nil entry holds the full content that
+// block had at some point during the call, and the entry count always
+// matches the ref count. Missing must agree with the same availability
+// view — a block GetMany would return nil for is either enumerated by
+// Missing or outside the store's expected set.
 type BlockStore interface {
 	Single
 	// GetMany returns one entry per ref in order; entries for blocks the
-	// store cannot serve are nil — a missing block is not an error. The
-	// error return is reserved for failures of the batch itself.
+	// store cannot serve are nil — a missing block or an unavailable
+	// location is not an error. The error return is reserved for failures
+	// of the batch itself.
 	GetMany(ctx context.Context, refs []Ref) ([][]byte, error)
 	// PutMany stores all blocks, applied in order; the first failing
 	// entry aborts the batch and earlier entries may have been stored.
@@ -177,8 +191,12 @@ type BatchAdapter struct {
 
 var _ BlockStore = BatchAdapter{}
 
-// GetMany implements BlockStore: one Get per ref, ErrNotFound mapped to a
-// nil entry, any other error aborting the batch.
+// GetMany implements BlockStore: one Get per ref, with unavailability
+// mapped to a nil entry — ErrNotFound and ErrUnavailable both mean "this
+// block cannot be served right now", matching the batch-native backends'
+// partial-result semantics so the repair engine's prefetch behaves the
+// same over an adapter as over a native store. Any other error aborts
+// the batch.
 func (a BatchAdapter) GetMany(ctx context.Context, refs []Ref) ([][]byte, error) {
 	out := make([][]byte, len(refs))
 	for i, r := range refs {
@@ -186,7 +204,7 @@ func (a BatchAdapter) GetMany(ctx context.Context, refs []Ref) ([][]byte, error)
 			return nil, err
 		}
 		b, err := Get(ctx, a.Single, r)
-		if errors.Is(err, ErrNotFound) {
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrUnavailable) {
 			continue
 		}
 		if err != nil {

@@ -1,4 +1,5 @@
-// PoolClient: a connection pool with pipelined request/response matching.
+// PoolClient: a self-healing connection pool with pipelined
+// request/response matching.
 //
 // The wire protocol answers requests in order on each connection, so a
 // connection can carry many requests in flight: a writer appends a pending
@@ -7,63 +8,274 @@
 // Concurrent callers therefore overlap their round-trips instead of
 // queueing behind a single in-flight request, and the pool spreads load
 // over several TCP connections on top.
+//
+// Connection lifecycle: any I/O failure or response timeout poisons the
+// connection it happened on (the request/response pairing is lost), but
+// poisons only that connection. The pool detects poisoned connections at
+// pick time, evicts them from rotation, and redials them in the
+// background with jittered exponential backoff; operations that died with
+// a poisoned connection are retried once per surviving connection. A
+// transient node blip therefore degrades pool capacity instead of
+// permanently disabling the client.
 package transport
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"aecodes/internal/store"
 )
+
+// PoolOptions tunes a PoolClient's request deadlines and reconnect
+// policy. The zero value means: no default response timeout, 50ms initial
+// redial backoff, 5s backoff cap.
+type PoolOptions struct {
+	// ResponseTimeout is the per-request response deadline applied when
+	// the request context carries none: a response not received within it
+	// fails the request and poisons that connection, so a hung node costs
+	// one connection instead of stalling the caller forever. Zero means
+	// requests without a context deadline wait indefinitely.
+	ResponseTimeout time.Duration
+	// RedialBackoff is the delay before the first redial of a poisoned
+	// connection; it doubles per failed attempt. Zero defaults to 50ms.
+	RedialBackoff time.Duration
+	// RedialMax caps the exponential backoff. Zero defaults to 5s.
+	RedialMax time.Duration
+}
+
+func (o PoolOptions) redialBackoff() time.Duration {
+	if o.RedialBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.RedialBackoff
+}
+
+func (o PoolOptions) redialMax() time.Duration {
+	if o.RedialMax <= 0 {
+		return 5 * time.Second
+	}
+	return o.RedialMax
+}
 
 // PoolClient is a pool of pipelined connections to one storage node. It is
 // safe for concurrent use and offers the same operations as Client.
 type PoolClient struct {
-	conns []*pipeConn
-	next  atomic.Uint32
+	addr string
+	opts PoolOptions
+	next atomic.Uint32
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed by Close; wakes sleeping redials
+	wg     sync.WaitGroup
+
+	slots []*poolSlot
 }
 
-// DialPool connects conns pipelined connections to a storage node.
-// conns < 1 is an error.
+// poolSlot is one position in the rotation: a live pipelined connection,
+// or a vacancy being refilled by a background redial.
+type poolSlot struct {
+	pool *PoolClient
+
+	mu        sync.Mutex
+	pc        *pipeConn // nil while the slot is vacant
+	redialing bool
+}
+
+// DialPool connects conns pipelined connections to a storage node with
+// default options. conns < 1 is an error.
 func DialPool(addr string, conns int) (*PoolClient, error) {
+	return DialPoolOptions(addr, conns, PoolOptions{})
+}
+
+// DialPoolOptions is DialPool with explicit deadline and reconnect
+// options. The initial dials are synchronous: a node that is down at
+// construction time is reported immediately rather than spinning in
+// backoff.
+func DialPoolOptions(addr string, conns int, opts PoolOptions) (*PoolClient, error) {
 	if conns < 1 {
 		return nil, fmt.Errorf("transport: pool needs at least 1 connection, got %d", conns)
 	}
-	p := &PoolClient{conns: make([]*pipeConn, 0, conns)}
+	p := &PoolClient{addr: addr, opts: opts, done: make(chan struct{})}
 	for i := 0; i < conns; i++ {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 		}
-		pc := &pipeConn{conn: conn}
-		go pc.readLoop()
-		p.conns = append(p.conns, pc)
+		p.slots = append(p.slots, &poolSlot{pool: p, pc: newPipeConn(conn, opts.ResponseTimeout)})
 	}
 	return p, nil
 }
 
-// pick returns the next connection round-robin.
-func (p *PoolClient) pick() *pipeConn {
-	return p.conns[int(p.next.Add(1))%len(p.conns)]
+// live returns the slot's connection if it is usable. A poisoned
+// connection is evicted from the slot and a background redial is started
+// (unless the pool is closed or one is already running).
+func (s *poolSlot) live() *pipeConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pc != nil {
+		if !s.pc.broken() {
+			return s.pc
+		}
+		s.pc.close() // already poisoned; release the socket and timer
+		s.pc = nil
+	}
+	if !s.redialing && s.pool.tryAddRedial() {
+		s.redialing = true
+		go s.redial()
+	}
+	return nil
+}
+
+// tryAddRedial registers one redial goroutine with the pool, refusing
+// once the pool is closed. The closed check and the wg.Add happen under
+// one lock — and Close marks closed under that same lock before it
+// Waits — so an Add can never race a Wait that already saw zero.
+func (p *PoolClient) tryAddRedial() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.wg.Add(1)
+	return true
+}
+
+// redial refills a vacant slot: dial, and on failure sleep a jittered
+// exponential backoff (50% to 150% of the nominal delay, so a pool's
+// worth of redials does not stampede a recovering node in lockstep) and
+// try again until the pool is closed.
+func (s *poolSlot) redial() {
+	defer s.pool.wg.Done()
+	backoff := s.pool.opts.redialBackoff()
+	for {
+		if s.pool.isClosed() {
+			s.stopRedialing()
+			return
+		}
+		conn, err := net.Dial("tcp", s.pool.addr)
+		if err == nil {
+			pc := newPipeConn(conn, s.pool.opts.ResponseTimeout)
+			s.mu.Lock()
+			s.pc = pc
+			s.redialing = false
+			s.mu.Unlock()
+			if s.pool.isClosed() {
+				pc.close() // lost the race with Close; don't leak the socket
+			}
+			return
+		}
+		jittered := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		timer := time.NewTimer(jittered)
+		select {
+		case <-timer.C:
+		case <-s.pool.done:
+			timer.Stop()
+			s.stopRedialing()
+			return
+		}
+		backoff *= 2
+		if max := s.pool.opts.redialMax(); backoff > max {
+			backoff = max
+		}
+	}
+}
+
+func (s *poolSlot) stopRedialing() {
+	s.mu.Lock()
+	s.redialing = false
+	s.mu.Unlock()
+}
+
+func (p *PoolClient) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Live returns the number of currently usable connections — the pool's
+// surviving capacity while poisoned connections are being redialed.
+func (p *PoolClient) Live() int {
+	n := 0
+	for _, s := range p.slots {
+		s.mu.Lock()
+		if s.pc != nil && !s.pc.broken() {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// pick returns the next usable connection round-robin, skipping (and
+// scheduling redials for) poisoned slots. It fails only when every slot
+// is down, wrapping store.ErrUnavailable: the node is unreachable for
+// this client right now.
+func (p *PoolClient) pick() (*pipeConn, error) {
+	n := len(p.slots)
+	for i := 0; i < n; i++ {
+		if pc := p.slots[int(p.next.Add(1))%n].live(); pc != nil {
+			return pc, nil
+		}
+	}
+	return nil, fmt.Errorf("transport: all %d connections to %s down (redialing): %w", n, p.addr, store.ErrUnavailable)
+}
+
+// withConn runs op over a picked connection, retrying on a different
+// connection when the failure poisoned the one it ran on (the slot is
+// evicted and redialed by the next pick). Context errors and remote
+// errors are never retried. Retrying is safe for this protocol: every
+// operation is an idempotent overwrite, fetch or delete.
+func (p *PoolClient) withConn(ctx context.Context, op func(*pipeConn) error) error {
+	var lastErr error
+	for i := 0; i <= len(p.slots); i++ {
+		c, err := p.pick()
+		if err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		if err = op(c); err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !errors.Is(err, errConnFault) {
+			return err
+		}
+	}
+	return lastErr
 }
 
 // Get fetches a block; it returns ErrNotFound for missing keys.
 func (p *PoolClient) Get(ctx context.Context, key string) ([]byte, error) {
-	status, payload, err := p.pick().roundTrip(ctx, OpGet, key, nil)
+	var out []byte
+	err := p.withConn(ctx, func(c *pipeConn) error {
+		status, payload, err := c.roundTrip(ctx, OpGet, key, nil)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case StatusOK:
+			out = payload
+			return nil
+		case StatusNotFound:
+			return ErrNotFound
+		default:
+			return fmt.Errorf("transport: remote error: %s", payload)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	switch status {
-	case StatusOK:
-		return payload, nil
-	case StatusNotFound:
-		return nil, ErrNotFound
-	default:
-		return nil, fmt.Errorf("transport: remote error: %s", payload)
-	}
+	return out, nil
 }
 
 // Put stores a block.
@@ -77,40 +289,80 @@ func (p *PoolClient) Del(ctx context.Context, key string) error {
 }
 
 func (p *PoolClient) simple(ctx context.Context, op byte, key string, payload []byte) error {
-	status, resp, err := p.pick().roundTrip(ctx, op, key, payload)
-	if err != nil {
-		return err
-	}
-	if status != StatusOK {
-		return fmt.Errorf("transport: remote error: %s", resp)
-	}
-	return nil
+	return p.withConn(ctx, func(c *pipeConn) error {
+		status, resp, err := c.roundTrip(ctx, op, key, payload)
+		if err != nil {
+			return err
+		}
+		if status != StatusOK {
+			return fmt.Errorf("transport: remote error: %s", resp)
+		}
+		return nil
+	})
 }
 
 // PutMany stores all items in one round-trip on one pooled connection,
 // using vectored I/O like Client.PutMany.
 func (p *PoolClient) PutMany(ctx context.Context, items []KV) error {
-	return putMany(ctx, p.pick(), items)
+	return p.withConn(ctx, func(c *pipeConn) error {
+		return putMany(ctx, c, items)
+	})
 }
 
 // GetMany fetches all keys in one round-trip; missing blocks are nil.
 func (p *PoolClient) GetMany(ctx context.Context, keys []string) ([][]byte, error) {
-	return getMany(ctx, p.pick(), keys)
+	var out [][]byte
+	err := p.withConn(ctx, func(c *pipeConn) error {
+		var err error
+		out, err = getMany(ctx, c, keys)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Close closes every pooled connection; in-flight requests fail.
+// Close closes every pooled connection and stops all background redials;
+// in-flight requests fail.
 func (p *PoolClient) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	p.mu.Unlock()
 	var first error
-	for _, pc := range p.conns {
+	for _, s := range p.slots {
+		s.mu.Lock()
+		pc := s.pc
+		s.mu.Unlock()
+		if pc == nil {
+			continue
+		}
 		if err := pc.close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	p.wg.Wait()
 	return first
 }
 
 // errPipeClosed reports a request issued after Close.
 var errPipeClosed = errors.New("transport: connection closed")
+
+// errConnFault marks failures that poisoned the connection they happened
+// on — I/O errors, response timeouts, protocol desynchronisation. The
+// pool treats them as grounds for eviction + retry on another
+// connection; remote errors and context errors never carry it.
+var errConnFault = errors.New("transport: connection fault")
+
+// errResponseTimeout is the fault recorded when a request's response
+// deadline expires before the node answers.
+var errResponseTimeout = errors.New("response deadline exceeded")
 
 // pipeResult is one matched response (or the connection's fatal error).
 type pipeResult struct {
@@ -119,27 +371,70 @@ type pipeResult struct {
 	err     error
 }
 
+// pipePending is one in-flight request slot awaiting its response.
+type pipePending struct {
+	ch       chan pipeResult
+	deadline time.Time // zero means no deadline
+}
+
 // pipeConn is one pipelined connection: writes are serialised, responses
-// are matched FIFO by a dedicated reader goroutine.
+// are matched FIFO by a dedicated reader goroutine, and a timeout wheel
+// (one timer armed for the earliest pending deadline) poisons the
+// connection when a response is overdue — the pairing with later
+// responses can no longer be trusted, so the whole connection dies, and
+// only this connection.
 type pipeConn struct {
-	conn net.Conn
+	conn           net.Conn
+	defaultTimeout time.Duration // applied when a request's ctx has no deadline
 
 	wmu sync.Mutex // serialises frame writes and pending-slot pushes
 
 	mu      sync.Mutex
-	pending []chan pipeResult // oldest first; guarded by mu
-	err     error             // sticky fatal error; guarded by mu
+	pending []pipePending // oldest first; guarded by mu
+	err     error         // sticky fatal error; guarded by mu
+	timer   *time.Timer   // armed for the earliest pending deadline
 }
 
-// roundTrip pre-checks the context, then issues the request. Pipelined
-// connections share their socket between many in-flight requests, so a
-// per-request deadline cannot be installed on the connection; a done
-// context fails fast, cancellation mid-flight is not observed.
+func newPipeConn(conn net.Conn, defaultTimeout time.Duration) *pipeConn {
+	c := &pipeConn{conn: conn, defaultTimeout: defaultTimeout}
+	go c.readLoop()
+	return c
+}
+
+// broken reports whether the connection has been poisoned.
+func (c *pipeConn) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// deadlineFor derives a request's response deadline: the context's, or
+// now+defaultTimeout when the context has none.
+func (c *pipeConn) deadlineFor(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	if c.defaultTimeout > 0 {
+		return time.Now().Add(c.defaultTimeout)
+	}
+	return time.Time{}
+}
+
+// roundTrip pre-checks the context and request limits, then issues the
+// request with the derived response deadline.
 func (c *pipeConn) roundTrip(ctx context.Context, op byte, key string, payload []byte) (byte, []byte, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
-	return c.send(func() error { return writeRequest(c.conn, op, key, payload) })
+	// Validate before touching the wire: a caller error must not poison a
+	// healthy connection.
+	if len(key) > MaxKeyLen {
+		return 0, nil, fmt.Errorf("transport: key too long (%d bytes)", len(key))
+	}
+	if len(payload) > MaxPayloadLen {
+		return 0, nil, fmt.Errorf("transport: payload too large (%d bytes)", len(payload))
+	}
+	return c.send(c.deadlineFor(ctx), func() error { return writeRequest(c.conn, op, key, payload) })
 }
 
 // roundTripSegments is roundTrip for a pre-framed scatter/gather request.
@@ -147,15 +442,16 @@ func (c *pipeConn) roundTripSegments(ctx context.Context, segs net.Buffers) (byt
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
-	return c.send(func() error {
+	return c.send(c.deadlineFor(ctx), func() error {
 		_, err := segs.WriteTo(c.conn)
 		return err
 	})
 }
 
-// send enqueues a pending response slot, performs the write under the
-// write lock, and waits for the reader to deliver the matching response.
-func (c *pipeConn) send(write func() error) (byte, []byte, error) {
+// send enqueues a pending response slot with its deadline, performs the
+// write under the write lock, and waits for the reader (or the timeout
+// wheel) to deliver the matching response.
+func (c *pipeConn) send(deadline time.Time, write func() error) (byte, []byte, error) {
 	ch := make(chan pipeResult, 1)
 	c.wmu.Lock()
 	c.mu.Lock()
@@ -165,7 +461,8 @@ func (c *pipeConn) send(write func() error) (byte, []byte, error) {
 		c.wmu.Unlock()
 		return 0, nil, err
 	}
-	c.pending = append(c.pending, ch)
+	c.pending = append(c.pending, pipePending{ch: ch, deadline: deadline})
+	c.armTimeoutLocked()
 	c.mu.Unlock()
 	err := write()
 	c.wmu.Unlock()
@@ -178,8 +475,68 @@ func (c *pipeConn) send(write func() error) (byte, []byte, error) {
 	return res.status, res.payload, res.err
 }
 
+// armTimeoutLocked (re)arms the timer for the earliest pending deadline.
+// Callers hold c.mu. The pending list is short (the connection's
+// in-flight window), so the scan costs less than a heap would.
+func (c *pipeConn) armTimeoutLocked() {
+	var earliest time.Time
+	for _, p := range c.pending {
+		if p.deadline.IsZero() {
+			continue
+		}
+		if earliest.IsZero() || p.deadline.Before(earliest) {
+			earliest = p.deadline
+		}
+	}
+	if earliest.IsZero() {
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		return
+	}
+	d := time.Until(earliest)
+	if d < 0 {
+		d = 0
+	}
+	if c.timer == nil {
+		c.timer = time.AfterFunc(d, c.onTimeout)
+		return
+	}
+	c.timer.Stop()
+	c.timer.Reset(d)
+}
+
+// onTimeout fires when the earliest pending deadline may have expired. A
+// genuine expiry poisons the connection (closing the socket fails the
+// reader, which drains every pending slot with the timeout fault); a
+// stale wake-up re-arms for the new earliest deadline.
+func (c *pipeConn) onTimeout() {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	expired := false
+	for _, p := range c.pending {
+		if !p.deadline.IsZero() && !p.deadline.After(now) {
+			expired = true
+			break
+		}
+	}
+	if !expired {
+		c.armTimeoutLocked()
+		c.mu.Unlock()
+		return
+	}
+	c.err = fmt.Errorf("%w: %w", errConnFault, errResponseTimeout)
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
 // readLoop matches responses to pending slots until the connection dies,
-// then fails every outstanding and future request.
+// then fails every outstanding and future request with the connection's
+// first fault.
 func (c *pipeConn) readLoop() {
 	for {
 		status, payload, err := readResponse(c.conn)
@@ -189,8 +546,9 @@ func (c *pipeConn) readLoop() {
 				c.mu.Unlock()
 				err = errors.New("transport: unsolicited response")
 			} else {
-				ch := c.pending[0]
+				ch := c.pending[0].ch
 				c.pending = c.pending[1:]
+				c.armTimeoutLocked()
 				c.mu.Unlock()
 				ch <- pipeResult{status: status, payload: payload}
 				continue
@@ -198,14 +556,18 @@ func (c *pipeConn) readLoop() {
 		}
 		c.mu.Lock()
 		if c.err == nil {
-			c.err = err
+			c.err = fmt.Errorf("%w: %w", errConnFault, err)
 		}
+		failure := c.err
 		drained := c.pending
 		c.pending = nil
+		if c.timer != nil {
+			c.timer.Stop()
+		}
 		c.mu.Unlock()
 		c.conn.Close()
-		for _, ch := range drained {
-			ch <- pipeResult{err: err}
+		for _, p := range drained {
+			p.ch <- pipeResult{err: failure}
 		}
 		return
 	}
@@ -215,6 +577,9 @@ func (c *pipeConn) close() error {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = errPipeClosed
+	}
+	if c.timer != nil {
+		c.timer.Stop()
 	}
 	c.mu.Unlock()
 	return c.conn.Close()

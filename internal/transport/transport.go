@@ -128,11 +128,12 @@ func (s *MemStore) Clear() {
 type Server struct {
 	store BlockStore
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	wg          sync.WaitGroup
+	closed      bool
+	idleTimeout time.Duration
 }
 
 // NewServer returns a server exposing store.
@@ -142,6 +143,18 @@ func NewServer(store BlockStore) (*Server, error) {
 		return nil, errors.New("transport: nil store")
 	}
 	return &Server{store: store, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// SetIdleTimeout makes the server drop connections that send no complete
+// request for d — the server-side half of the connection lifecycle:
+// clients abandoned by a pool (poisoned conns awaiting TCP teardown) or
+// stalled mid-frame stop pinning a goroutine and a socket forever. The
+// self-healing PoolClient transparently redials if it comes back. Zero
+// (the default) disables the timeout. Call before Listen.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.idleTimeout = d
+	s.mu.Unlock()
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving
@@ -193,10 +206,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	s.mu.Lock()
+	idle := s.idleTimeout
+	s.mu.Unlock()
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		op, key, payload, err := readRequest(conn)
 		if err != nil {
-			return // client went away or sent garbage; drop the connection
+			return // client went away, idled out or sent garbage; drop it
 		}
 		switch op {
 		case OpGet:
@@ -260,11 +279,13 @@ func (s *Server) Close() error {
 // the client closes the socket and every later operation returns the
 // original error instead of a stale response. Poisoning is permanent for
 // this Client — recover from a transient node failure by Dialing a fresh
-// one.
+// one, or use PoolClient, which evicts and redials poisoned connections
+// automatically.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	err  error // sticky fatal error; guarded by mu
+	mu             sync.Mutex
+	conn           net.Conn
+	err            error // sticky fatal error; guarded by mu
+	defaultTimeout time.Duration
 }
 
 // Dial connects to a storage node.
@@ -274,6 +295,17 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	return &Client{conn: conn}, nil
+}
+
+// SetResponseTimeout installs a default per-request response deadline,
+// applied whenever a request's context carries none: a node that hangs
+// mid-exchange fails the request (and poisons this client) after d
+// instead of stalling the caller forever. Zero restores the default of
+// waiting indefinitely.
+func (c *Client) SetResponseTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.defaultTimeout = d
+	c.mu.Unlock()
 }
 
 // Get fetches a block; it returns ErrNotFound for missing keys.
@@ -374,12 +406,16 @@ func (c *Client) poison(err error) error {
 	return c.err
 }
 
-// applyDeadline installs the context deadline (if any) on the connection
-// and returns the undo function. Callers hold c.mu.
+// applyDeadline installs the context deadline — or, when the context has
+// none, the client's default response timeout — on the connection and
+// returns the undo function. Callers hold c.mu.
 func (c *Client) applyDeadline(ctx context.Context) func() {
 	d, ok := ctx.Deadline()
 	if !ok {
-		return func() {}
+		if c.defaultTimeout <= 0 {
+			return func() {}
+		}
+		d = time.Now().Add(c.defaultTimeout)
 	}
 	c.conn.SetDeadline(d)
 	return func() { c.conn.SetDeadline(time.Time{}) }

@@ -1,0 +1,14 @@
+//go:build purego || (!amd64 && !arm64)
+
+package xorblock
+
+// Generic kernel selection: the portable encoding/binary path. Chosen by
+// the `purego` build tag, or on architectures where unaligned 64-bit
+// loads are not guaranteed safe.
+
+// kernelName identifies the active kernel in benchmark output.
+const kernelName = "generic"
+
+func xorWords(dst, a, b []byte) { xorWordsGeneric(dst, a, b) }
+
+func xorMany(dst []byte, srcs [][]byte) { xorManyGeneric(dst, srcs) }

@@ -1,10 +1,14 @@
-// Package xorblock provides word-at-a-time XOR kernels for fixed-size blocks.
+// Package xorblock provides wide XOR kernels for fixed-size blocks.
 //
 // Entanglement codes are "essentially based on exclusive-or operations"
 // (paper §VII); every encode, decode and repair in this repository reduces to
-// the primitives in this package. The kernels operate on byte slices of equal
-// length and process eight bytes per step on the aligned middle of the
-// buffers, falling back to byte-at-a-time loops for the ragged tail.
+// the primitives in this package. Two kernel implementations back the
+// exported helpers, selected at build time: an unsafe 8×-unrolled 64-bit
+// kernel on amd64/arm64 (where unaligned loads are architecturally safe),
+// and a portable word-at-a-time encoding/binary kernel everywhere else or
+// under the `purego` build tag. Both process the bulk of the buffers in
+// 64-bit words and fall back to byte loops for the ragged tail; the
+// benchmarks report both side by side.
 package xorblock
 
 import (
@@ -82,21 +86,7 @@ func XorManyInto(dst []byte, srcs ...[]byte) error {
 		copy(dst, srcs[0])
 		return nil
 	}
-	i := 0
-	for ; i+wordSize <= n; i += wordSize {
-		acc := binary.LittleEndian.Uint64(srcs[0][i:])
-		for _, s := range srcs[1:] {
-			acc ^= binary.LittleEndian.Uint64(s[i:])
-		}
-		binary.LittleEndian.PutUint64(dst[i:], acc)
-	}
-	for ; i < n; i++ {
-		acc := srcs[0][i]
-		for _, s := range srcs[1:] {
-			acc ^= s[i]
-		}
-		dst[i] = acc
-	}
+	xorMany(dst, srcs)
 	return nil
 }
 
@@ -176,8 +166,13 @@ func Equal(a, b []byte) bool {
 	return true
 }
 
-// xorWords is the unchecked kernel behind the exported helpers.
-func xorWords(dst, a, b []byte) {
+// xorWordsGeneric is the portable two-operand kernel: word-at-a-time via
+// encoding/binary on the aligned middle, byte-at-a-time on the ragged
+// tail. It is always compiled — it backs the generic build (the `purego`
+// tag or architectures without guaranteed unaligned loads) and serves as
+// the reference the unsafe kernel is benchmarked and differentially
+// tested against.
+func xorWordsGeneric(dst, a, b []byte) {
 	n := len(a)
 	i := 0
 	for ; i+wordSize <= n; i += wordSize {
@@ -187,5 +182,28 @@ func xorWords(dst, a, b []byte) {
 	}
 	for ; i < n; i++ {
 		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// xorManyGeneric is the portable many-operand kernel behind XorManyInto:
+// each word is accumulated across every source before it is stored, so
+// dst is written exactly once. Callers guarantee len(srcs) >= 2 and equal
+// lengths.
+func xorManyGeneric(dst []byte, srcs [][]byte) {
+	n := len(dst)
+	i := 0
+	for ; i+wordSize <= n; i += wordSize {
+		acc := binary.LittleEndian.Uint64(srcs[0][i:])
+		for _, s := range srcs[1:] {
+			acc ^= binary.LittleEndian.Uint64(s[i:])
+		}
+		binary.LittleEndian.PutUint64(dst[i:], acc)
+	}
+	for ; i < n; i++ {
+		acc := srcs[0][i]
+		for _, s := range srcs[1:] {
+			acc ^= s[i]
+		}
+		dst[i] = acc
 	}
 }
