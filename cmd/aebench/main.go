@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"aecodes/internal/benchfmt"
 	"aecodes/internal/entangle"
 	"aecodes/internal/entmirror"
 	"aecodes/internal/failure"
@@ -40,27 +41,12 @@ import (
 	"aecodes/internal/xorblock"
 )
 
-// benchResult is one machine-readable measurement emitted by -json.
-type benchResult struct {
-	Experiment string  `json:"experiment"`
-	Name       string  `json:"name"`
-	NsPerOp    float64 `json:"ns_op,omitempty"`
-	MBps       float64 `json:"mb_s,omitempty"`
-	WallNs     int64   `json:"wall_ns,omitempty"`
-}
+// recorder accumulates the run's measurements; emitted as one
+// benchfmt.Document when -json is set, ignored otherwise. The schema
+// lives in internal/benchfmt, shared with cmd/benchguard.
+var recorder []benchfmt.Result
 
-// recorder accumulates the run's measurements; emitted as one JSON
-// document when -json is set, ignored otherwise.
-var recorder []benchResult
-
-func record(r benchResult) { recorder = append(recorder, r) }
-
-// benchDocument is the -json output schema.
-type benchDocument struct {
-	Timestamp  string        `json:"timestamp"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Results    []benchResult `json:"results"`
-}
+func record(r benchfmt.Result) { recorder = append(recorder, r) }
 
 func main() {
 	var (
@@ -93,7 +79,7 @@ func main() {
 	}
 	if *jsonOut {
 		os.Stdout = realStdout
-		doc := benchDocument{
+		doc := benchfmt.Document{
 			Timestamp:  time.Now().UTC().Format(time.RFC3339),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Results:    recorder,
@@ -142,7 +128,7 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		if err := e.fn(cfg, trials); err != nil {
 			return err
 		}
-		record(benchResult{Experiment: e.name, Name: "wall", WallNs: time.Since(start).Nanoseconds()})
+		record(benchfmt.Result{Experiment: e.name, Name: "wall", WallNs: time.Since(start).Nanoseconds()})
 		return nil
 	}
 	if exp == "all" {
@@ -394,9 +380,9 @@ func encodeBench(cfg encodeConfig) error {
 	pip := time.Since(start)
 	fmt.Printf("  sequential: %8.1f MB/s (%v)\n", mbps(seq), seq.Round(time.Millisecond))
 	fmt.Printf("  pipelined:  %8.1f MB/s (%v)  speedup %.2fx\n", mbps(pip), pip.Round(time.Millisecond), seq.Seconds()/pip.Seconds())
-	record(benchResult{Experiment: "encode", Name: "sequential",
+	record(benchfmt.Result{Experiment: "encode", Name: "sequential",
 		NsPerOp: float64(seq.Nanoseconds()) / float64(cfg.blocks), MBps: mbps(seq)})
-	record(benchResult{Experiment: "encode", Name: "pipelined",
+	record(benchfmt.Result{Experiment: "encode", Name: "pipelined",
 		NsPerOp: float64(pip.Nanoseconds()) / float64(cfg.blocks), MBps: mbps(pip)})
 
 	return repairRoundBench()
@@ -482,7 +468,7 @@ func repairRoundBench() error {
 			stats.DataRepaired, stats.ParityRepaired)
 		repairs := stats.DataRepaired + stats.ParityRepaired
 		if repairs > 0 {
-			record(benchResult{Experiment: "repair", Name: fmt.Sprintf("workers=%d", workers),
+			record(benchfmt.Result{Experiment: "repair", Name: fmt.Sprintf("workers=%d", workers),
 				NsPerOp: float64(elapsed.Nanoseconds()) / float64(repairs),
 				MBps:    float64(repairs) * blockSize / (1 << 20) / elapsed.Seconds(),
 				WallNs:  elapsed.Nanoseconds()})

@@ -5,14 +5,27 @@
 // Usage:
 //
 //	aestored -addr 127.0.0.1:7070
+//	aestored -addr 127.0.0.1:7070 -data /var/lib/aestored
 //	aestored -addr 127.0.0.1:7070 -idletimeout 2m
 //
 // The node announces its bound address on stdout and serves until
-// interrupted. With -idletimeout set, connections idle longer than that
-// are dropped so abandoned broker connections cannot pin sockets
-// forever. It defaults to off: a reaped connection permanently poisons a
-// plain transport.Client (only the pool client redials), so only enable
-// it for nodes whose peers use transport.PoolClient.
+// interrupted.
+//
+// With -data set, blocks are persisted to an append-only segment store
+// in that directory: a killed node reopens its log on restart, verifies
+// every record's CRC32-C, truncates a torn tail left by a crash
+// mid-write, and serves its surviving blocks — so a restart is a cheap
+// rejoin for the repair engine instead of a full re-entanglement. -sync
+// additionally fsyncs every append (power-loss durability at a
+// throughput cost), and -compactdead runs a log compaction on startup
+// when at least that many bytes are reclaimable. Without -data the node
+// is memory-only and a restart loses everything it held.
+//
+// With -idletimeout set, connections idle longer than that are dropped
+// so abandoned broker connections cannot pin sockets forever. It
+// defaults to off: a reaped connection permanently poisons a plain
+// transport.Client (only the pool client redials), so only enable it
+// for nodes whose peers use transport.PoolClient.
 package main
 
 import (
@@ -22,15 +35,47 @@ import (
 	"os/signal"
 	"syscall"
 
+	"aecodes/internal/segstore"
 	"aecodes/internal/transport"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	idle := flag.Duration("idletimeout", 0, "drop connections idle this long (0 disables; poisons non-pool clients)")
+	data := flag.String("data", "", "durable data directory (append-only segment store); empty = memory-only")
+	sync := flag.Bool("sync", false, "fsync every append to the segment store (requires -data)")
+	segSize := flag.Int64("segsize", 0, "segment rotation threshold in bytes (0 = 64 MiB default; requires -data)")
+	compactDead := flag.Int64("compactdead", 0, "compact the log on startup when at least this many bytes are dead (0 disables; requires -data)")
 	flag.Parse()
 
-	store := transport.NewMemStore()
+	var store transport.BlockStore = transport.NewMemStore()
+	var seg *segstore.Store
+	if *data != "" {
+		var err error
+		seg, err = segstore.Open(*data, segstore.Options{Sync: *sync, SegmentSize: *segSize})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aestored:", err)
+			os.Exit(1)
+		}
+		st := seg.Stats()
+		fmt.Printf("aestored: recovered %d blocks from %d segments in %s", st.Blocks, st.Segments, *data)
+		if st.TruncatedBytes > 0 {
+			fmt.Printf(" (truncated a %d-byte torn tail)", st.TruncatedBytes)
+		}
+		fmt.Println()
+		if *compactDead > 0 && st.DeadBytes >= *compactDead {
+			if err := seg.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "aestored: compaction:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("aestored: compacted %d dead bytes\n", st.DeadBytes-seg.Stats().DeadBytes)
+		}
+		store = seg
+	} else if *sync || *segSize != 0 || *compactDead != 0 {
+		fmt.Fprintln(os.Stderr, "aestored: -sync, -segsize and -compactdead need -data")
+		os.Exit(1)
+	}
+
 	srv, err := transport.NewServer(store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
@@ -62,6 +107,14 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
 		os.Exit(1)
+	}
+	if seg != nil {
+		// Sync and release the log only after the listener has drained, so
+		// no in-flight request writes to a closed store.
+		if err := seg.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "aestored:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("aestored: bye")
 }

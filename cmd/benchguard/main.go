@@ -1,0 +1,178 @@
+// Command benchguard compares an `aebench -json` run against a
+// committed baseline and reports throughput regressions. It is the CI
+// benchmark guard: shared runners are noisy, so by default it only
+// warns (exit 0) and leaves failing the build to a human; -strict turns
+// regressions into a non-zero exit for controlled environments.
+//
+// Usage:
+//
+//	aebench -exp encode -json > current.json
+//	benchguard -baseline BENCH_2026-07-28.json -current current.json
+//	benchguard -baseline BENCH_*.json -current current.json -tolerance 0.5 -github
+//
+// Measurements are matched by (experiment, name); when either file
+// carries several samples for one key (e.g. repeated repair runs) the
+// best MB/s wins, which filters scheduler noise in the direction that
+// avoids false alarms. A measurement is a regression when its current
+// MB/s drops below baseline × (1 - tolerance). Entries present only in
+// the current run are informational; entries present only in the
+// baseline mean the guard is blind to a committed metric (e.g. a renamed
+// experiment), so they are annotated and fail a -strict run. -github
+// renders findings as GitHub Actions workflow annotations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"aecodes/internal/benchfmt"
+)
+
+// finding is one compared measurement.
+type finding struct {
+	Key        string
+	Baseline   float64
+	Current    float64
+	Regression bool
+}
+
+// bestByKey folds a document into best-MB/s-per-(experiment,name),
+// dropping entries with no throughput figure (wall-time-only records).
+func bestByKey(doc benchfmt.Document) map[string]float64 {
+	best := make(map[string]float64)
+	for _, r := range doc.Results {
+		if r.MBps <= 0 {
+			continue
+		}
+		key := r.Experiment + "/" + r.Name
+		if r.MBps > best[key] {
+			best[key] = r.MBps
+		}
+	}
+	return best
+}
+
+// compare evaluates current against baseline with the given relative
+// tolerance, returning per-key findings sorted by key plus the keys
+// present on only one side.
+func compare(baseline, current benchfmt.Document, tolerance float64) (findings []finding, onlyBaseline, onlyCurrent []string) {
+	base := bestByKey(baseline)
+	cur := bestByKey(current)
+	for key, b := range base {
+		c, ok := cur[key]
+		if !ok {
+			onlyBaseline = append(onlyBaseline, key)
+			continue
+		}
+		findings = append(findings, finding{
+			Key:        key,
+			Baseline:   b,
+			Current:    c,
+			Regression: c < b*(1-tolerance),
+		})
+	}
+	for key := range cur {
+		if _, ok := base[key]; !ok {
+			onlyCurrent = append(onlyCurrent, key)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Key < findings[j].Key })
+	sort.Strings(onlyBaseline)
+	sort.Strings(onlyCurrent)
+	return findings, onlyBaseline, onlyCurrent
+}
+
+func readDocument(path string) (benchfmt.Document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return benchfmt.Document{}, err
+	}
+	var doc benchfmt.Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return benchfmt.Document{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed aebench -json baseline")
+		currentPath  = flag.String("current", "", "fresh aebench -json run to check")
+		tolerance    = flag.Float64("tolerance", 0.5, "allowed relative MB/s drop before a measurement counts as a regression")
+		github       = flag.Bool("github", false, "emit GitHub Actions ::warning:: / ::error:: annotations")
+		strict       = flag.Bool("strict", false, "exit 1 on regression instead of warning only")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+	if *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintln(os.Stderr, "benchguard: -tolerance must be in [0, 1)")
+		os.Exit(2)
+	}
+	baseline, err := readDocument(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	current, err := readDocument(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	findings, onlyBaseline, onlyCurrent := compare(baseline, current, *tolerance)
+	regressions := 0
+	fmt.Printf("benchguard: baseline %s (%s) vs current (%s), tolerance %.0f%%\n",
+		*baselinePath, orUnknown(baseline.Timestamp), orUnknown(current.Timestamp), *tolerance*100)
+	for _, f := range findings {
+		verdict := "ok"
+		if f.Regression {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-24s baseline %9.1f MB/s  current %9.1f MB/s  (%+.1f%%)  %s\n",
+			f.Key, f.Baseline, f.Current, (f.Current/f.Baseline-1)*100, verdict)
+		if f.Regression && *github {
+			// Warn-only runs annotate as warnings; under -strict the job
+			// will fail, so the annotation matches at error level.
+			level := "warning"
+			if *strict {
+				level = "error"
+			}
+			fmt.Printf("::%s title=Benchmark regression::%s dropped to %.1f MB/s (baseline %.1f MB/s, tolerance %.0f%%)\n",
+				level, f.Key, f.Current, f.Baseline, *tolerance*100)
+		}
+	}
+	// A baseline metric the current run never measured is a hole in the
+	// guard (a renamed experiment would silently go unwatched), so it is
+	// annotated like a regression and fails a -strict run.
+	for _, key := range onlyBaseline {
+		fmt.Printf("  %-24s in baseline only (experiment not run)\n", key)
+		if *github {
+			fmt.Printf("::warning title=Benchmark coverage::baseline metric %s was not measured by this run — regression guard is blind to it\n", key)
+		}
+	}
+	for _, key := range onlyCurrent {
+		fmt.Printf("  %-24s new measurement (no baseline)\n", key)
+	}
+	if regressions == 0 && len(onlyBaseline) == 0 {
+		fmt.Println("benchguard: no regressions")
+		return
+	}
+	fmt.Printf("benchguard: %d regression(s), %d unmeasured baseline metric(s)\n", regressions, len(onlyBaseline))
+	if *strict {
+		os.Exit(1)
+	}
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"testing"
+
+	"aecodes/internal/benchfmt"
+)
+
+func doc(results ...benchfmt.Result) benchfmt.Document {
+	return benchfmt.Document{Results: results}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	baseline := doc(
+		benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 2000},
+		benchfmt.Result{Experiment: "encode", Name: "pipelined", MBps: 2800},
+		benchfmt.Result{Experiment: "repair", Name: "workers=1", MBps: 1100},
+	)
+	current := doc(
+		benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 1800}, // -10%: within tolerance
+		benchfmt.Result{Experiment: "encode", Name: "pipelined", MBps: 900},   // -68%: regression
+		benchfmt.Result{Experiment: "repair", Name: "workers=1", MBps: 1300},  // improvement
+	)
+	findings, onlyB, onlyC := compare(baseline, current, 0.5)
+	if len(onlyB) != 0 || len(onlyC) != 0 {
+		t.Fatalf("unmatched keys: %v / %v", onlyB, onlyC)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3", len(findings))
+	}
+	byKey := map[string]bool{}
+	for _, f := range findings {
+		byKey[f.Key] = f.Regression
+	}
+	if byKey["encode/sequential"] {
+		t.Error("a drop within tolerance was flagged")
+	}
+	if !byKey["encode/pipelined"] {
+		t.Error("a 68% drop was not flagged at 50% tolerance")
+	}
+	if byKey["repair/workers=1"] {
+		t.Error("an improvement was flagged")
+	}
+}
+
+// TestCompareTakesBestSample pins that repeated measurements for one key
+// (aebench records the repair experiment once per worker setting, and
+// some settings repeat) fold to the best MB/s on both sides, so one
+// noisy sample cannot fake or mask a regression.
+func TestCompareTakesBestSample(t *testing.T) {
+	baseline := doc(
+		benchfmt.Result{Experiment: "repair", Name: "workers=1", MBps: 1100},
+		benchfmt.Result{Experiment: "repair", Name: "workers=1", MBps: 1500},
+	)
+	current := doc(
+		benchfmt.Result{Experiment: "repair", Name: "workers=1", MBps: 400},
+		benchfmt.Result{Experiment: "repair", Name: "workers=1", MBps: 1400},
+	)
+	findings, _, _ := compare(baseline, current, 0.5)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.Baseline != 1500 || f.Current != 1400 {
+		t.Fatalf("best-sample folding wrong: %+v", f)
+	}
+	if f.Regression {
+		t.Error("1400 vs 1500 at 50% tolerance flagged as regression")
+	}
+}
+
+// TestCompareIgnoresWallOnlyEntries pins that wall-time-only records
+// (mb_s absent) never produce findings.
+func TestCompareIgnoresWallOnlyEntries(t *testing.T) {
+	baseline := doc(
+		benchfmt.Result{Experiment: "encode", Name: "wall"},
+		benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 2000},
+	)
+	current := doc(
+		benchfmt.Result{Experiment: "encode", Name: "wall"},
+	)
+	findings, onlyB, onlyC := compare(baseline, current, 0.5)
+	if len(findings) != 0 {
+		t.Fatalf("wall-only entries compared: %+v", findings)
+	}
+	if len(onlyB) != 1 || onlyB[0] != "encode/sequential" {
+		t.Fatalf("missing-measurement reporting wrong: %v", onlyB)
+	}
+	if len(onlyC) != 0 {
+		t.Fatalf("phantom current keys: %v", onlyC)
+	}
+}
+
+func TestCompareReportsNewMeasurements(t *testing.T) {
+	baseline := doc(benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 2000})
+	current := doc(
+		benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 2100},
+		benchfmt.Result{Experiment: "xor", Name: "kernel", MBps: 9000},
+	)
+	_, _, onlyC := compare(baseline, current, 0.5)
+	if len(onlyC) != 1 || onlyC[0] != "xor/kernel" {
+		t.Fatalf("new measurement not reported: %v", onlyC)
+	}
+}

@@ -1,0 +1,23 @@
+// Package benchfmt is the machine-readable benchmark schema shared by
+// cmd/aebench (which writes it with -json) and cmd/benchguard (which
+// compares two documents). Keeping the one definition here means a tag
+// rename cannot silently desynchronise the writer from the CI guard —
+// the guard would stop compiling, not stop comparing.
+package benchfmt
+
+// Result is one measurement: ns/op and MB/s where meaningful, wall time
+// per experiment.
+type Result struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_op,omitempty"`
+	MBps       float64 `json:"mb_s,omitempty"`
+	WallNs     int64   `json:"wall_ns,omitempty"`
+}
+
+// Document is one `aebench -json` run, archived as BENCH_*.json.
+type Document struct {
+	Timestamp  string   `json:"timestamp"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}

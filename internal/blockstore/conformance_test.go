@@ -1,0 +1,31 @@
+package blockstore
+
+import (
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/store"
+	"aecodes/internal/store/storetest"
+)
+
+// TestLatticeViewConformance runs the location-aware view through the
+// repository-wide BlockStore conformance suite (all nodes up; the
+// down-node behaviours have their own tests in this package).
+func TestLatticeViewConformance(t *testing.T) {
+	storetest.Run(t, storetest.Harness{
+		Params:    lattice.Params{Alpha: 3, S: 2, P: 5},
+		Blocks:    12,
+		BlockSize: 64,
+		New: func(t *testing.T) store.BlockStore {
+			c, err := NewCluster(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view, err := NewLatticeView(c, 64, func(key string) int { return int(key[len(key)-1]) % 4 })
+			if err != nil {
+				t.Fatal(err)
+			}
+			return view
+		},
+	})
+}

@@ -1,0 +1,22 @@
+package entangle
+
+import (
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/store"
+	"aecodes/internal/store/storetest"
+)
+
+// TestMemoryStoreConformance runs the reference in-memory store through
+// the repository-wide BlockStore conformance suite.
+func TestMemoryStoreConformance(t *testing.T) {
+	storetest.Run(t, storetest.Harness{
+		Params:    lattice.Params{Alpha: 3, S: 2, P: 5},
+		Blocks:    12,
+		BlockSize: 64,
+		New: func(t *testing.T) store.BlockStore {
+			return NewMemoryStore(64)
+		},
+	})
+}

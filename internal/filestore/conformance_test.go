@@ -1,0 +1,52 @@
+package filestore_test
+
+import (
+	"testing"
+
+	"aecodes/internal/filestore"
+	"aecodes/internal/lattice"
+	"aecodes/internal/store"
+	"aecodes/internal/store/storetest"
+)
+
+// TestConformance runs the directory store (promoted with store.Batch)
+// through the repository-wide BlockStore conformance suite, including
+// the reopen leg: a directory archive must read back identically through
+// a fresh Open.
+func TestConformance(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	const (
+		blocks    = 12
+		blockSize = 64
+	)
+	dirs := make(map[store.BlockStore]string)
+	storetest.Run(t, storetest.Harness{
+		Params:    params,
+		Blocks:    blocks,
+		BlockSize: blockSize,
+		New: func(t *testing.T) store.BlockStore {
+			dir := t.TempDir()
+			fs, err := filestore.Create(dir, filestore.Manifest{
+				Format:    filestore.FormatFramed,
+				Alpha:     params.Alpha,
+				S:         params.S,
+				P:         params.P,
+				BlockSize: blockSize,
+				Blocks:    blocks,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := store.Batch(fs)
+			dirs[bs] = dir
+			return bs
+		},
+		Reopen: func(t *testing.T, old store.BlockStore) store.BlockStore {
+			fs, err := filestore.Open(dirs[old])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return store.Batch(fs)
+		},
+	})
+}

@@ -213,15 +213,9 @@ func (s *Store) MissingData() []int {
 // truncated.
 func (s *Store) MissingParities() []lattice.Edge {
 	var out []lattice.Edge
-	for i := 1; i <= s.manifest.Blocks; i++ {
-		for _, class := range s.lat.Classes() {
-			e, err := s.lat.OutEdge(class, i)
-			if err != nil {
-				continue
-			}
-			if _, ok := s.Parity(e); !ok {
-				out = append(out, e)
-			}
+	for _, e := range s.lat.RealOutEdges(s.manifest.Blocks) {
+		if _, ok := s.Parity(e); !ok {
+			out = append(out, e)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {

@@ -285,6 +285,27 @@ func (l *Lattice) OutEdge(class Class, i int) (Edge, error) {
 	return Edge{Class: class, Left: i, Right: j}, nil
 }
 
+// RealOutEdges returns the storable (non-virtual) out-edges of positions
+// 1..n — the expected parity set of an n-block lattice — each edge once,
+// in first-seen (position, class) order. This is the one enumeration
+// Missing implementations and conformance tests share, so "which
+// parities should exist" cannot drift between backends.
+func (l *Lattice) RealOutEdges(n int) []Edge {
+	seen := make(map[Edge]bool)
+	var out []Edge
+	for i := 1; i <= n; i++ {
+		for _, class := range l.classes {
+			e, err := l.OutEdge(class, i)
+			if err != nil || e.IsVirtual() || seen[e] {
+				continue
+			}
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Tuples returns the α pp-tuples of node i, one per strand class, each able
 // to reconstruct d_i as In XOR Out.
 func (l *Lattice) Tuples(i int) ([]Tuple, error) {

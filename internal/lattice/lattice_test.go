@@ -634,3 +634,57 @@ func TestTamperScope(t *testing.T) {
 		t.Error("accepted node beyond the lattice")
 	}
 }
+
+func TestRealOutEdges(t *testing.T) {
+	lat, err := New(Params{Alpha: 3, S: 2, P: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent oracle for the first positions of the AE(3,2,5)
+	// geometry (h=1, rh=2, lh=3), captured from the strand arithmetic —
+	// NOT computed with the function under test.
+	want := []Edge{
+		{Class: 1, Left: 1, Right: 3},
+		{Class: 2, Left: 1, Right: 4},
+		{Class: 3, Left: 1, Right: 10},
+		{Class: 1, Left: 2, Right: 4},
+		{Class: 2, Left: 2, Right: 9},
+		{Class: 3, Left: 2, Right: 3},
+		{Class: 1, Left: 3, Right: 5},
+		{Class: 2, Left: 3, Right: 6},
+		{Class: 3, Left: 3, Right: 12},
+		{Class: 1, Left: 4, Right: 6},
+		{Class: 2, Left: 4, Right: 11},
+		{Class: 3, Left: 4, Right: 5},
+	}
+	got := lat.RealOutEdges(4)
+	if len(got) != len(want) {
+		t.Fatalf("RealOutEdges(4) returned %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Structural pins at a larger n: every edge once, never virtual, and
+	// each (class, left) pair consistent with the strand walk's inverse.
+	const n = 40
+	edges := lat.RealOutEdges(n)
+	if len(edges) != 3*n {
+		t.Fatalf("RealOutEdges(%d) returned %d edges, want %d (alpha per position)", n, len(edges), 3*n)
+	}
+	seen := make(map[Edge]bool)
+	for _, e := range edges {
+		if e.IsVirtual() {
+			t.Errorf("virtual edge returned: %v", e)
+		}
+		if seen[e] {
+			t.Errorf("edge %v returned twice", e)
+		}
+		seen[e] = true
+		back, err := lat.Backward(e.Class, e.Right)
+		if err != nil || back != e.Left {
+			t.Errorf("edge %v does not invert: Backward(%v, %d) = %d, %v", e, e.Class, e.Right, back, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package segstore_test
+
+import (
+	"context"
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/segstore"
+	"aecodes/internal/store"
+	"aecodes/internal/store/storetest"
+)
+
+// TestLatticeConformance runs the durable view through the repository's
+// BlockStore conformance suite, with a segment size small enough that
+// the fill crosses several rotations and the reopen leg replays a
+// multi-segment log.
+func TestLatticeConformance(t *testing.T) {
+	shape := segstore.Shape{
+		Params:    lattice.Params{Alpha: 3, S: 2, P: 5},
+		Blocks:    12,
+		BlockSize: 64,
+	}
+	storetest.Run(t, storetest.Harness{
+		Params:    shape.Params,
+		Blocks:    shape.Blocks,
+		BlockSize: shape.BlockSize,
+		New: func(t *testing.T) store.BlockStore {
+			s, err := segstore.Open(t.TempDir(), segstore.Options{SegmentSize: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			v, err := segstore.NewLattice(s, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+		Reopen: func(t *testing.T, bs store.BlockStore) store.BlockStore {
+			old := bs.(*segstore.Lattice)
+			dir := old.Store().Dir()
+			if err := old.Store().Close(); err != nil {
+				t.Fatal(err)
+			}
+			s, err := segstore.Open(dir, segstore.Options{SegmentSize: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			v, err := segstore.OpenLattice(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Shape() != old.Shape() {
+				t.Fatalf("reopened shape %+v, want %+v", v.Shape(), old.Shape())
+			}
+			return v
+		},
+	})
+}
+
+// TestOpenLatticeWithoutShape pins the error shape: a store that never
+// held a view reports ErrNotFound, so callers can distinguish "fresh
+// directory" from real corruption.
+func TestOpenLatticeWithoutShape(t *testing.T) {
+	s, err := segstore.Open(t.TempDir(), segstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := segstore.OpenLattice(s); err == nil {
+		t.Fatal("OpenLattice on a shapeless store succeeded")
+	}
+}
+
+// TestLatticeSetBlocks pins that growing the expected set persists and
+// that Missing tracks it.
+func TestLatticeSetBlocks(t *testing.T) {
+	s, err := segstore.Open(t.TempDir(), segstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	shape := segstore.Shape{Params: lattice.Params{Alpha: 3, S: 2, P: 5}, Blocks: 0, BlockSize: 32}
+	v, err := segstore.NewLattice(s, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if m, err := v.Missing(ctx); err != nil || !m.Empty() {
+		t.Fatalf("empty expected set: Missing = %+v, %v", m, err)
+	}
+	if err := v.SetBlocks(2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := v.Missing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != 2 {
+		t.Fatalf("Missing.Data = %v, want positions 1 and 2", m.Data)
+	}
+	reopened, err := segstore.OpenLattice(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Shape().Blocks != 2 {
+		t.Fatalf("SetBlocks not persisted: reopened Blocks = %d", reopened.Shape().Blocks)
+	}
+}

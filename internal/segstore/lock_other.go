@@ -1,0 +1,15 @@
+//go:build !unix
+
+package segstore
+
+import "os"
+
+// lockDir is a no-op on platforms without flock: the store still works,
+// it just cannot detect a second writer on the same directory.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+// syncDir is a no-op on platforms where directories cannot be fsynced
+// (Windows FlushFileBuffers refuses a directory handle): the store works
+// degraded — power-loss durability of creations/unlinks rides on the
+// filesystem — rather than failing every rotation outright.
+func syncDir(dir string) error { return nil }

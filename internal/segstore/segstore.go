@@ -1,0 +1,736 @@
+// Package segstore is the durable storage backend for aestored: an
+// append-only segment store that survives a SIGKILL. Blocks live in
+// fixed-size segment files as checksummed records; an in-memory index
+// (key → record location) is rebuilt by scanning the segments on open,
+// so a restarted node serves every block whose record survived intact —
+// a restart becomes a cheap rejoin instead of a full entanglement
+// repair.
+//
+// Record framing follows the archive v2 convention (an 8-byte header of
+// one flag/length word plus one CRC32-C word covering the header word
+// and everything after it):
+//
+//	record := word0(4, big endian) crc(4) keyLen(2) key data
+//	word0  := tombstone flag (bit 31) | version bit (bit 30, always set)
+//	          | len(data) in the low 30 bits
+//	crc    := CRC32-C over word0, keyLen, key, data
+//
+// The version bit doubles as a validity gate during recovery: a torn
+// tail of zeros (or a header sliced mid-write) fails it immediately.
+// Recovery scans every segment in order, rebuilding the index with
+// last-write-wins semantics; the first invalid record ends the scan of
+// its segment, and when that segment is the active (highest-numbered)
+// one, the torn tail is truncated so the next append lands at a valid
+// offset. Reads re-verify the record CRC, so a block corrupted at rest
+// reads as missing — the repair engine regenerates it from its strands —
+// instead of serving bad bytes.
+//
+// Deletes append a tombstone record; Compact rewrites the live records
+// of sealed segments to the tail of the log and removes the sealed
+// files. Compaction is crash-safe at every step: a crash between the
+// copy and the removal leaves duplicate records, and the last-write-wins
+// scan resolves them to the same contents on the next open.
+package segstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"aecodes/internal/store"
+)
+
+// Record framing constants. The limits match the transport protocol's,
+// so any block a node can receive over the wire can be persisted.
+const (
+	recHeaderLen = 8
+	recTombstone = 1 << 31
+	recVersion   = 1 << 30
+	recLenMask   = recVersion - 1
+
+	// MaxKeyLen and MaxBlockLen bound one record; both match the
+	// transport frame limits.
+	MaxKeyLen   = 4096
+	MaxBlockLen = 64 << 20
+)
+
+// segExt is the segment file suffix; files are named like 00000001.seg.
+const segExt = ".seg"
+
+// lockName is the advisory lock file guarding the directory against a
+// second writer (two processes interleaving appends would tear each
+// other's records). The lock is released automatically when the holder
+// dies, so a SIGKILL'd node never blocks its own restart.
+const lockName = "LOCK"
+
+// syncDir (per-platform, see lock_unix.go / lock_other.go) fsyncs a
+// directory so file creations and unlinks inside it survive power loss
+// — plain fsync of the files only pins their contents, not their
+// directory entries.
+
+// castagnoli is the CRC32-C table shared by the writer and the recovery
+// scan — the same polynomial the archive framing uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes: an append that
+	// would grow the active segment past it seals the segment and starts
+	// a new one. Values < 1 default to 64 MiB. A single record larger
+	// than the threshold still fits — a segment always accepts at least
+	// one record.
+	SegmentSize int64
+	// Sync fsyncs the active segment after every append (single or
+	// batch). Off by default: completed writes already survive a process
+	// kill (they are in the kernel by the time Put returns), Sync only
+	// adds protection against the whole machine going down.
+	Sync bool
+}
+
+func (o Options) segmentSize() int64 {
+	if o.SegmentSize < 1 {
+		return 64 << 20
+	}
+	return o.SegmentSize
+}
+
+// recordLoc locates one live record inside a segment.
+type recordLoc struct {
+	seg     uint64
+	off     int64
+	keyLen  uint16
+	dataLen uint32
+}
+
+func (l recordLoc) recLen() int64 {
+	return recHeaderLen + 2 + int64(l.keyLen) + int64(l.dataLen)
+}
+
+// Stats describes the store after open or at any later point.
+type Stats struct {
+	// Blocks is the number of live keys.
+	Blocks int
+	// Segments is the number of segment files.
+	Segments int
+	// DeadBytes is the space a Compact call can reclaim: bytes in sealed
+	// segments not occupied by live records. (Superseded records in the
+	// active segment are not counted — only a later rotation makes them
+	// reclaimable.)
+	DeadBytes int64
+	// TruncatedBytes is the torn tail removed from the active segment by
+	// the recovery scan of the last Open.
+	TruncatedBytes int64
+}
+
+// Store is a durable keyed block store over append-only segment files.
+// It implements transport.BlockStore (Get/Put/Del) plus the native batch
+// extension (GetBatch/PutBatch), and is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	lock *os.File // held flock on dir/LOCK; nil on platforms without flock
+
+	mu        sync.RWMutex
+	closed    bool
+	index     map[string]recordLoc
+	files     map[uint64]*os.File // all segments, open for ReadAt
+	sealedLen map[uint64]int64    // valid byte length of each sealed segment
+	active    uint64              // highest segment id; appends go here
+	w         *os.File            // == files[active]
+	woff      int64               // append offset in the active segment
+	truncated int64               // torn tail removed by the last Open
+}
+
+// Open opens (or creates) the segment store in dir, scanning every
+// segment to rebuild the index and truncating a torn tail left by a
+// crash mid-append.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segstore: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		index:     make(map[string]recordLoc),
+		files:     make(map[uint64]*os.File),
+		sealedLen: make(map[uint64]int64),
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.lock = lock
+	ids, err := listSegments(dir)
+	if err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	created := len(ids) == 0
+	if created {
+		ids = []uint64{1}
+	}
+	for _, id := range ids {
+		f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("segstore: opening segment %d: %w", id, err)
+		}
+		s.files[id] = f
+	}
+	if created {
+		if err := syncDir(dir); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("segstore: syncing %s: %w", dir, err)
+		}
+	}
+	for i, id := range ids {
+		valid, err := s.scanSegment(id)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		last := i == len(ids)-1
+		if !last {
+			// Dead-bytes accounting uses the physical file size, not the
+			// valid prefix: a sealed segment with a corrupt suffix is
+			// reclaimed whole by Compact, so the whole file must count.
+			info, err := s.files[id].Stat()
+			if err != nil {
+				s.closeFiles()
+				return nil, fmt.Errorf("segstore: segment %d: %w", id, err)
+			}
+			s.sealedLen[id] = info.Size()
+		}
+		if last {
+			// Truncate the torn tail so the next append starts at a
+			// CRC-valid offset; sealed segments are never appended to, so
+			// their invalid tails (mid-segment corruption) are only
+			// skipped, not rewritten.
+			info, err := s.files[id].Stat()
+			if err != nil {
+				s.closeFiles()
+				return nil, fmt.Errorf("segstore: segment %d: %w", id, err)
+			}
+			if info.Size() > valid {
+				s.truncated = info.Size() - valid
+				if err := s.files[id].Truncate(valid); err != nil {
+					s.closeFiles()
+					return nil, fmt.Errorf("segstore: truncating torn tail of segment %d: %w", id, err)
+				}
+			}
+			s.active = id
+			s.w = s.files[id]
+			s.woff = valid
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) segPath(id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%08d%s", id, segExt))
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: listing %s: %w", dir, err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segExt) {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(name, segExt), 10, 64)
+		if err != nil || id == 0 {
+			continue // not a segment file; leave it alone
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids, nil
+}
+
+// scanSegment replays one segment into the index and returns the offset
+// of the first invalid byte (== the file size when the whole segment is
+// intact). Records are applied in order, so within and across segments
+// the last write wins.
+func (s *Store) scanSegment(id uint64) (int64, error) {
+	f := s.files[id]
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("segstore: segment %d: %w", id, err)
+	}
+	// Buffered: the scan otherwise issues ~3 small read syscalls per
+	// record (header, key, data). countingReader tracks offsets itself,
+	// so buffering is invisible to the offset math.
+	r := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
+	var (
+		hdr  [recHeaderLen + 2]byte
+		off  int64
+		kbuf []byte
+		dbuf []byte
+	)
+	for {
+		off = r.n
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, nil // clean EOF or sliced header: end of valid data
+		}
+		word0 := binary.BigEndian.Uint32(hdr[0:4])
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		keyLen := binary.BigEndian.Uint16(hdr[8:10])
+		if word0&recVersion == 0 {
+			return off, nil // zeros or garbage: torn tail
+		}
+		dataLen := word0 & recLenMask
+		tombstone := word0&recTombstone != 0
+		if dataLen > MaxBlockLen || keyLen > MaxKeyLen || keyLen == 0 || (tombstone && dataLen != 0) {
+			return off, nil
+		}
+		if cap(kbuf) < int(keyLen) {
+			kbuf = make([]byte, MaxKeyLen)
+		}
+		key := kbuf[:keyLen]
+		if _, err := io.ReadFull(r, key); err != nil {
+			return off, nil
+		}
+		if cap(dbuf) < int(dataLen) {
+			dbuf = make([]byte, int(dataLen))
+		}
+		data := dbuf[:dataLen]
+		if _, err := io.ReadFull(r, data); err != nil {
+			return off, nil
+		}
+		crc := crc32.Checksum(hdr[0:4], castagnoli)
+		crc = crc32.Update(crc, castagnoli, hdr[8:10])
+		crc = crc32.Update(crc, castagnoli, key)
+		crc = crc32.Update(crc, castagnoli, data)
+		if crc != wantCRC {
+			return off, nil
+		}
+		s.applyRecord(string(key), tombstone, recordLoc{seg: id, off: off, keyLen: keyLen, dataLen: dataLen})
+	}
+}
+
+// applyRecord replays one valid record into the index.
+func (s *Store) applyRecord(key string, tombstone bool, loc recordLoc) {
+	if tombstone {
+		delete(s.index, key)
+		return
+	}
+	s.index[key] = loc
+}
+
+// countingReader counts consumed bytes so the scan knows each record's
+// offset without a second pass.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Store) closeFiles() {
+	for _, f := range s.files {
+		f.Close()
+	}
+	if s.lock != nil {
+		s.lock.Close() // releases the flock
+	}
+}
+
+// Close syncs the active segment and closes every segment file. The
+// store is unusable afterwards; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.w != nil {
+		err = s.w.Sync()
+	}
+	s.closeFiles()
+	return err
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("segstore: store closed")
+	}
+	return s.w.Sync()
+}
+
+// Dir returns the directory holding the segment files.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Has reports whether key has a live record, without reading it.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Stats returns the store's current shape. DeadBytes is computed from
+// the index (O(live records)), so a caller gating compaction on it sees
+// exactly what Compact would reclaim.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var dead int64
+	for _, n := range s.sealedLen {
+		dead += n
+	}
+	for _, loc := range s.index {
+		if loc.seg != s.active {
+			dead -= loc.recLen()
+		}
+	}
+	return Stats{
+		Blocks:         len(s.index),
+		Segments:       len(s.files),
+		DeadBytes:      dead,
+		TruncatedBytes: s.truncated,
+	}
+}
+
+// Get returns the block stored under key and whether it exists. The
+// record's CRC is verified on every read: a record corrupted at rest
+// reads as missing, so the caller's repair machinery regenerates the
+// block instead of receiving bad bytes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getLocked(key)
+}
+
+func (s *Store) getLocked(key string) ([]byte, bool) {
+	if s.closed {
+		return nil, false
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	return s.readRecord(make([]byte, loc.recLen()), loc, key)
+}
+
+// readRecord reads and verifies one record into buf (sized recLen by
+// the caller) and returns the data slice within buf. Callers hold s.mu.
+func (s *Store) readRecord(buf []byte, loc recordLoc, key string) ([]byte, bool) {
+	f := s.files[loc.seg]
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		return nil, false
+	}
+	word0 := binary.BigEndian.Uint32(buf[0:4])
+	wantCRC := binary.BigEndian.Uint32(buf[4:8])
+	rest := buf[recHeaderLen:]
+	crc := crc32.Checksum(buf[0:4], castagnoli)
+	crc = crc32.Update(crc, castagnoli, rest)
+	if word0&recVersion == 0 || crc != wantCRC {
+		return nil, false
+	}
+	stored := rest[2 : 2+loc.keyLen]
+	if string(stored) != key {
+		return nil, false
+	}
+	return rest[2+int(loc.keyLen):], true
+}
+
+// Put stores a block under key, appending one record to the active
+// segment. The data slice is written before Put returns, never retained.
+func (s *Store) Put(key string, data []byte) error {
+	if err := checkRecord(key, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("segstore: store closed")
+	}
+	if err := s.appendLocked(key, data, false); err != nil {
+		return err
+	}
+	return s.maybeSyncLocked()
+}
+
+// Del removes a block by appending a tombstone record. Deleting a
+// missing key is a no-op (no tombstone is written).
+func (s *Store) Del(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.index[key]; !ok {
+		return
+	}
+	// A failed tombstone append leaves the key present — the caller sees
+	// delete-after-restart semantics no worse than delete-never-happened.
+	if err := s.appendLocked(key, nil, true); err == nil {
+		s.maybeSyncLocked()
+	}
+}
+
+// GetBatch returns one entry per key in order under a single lock
+// acquisition; entries for missing (or corrupt-at-rest) keys are nil.
+func (s *Store) GetBatch(keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, key := range keys {
+		if b, ok := s.getLocked(key); ok {
+			if b == nil {
+				b = []byte{}
+			}
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// StatBatch probes presence without retaining content: one entry per
+// key in order, the block's byte length when its record is present and
+// CRC-valid, -1 otherwise. The whole batch runs under one lock
+// acquisition and reuses one scratch buffer, so enumerating a large
+// store costs O(1) resident memory — unlike GetBatch, which would
+// materialize every block.
+func (s *Store) StatBatch(keys []string) []int {
+	out := make([]int, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var scratch []byte
+	for i, key := range keys {
+		out[i] = -1
+		if s.closed {
+			continue
+		}
+		loc, ok := s.index[key]
+		if !ok {
+			continue
+		}
+		n := loc.recLen()
+		if int64(cap(scratch)) < n {
+			scratch = make([]byte, n)
+		}
+		if _, ok := s.readRecord(scratch[:n], loc, key); ok {
+			out[i] = int(loc.dataLen)
+		}
+	}
+	return out
+}
+
+// PutBatch stores all items in order under one lock acquisition and (with
+// Options.Sync) one fsync for the whole batch. The first failing append
+// aborts the batch; earlier items are stored.
+func (s *Store) PutBatch(items []store.KV) error {
+	for _, it := range items {
+		if err := checkRecord(it.Key, it.Data); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("segstore: store closed")
+	}
+	for _, it := range items {
+		if err := s.appendLocked(it.Key, it.Data, false); err != nil {
+			return err
+		}
+	}
+	return s.maybeSyncLocked()
+}
+
+func checkRecord(key string, data []byte) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return fmt.Errorf("segstore: key of %d bytes outside [1, %d]", len(key), MaxKeyLen)
+	}
+	if len(data) > MaxBlockLen {
+		return fmt.Errorf("segstore: block of %d bytes exceeds limit %d", len(data), MaxBlockLen)
+	}
+	return nil
+}
+
+// appendLocked assembles and writes one record, rotating the active
+// segment first when the append would overflow it. Callers hold s.mu and
+// have validated key and data.
+func (s *Store) appendLocked(key string, data []byte, tombstone bool) error {
+	recLen := int64(recHeaderLen + 2 + len(key) + len(data))
+	if s.woff > 0 && s.woff+recLen > s.opts.segmentSize() {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	word0 := uint32(len(data)) | recVersion
+	if tombstone {
+		word0 |= recTombstone
+	}
+	rec := make([]byte, 0, recLen)
+	rec = binary.BigEndian.AppendUint32(rec, word0)
+	rec = binary.BigEndian.AppendUint32(rec, 0) // CRC placeholder
+	rec = binary.BigEndian.AppendUint16(rec, uint16(len(key)))
+	rec = append(rec, key...)
+	rec = append(rec, data...)
+	crc := crc32.Checksum(rec[0:4], castagnoli)
+	crc = crc32.Update(crc, castagnoli, rec[recHeaderLen:])
+	binary.BigEndian.PutUint32(rec[4:8], crc)
+
+	if _, err := s.w.WriteAt(rec, s.woff); err != nil {
+		// A partial write is a torn tail in the making: cut it off so the
+		// in-memory offset and the file agree again.
+		s.w.Truncate(s.woff)
+		return fmt.Errorf("segstore: appending to segment %d: %w", s.active, err)
+	}
+	loc := recordLoc{seg: s.active, off: s.woff, keyLen: uint16(len(key)), dataLen: uint32(len(data))}
+	s.woff += recLen
+	s.applyRecord(key, tombstone, loc)
+	return nil
+}
+
+func (s *Store) maybeSyncLocked() error {
+	if !s.opts.Sync {
+		return nil
+	}
+	return s.w.Sync()
+}
+
+// rotateLocked seals the active segment and starts the next one. The
+// sealed file stays open for ReadAt; appends move to the new segment.
+func (s *Store) rotateLocked() error {
+	if err := s.w.Sync(); err != nil {
+		return fmt.Errorf("segstore: sealing segment %d: %w", s.active, err)
+	}
+	id := s.active + 1
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: creating segment %d: %w", id, err)
+	}
+	// Pin the new directory entry: without this a power loss could drop
+	// the file (and every record acked into it) even though the record
+	// appends themselves were fsynced.
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		os.Remove(s.segPath(id))
+		return fmt.Errorf("segstore: syncing %s: %w", s.dir, err)
+	}
+	s.sealedLen[s.active] = s.woff
+	s.files[id] = f
+	s.active = id
+	s.w = f
+	s.woff = 0
+	return nil
+}
+
+// Compact reclaims the space of superseded and deleted records: every
+// live record still located in a sealed segment is re-appended to the
+// log tail, the log is synced, and the sealed files are removed.
+// Tombstones vanish with the sealed segments (every record they shadowed
+// lives in an older — also sealed, also removed — segment). A crash
+// between the copy and the removal leaves duplicates that the
+// last-write-wins recovery scan resolves; the next Compact reclaims
+// them. A live record whose CRC no longer verifies is dropped from the
+// index — the block reads as missing either way, and keeping the index
+// honest lets Missing-style enumeration report it for repair.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("segstore: store closed")
+	}
+	sealedActive := s.active
+	type liveRec struct {
+		key string
+		loc recordLoc
+	}
+	var live []liveRec
+	for key, loc := range s.index {
+		if loc.seg != sealedActive {
+			live = append(live, liveRec{key, loc})
+		}
+	}
+	// Copy in (segment, offset) order: deterministic layout, sequential
+	// reads.
+	sort.Slice(live, func(a, b int) bool {
+		if live[a].loc.seg != live[b].loc.seg {
+			return live[a].loc.seg < live[b].loc.seg
+		}
+		return live[a].loc.off < live[b].loc.off
+	})
+	for _, r := range live {
+		data, ok := s.getLocked(r.key)
+		if !ok {
+			delete(s.index, r.key)
+			continue
+		}
+		if err := s.appendLocked(r.key, data, false); err != nil {
+			return err
+		}
+	}
+	if err := s.w.Sync(); err != nil {
+		return fmt.Errorf("segstore: syncing after compaction: %w", err)
+	}
+	// Remove sealed segments OLDEST FIRST. The order is load-bearing for
+	// deleted keys: a tombstone's segment must outlive every older
+	// segment holding a record it shadows, or a crash between the two
+	// unlinks would leave the shadowed record with no tombstone and the
+	// next Open would resurrect the deleted block. Removing in ascending
+	// id order means any crash leaves only suffixes of the log, which
+	// replay to the same live set.
+	var sealed []uint64
+	for id := range s.files {
+		if id < sealedActive {
+			sealed = append(sealed, id)
+		}
+	}
+	sort.Slice(sealed, func(a, b int) bool { return sealed[a] < sealed[b] })
+	for _, id := range sealed {
+		s.files[id].Close()
+		// The segment holds no live records (all were re-appended above),
+		// so its handle and tracking can go regardless of what the
+		// unlink does; an unremoved file is simply rescanned — and
+		// resolved by last-write-wins — on the next Open.
+		delete(s.files, id)
+		delete(s.sealedLen, id)
+		if err := os.Remove(s.segPath(id)); err != nil {
+			// STOP at the first failed unlink: removing any newer segment
+			// past a surviving older one would break the suffix shape the
+			// ordering argument above depends on (a tombstone segment must
+			// never vanish while an older shadowed record survives).
+			return fmt.Errorf("segstore: removing sealed segment %d: %w", id, err)
+		}
+		// Pin each unlink before issuing the next: the ordering argument
+		// above only covers power loss if the unlinks reach the disk in
+		// order.
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("segstore: syncing %s: %w", s.dir, err)
+		}
+	}
+	return nil
+}

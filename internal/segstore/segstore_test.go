@@ -1,0 +1,404 @@
+package segstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"aecodes/internal/segstore"
+	"aecodes/internal/store"
+)
+
+func openStore(t *testing.T, dir string, opts segstore.Options) *segstore.Store {
+	t.Helper()
+	s, err := segstore.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestPutGetDelRoundTrip(t *testing.T) {
+	s := openStore(t, t.TempDir(), segstore.Options{})
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("empty store served a block")
+	}
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("a"); !ok || string(got) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	// Overwrite: last write wins.
+	if err := s.Put("a", []byte("alpha2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("a"); string(got) != "alpha2" {
+		t.Fatalf("after overwrite Get(a) = %q", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Del("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still served")
+	}
+	if !s.Has("b") || s.Has("a") {
+		t.Fatal("Has disagrees with Get")
+	}
+	// Deleting a missing key is a no-op.
+	s.Del("never-existed")
+	if s.Len() != 1 {
+		t.Fatalf("Len after deletes = %d, want 1", s.Len())
+	}
+	// Empty blocks are storable and distinct from missing.
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("empty"); !ok || len(got) != 0 {
+		t.Fatalf("Get(empty) = %v, %v, want empty block", got, ok)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	s := openStore(t, t.TempDir(), segstore.Options{})
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Error("accepted an empty key")
+	}
+	if err := s.Put(strings.Repeat("k", segstore.MaxKeyLen+1), []byte("x")); err == nil {
+		t.Error("accepted an oversized key")
+	}
+}
+
+func TestReopenRestoresIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{})
+	blocks := map[string][]byte{}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("blk-%03d", i)
+		data := bytes.Repeat([]byte{byte(i)}, 128)
+		blocks[key] = data
+		if err := s.Put(key, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and a tombstone must replay correctly too.
+	blocks["blk-007"] = []byte("rewritten")
+	if err := s.Put("blk-007", blocks["blk-007"]); err != nil {
+		t.Fatal(err)
+	}
+	s.Del("blk-013")
+	delete(blocks, "blk-013")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openStore(t, dir, segstore.Options{})
+	if r.Len() != len(blocks) {
+		t.Fatalf("reopened Len = %d, want %d", r.Len(), len(blocks))
+	}
+	if st := r.Stats(); st.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen truncated %d bytes", st.TruncatedBytes)
+	}
+	for key, want := range blocks {
+		got, ok := r.Get(key)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("reopened Get(%s) = %v, %v", key, got, ok)
+		}
+	}
+	if _, ok := r.Get("blk-013"); ok {
+		t.Fatal("tombstoned key resurrected by reopen")
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{SegmentSize: 256})
+	for i := 0; i < 40; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 5 {
+		t.Fatalf("Segments = %d after 40 puts with 256-byte segments, want several", st.Segments)
+	}
+	if got := len(segFiles(t, dir)); got != st.Segments {
+		t.Fatalf("%d .seg files on disk, Stats says %d", got, st.Segments)
+	}
+	for i := 0; i < 40; i++ {
+		got, ok := s.Get(fmt.Sprintf("k%02d", i))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 64)) {
+			t.Fatalf("Get(k%02d) across rotated segments = %v, %v", i, got, ok)
+		}
+	}
+	// A record larger than the segment size must still be accepted.
+	big := bytes.Repeat([]byte{0xBB}, 1024)
+	if err := s.Put("big", big); err != nil {
+		t.Fatalf("oversized-for-segment record rejected: %v", err)
+	}
+	if got, ok := s.Get("big"); !ok || !bytes.Equal(got, big) {
+		t.Fatal("oversized-for-segment record not served back")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{SegmentSize: 512})
+	content := func(i, gen int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(gen)}, 50)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), content(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite everything (doubling the log) and delete a quarter.
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), content(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i += 4 {
+		s.Del(fmt.Sprintf("k%02d", i))
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("overwrites produced no dead bytes")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("Compact kept %d segments (was %d)", after.Segments, before.Segments)
+	}
+	if after.DeadBytes >= before.DeadBytes {
+		t.Fatalf("Compact left DeadBytes %d (was %d)", after.DeadBytes, before.DeadBytes)
+	}
+	verify := func(s *segstore.Store, label string) {
+		t.Helper()
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("k%02d", i)
+			got, ok := s.Get(key)
+			if i%4 == 0 {
+				if ok {
+					t.Fatalf("%s: deleted %s resurrected", label, key)
+				}
+				continue
+			}
+			if !ok || !bytes.Equal(got, content(i, 1)) {
+				t.Fatalf("%s: Get(%s) = %v, %v, want generation 1", label, key, got, ok)
+			}
+		}
+	}
+	verify(s, "after compact")
+	// Durability of the compacted state: reopen and verify again.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openStore(t, dir, segstore.Options{SegmentSize: 512})
+	verify(r, "after compact+reopen")
+	// Compacting a store with nothing sealed is a harmless no-op.
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	verify(r, "after idle compact")
+}
+
+func TestBatchOps(t *testing.T) {
+	s := openStore(t, t.TempDir(), segstore.Options{SegmentSize: 256})
+	items := []store.KV{
+		{Key: "x", Data: []byte("ex")},
+		{Key: "y", Data: []byte("why")},
+		{Key: "z", Data: nil},
+	}
+	if err := s.PutBatch(items); err != nil {
+		t.Fatal(err)
+	}
+	got := s.GetBatch([]string{"x", "missing", "z", "y"})
+	if len(got) != 4 {
+		t.Fatalf("GetBatch returned %d entries, want 4", len(got))
+	}
+	if string(got[0]) != "ex" || string(got[3]) != "why" {
+		t.Fatalf("GetBatch content wrong: %q %q", got[0], got[3])
+	}
+	if got[1] != nil {
+		t.Fatal("missing key came back non-nil")
+	}
+	if got[2] == nil || len(got[2]) != 0 {
+		t.Fatal("stored empty block must be non-nil empty, distinguishing it from missing")
+	}
+	// A batch with an invalid entry is rejected before anything is written.
+	bad := []store.KV{{Key: "", Data: []byte("x")}}
+	if err := s.PutBatch(bad); err == nil {
+		t.Fatal("PutBatch accepted an empty key")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openStore(t, t.TempDir(), segstore.Options{SegmentSize: 4096})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				data := bytes.Repeat([]byte{byte(w), byte(i)}, 20)
+				if err := s.Put(key, data); err != nil {
+					t.Errorf("Put(%s): %v", key, err)
+					return
+				}
+				got, ok := s.Get(key)
+				if !ok || !bytes.Equal(got, data) {
+					t.Errorf("Get(%s) after Put = %v, %v", key, got, ok)
+					return
+				}
+				if i%10 == 0 {
+					s.Del(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*45 {
+		t.Fatalf("Len = %d, want %d", s.Len(), 8*45)
+	}
+}
+
+func TestClosedStoreRefusesWork(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close is not idempotent")
+	}
+	if err := s.Put("k2", []byte("v")); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get on closed store succeeded")
+	}
+}
+
+// TestForeignFilesIgnored pins that non-segment files in the data
+// directory (editor droppings, manifests) neither break open nor get
+// deleted by compaction.
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hands off"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notanumber.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, dir, segstore.Options{SegmentSize: 128})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("compaction removed a foreign file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notanumber.seg")); err != nil {
+		t.Fatal("compaction removed a non-segment .seg file")
+	}
+}
+
+// TestSecondOpenRefused pins the single-writer lock: a second Open on a
+// directory already held by a live store fails instead of interleaving
+// appends with it. (flock dies with its holder, so crash-restart is
+// unaffected — the SIGKILL integration test covers that side.)
+func TestSecondOpenRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{})
+	if _, err := segstore.Open(dir, segstore.Options{}); err == nil {
+		t.Fatal("second Open on a held directory succeeded")
+	}
+	// Releasing the first store frees the directory.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	r.Close()
+}
+
+// TestStatBatchAgreesWithGetBatch pins the presence probe: same
+// availability view as GetBatch (including CRC verification), plus the
+// block length, without materializing content.
+func TestStatBatchAgreesWithGetBatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{})
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("corrupt", bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the "corrupt" record on disk.
+	seg := activeSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, info.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	keys := []string{"a", "empty", "missing", "corrupt"}
+	sizes := s.StatBatch(keys)
+	blocks := s.GetBatch(keys)
+	want := []int{5, 0, -1, -1}
+	for i, key := range keys {
+		if sizes[i] != want[i] {
+			t.Errorf("StatBatch[%s] = %d, want %d", key, sizes[i], want[i])
+		}
+		if (sizes[i] >= 0) != (blocks[i] != nil) {
+			t.Errorf("StatBatch and GetBatch disagree on %s: size %d, block %v", key, sizes[i], blocks[i])
+		}
+	}
+}

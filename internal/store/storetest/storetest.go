@@ -1,0 +1,317 @@
+// Package storetest is the executable form of the storage dialect's
+// contract: one conformance suite that every store.BlockStore backend —
+// memory maps, clustered locations, directory archives, durable segment
+// logs — runs against its own constructor, so the contracts the repair
+// engine leans on (ErrNotFound sentinels, copy-on-put, GetMany's
+// nil-entry partial results, Missing agreeing with the availability
+// view, virtual edges reading as zero) are pinned in one place instead
+// of re-derived per backend.
+package storetest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/store"
+)
+
+// Harness describes one backend under test. Params, Blocks and BlockSize
+// must match the shape the New constructor builds; Reopen is optional
+// and only set for durable backends.
+type Harness struct {
+	// Params is the lattice geometry the store serves.
+	Params lattice.Params
+	// Blocks is the number of data positions the suite writes (1-based).
+	Blocks int
+	// BlockSize is the exact byte size of every block.
+	BlockSize int
+	// New returns a fresh, empty store.
+	New func(t *testing.T) store.BlockStore
+	// Reopen, when non-nil, closes s and returns a new handle over the
+	// same persisted state — the durability leg of the suite. Memory
+	// backends leave it nil.
+	Reopen func(t *testing.T, s store.BlockStore) store.BlockStore
+}
+
+// Run exercises the full BlockStore contract against the harness.
+func Run(t *testing.T, h Harness) {
+	if h.New == nil || h.Blocks < 2 || h.BlockSize < 1 {
+		t.Fatalf("storetest: harness needs New, Blocks >= 2 and BlockSize >= 1 (got Blocks=%d BlockSize=%d)", h.Blocks, h.BlockSize)
+	}
+	lat, err := lattice.New(h.Params)
+	if err != nil {
+		t.Fatalf("storetest: bad harness params %v: %v", h.Params, err)
+	}
+	ctx := context.Background()
+
+	t.Run("RoundTrip", func(t *testing.T) {
+		s := h.New(t)
+		h.fillAll(t, s, lat)
+		h.verifyAll(t, s, lat)
+	})
+
+	t.Run("NotFoundSentinel", func(t *testing.T) {
+		s := h.New(t)
+		if _, err := s.GetData(ctx, 1); !errors.Is(err, store.ErrNotFound) {
+			t.Errorf("GetData on empty store = %v, want ErrNotFound", err)
+		}
+		e := h.realEdge(t, lat)
+		if _, err := s.GetParity(ctx, e); !errors.Is(err, store.ErrNotFound) {
+			t.Errorf("GetParity on empty store = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("VirtualEdgeReadsZero", func(t *testing.T) {
+		e, ok := virtualEdge(lat, h.Blocks)
+		if !ok {
+			t.Skip("no virtual edge in this geometry")
+		}
+		s := h.New(t)
+		b, err := s.GetParity(ctx, e)
+		if err != nil {
+			t.Fatalf("GetParity(virtual %v) = %v, want zero block", e, err)
+		}
+		if len(b) != h.BlockSize || !bytes.Equal(b, make([]byte, h.BlockSize)) {
+			t.Errorf("virtual edge read %d non-zero bytes, want %d zeros", len(b), h.BlockSize)
+		}
+		if err := s.PutParity(ctx, e, h.block(1)); err == nil {
+			t.Error("PutParity accepted a virtual edge")
+		}
+	})
+
+	t.Run("PutCopies", func(t *testing.T) {
+		s := h.New(t)
+		b := h.block(7)
+		if err := s.PutData(ctx, 1, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			b[i] = 0xAA
+		}
+		got, err := s.GetData(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, h.block(7)) {
+			t.Error("PutData retained the caller's slice: read-back changed after caller mutation")
+		}
+	})
+
+	t.Run("GetManyPartial", func(t *testing.T) {
+		s := h.New(t)
+		if err := s.PutData(ctx, 1, h.block(1)); err != nil {
+			t.Fatal(err)
+		}
+		e := h.realEdge(t, lat)
+		if err := s.PutParity(ctx, e, h.block(100)); err != nil {
+			t.Fatal(err)
+		}
+		refs := []store.Ref{store.DataRef(1), store.DataRef(2), store.ParityRef(e)}
+		got, err := s.GetMany(ctx, refs)
+		if err != nil {
+			t.Fatalf("GetMany with missing entries failed: %v (missing blocks must be nil entries, not errors)", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("GetMany returned %d entries for %d refs", len(got), len(refs))
+		}
+		if !bytes.Equal(got[0], h.block(1)) {
+			t.Error("present data entry wrong or nil")
+		}
+		if got[1] != nil {
+			t.Error("missing data entry non-nil")
+		}
+		if !bytes.Equal(got[2], h.block(100)) {
+			t.Error("present parity entry wrong or nil")
+		}
+	})
+
+	t.Run("PutManyReadbackAndCopy", func(t *testing.T) {
+		s := h.New(t)
+		e := h.realEdge(t, lat)
+		blocks := []store.Block{
+			{Ref: store.DataRef(1), Data: h.block(1)},
+			{Ref: store.DataRef(2), Data: h.block(2)},
+			{Ref: store.ParityRef(e), Data: h.block(100)},
+		}
+		if err := s.PutMany(ctx, blocks); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			for i := range b.Data {
+				b.Data[i] = 0x55
+			}
+		}
+		got, err := s.GetMany(ctx, []store.Ref{blocks[0].Ref, blocks[1].Ref, blocks[2].Ref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []int{1, 2, 100} {
+			if !bytes.Equal(got[i], h.block(want)) {
+				t.Errorf("entry %d: PutMany lost or retained the block", i)
+			}
+		}
+	})
+
+	t.Run("MissingAgreesWithGetMany", func(t *testing.T) {
+		s := h.New(t)
+		h.fillAll(t, s, lat)
+		m, err := s.Missing(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Empty() {
+			t.Fatalf("fully-written store reports missing blocks: %+v", m)
+		}
+		// The agreement direction that is checkable generically: every
+		// block Missing enumerates must be one GetMany cannot serve.
+		partial := h.New(t)
+		if err := partial.PutData(ctx, 1, h.block(1)); err != nil {
+			t.Fatal(err)
+		}
+		m, err = partial.Missing(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refs []store.Ref
+		for _, i := range m.Data {
+			refs = append(refs, store.DataRef(i))
+		}
+		for _, e := range m.Parities {
+			refs = append(refs, store.ParityRef(e))
+		}
+		got, err := partial.GetMany(ctx, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != nil {
+				t.Errorf("Missing enumerated %v but GetMany serves it", refs[i])
+			}
+		}
+	})
+
+	t.Run("CanceledContext", func(t *testing.T) {
+		s := h.New(t)
+		canceled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.GetMany(canceled, []store.Ref{store.DataRef(1)}); !errors.Is(err, context.Canceled) {
+			t.Errorf("GetMany on canceled context = %v, want context.Canceled", err)
+		}
+		err := s.PutMany(canceled, []store.Block{{Ref: store.DataRef(1), Data: h.block(1)}})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("PutMany on canceled context = %v, want context.Canceled", err)
+		}
+	})
+
+	if h.Reopen != nil {
+		t.Run("ReopenDurability", func(t *testing.T) {
+			s := h.New(t)
+			h.fillAll(t, s, lat)
+			s = h.Reopen(t, s)
+			h.verifyAll(t, s, lat)
+			m, err := s.Missing(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Empty() {
+				t.Errorf("reopened store reports missing blocks: %+v", m)
+			}
+		})
+	}
+}
+
+// block returns the deterministic content of block seed.
+func (h Harness) block(seed int) []byte {
+	b := make([]byte, h.BlockSize)
+	for i := range b {
+		b[i] = byte(seed*31 + i*7 + 1)
+	}
+	return b
+}
+
+// edges returns the storable parity edges of the harness's data
+// positions — the same expected set Missing implementations enumerate.
+func (h Harness) edges(lat *lattice.Lattice) []lattice.Edge {
+	return lat.RealOutEdges(h.Blocks)
+}
+
+// realEdge returns one storable parity edge.
+func (h Harness) realEdge(t *testing.T, lat *lattice.Lattice) lattice.Edge {
+	t.Helper()
+	es := h.edges(lat)
+	if len(es) == 0 {
+		t.Fatal("storetest: geometry has no real parity edges")
+	}
+	return es[0]
+}
+
+// virtualEdge finds a strand-seed edge, if the geometry has one.
+func virtualEdge(lat *lattice.Lattice, blocks int) (lattice.Edge, bool) {
+	for i := 1; i <= blocks; i++ {
+		for _, class := range lat.Classes() {
+			if e, err := lat.InEdge(class, i); err == nil && e.IsVirtual() {
+				return e, true
+			}
+		}
+	}
+	return lattice.Edge{}, false
+}
+
+// fillAll writes every data block and every real out-edge parity.
+func (h Harness) fillAll(t *testing.T, s store.BlockStore, lat *lattice.Lattice) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 1; i <= h.Blocks; i++ {
+		if err := s.PutData(ctx, i, h.block(i)); err != nil {
+			t.Fatalf("PutData(%d): %v", i, err)
+		}
+	}
+	for _, e := range h.edges(lat) {
+		if err := s.PutParity(ctx, e, h.block(edgeSeed(e))); err != nil {
+			t.Fatalf("PutParity(%v): %v", e, err)
+		}
+	}
+}
+
+// verifyAll reads back everything fillAll wrote, single-op and batched.
+func (h Harness) verifyAll(t *testing.T, s store.BlockStore, lat *lattice.Lattice) {
+	t.Helper()
+	ctx := context.Background()
+	var refs []store.Ref
+	var want [][]byte
+	for i := 1; i <= h.Blocks; i++ {
+		refs = append(refs, store.DataRef(i))
+		want = append(want, h.block(i))
+	}
+	for _, e := range h.edges(lat) {
+		refs = append(refs, store.ParityRef(e))
+		want = append(want, h.block(edgeSeed(e)))
+	}
+	for i, r := range refs {
+		got, err := store.Get(ctx, s, r)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", r, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("Get(%v): content mismatch", r)
+		}
+	}
+	got, err := s.GetMany(ctx, refs)
+	if err != nil {
+		t.Fatalf("GetMany over full store: %v", err)
+	}
+	for i := range refs {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("GetMany entry %v: content mismatch", refs[i])
+		}
+	}
+}
+
+// edgeSeed derives a content seed from an edge, distinct from the data
+// block seeds 1..Blocks.
+func edgeSeed(e lattice.Edge) int {
+	return 1000 + int(e.Class)*101 + e.Left*13 + e.Right
+}

@@ -135,11 +135,18 @@ func getMany(ctx context.Context, rt roundTripper, keys []string) ([][]byte, err
 	return blocks, nil
 }
 
-// servePutMany handles one OpPutMany frame on the server.
+// servePutMany handles one OpPutMany frame on the server: one PutBatch
+// call on a batch-native store, one Put per item otherwise.
 func (s *Server) servePutMany(conn net.Conn, payload []byte) error {
 	items, err := decodePutMany(payload)
 	if err != nil {
 		return writeResponse(conn, StatusError, []byte(err.Error()))
+	}
+	if s.batch != nil {
+		if perr := s.batch.PutBatch(items); perr != nil {
+			return writeResponse(conn, StatusError, []byte(perr.Error()))
+		}
+		return writeResponse(conn, StatusOK, nil)
 	}
 	for _, it := range items {
 		if perr := s.store.Put(it.Key, it.Data); perr != nil {
@@ -157,17 +164,23 @@ func (s *Server) serveGetMany(conn net.Conn, payload []byte) error {
 	if err != nil {
 		return writeResponse(conn, StatusError, []byte(err.Error()))
 	}
-	blocks := make([][]byte, len(keys))
-	respPayload := 4
-	for i, k := range keys {
-		respPayload += 1 + 4
-		if b, ok := s.store.Get(k); ok {
-			if b == nil {
-				b = []byte{}
+	var blocks [][]byte
+	if s.batch != nil {
+		blocks = s.batch.GetBatch(keys)
+	} else {
+		blocks = make([][]byte, len(keys))
+		for i, k := range keys {
+			if b, ok := s.store.Get(k); ok {
+				if b == nil {
+					b = []byte{} // present-but-empty, distinct from missing
+				}
+				blocks[i] = b
 			}
-			blocks[i] = b
-			respPayload += len(b)
 		}
+	}
+	respPayload := 4
+	for _, b := range blocks {
+		respPayload += 1 + 4 + len(b)
 	}
 	if respPayload > MaxPayloadLen {
 		return writeResponse(conn, StatusError,

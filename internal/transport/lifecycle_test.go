@@ -120,6 +120,20 @@ func (s *stallStore) Get(key string) ([]byte, bool) {
 	return s.MemStore.Get(key)
 }
 
+// GetBatch keeps the stall visible on the batch path too: embedding
+// *MemStore makes this wrapper a BatchBlockStore, so without this
+// override the server would serve OpGetMany via the promoted
+// MemStore.GetBatch and bypass the hung-node simulation.
+func (s *stallStore) GetBatch(keys []string) [][]byte {
+	for _, key := range keys {
+		if strings.HasPrefix(key, s.prefix) {
+			<-s.release
+			break
+		}
+	}
+	return s.MemStore.GetBatch(keys)
+}
+
 // TestPoolResponseTimeoutFailsHungRequest pins the timeout wheel: a node
 // that never answers fails the request after ResponseTimeout instead of
 // stalling forever, poisoning only the connections the hung requests

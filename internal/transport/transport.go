@@ -57,8 +57,9 @@ const (
 // either across every backend.
 var ErrNotFound = fmt.Errorf("transport: %w", store.ErrNotFound)
 
-// BlockStore is the storage a Server exposes. Implementations must be safe
-// for concurrent use.
+// BlockStore is the storage a Server exposes; NewServer accepts any
+// implementation — the in-memory MemStore, the durable segstore.Store,
+// or anything else. Implementations must be safe for concurrent use.
 type BlockStore interface {
 	// Get returns the block and whether it exists.
 	Get(key string) ([]byte, bool)
@@ -66,6 +67,21 @@ type BlockStore interface {
 	Put(key string, data []byte) error
 	// Del removes a block; deleting a missing key is not an error.
 	Del(key string)
+}
+
+// BatchBlockStore is an optional BlockStore extension. When the store a
+// Server serves implements it, the server applies each OpPutMany /
+// OpGetMany frame with one store call instead of one call per entry —
+// for a durable store that is one lock acquisition and one (optional)
+// fsync per frame rather than per block.
+type BatchBlockStore interface {
+	BlockStore
+	// GetBatch returns one entry per key in order; entries for missing
+	// keys are nil (a present-but-empty block is a non-nil empty slice).
+	GetBatch(keys []string) [][]byte
+	// PutBatch stores all items in order; the first failing entry aborts
+	// the batch and earlier entries may have been stored.
+	PutBatch(items []store.KV) error
 }
 
 // MemStore is a trivial in-memory BlockStore.
@@ -109,6 +125,47 @@ func (s *MemStore) Del(key string) {
 	delete(s.m, key)
 }
 
+// GetBatch implements BatchBlockStore: one lock acquisition for the
+// whole batch.
+//
+// Beware when embedding MemStore in a test double or decorator: these
+// batch methods come along, so NewServer detects the wrapper as a
+// BatchBlockStore and batch frames bypass any Get/Put overrides —
+// override GetBatch/PutBatch as well to keep the decoration visible on
+// the batch path.
+func (s *MemStore) GetBatch(keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, key := range keys {
+		b, ok := s.m[key]
+		if !ok {
+			continue
+		}
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out[i] = cp
+	}
+	return out
+}
+
+// PutBatch implements BatchBlockStore: the batch is copied first, then
+// applied under one lock acquisition.
+func (s *MemStore) PutBatch(items []store.KV) error {
+	copies := make([][]byte, len(items))
+	for i, it := range items {
+		cp := make([]byte, len(it.Data))
+		copy(cp, it.Data)
+		copies[i] = cp
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, it := range items {
+		s.m[it.Key] = copies[i]
+	}
+	return nil
+}
+
 // Len returns the number of stored blocks.
 func (s *MemStore) Len() int {
 	s.mu.RLock()
@@ -127,6 +184,7 @@ func (s *MemStore) Clear() {
 // Server serves a BlockStore over TCP.
 type Server struct {
 	store BlockStore
+	batch BatchBlockStore // non-nil when store is batch-native
 
 	mu          sync.Mutex
 	listener    net.Listener
@@ -142,7 +200,11 @@ func NewServer(store BlockStore) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("transport: nil store")
 	}
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{store: store, conns: make(map[net.Conn]struct{})}
+	if b, ok := store.(BatchBlockStore); ok {
+		s.batch = b
+	}
+	return s, nil
 }
 
 // SetIdleTimeout makes the server drop connections that send no complete
