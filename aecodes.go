@@ -98,6 +98,12 @@ var ErrNotFound = store.ErrNotFound
 // about whether the block exists.
 var ErrUnavailable = store.ErrUnavailable
 
+// ErrQuotaExceeded is the sentinel a multi-tenant storage node returns
+// for a write its admission control refused. It is permanent for that
+// write — retrying cannot succeed until the node frees space — so
+// callers surface it instead of retrying. Test with errors.Is.
+var ErrQuotaExceeded = store.ErrQuotaExceeded
+
 // Source is the read view the repair engine needs: context-aware block
 // reads, with ErrNotFound reporting unavailability.
 type Source = store.Source

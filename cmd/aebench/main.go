@@ -6,10 +6,11 @@
 //	aebench -exp all                         # everything, paper defaults
 //	aebench -exp fig11 -blocks 1000000       # one experiment at 1M blocks
 //	aebench -exp table6 -blocks 200000 -seed 7
-//	aebench -exp encode -json > BENCH.json   # machine-readable perf record
+//	aebench -exp encode,transport,segstore -json > BENCH.json   # perf record
 //
 // Experiments: table4, fig8, fig9, fig10, fig11, fig12, fig13, table6,
-// placement, mirror, all.
+// placement, mirror, raid, ablation, encode, transport, segstore, all.
+// -exp accepts a comma-separated list.
 //
 // With -json the human-readable tables are suppressed and a single JSON
 // document is written to stdout: one entry per measurement (ns/op and
@@ -26,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"aecodes/internal/benchfmt"
@@ -50,7 +52,7 @@ func record(r benchfmt.Result) { recorder = append(recorder, r) }
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|all")
+		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|transport|segstore|all")
 		blocks    = flag.Int("blocks", 1_000_000, "number of data blocks (paper: 1,000,000)")
 		locations = flag.Int("locations", 100, "number of storage locations (paper: 100)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -122,6 +124,15 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		{"raid", func(c sim.Config, _ int) error { return raid() }},
 		{"ablation", func(c sim.Config, _ int) error { return ablations(c) }},
 		{"encode", func(c sim.Config, _ int) error { return encodeBench(encCfg) }},
+		// The node-facing hot paths, sized so one run stays in CI budget:
+		// 64 KiB blocks keep per-entry framing overhead realistic while a
+		// batch stays far under the 64 MiB frame cap.
+		{"transport", func(c sim.Config, _ int) error {
+			return transportBench(netConfig{blockSize: 64 << 10, blocks: 128, batches: 24})
+		}},
+		{"segstore", func(c sim.Config, _ int) error {
+			return segstoreBench(netConfig{blockSize: 64 << 10, blocks: 128, batches: 24})
+		}},
 	}
 	timed := func(e experiment) error {
 		start := time.Now()
@@ -140,12 +151,25 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		}
 		return nil
 	}
-	for _, e := range experiments {
-		if e.name == exp {
-			return timed(e)
+	// -exp accepts a comma-separated list, so one invocation (and one
+	// JSON document) can cover every guarded experiment.
+	for _, name := range strings.Split(exp, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, e := range experiments {
+			if e.name == name {
+				if err := timed(e); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
-	return fmt.Errorf("unknown experiment %q", exp)
+	return nil
 }
 
 func table4() error {

@@ -1,0 +1,170 @@
+// The transport and segstore experiments put the node-facing hot paths
+// under the same machine-readable measurement (and CI bench-guard watch)
+// as the codec: batched round-trips over real loopback sockets, and the
+// durable log's append and recovery rates.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"aecodes/internal/benchfmt"
+	"aecodes/internal/segstore"
+	"aecodes/internal/store"
+	"aecodes/internal/transport"
+)
+
+// netConfig sizes the transport and segstore experiments.
+type netConfig struct {
+	blockSize int // bytes per block
+	blocks    int // blocks per batch
+	batches   int // measured batches
+}
+
+// mbps converts blocks moved in a duration to MB/s.
+func (c netConfig) mbps(batches int, d time.Duration) float64 {
+	return float64(batches) * float64(c.blocks) * float64(c.blockSize) / (1 << 20) / d.Seconds()
+}
+
+// transportBench measures the batch ops end to end over a real TCP
+// loopback: a server over a MemStore, a pooled pipelined client, and
+// one PutMany / GetMany / StatMany frame per batch — the exact shape a
+// repair round's commit, prefetch and enumeration travel in.
+func transportBench(cfg netConfig) error {
+	srv, err := transport.NewServer(transport.NewMemStore())
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	pool, err := transport.DialPool(addr, 2)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	items := make([]transport.KV, cfg.blocks)
+	keys := make([]string, cfg.blocks)
+	for i := range items {
+		data := make([]byte, cfg.blockSize)
+		rng.Read(data)
+		keys[i] = fmt.Sprintf("block-%04d", i)
+		items[i] = transport.KV{Key: keys[i], Data: data}
+	}
+	fmt.Printf("Transport batch round-trips — loopback TCP, %d batches of %d × %d KiB\n",
+		cfg.batches, cfg.blocks, cfg.blockSize>>10)
+
+	start := time.Now()
+	for b := 0; b < cfg.batches; b++ {
+		if err := pool.PutMany(ctx, items); err != nil {
+			return err
+		}
+	}
+	put := time.Since(start)
+
+	start = time.Now()
+	for b := 0; b < cfg.batches; b++ {
+		blocks, err := pool.GetMany(ctx, keys)
+		if err != nil {
+			return err
+		}
+		if len(blocks) != len(keys) || blocks[0] == nil {
+			return fmt.Errorf("aebench: GetMany returned a damaged batch")
+		}
+	}
+	get := time.Since(start)
+
+	// StatMany moves ~1 byte per key either way: report round-trips/s
+	// via ns/op instead of a (meaningless) MB/s.
+	const statBatches = 200
+	start = time.Now()
+	for b := 0; b < statBatches; b++ {
+		flags, err := pool.StatMany(ctx, keys)
+		if err != nil {
+			return err
+		}
+		if len(flags) != len(keys) || !flags[0] {
+			return fmt.Errorf("aebench: StatMany returned a damaged batch")
+		}
+	}
+	stat := time.Since(start)
+
+	fmt.Printf("  putmany:  %8.1f MB/s (%v)\n", cfg.mbps(cfg.batches, put), put.Round(time.Millisecond))
+	fmt.Printf("  getmany:  %8.1f MB/s (%v)\n", cfg.mbps(cfg.batches, get), get.Round(time.Millisecond))
+	fmt.Printf("  statmany: %8.0f ns/frame of %d keys\n", float64(stat.Nanoseconds())/statBatches, len(keys))
+	record(benchfmt.Result{Experiment: "transport", Name: "putmany",
+		NsPerOp: float64(put.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, put)})
+	record(benchfmt.Result{Experiment: "transport", Name: "getmany",
+		NsPerOp: float64(get.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, get)})
+	record(benchfmt.Result{Experiment: "transport", Name: "statmany",
+		NsPerOp: float64(stat.Nanoseconds()) / statBatches})
+	return nil
+}
+
+// segstoreBench measures the durable log's two hot paths: batched
+// appends (the write path of every backup and repair commit on a
+// durable node) and the recovery scan a restart pays to rebuild its
+// index.
+func segstoreBench(cfg netConfig) error {
+	dir, err := os.MkdirTemp("", "aebench-segstore-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	s, err := segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(13))
+	fmt.Printf("Segstore append/recovery — %d batches of %d × %d KiB\n",
+		cfg.batches, cfg.blocks, cfg.blockSize>>10)
+
+	items := make([]store.KV, cfg.blocks)
+	start := time.Now()
+	for b := 0; b < cfg.batches; b++ {
+		for i := range items {
+			data := make([]byte, cfg.blockSize)
+			rng.Read(data)
+			items[i] = store.KV{Key: fmt.Sprintf("b%02d-k%04d", b, i), Data: data}
+		}
+		if err := s.PutBatch(items); err != nil {
+			s.Close()
+			return err
+		}
+	}
+	appendD := time.Since(start)
+	if err := s.Close(); err != nil {
+		return err
+	}
+
+	start = time.Now()
+	s, err = segstore.Open(dir, segstore.Options{})
+	if err != nil {
+		return err
+	}
+	recoverD := time.Since(start)
+	blocks := s.Len()
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if blocks != cfg.batches*cfg.blocks {
+		return fmt.Errorf("aebench: recovery found %d blocks, want %d", blocks, cfg.batches*cfg.blocks)
+	}
+
+	fmt.Printf("  append:  %8.1f MB/s (%v)\n", cfg.mbps(cfg.batches, appendD), appendD.Round(time.Millisecond))
+	fmt.Printf("  recover: %8.1f MB/s (%v for %d blocks)\n",
+		cfg.mbps(cfg.batches, recoverD), recoverD.Round(time.Millisecond), blocks)
+	record(benchfmt.Result{Experiment: "segstore", Name: "append",
+		NsPerOp: float64(appendD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, appendD)})
+	record(benchfmt.Result{Experiment: "segstore", Name: "recover",
+		NsPerOp: float64(recoverD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, recoverD)})
+	return nil
+}

@@ -6,6 +6,8 @@
 //
 //	aestored -addr 127.0.0.1:7070
 //	aestored -addr 127.0.0.1:7070 -data /var/lib/aestored
+//	aestored -addr 127.0.0.1:7070 -data /var/lib/aestored -compactratio 0.5
+//	aestored -addr 127.0.0.1:7070 -tenants tenants.json -evicthw 1073741824
 //	aestored -addr 127.0.0.1:7070 -idletimeout 2m
 //
 // The node announces its bound address on stdout and serves until
@@ -17,9 +19,26 @@
 // mid-write, and serves its surviving blocks — so a restart is a cheap
 // rejoin for the repair engine instead of a full re-entanglement. -sync
 // additionally fsyncs every append (power-loss durability at a
-// throughput cost), and -compactdead runs a log compaction on startup
-// when at least that many bytes are reclaimable. Without -data the node
-// is memory-only and a restart loses everything it held.
+// throughput cost), -compactdead runs a log compaction on startup when
+// at least that many bytes are reclaimable, and -compactratio keeps
+// compacting while serving: whenever dead bytes reach that share of the
+// log, the store reclaims them in place. Without -data the node is
+// memory-only and a restart loses everything it held.
+//
+// Multi-tenancy is enabled by any of -tenants, -quota or -evicthw. The
+// node then serves each handshaked tenant from its own namespace, with
+// byte/block quotas enforced at write time (over-quota writes are
+// refused with a typed quota status) and per-tenant usage rebuilt from
+// the log on restart. -tenants names a JSON config file (see
+// internal/tenant.LoadConfig for the format: per-tenant quotas and
+// reservations, a default quota, a strict flag, the eviction high-water
+// mark); -quota overrides the default per-tenant byte quota and -evicthw
+// the eviction high-water mark. When the node's live bytes exceed the
+// high-water mark, whole cold tenant lattices are shed (LRU, never a
+// tenant at or below its reservation) — entanglement repair can
+// regenerate an evicted lattice later. Clients that never handshake are
+// served as the anonymous tenant from the raw keyspace, so old clients
+// keep working unchanged.
 //
 // With -idletimeout set, connections idle longer than that are dropped
 // so abandoned broker connections cannot pin sockets forever. It
@@ -36,6 +55,7 @@ import (
 	"syscall"
 
 	"aecodes/internal/segstore"
+	"aecodes/internal/tenant"
 	"aecodes/internal/transport"
 )
 
@@ -46,13 +66,22 @@ func main() {
 	sync := flag.Bool("sync", false, "fsync every append to the segment store (requires -data)")
 	segSize := flag.Int64("segsize", 0, "segment rotation threshold in bytes (0 = 64 MiB default; requires -data)")
 	compactDead := flag.Int64("compactdead", 0, "compact the log on startup when at least this many bytes are dead (0 disables; requires -data)")
+	compactRatio := flag.Float64("compactratio", 0, "auto-compact while serving when dead bytes reach this share of the log, e.g. 0.5 (0 disables; requires -data)")
+	tenantsFile := flag.String("tenants", "", "tenant config file (JSON; enables multi-tenancy)")
+	quota := flag.Int64("quota", 0, "default per-tenant byte quota (0 = unlimited; enables multi-tenancy)")
+	evictHW := flag.Int64("evicthw", 0, "eviction high-water mark in live bytes: shed cold tenant lattices above it (0 disables; enables multi-tenancy)")
 	flag.Parse()
+
+	if *data == "" && (*sync || *segSize != 0 || *compactDead != 0 || *compactRatio != 0) {
+		fmt.Fprintln(os.Stderr, "aestored: -sync, -segsize, -compactdead and -compactratio need -data")
+		os.Exit(1)
+	}
 
 	var store transport.BlockStore = transport.NewMemStore()
 	var seg *segstore.Store
 	if *data != "" {
 		var err error
-		seg, err = segstore.Open(*data, segstore.Options{Sync: *sync, SegmentSize: *segSize})
+		seg, err = segstore.Open(*data, segstore.Options{Sync: *sync, SegmentSize: *segSize, CompactRatio: *compactRatio})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aestored:", err)
 			os.Exit(1)
@@ -71,15 +100,54 @@ func main() {
 			fmt.Printf("aestored: compacted %d dead bytes\n", st.DeadBytes-seg.Stats().DeadBytes)
 		}
 		store = seg
-	} else if *sync || *segSize != 0 || *compactDead != 0 {
-		fmt.Fprintln(os.Stderr, "aestored: -sync, -segsize and -compactdead need -data")
-		os.Exit(1)
+	}
+
+	multiTenant := *tenantsFile != "" || *quota > 0 || *evictHW > 0
+	var reg *tenant.Registry
+	if multiTenant {
+		cfg := tenant.Config{}
+		if *tenantsFile != "" {
+			var err error
+			cfg, err = tenant.LoadConfig(*tenantsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aestored:", err)
+				os.Exit(1)
+			}
+		}
+		if *quota > 0 {
+			cfg.Default.MaxBytes = *quota
+		}
+		if *evictHW > 0 {
+			cfg.HighWater = *evictHW
+		}
+		var err error
+		reg, err = tenant.NewRegistry(store, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aestored:", err)
+			os.Exit(1)
+		}
+		anon, err := reg.Open(tenant.Anonymous)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aestored:", err)
+			os.Exit(1)
+		}
+		// The anonymous view becomes the default store, so pre-handshake
+		// clients are quota-accounted too; handshaked connections swap to
+		// their tenant's view through the resolver.
+		store = anon
+		fmt.Printf("aestored: multi-tenant (%d configured tenants, %d live bytes accounted)\n",
+			len(cfg.Tenants), reg.TotalBytes())
 	}
 
 	srv, err := transport.NewServer(store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		srv.SetTenantResolver(func(id string) (transport.BlockStore, error) {
+			return reg.Open(id)
+		})
 	}
 	srv.SetIdleTimeout(*idle)
 	bound, err := srv.Listen(*addr)

@@ -77,18 +77,23 @@ func TestRepairRoundBatchesPerNode(t *testing.T) {
 
 	// Repair ran stats.Rounds productive rounds plus one closing
 	// enumeration (which doubles as the fixpoint check and the final
-	// missing-set accounting). Each productive round is allowed two batch
-	// frames per node — the Missing enumeration and the engine's round
-	// prefetch — the closing enumeration one, and nothing may fall back to
-	// single-block chatter.
-	maxBatches := 2*stats.Rounds + 1
+	// missing-set accounting). Enumeration is presence-only: each
+	// productive round costs one StatMany frame per node (plus one for
+	// the closing enumeration), content moves ONLY in the engine's round
+	// prefetch — at most one GetMany frame per node per round — and
+	// nothing may fall back to single-block chatter.
+	maxStats := stats.Rounds + 1
 	for i, m := range mems {
 		if m.GetCalls() != 0 {
 			t.Errorf("node %d served %d single Gets during repair, want 0 (batching bypassed)", i, m.GetCalls())
 		}
-		if m.BatchCalls() > maxBatches {
-			t.Errorf("node %d served %d batch calls over %d rounds, want ≤ %d (one frame per node per round)",
-				i, m.BatchCalls(), stats.Rounds, maxBatches)
+		if m.BatchCalls() > stats.Rounds {
+			t.Errorf("node %d served %d GetMany frames over %d rounds, want ≤ one per round (enumeration must be presence-only)",
+				i, m.BatchCalls(), stats.Rounds)
+		}
+		if m.BatchStatCalls() > maxStats {
+			t.Errorf("node %d served %d StatMany frames over %d rounds, want ≤ %d",
+				i, m.BatchStatCalls(), stats.Rounds, maxStats)
 		}
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"aecodes/internal/lattice"
 	"aecodes/internal/placement"
 	"aecodes/internal/store"
+	tenantpkg "aecodes/internal/tenant"
 )
 
 // ErrNotFound is returned by NodeStore implementations for missing
@@ -65,6 +66,30 @@ type BatchNodeStore interface {
 	// PutMany stores all items in one exchange; items are applied in
 	// order and the first store error aborts the batch.
 	PutMany(ctx context.Context, items []store.KV) error
+}
+
+// StatNodeStore is an optional NodeStore extension for presence-only
+// enumeration: which of these keys do you hold, one flag per key, no
+// block contents on the wire. transport.Client and transport.PoolClient
+// both provide it; over nodes that do, the broker's missing-block
+// enumeration stops fetching (and discarding) whole blocks, leaving the
+// repair engine's round prefetch as the only content transfer.
+type StatNodeStore interface {
+	NodeStore
+	// StatMany returns one entry per key in order: true when the node
+	// holds the block.
+	StatMany(ctx context.Context, keys []string) ([]bool, error)
+}
+
+// HelloNodeStore is an optional NodeStore extension for the tenant
+// handshake: a broker with a credential announces it to every capable
+// node so its keys land in (and read from) its own namespace.
+// transport.Client and transport.PoolClient both provide it.
+type HelloNodeStore interface {
+	NodeStore
+	// Hello switches the connection(s) behind this node to the tenant's
+	// namespace.
+	Hello(ctx context.Context, tenant string) error
 }
 
 // batchChunk bounds one GetMany/PutMany call by entry count
@@ -100,13 +125,19 @@ type InMemoryNode struct {
 	mu            sync.RWMutex
 	blocks        map[string][]byte
 	down          bool
+	tenant        string
 	getCalls      int
 	batchGetCalls int
 	putCalls      int
 	batchPutCalls int
+	statCalls     int
 }
 
-var _ BatchNodeStore = (*InMemoryNode)(nil)
+var (
+	_ BatchNodeStore = (*InMemoryNode)(nil)
+	_ StatNodeStore  = (*InMemoryNode)(nil)
+	_ HelloNodeStore = (*InMemoryNode)(nil)
+)
 
 // NewInMemoryNode returns an empty, available node.
 func NewInMemoryNode() *InMemoryNode {
@@ -155,6 +186,41 @@ func (n *InMemoryNode) GetMany(ctx context.Context, keys []string) ([][]byte, er
 		}
 	}
 	return out, nil
+}
+
+// StatMany implements StatNodeStore: one simulated presence-only frame
+// for the whole key list.
+func (n *InMemoryNode) StatMany(ctx context.Context, keys []string) ([]bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.statCalls++
+	if n.down {
+		return nil, fmt.Errorf("cooperative: %w", store.ErrUnavailable)
+	}
+	out := make([]bool, len(keys))
+	for i, key := range keys {
+		_, out[i] = n.blocks[key]
+	}
+	return out, nil
+}
+
+// Hello implements HelloNodeStore: the test double just records the
+// credential (its flat map stands in for one tenant's namespace).
+func (n *InMemoryNode) Hello(ctx context.Context, tenant string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return fmt.Errorf("cooperative: %w", store.ErrUnavailable)
+	}
+	n.tenant = tenant
+	return nil
+}
+
+// Tenant returns the credential the last Hello announced.
+func (n *InMemoryNode) Tenant() string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.tenant
 }
 
 // Put implements NodeStore.
@@ -218,11 +284,18 @@ func (n *InMemoryNode) BatchPutCalls() int {
 	return n.batchPutCalls
 }
 
+// BatchStatCalls returns the number of StatMany requests served.
+func (n *InMemoryNode) BatchStatCalls() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.statCalls
+}
+
 // ResetCounters zeroes the request counters.
 func (n *InMemoryNode) ResetCounters() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.getCalls, n.batchGetCalls, n.putCalls, n.batchPutCalls = 0, 0, 0, 0
+	n.getCalls, n.batchGetCalls, n.putCalls, n.batchPutCalls, n.statCalls = 0, 0, 0, 0, 0
 }
 
 // Len returns the number of blocks held (even while down).
@@ -236,6 +309,7 @@ func (n *InMemoryNode) Len() int {
 // concurrent use; serialise access externally if needed.
 type Broker struct {
 	user      string
+	tenant    string // credential announced to HelloNodeStore nodes
 	params    lattice.Params
 	blockSize int
 	enc       *entangle.Encoder
@@ -278,6 +352,46 @@ func NewBroker(user string, params lattice.Params, blockSize int, nodes []NodeSt
 		local:     make(map[int][]byte),
 	}, nil
 }
+
+// SetCredential validates and announces a tenant credential to every
+// node that speaks the handshake (transport clients and pools do): the
+// broker's uploads then land in — and its reads come from — its own
+// namespace on shared storage nodes, under whatever quota the node
+// grants that tenant. Nodes that do not speak the handshake are left
+// untouched. When any node refuses the credential, the nodes already
+// switched are rolled back to the broker's previous credential
+// (best-effort — a node that fails the rollback too is left to its
+// pool's redial path, which handshakes the current credential) and the
+// call fails with the broker's credential unchanged: the lattice is
+// never left split across namespaces. An over-quota upload later
+// surfaces as an error wrapping store.ErrQuotaExceeded — the broker
+// never retries it, because the same write cannot succeed until the
+// node frees space.
+func (b *Broker) SetCredential(ctx context.Context, tenant string) error {
+	if err := tenantpkg.ValidateID(tenant); err != nil {
+		return fmt.Errorf("cooperative: %w", err)
+	}
+	for i, n := range b.nodes {
+		hn, ok := n.(HelloNodeStore)
+		if !ok {
+			continue
+		}
+		if err := hn.Hello(ctx, tenant); err != nil {
+			for j := 0; j < i; j++ {
+				if prev, ok := b.nodes[j].(HelloNodeStore); ok {
+					prev.Hello(ctx, b.tenant)
+				}
+			}
+			return fmt.Errorf("cooperative: announcing credential to node %d: %w", i, err)
+		}
+	}
+	b.tenant = tenant
+	return nil
+}
+
+// Tenant returns the credential set by SetCredential ("" while
+// anonymous).
+func (b *Broker) Tenant() string { return b.tenant }
 
 // BlockSize returns the broker's block size.
 func (b *Broker) BlockSize() int { return b.blockSize }
@@ -446,6 +560,15 @@ func (b *Broker) RepairParity(ctx context.Context, e lattice.Edge) (int, error) 
 		return 0, fmt.Errorf("cooperative: re-uploading %s: %w", key, err)
 	}
 	return idx, nil
+}
+
+// Missing reports the broker's current loss picture without repairing
+// anything: data blocks the user's machine lost, and parities no
+// storage node currently serves (enumerated presence-only over nodes
+// that support it). It is the health probe behind "do I need to run
+// RepairLattice" — cheap enough to poll, since no block contents move.
+func (b *Broker) Missing(ctx context.Context) (store.Missing, error) {
+	return b.netStore().Missing(ctx)
 }
 
 // RepairLattice runs round-based repair over the user's whole lattice,
@@ -661,12 +784,42 @@ func (s *netStore) PutMany(ctx context.Context, blocks []store.Block) error {
 	return s.b.uploadGrouped(ctx, byNode)
 }
 
+// heldOnNode answers the enumeration question for one node — which of
+// these keys do you hold — with the fewest bytes the node supports:
+// presence-only StatMany frames where available, GetMany frames with the
+// contents discarded otherwise, per-key Gets as the last resort. One
+// entry per key; an unreachable node holds nothing this round.
+func (s *netStore) heldOnNode(ctx context.Context, node NodeStore, keys []string) []bool {
+	held := make([]bool, len(keys))
+	sn, stat := node.(StatNodeStore)
+	if !stat {
+		blocks := s.fetchFromNode(ctx, node, keys)
+		for i, b := range blocks {
+			held[i] = b != nil
+		}
+		return held
+	}
+	// Presence flags are one byte per key, so the chunking that keeps
+	// content batches under the frame limit is only needed for the entry
+	// count, not the byte budget.
+	for start := 0; start < len(keys); start += batchChunk {
+		end := min(start+batchChunk, len(keys))
+		flags, err := sn.StatMany(ctx, keys[start:end])
+		if err != nil || len(flags) != end-start {
+			continue // node unreachable (or confused): chunk stays false
+		}
+		copy(held[start:end], flags)
+	}
+	return held
+}
+
 // Missing implements store.Single: every data block the user's machine
 // lost, and every parity the lattice says should exist but no node
-// serves. Batch-capable nodes answer the parity enumeration with one
-// GetMany frame per node (in chunkEntries-sized chunks); the contents are
-// discarded — the repair engine prefetches the (much smaller) working set
-// it actually plans against in its own round batch.
+// serves. Nodes speaking the presence-only protocol answer with
+// StatMany flags — no block contents cross the wire for enumeration, so
+// the engine's round prefetch is the only content transfer of a repair
+// round. Other batch-capable nodes fall back to one GetMany frame per
+// chunk with the contents discarded.
 func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
 	if err := ctx.Err(); err != nil {
 		return store.Missing{}, err
@@ -702,11 +855,12 @@ func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
 		for j, w := range wanted {
 			keys[j] = w.key
 		}
-		blocks := s.fetchFromNode(ctx, s.b.nodes[idx], keys)
+		held := s.heldOnNode(ctx, s.b.nodes[idx], keys)
 		for j, w := range wanted {
-			// A nil entry covers both "node answered: not held" and "node
-			// unreachable" — either way the block is missing this round.
-			if blocks[j] == nil {
+			// A false entry covers both "node answered: not held" and
+			// "node unreachable" — either way the block is missing this
+			// round.
+			if !held[j] {
 				m.Parities = append(m.Parities, w.edge)
 			}
 		}

@@ -23,14 +23,30 @@ type Shape struct {
 	BlockSize int            `json:"block_size"`
 }
 
-// Lattice is a durable store.BlockStore over a segment Store: data and
-// parity refs map to canonical keys (store.Ref's String form), batches
-// ride the Store's native batch operations (one lock acquisition, one
-// optional fsync per batch), and the shape is persisted in the store
-// itself so reopening the directory restores the full view. One Store
-// backs one view — the view owns the whole key space.
+// Backend is the keyed store a Lattice view runs over: the segment
+// Store natively, or any other store speaking the same keyed batch
+// dialect — a tenant-namespaced view of a shared node, an in-memory
+// transport store. StatBatch must agree with the read path (a block
+// GetBatch would not serve stats as absent).
+type Backend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+	GetBatch(keys []string) [][]byte
+	PutBatch(items []store.KV) error
+	StatBatch(keys []string) []int
+}
+
+var _ Backend = (*Store)(nil)
+
+// Lattice is a store.BlockStore over a keyed Backend: data and parity
+// refs map to canonical keys (store.Ref's String form), batches ride the
+// backend's native batch operations (for the segment store: one lock
+// acquisition, one optional fsync per batch), and the shape is persisted
+// in the backend itself so reopening the directory restores the full
+// view. One Backend (or one tenant namespace of it) backs one view — the
+// view owns that whole key space.
 type Lattice struct {
-	s     *Store
+	s     Backend
 	shape Shape
 	lat   *lattice.Lattice
 }
@@ -39,7 +55,7 @@ var _ store.BlockStore = (*Lattice)(nil)
 
 // NewLattice creates a view with the given shape and persists the shape
 // in the store, overwriting any previous one.
-func NewLattice(s *Store, shape Shape) (*Lattice, error) {
+func NewLattice(s Backend, shape Shape) (*Lattice, error) {
 	lat, err := lattice.New(shape.Params)
 	if err != nil {
 		return nil, err
@@ -61,7 +77,7 @@ func NewLattice(s *Store, shape Shape) (*Lattice, error) {
 }
 
 // OpenLattice restores the view persisted by a previous NewLattice.
-func OpenLattice(s *Store) (*Lattice, error) {
+func OpenLattice(s Backend) (*Lattice, error) {
 	raw, ok := s.Get(shapeKey)
 	if !ok {
 		return nil, fmt.Errorf("segstore: store holds no lattice shape: %w", store.ErrNotFound)
@@ -80,8 +96,8 @@ func OpenLattice(s *Store) (*Lattice, error) {
 // Shape returns the view's shape.
 func (v *Lattice) Shape() Shape { return v.shape }
 
-// Store returns the backing segment store.
-func (v *Lattice) Store() *Store { return v.s }
+// Store returns the backing keyed store.
+func (v *Lattice) Store() Backend { return v.s }
 
 // SetBlocks updates and persists the expected data-block count — the
 // durable analogue of a growing archive.

@@ -38,8 +38,9 @@ func TestLatticeConformance(t *testing.T) {
 		},
 		Reopen: func(t *testing.T, bs store.BlockStore) store.BlockStore {
 			old := bs.(*segstore.Lattice)
-			dir := old.Store().Dir()
-			if err := old.Store().Close(); err != nil {
+			seg := old.Store().(*segstore.Store)
+			dir := seg.Dir()
+			if err := seg.Close(); err != nil {
 				t.Fatal(err)
 			}
 			s, err := segstore.Open(dir, segstore.Options{SegmentSize: 512})

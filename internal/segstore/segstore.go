@@ -94,6 +94,17 @@ type Options struct {
 	// kill (they are in the kernel by the time Put returns), Sync only
 	// adds protection against the whole machine going down.
 	Sync bool
+	// CompactRatio auto-triggers Compact when the dead-bytes share of
+	// the log's physical size reaches it (0 < ratio ≤ 1; 0 disables).
+	// The check runs after each completed write call, so a store under a
+	// churny workload reclaims superseded and deleted records without
+	// waiting for the next restart's -compactdead pass. Compaction still
+	// runs stop-the-world under the store lock: the triggering write has
+	// already been applied and is reported successfully even when the
+	// compaction itself fails — a failure is recorded (CompactErr) and
+	// disables the auto-trigger until an explicit Compact succeeds, so a
+	// store that cannot compact does not re-attempt on every write.
+	CompactRatio float64
 }
 
 func (o Options) segmentSize() int64 {
@@ -140,15 +151,17 @@ type Store struct {
 
 	lock *os.File // held flock on dir/LOCK; nil on platforms without flock
 
-	mu        sync.RWMutex
-	closed    bool
-	index     map[string]recordLoc
-	files     map[uint64]*os.File // all segments, open for ReadAt
-	sealedLen map[uint64]int64    // valid byte length of each sealed segment
-	active    uint64              // highest segment id; appends go here
-	w         *os.File            // == files[active]
-	woff      int64               // append offset in the active segment
-	truncated int64               // torn tail removed by the last Open
+	mu         sync.RWMutex
+	closed     bool
+	index      map[string]recordLoc
+	files      map[uint64]*os.File // all segments, open for ReadAt
+	sealedLen  map[uint64]int64    // valid byte length of each sealed segment
+	liveInSeg  map[uint64]int64    // live record bytes per segment, kept incrementally
+	active     uint64              // highest segment id; appends go here
+	w          *os.File            // == files[active]
+	woff       int64               // append offset in the active segment
+	truncated  int64               // torn tail removed by the last Open
+	compactErr error               // first auto-compaction failure; disables the trigger
 }
 
 // Open opens (or creates) the segment store in dir, scanning every
@@ -164,6 +177,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		index:     make(map[string]recordLoc),
 		files:     make(map[uint64]*os.File),
 		sealedLen: make(map[uint64]int64),
+		liveInSeg: make(map[uint64]int64),
 	}
 	lock, err := lockDir(dir)
 	if err != nil {
@@ -321,13 +335,28 @@ func (s *Store) scanSegment(id uint64) (int64, error) {
 	}
 }
 
-// applyRecord replays one valid record into the index.
+// applyRecord replays one valid record into the index, keeping the
+// per-segment live-byte counters (behind the incremental dead-bytes
+// accounting) in step.
 func (s *Store) applyRecord(key string, tombstone bool, loc recordLoc) {
+	if old, ok := s.index[key]; ok {
+		s.liveInSeg[old.seg] -= old.recLen()
+	}
 	if tombstone {
 		delete(s.index, key)
 		return
 	}
 	s.index[key] = loc
+	s.liveInSeg[loc.seg] += loc.recLen()
+}
+
+// dropLiveLocked removes a key whose record turned out unreadable,
+// keeping the live-byte counters in step. Callers hold s.mu.
+func (s *Store) dropLiveLocked(key string) {
+	if old, ok := s.index[key]; ok {
+		s.liveInSeg[old.seg] -= old.recLen()
+		delete(s.index, key)
+	}
 }
 
 // countingReader counts consumed bytes so the scan knows each record's
@@ -397,26 +426,55 @@ func (s *Store) Has(key string) bool {
 	return ok
 }
 
-// Stats returns the store's current shape. DeadBytes is computed from
-// the index (O(live records)), so a caller gating compaction on it sees
-// exactly what Compact would reclaim.
+// Stats returns the store's current shape. DeadBytes comes from the
+// incrementally maintained per-segment live-byte counters (O(segments)),
+// so a caller gating compaction on it sees exactly what Compact would
+// reclaim.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var dead int64
-	for _, n := range s.sealedLen {
-		dead += n
-	}
-	for _, loc := range s.index {
-		if loc.seg != s.active {
-			dead -= loc.recLen()
-		}
-	}
 	return Stats{
 		Blocks:         len(s.index),
 		Segments:       len(s.files),
-		DeadBytes:      dead,
+		DeadBytes:      s.deadBytesLocked(),
 		TruncatedBytes: s.truncated,
+	}
+}
+
+// deadBytesLocked is the space a Compact call can reclaim: bytes in
+// sealed segments not occupied by live records. Callers hold s.mu.
+func (s *Store) deadBytesLocked() int64 {
+	var dead int64
+	for id, n := range s.sealedLen {
+		dead += n - s.liveInSeg[id]
+	}
+	return dead
+}
+
+// Size reports the payload length of the block under key without reading
+// it: an index lookup, O(1). A record corrupted at rest still sizes as
+// present (only reads verify the CRC) — callers that must agree with the
+// read path use StatBatch instead.
+func (s *Store) Size(key string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.index[key]
+	if !ok || s.closed {
+		return 0, false
+	}
+	return int64(loc.dataLen), true
+}
+
+// Each walks every live key with its payload size, in no particular
+// order, until fn returns false. The walk holds the store's read lock:
+// fn must not call back into the store.
+func (s *Store) Each(fn func(key string, size int64) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for key, loc := range s.index {
+		if !fn(key, int64(loc.dataLen)) {
+			return
+		}
 	}
 }
 
@@ -477,7 +535,11 @@ func (s *Store) Put(key string, data []byte) error {
 	if err := s.appendLocked(key, data, false); err != nil {
 		return err
 	}
-	return s.maybeSyncLocked()
+	if err := s.maybeSyncLocked(); err != nil {
+		return err
+	}
+	s.maybeCompactLocked()
+	return nil
 }
 
 // Del removes a block by appending a tombstone record. Deleting a
@@ -495,6 +557,7 @@ func (s *Store) Del(key string) {
 	// delete-after-restart semantics no worse than delete-never-happened.
 	if err := s.appendLocked(key, nil, true); err == nil {
 		s.maybeSyncLocked()
+		s.maybeCompactLocked()
 	}
 }
 
@@ -565,7 +628,47 @@ func (s *Store) PutBatch(items []store.KV) error {
 			return err
 		}
 	}
-	return s.maybeSyncLocked()
+	if err := s.maybeSyncLocked(); err != nil {
+		return err
+	}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// maybeCompactLocked runs the auto-compaction trigger after a completed
+// write: when Options.CompactRatio is set and dead bytes make up at
+// least that share of the log's physical size, compact in place.
+// Callers hold s.mu. The write that got us here has already been
+// applied and synced, so a compaction failure never fails the write —
+// it is recorded (CompactErr) and disables the auto-trigger, so a
+// persistently failing store does not re-attempt a full compaction on
+// every subsequent write; a successful explicit Compact re-arms it.
+func (s *Store) maybeCompactLocked() {
+	ratio := s.opts.CompactRatio
+	if ratio <= 0 || s.compactErr != nil {
+		return
+	}
+	dead := s.deadBytesLocked()
+	if dead <= 0 {
+		return
+	}
+	physical := s.woff
+	for _, n := range s.sealedLen {
+		physical += n
+	}
+	if physical <= 0 || float64(dead)/float64(physical) < ratio {
+		return
+	}
+	s.compactErr = s.compactLocked()
+}
+
+// CompactErr returns the error that disabled auto-compaction, or nil
+// while the trigger is armed. Operators gate health checks on it; a
+// successful explicit Compact clears it.
+func (s *Store) CompactErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.compactErr
 }
 
 func checkRecord(key string, data []byte) error {
@@ -664,6 +767,16 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return errors.New("segstore: store closed")
 	}
+	err := s.compactLocked()
+	if err == nil {
+		s.compactErr = nil // a clean explicit run re-arms the auto-trigger
+	}
+	return err
+}
+
+// compactLocked is Compact's body, shared with the auto-compaction
+// trigger. Callers hold s.mu.
+func (s *Store) compactLocked() error {
 	sealedActive := s.active
 	type liveRec struct {
 		key string
@@ -686,7 +799,7 @@ func (s *Store) Compact() error {
 	for _, r := range live {
 		data, ok := s.getLocked(r.key)
 		if !ok {
-			delete(s.index, r.key)
+			s.dropLiveLocked(r.key)
 			continue
 		}
 		if err := s.appendLocked(r.key, data, false); err != nil {
@@ -718,6 +831,7 @@ func (s *Store) Compact() error {
 		// resolved by last-write-wins — on the next Open.
 		delete(s.files, id)
 		delete(s.sealedLen, id)
+		delete(s.liveInSeg, id)
 		if err := os.Remove(s.segPath(id)); err != nil {
 			// STOP at the first failed unlink: removing any newer segment
 			// past a surviving older one would break the suffix shape the

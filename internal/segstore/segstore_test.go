@@ -402,3 +402,102 @@ func TestStatBatchAgreesWithGetBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestAutoCompactionOnDeadRatio pins the Options.CompactRatio trigger:
+// churning overwrites across several rotations accumulates dead bytes in
+// sealed segments until the ratio crosses the threshold, at which point
+// the store compacts itself mid-serve — live data intact, dead share
+// back under the ratio, old sealed files gone.
+func TestAutoCompactionOnDeadRatio(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{SegmentSize: 512, CompactRatio: 0.5})
+	payload := func(round int) []byte {
+		return bytes.Repeat([]byte{byte('a' + round)}, 100)
+	}
+	// Overwrite the same small key set over and over: every superseded
+	// record in a sealed segment is dead weight.
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		for k := 0; k < 4; k++ {
+			if err := s.Put(fmt.Sprintf("k%d", k), payload(round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	physical := int64(0)
+	for _, name := range segFiles(t, dir) {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		physical += info.Size()
+	}
+	if physical == 0 || float64(st.DeadBytes)/float64(physical) >= 0.5 {
+		t.Fatalf("auto-compaction never held the dead ratio: %d dead of %d physical bytes across %d segments",
+			st.DeadBytes, physical, st.Segments)
+	}
+	// A churn this size crosses 512-byte segments many times over; had
+	// no compaction run, nearly every sealed segment would be dead.
+	if st.Segments > 6 {
+		t.Fatalf("store kept %d segments; auto-compaction is not reclaiming", st.Segments)
+	}
+	// Live data intact after however many in-line compactions ran.
+	for k := 0; k < 4; k++ {
+		got, ok := s.Get(fmt.Sprintf("k%d", k))
+		if !ok || !bytes.Equal(got, payload(rounds-1)) {
+			t.Fatalf("k%d lost or stale after auto-compaction (ok=%v)", k, ok)
+		}
+	}
+	// And the compacted log replays identically.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir, segstore.Options{SegmentSize: 512})
+	for k := 0; k < 4; k++ {
+		got, ok := s2.Get(fmt.Sprintf("k%d", k))
+		if !ok || !bytes.Equal(got, payload(rounds-1)) {
+			t.Fatalf("k%d wrong after reopening a compacted log (ok=%v)", k, ok)
+		}
+	}
+}
+
+// TestDeadBytesIncrementalAgreesWithCompact pins the incremental
+// dead-bytes accounting: Stats' number equals what a Compact call
+// actually reclaims, and deletes in sealed segments count.
+func TestDeadBytesIncrementalAgreesWithCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{SegmentSize: 256})
+	for i := 0; i < 12; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{1}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		s.Del(fmt.Sprintf("k%d", i))
+	}
+	if err := s.Put("k3", bytes.Repeat([]byte{2}, 64)); err != nil { // resurrect one
+		t.Fatal(err)
+	}
+	dead := s.Stats().DeadBytes
+	if dead == 0 {
+		t.Fatal("churn left no dead bytes in sealed segments")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction reclaims what Stats promised. Rotations during the
+	// re-append can seal the previously active segment, turning its
+	// tombstones into fresh (small) dead weight — so the bound is "far
+	// less than before", not zero.
+	if after := s.Stats().DeadBytes; after >= dead/2 {
+		t.Fatalf("DeadBytes = %d after Compact, want well under the %d reclaimed", after, dead)
+	}
+	for i := 0; i < 12; i++ {
+		_, ok := s.Get(fmt.Sprintf("k%d", i))
+		wantOK := i >= 6 || i == 3
+		if ok != wantOK {
+			t.Errorf("k%d present=%v after compact, want %v", i, ok, wantOK)
+		}
+	}
+}

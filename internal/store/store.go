@@ -43,6 +43,13 @@ var ErrNotFound = errors.New("aecodes: block not found")
 // whether the block exists.
 var ErrUnavailable = errors.New("aecodes: storage unavailable")
 
+// ErrQuotaExceeded reports a write refused by admission control: the
+// tenant (or the node) is out of byte or block budget. It is a permanent
+// condition for the write that triggered it — retrying the same write
+// cannot succeed until space is freed — so brokers and the repair engine
+// surface it instead of retrying.
+var ErrQuotaExceeded = errors.New("aecodes: storage quota exceeded")
+
 // KV is one key/block pair of a keyed batch write, shared by the keyed
 // lower-tier backends (the TCP transport and cooperative storage nodes).
 type KV struct {

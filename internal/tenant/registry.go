@@ -1,0 +1,589 @@
+package tenant
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"aecodes/internal/store"
+)
+
+// Keyed is the backing store a Registry wraps: the keyed server-side
+// dialect both transport.MemStore and segstore.Store speak. Implementations
+// must be safe for concurrent use.
+type Keyed interface {
+	// Get returns the block and whether it exists.
+	Get(key string) ([]byte, bool)
+	// Put stores a block.
+	Put(key string, data []byte) error
+	// Del removes a block; deleting a missing key is not an error.
+	Del(key string)
+}
+
+// KeyedBatch is the optional batch extension of Keyed (one lock
+// acquisition / one fsync per batch on capable backings).
+type KeyedBatch interface {
+	GetBatch(keys []string) [][]byte
+	PutBatch(items []store.KV) error
+}
+
+// KeyedStat is the optional presence probe: one entry per key, the
+// block's byte length when present, -1 when absent.
+type KeyedStat interface {
+	StatBatch(keys []string) []int
+}
+
+// Sizer is the optional O(1) size lookup quota accounting prefers over
+// reading whole blocks.
+type Sizer interface {
+	Size(key string) (int64, bool)
+}
+
+// Enumerable walks every live key with its block size. The registry needs
+// it to rebuild per-tenant accounting when reopening a durable backing,
+// and to collect a victim's keys during eviction.
+type Enumerable interface {
+	// Each calls fn for every live key until fn returns false. The walk
+	// runs under the backing's lock: fn must not call back into the
+	// store.
+	Each(fn func(key string, size int64) bool)
+}
+
+// Usage is one tenant's live footprint.
+type Usage struct {
+	// Bytes is the sum of the tenant's live block payload sizes (keying
+	// and record framing overhead is not charged).
+	Bytes int64
+	// Blocks is the number of live keys.
+	Blocks int64
+}
+
+// usage is the internal accounting record.
+type usage struct {
+	quota   Quota
+	bytes   int64
+	blocks  int64
+	lastUse int64 // registry logical clock; larger = hotter
+}
+
+// Registry multiplexes one backing store between tenants: it hands out
+// namespaced, quota-enforcing Store views and runs the eviction policy.
+// All methods are safe for concurrent use; writes serialise through the
+// registry lock so quota admission, the backing write and the accounting
+// update are one atomic step.
+type Registry struct {
+	backing Keyed
+	batch   KeyedBatch // nil when the backing is not batch-native
+	stat    KeyedStat  // nil when the backing cannot stat
+	sizer   Sizer      // nil when the backing cannot size
+	enum    Enumerable // nil when the backing cannot enumerate
+	cfg     Config
+
+	mu        sync.Mutex
+	tenants   map[string]*usage
+	handles   map[string]*Store
+	total     int64 // Σ tenants' bytes
+	clock     int64 // logical LRU clock
+	evictions int64 // tenants evicted so far
+}
+
+// NewRegistry wraps backing. When the backing is Enumerable the existing
+// keys are walked once to rebuild per-tenant accounting — reopening a
+// durable segment store restores every tenant's usage without any side
+// file. A config with eviction enabled (HighWater > 0) requires an
+// Enumerable backing: eviction must be able to find a victim's keys.
+func NewRegistry(backing Keyed, cfg Config) (*Registry, error) {
+	if backing == nil {
+		return nil, fmt.Errorf("tenant: nil backing store")
+	}
+	r := &Registry{
+		backing: backing,
+		cfg:     cfg,
+		tenants: make(map[string]*usage),
+		handles: make(map[string]*Store),
+	}
+	if b, ok := backing.(KeyedBatch); ok {
+		r.batch = b
+	}
+	if s, ok := backing.(KeyedStat); ok {
+		r.stat = s
+	}
+	if s, ok := backing.(Sizer); ok {
+		r.sizer = s
+	}
+	if e, ok := backing.(Enumerable); ok {
+		r.enum = e
+	}
+	if cfg.HighWater > 0 && r.enum == nil {
+		return nil, fmt.Errorf("tenant: eviction (high_water=%d) needs an enumerable backing store", cfg.HighWater)
+	}
+	if r.enum != nil {
+		r.enum.Each(func(key string, size int64) bool {
+			id, ok := tenantOfKey(key)
+			if !ok {
+				return true // reserved internal key: charged to nobody
+			}
+			u := r.useLocked(id)
+			u.bytes += size
+			u.blocks++
+			r.total += size
+			return true
+		})
+	}
+	return r, nil
+}
+
+// tenantOfKey attributes a backing-store key: tenant-prefixed keys to
+// their tenant, other reserved ('!'-prefixed) keys to nobody, everything
+// else to the anonymous tenant.
+func tenantOfKey(key string) (string, bool) {
+	if rest, ok := strings.CutPrefix(key, Prefix); ok {
+		idx := strings.IndexByte(rest, '/')
+		if idx <= 0 || ValidateID(rest[:idx]) != nil {
+			return "", false // malformed; not reachable through a Store view
+		}
+		return rest[:idx], true
+	}
+	if strings.HasPrefix(key, "!") {
+		return "", false
+	}
+	return Anonymous, true
+}
+
+// useLocked returns (creating if needed) a tenant's accounting record.
+// Unknown tenants are admitted here even on strict nodes — accounting
+// must cover whatever data already exists; Open is where strictness
+// refuses new handshakes. Callers hold r.mu (or are inside NewRegistry).
+func (r *Registry) useLocked(id string) *usage {
+	u, ok := r.tenants[id]
+	if !ok {
+		q, err := r.cfg.quotaFor(id)
+		if err != nil {
+			q = r.cfg.Default
+		}
+		u = &usage{quota: q}
+		r.tenants[id] = u
+	}
+	return u
+}
+
+// Open returns the namespaced, quota-enforcing view of one tenant,
+// validating the ID (and, on strict nodes, its enrollment). Handles are
+// cached: two Opens of the same tenant share accounting.
+func (r *Registry) Open(id string) (*Store, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.handles[id]; ok {
+		return h, nil
+	}
+	if _, ok := r.tenants[id]; !ok {
+		// A brand-new tenant: strictness applies.
+		if _, err := r.cfg.quotaFor(id); err != nil {
+			return nil, err
+		}
+	}
+	r.useLocked(id)
+	h := &Store{reg: r, id: id}
+	r.handles[id] = h
+	return h, nil
+}
+
+// Usage returns a tenant's current footprint.
+func (r *Registry) Usage(id string) (Usage, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.tenants[id]
+	if !ok {
+		return Usage{}, false
+	}
+	return Usage{Bytes: u.bytes, Blocks: u.blocks}, true
+}
+
+// TotalBytes returns the node-wide live payload bytes across tenants.
+func (r *Registry) TotalBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Evictions returns how many tenant lattices have been shed so far.
+func (r *Registry) Evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
+}
+
+func (r *Registry) policy() Policy {
+	if r.cfg.Policy != nil {
+		return r.cfg.Policy
+	}
+	return LRU{}
+}
+
+// sizeOfLocked returns the live payload size of a backing key. Callers
+// hold r.mu.
+func (r *Registry) sizeOfLocked(key string) (int64, bool) {
+	if r.sizer != nil {
+		return r.sizer.Size(key)
+	}
+	if r.stat != nil {
+		if n := r.stat.StatBatch([]string{key})[0]; n >= 0 {
+			return int64(n), true
+		}
+		return 0, false
+	}
+	b, ok := r.backing.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return int64(len(b)), true
+}
+
+// touch advances a tenant's LRU clock.
+func (r *Registry) touch(id string) {
+	r.mu.Lock()
+	r.clock++
+	r.useLocked(id).lastUse = r.clock
+	r.mu.Unlock()
+}
+
+// admitLocked charges a write delta against a tenant's quota, returning
+// store.ErrQuotaExceeded without touching accounting when it does not
+// fit. Callers hold r.mu.
+func (r *Registry) admitLocked(u *usage, id string, dBytes, dBlocks int64) error {
+	if u.quota.MaxBytes > 0 && u.bytes+dBytes > u.quota.MaxBytes {
+		return fmt.Errorf("tenant: %s over byte quota (%d + %d > %d): %w",
+			displayID(id), u.bytes, dBytes, u.quota.MaxBytes, store.ErrQuotaExceeded)
+	}
+	if u.quota.MaxBlocks > 0 && u.blocks+dBlocks > u.quota.MaxBlocks {
+		return fmt.Errorf("tenant: %s over block quota (%d + %d > %d): %w",
+			displayID(id), u.blocks, dBlocks, u.quota.MaxBlocks, store.ErrQuotaExceeded)
+	}
+	return nil
+}
+
+func displayID(id string) string {
+	if id == Anonymous {
+		return "anonymous tenant"
+	}
+	return "tenant " + id
+}
+
+// applyLocked updates accounting after a successful backing write or
+// delete. Callers hold r.mu.
+func (r *Registry) applyLocked(u *usage, dBytes, dBlocks int64) {
+	u.bytes += dBytes
+	u.blocks += dBlocks
+	r.total += dBytes
+	r.clock++
+	u.lastUse = r.clock
+}
+
+// maybeEvictLocked sheds cold tenant lattices after a write pushed the
+// node over its high-water mark. writer is exempt this round — evicting
+// the lattice a tenant is actively writing would fight its own upload.
+// Callers hold r.mu.
+func (r *Registry) maybeEvictLocked(writer string) {
+	if r.cfg.HighWater <= 0 || r.total <= r.cfg.HighWater || r.enum == nil {
+		return
+	}
+	need := r.total - r.cfg.HighWater
+	var cands []Candidate
+	for id, u := range r.tenants {
+		if id == writer || u.bytes == 0 || u.bytes <= u.quota.Reservation {
+			continue
+		}
+		cands = append(cands, Candidate{ID: id, Bytes: u.bytes, LastUse: u.lastUse})
+	}
+	for _, id := range r.policy().Victims(cands, need) {
+		if r.total <= r.cfg.HighWater {
+			break
+		}
+		// Re-verify against a misbehaving custom policy: the floor and
+		// the writer exemption hold whatever Victims returned.
+		u, ok := r.tenants[id]
+		if !ok || id == writer || u.bytes == 0 || u.bytes <= u.quota.Reservation {
+			continue
+		}
+		r.evictTenantLocked(id, u)
+	}
+}
+
+// evictTenantLocked sheds one whole tenant lattice. Callers hold r.mu.
+func (r *Registry) evictTenantLocked(id string, u *usage) {
+	pfx := Prefix + id + "/"
+	var keys []string
+	r.enum.Each(func(key string, _ int64) bool {
+		if id == Anonymous {
+			if !strings.HasPrefix(key, "!") {
+				keys = append(keys, key)
+			}
+		} else if strings.HasPrefix(key, pfx) {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	for _, k := range keys {
+		r.backing.Del(k)
+	}
+	r.total -= u.bytes
+	u.bytes, u.blocks = 0, 0
+	r.evictions++
+}
+
+// recountLocked rebuilds one tenant's accounting from the backing store
+// — the error path of a partially applied batch. Callers hold r.mu.
+func (r *Registry) recountLocked(id string, u *usage) {
+	if r.enum == nil {
+		return // keep the optimistic numbers; nothing better is knowable
+	}
+	r.total -= u.bytes
+	u.bytes, u.blocks = 0, 0
+	r.enum.Each(func(key string, size int64) bool {
+		if kid, ok := tenantOfKey(key); ok && kid == id {
+			u.bytes += size
+			u.blocks++
+		}
+		return true
+	})
+	r.total += u.bytes
+}
+
+// Store is one tenant's namespaced, quota-enforcing view of the backing
+// store. It speaks the same keyed dialect as the backing (Get/Put/Del
+// plus the batch and stat extensions), so a transport.Server can serve it
+// directly. Safe for concurrent use.
+type Store struct {
+	reg *Registry
+	id  string
+}
+
+// ID returns the tenant this view serves.
+func (h *Store) ID() string { return h.id }
+
+// Usage returns the tenant's current footprint.
+func (h *Store) Usage() Usage {
+	u, _ := h.reg.Usage(h.id)
+	return u
+}
+
+// key maps a caller key into the tenant's namespace.
+func (h *Store) key(key string) string {
+	if h.id == Anonymous {
+		return key
+	}
+	return Prefix + h.id + "/" + key
+}
+
+// reserved reports whether a caller key is unaddressable through this
+// view. Only the anonymous view needs the gate: its keys pass through
+// unprefixed, so a '!'-prefixed caller key would land in reserved
+// keyspace — '!tenant/alice/…' would read or tamper with another
+// tenant's blocks, '!segstore/…' with store internals. Named tenants'
+// keys are always prefixed into their own namespace, so any caller key
+// is safe there.
+func (h *Store) reserved(key string) bool {
+	return h.id == Anonymous && strings.HasPrefix(key, "!")
+}
+
+// errReservedKey is the refusal for writes through the anonymous view
+// into reserved keyspace.
+func errReservedKey(key string) error {
+	return fmt.Errorf("tenant: key %q addresses reserved keyspace", key)
+}
+
+// Get returns the block and whether it exists, touching the tenant's LRU
+// clock: a lattice being read is not cold.
+func (h *Store) Get(key string) ([]byte, bool) {
+	if h.reserved(key) {
+		return nil, false
+	}
+	h.reg.touch(h.id)
+	return h.reg.backing.Get(h.key(key))
+}
+
+// Put stores a block, charging the size delta against the tenant's quota
+// first: admission, the backing write and the accounting update are one
+// atomic step under the registry lock, so two racing writers cannot both
+// squeeze through the last bytes of budget. Over-quota writes return an
+// error wrapping store.ErrQuotaExceeded and leave the store untouched.
+func (h *Store) Put(key string, data []byte) error {
+	if h.reserved(key) {
+		return errReservedKey(key)
+	}
+	full := h.key(key)
+	r := h.reg
+	r.mu.Lock()
+	u := r.useLocked(h.id)
+	old, had := r.sizeOfLocked(full)
+	dBytes := int64(len(data))
+	var dBlocks int64 = 1
+	if had {
+		dBytes -= old
+		dBlocks = 0
+	}
+	if err := r.admitLocked(u, h.id, dBytes, dBlocks); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	if err := r.backing.Put(full, data); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.applyLocked(u, dBytes, dBlocks)
+	r.maybeEvictLocked(h.id)
+	r.mu.Unlock()
+	return nil
+}
+
+// Del removes a block. Reserved keys are untouchable through the
+// anonymous view, so deleting one is a no-op.
+func (h *Store) Del(key string) {
+	if h.reserved(key) {
+		return
+	}
+	full := h.key(key)
+	r := h.reg
+	r.mu.Lock()
+	u := r.useLocked(h.id)
+	if old, had := r.sizeOfLocked(full); had {
+		r.backing.Del(full)
+		r.applyLocked(u, -old, -1)
+	}
+	r.mu.Unlock()
+}
+
+// GetBatch returns one entry per key in order; entries for missing keys
+// are nil. Batch-native backings serve the whole batch in one call.
+func (h *Store) GetBatch(keys []string) [][]byte {
+	h.reg.touch(h.id)
+	full := h.keys(keys)
+	var out [][]byte
+	if h.reg.batch != nil {
+		out = h.reg.batch.GetBatch(full)
+	} else {
+		out = make([][]byte, len(full))
+		for i, k := range full {
+			if b, ok := h.reg.backing.Get(k); ok {
+				if b == nil {
+					b = []byte{}
+				}
+				out[i] = b
+			}
+		}
+	}
+	for i, k := range keys {
+		if h.reserved(k) {
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// PutBatch stores all items with one atomic quota admission for the
+// whole batch: the batch either fits the tenant's remaining budget as a
+// whole or is refused up front with store.ErrQuotaExceeded — a broker's
+// round commit never half-lands because of quota. Errors from the
+// backing itself follow the backing's partial-application contract; the
+// tenant's accounting is rebuilt from the store on that path.
+func (h *Store) PutBatch(items []store.KV) error {
+	r := h.reg
+	full := make([]store.KV, len(items))
+	for i, it := range items {
+		if h.reserved(it.Key) {
+			return errReservedKey(it.Key)
+		}
+		full[i] = store.KV{Key: h.key(it.Key), Data: it.Data}
+	}
+	r.mu.Lock()
+	u := r.useLocked(h.id)
+	// Final-state delta: the last write of a key wins; duplicate keys in
+	// one batch charge only their final size.
+	oldSize := make(map[string]int64, len(full))
+	newSize := make(map[string]int64, len(full))
+	for _, it := range full {
+		if _, seen := newSize[it.Key]; !seen {
+			if old, had := r.sizeOfLocked(it.Key); had {
+				oldSize[it.Key] = old
+			}
+		}
+		newSize[it.Key] = int64(len(it.Data))
+	}
+	var dBytes, dBlocks int64
+	for key, size := range newSize {
+		if old, had := oldSize[key]; had {
+			dBytes += size - old
+		} else {
+			dBytes += size
+			dBlocks++
+		}
+	}
+	if err := r.admitLocked(u, h.id, dBytes, dBlocks); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	var err error
+	if r.batch != nil {
+		err = r.batch.PutBatch(full)
+	} else {
+		for _, it := range full {
+			if err = r.backing.Put(it.Key, it.Data); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		// The backing may have applied a prefix of the batch; recount
+		// this tenant from the store instead of guessing.
+		r.recountLocked(h.id, u)
+		r.mu.Unlock()
+		return err
+	}
+	r.applyLocked(u, dBytes, dBlocks)
+	r.maybeEvictLocked(h.id)
+	r.mu.Unlock()
+	return nil
+}
+
+// StatBatch probes presence: one entry per key in order, the block's
+// byte length when present, -1 otherwise — without materializing
+// contents on capable backings.
+func (h *Store) StatBatch(keys []string) []int {
+	h.reg.touch(h.id)
+	full := h.keys(keys)
+	var out []int
+	if h.reg.stat != nil {
+		out = h.reg.stat.StatBatch(full)
+	} else {
+		out = make([]int, len(full))
+		h.reg.mu.Lock()
+		for i, k := range full {
+			if n, ok := h.reg.sizeOfLocked(k); ok {
+				out[i] = int(n)
+			} else {
+				out[i] = -1
+			}
+		}
+		h.reg.mu.Unlock()
+	}
+	for i, k := range keys {
+		if h.reserved(k) {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func (h *Store) keys(keys []string) []string {
+	if h.id == Anonymous {
+		return keys
+	}
+	full := make([]string, len(keys))
+	for i, k := range keys {
+		full[i] = h.key(k)
+	}
+	return full
+}

@@ -8,6 +8,8 @@
 //	putMany  := count(4) { keyLen(2) key dataLen(4) data }*
 //	getManyQ := count(4) { keyLen(2) key }*
 //	getManyR := count(4) { found(1) dataLen(4) data }*
+//	statManyQ = getManyQ
+//	statManyR := count(4) { held(1) }*
 //
 // count is capped at MaxBatchEntries and the whole payload at
 // MaxPayloadLen (enforced by the framing layer); oversized or malformed
@@ -57,7 +59,7 @@ func putMany(ctx context.Context, rt roundTripper, items []KV) error {
 		return err
 	}
 	if status != StatusOK {
-		return fmt.Errorf("transport: remote error: %s", resp)
+		return remoteError(status, resp)
 	}
 	return nil
 }
@@ -123,7 +125,7 @@ func getMany(ctx context.Context, rt roundTripper, keys []string) ([][]byte, err
 		return nil, err
 	}
 	if status != StatusOK {
-		return nil, fmt.Errorf("transport: remote error: %s", resp)
+		return nil, remoteError(status, resp)
 	}
 	blocks, err := decodeGetManyResp(resp)
 	if err != nil {
@@ -137,20 +139,20 @@ func getMany(ctx context.Context, rt roundTripper, keys []string) ([][]byte, err
 
 // servePutMany handles one OpPutMany frame on the server: one PutBatch
 // call on a batch-native store, one Put per item otherwise.
-func (s *Server) servePutMany(conn net.Conn, payload []byte) error {
+func servePutMany(conn net.Conn, view connView, payload []byte) error {
 	items, err := decodePutMany(payload)
 	if err != nil {
 		return writeResponse(conn, StatusError, []byte(err.Error()))
 	}
-	if s.batch != nil {
-		if perr := s.batch.PutBatch(items); perr != nil {
-			return writeResponse(conn, StatusError, []byte(perr.Error()))
+	if view.batch != nil {
+		if perr := view.batch.PutBatch(items); perr != nil {
+			return writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
 		}
 		return writeResponse(conn, StatusOK, nil)
 	}
 	for _, it := range items {
-		if perr := s.store.Put(it.Key, it.Data); perr != nil {
-			return writeResponse(conn, StatusError, []byte(perr.Error()))
+		if perr := view.store.Put(it.Key, it.Data); perr != nil {
+			return writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
 		}
 	}
 	return writeResponse(conn, StatusOK, nil)
@@ -159,18 +161,18 @@ func (s *Server) servePutMany(conn net.Conn, payload []byte) error {
 // serveGetMany handles one OpGetMany frame on the server. The response
 // frame is written with vectored I/O so block contents are never copied
 // into a contiguous response payload.
-func (s *Server) serveGetMany(conn net.Conn, payload []byte) error {
+func serveGetMany(conn net.Conn, view connView, payload []byte) error {
 	keys, err := decodeGetManyReq(payload)
 	if err != nil {
 		return writeResponse(conn, StatusError, []byte(err.Error()))
 	}
 	var blocks [][]byte
-	if s.batch != nil {
-		blocks = s.batch.GetBatch(keys)
+	if view.batch != nil {
+		blocks = view.batch.GetBatch(keys)
 	} else {
 		blocks = make([][]byte, len(keys))
 		for i, k := range keys {
-			if b, ok := s.store.Get(k); ok {
+			if b, ok := view.store.Get(k); ok {
 				if b == nil {
 					b = []byte{} // present-but-empty, distinct from missing
 				}
@@ -214,6 +216,94 @@ func (s *Server) serveGetMany(conn net.Conn, payload []byte) error {
 	}
 	_, err = segs.WriteTo(conn)
 	return err
+}
+
+// serveStatMany handles one OpStatMany frame: the request is a getManyQ
+// key list, the response statManyR — one held/not byte per key. A
+// stat-capable store answers from its index; anything else falls back to
+// fetching and discarding, which still keeps block contents off the
+// wire.
+func serveStatMany(conn net.Conn, view connView, payload []byte) error {
+	keys, err := decodeGetManyReq(payload)
+	if err != nil {
+		return writeResponse(conn, StatusError, []byte(err.Error()))
+	}
+	held := make([]byte, len(keys))
+	switch {
+	case view.stat != nil:
+		for i, n := range view.stat.StatBatch(keys) {
+			if n >= 0 {
+				held[i] = 1
+			}
+		}
+	case view.batch != nil:
+		for i, b := range view.batch.GetBatch(keys) {
+			if b != nil {
+				held[i] = 1
+			}
+		}
+	default:
+		for i, k := range keys {
+			if _, ok := view.store.Get(k); ok {
+				held[i] = 1
+			}
+		}
+	}
+	resp := make([]byte, 0, 4+len(held))
+	resp = binary.BigEndian.AppendUint32(resp, uint32(len(held)))
+	resp = append(resp, held...)
+	return writeResponse(conn, StatusOK, resp)
+}
+
+// StatMany reports, in one round-trip, which keys the node holds: one
+// entry per key in order. Presence travels as one flag byte per key —
+// enumeration of a large lattice costs bytes proportional to the key
+// list, never to the block contents.
+func (c *Client) StatMany(ctx context.Context, keys []string) ([]bool, error) {
+	return statMany(ctx, c, keys)
+}
+
+func statMany(ctx context.Context, rt roundTripper, keys []string) ([]bool, error) {
+	payload, err := encodeGetManyReq(keys)
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := rt.roundTrip(ctx, OpStatMany, "", payload)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, remoteError(status, resp)
+	}
+	held, err := decodeStatManyResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(held) != len(keys) {
+		return nil, fmt.Errorf("transport: got %d stat entries, want %d", len(held), len(keys))
+	}
+	return held, nil
+}
+
+func decodeStatManyResp(payload []byte) ([]bool, error) {
+	count, rest, err := batchHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != count {
+		return nil, fmt.Errorf("transport: stat batch carries %d flags, want %d", len(rest), count)
+	}
+	held := make([]bool, count)
+	for i, f := range rest {
+		switch f {
+		case 0:
+		case 1:
+			held[i] = true
+		default:
+			return nil, fmt.Errorf("transport: bad held flag %d", f)
+		}
+	}
+	return held, nil
 }
 
 func checkBatchCount(n int) error {

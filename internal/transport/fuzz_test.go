@@ -2,7 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"strings"
 	"testing"
+
+	"aecodes/internal/tenant"
 )
 
 // FuzzReadRequest feeds arbitrary byte streams to the server-side frame
@@ -50,6 +53,57 @@ func FuzzReadRequest(f *testing.F) {
 		}
 		if op2 != op || key2 != key || !bytes.Equal(payload2, payload) {
 			t.Fatal("frame round trip not stable")
+		}
+	})
+}
+
+// FuzzHelloFrame drives the tenant handshake path with arbitrary tenant
+// IDs and payloads, framed and parsed exactly as the server would see
+// them: the frame parser, the version gate and the tenant ID validator
+// must never panic, and nothing invalid may slip through — a hostile
+// handshake must not be able to name a tenant that escapes its
+// namespace prefix.
+func FuzzHelloFrame(f *testing.F) {
+	// Well-formed handshakes.
+	f.Add([]byte("alice"), []byte{HelloVersion})
+	f.Add([]byte(""), []byte{HelloVersion})
+	f.Add([]byte("user-42.backup_set"), []byte{HelloVersion})
+	// Hostile seeds: wrong version, empty payload, trailing bytes,
+	// namespace-escape attempts, oversized IDs.
+	f.Add([]byte("alice"), []byte{HelloVersion + 1})
+	f.Add([]byte("alice"), []byte{})
+	f.Add([]byte("alice"), []byte{HelloVersion, 0xFF})
+	f.Add([]byte("alice/../bob"), []byte{HelloVersion})
+	f.Add([]byte("!tenant/bob"), []byte{HelloVersion})
+	f.Add(bytes.Repeat([]byte("a"), tenant.MaxIDLen+1), []byte{HelloVersion})
+
+	f.Fuzz(func(t *testing.T, id, payload []byte) {
+		var frame bytes.Buffer
+		if err := writeRequest(&frame, OpHello, string(id), payload); err != nil {
+			return // unframeable input (key too long) never reaches a server
+		}
+		op, key, pl, err := readRequest(bytes.NewReader(frame.Bytes()))
+		if err != nil {
+			t.Fatalf("self-framed handshake failed to parse: %v", err)
+		}
+		if op != OpHello || key != string(id) || !bytes.Equal(pl, payload) {
+			t.Fatal("handshake frame round trip not stable")
+		}
+		version, verr := parseHello(pl)
+		if verr == nil && version != HelloVersion {
+			t.Fatalf("parseHello accepted version %d", version)
+		}
+		iderr := tenant.ValidateID(key)
+		if iderr != nil {
+			return // refused before any resolver sees it
+		}
+		// An accepted ID must be namespace-safe: its prefixed form maps
+		// back to exactly this tenant.
+		if key == "" {
+			return
+		}
+		if strings.ContainsAny(key, "/!") || len(key) > tenant.MaxIDLen {
+			t.Fatalf("ValidateID accepted a namespace-unsafe id %q", key)
 		}
 	})
 }

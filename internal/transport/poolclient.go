@@ -47,6 +47,13 @@ type PoolOptions struct {
 	RedialBackoff time.Duration
 	// RedialMax caps the exponential backoff. Zero defaults to 5s.
 	RedialMax time.Duration
+	// Tenant is the tenant credential: every pooled connection —
+	// including background redials — performs the OpHello handshake with
+	// it before entering rotation, so a healed connection can never
+	// silently serve a different namespace than the one it replaced.
+	// Empty means anonymous: no handshake is sent and the pool works
+	// against pre-handshake servers unchanged.
+	Tenant string
 }
 
 func (o PoolOptions) redialBackoff() time.Duration {
@@ -72,6 +79,7 @@ type PoolClient struct {
 
 	mu     sync.Mutex
 	closed bool
+	tenant string        // current credential; guarded by mu
 	done   chan struct{} // closed by Close; wakes sleeping redials
 	wg     sync.WaitGroup
 
@@ -102,16 +110,105 @@ func DialPoolOptions(addr string, conns int, opts PoolOptions) (*PoolClient, err
 	if conns < 1 {
 		return nil, fmt.Errorf("transport: pool needs at least 1 connection, got %d", conns)
 	}
-	p := &PoolClient{addr: addr, opts: opts, done: make(chan struct{})}
+	p := &PoolClient{addr: addr, opts: opts, tenant: opts.Tenant, done: make(chan struct{})}
 	for i := 0; i < conns; i++ {
-		conn, err := net.Dial("tcp", addr)
+		pc, err := p.dialConn()
 		if err != nil {
 			p.Close()
-			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+			return nil, err
 		}
-		p.slots = append(p.slots, &poolSlot{pool: p, pc: newPipeConn(conn, opts.ResponseTimeout)})
+		p.slots = append(p.slots, &poolSlot{pool: p, pc: pc})
 	}
 	return p, nil
+}
+
+// dialConn dials one pipelined connection and, when the pool carries a
+// tenant credential, performs the handshake before the connection is
+// exposed: a connection either serves the pool's tenant or never joins
+// the rotation.
+func (p *PoolClient) dialConn() (*pipeConn, error) {
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", p.addr, err)
+	}
+	pc := newPipeConn(conn, p.opts.ResponseTimeout)
+	p.mu.Lock()
+	tenant := p.tenant
+	p.mu.Unlock()
+	if tenant != "" {
+		if err := helloConn(pc, tenant); err != nil {
+			pc.close()
+			return nil, err
+		}
+	}
+	return pc, nil
+}
+
+// helloTimeout bounds the dial-path handshake. Without it a node that
+// accepts TCP but never answers would pin the redial goroutine on an
+// un-slotted connection forever — and PoolClient.Close, which waits for
+// redial goroutines, with it. The cap applies even when the pool has no
+// ResponseTimeout configured; a handshake is one tiny frame, so ten
+// seconds is generous.
+const helloTimeout = 10 * time.Second
+
+// helloConn performs the tenant handshake on one connection. The
+// handshake rides the normal FIFO request stream, so it needs no special
+// sequencing — it is simply the connection's first request.
+func helloConn(pc *pipeConn, tenant string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), helloTimeout)
+	defer cancel()
+	status, payload, err := pc.roundTrip(ctx, OpHello, tenant, []byte{HelloVersion})
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("transport: handshake as %q refused: %w", tenant, remoteError(status, payload))
+	}
+	return nil
+}
+
+// Hello switches the pool's tenant credential: the handshake runs on
+// every currently live connection, and every future redial carries the
+// new credential. A connection whose handshake fails is closed (and so
+// redialed in the background — with the new credential); the first
+// failure is returned. Prefer setting PoolOptions.Tenant at dial time;
+// Hello exists for brokers that acquire their credential later.
+func (p *PoolClient) Hello(ctx context.Context, tenant string) error {
+	p.mu.Lock()
+	p.tenant = tenant
+	p.mu.Unlock()
+	var first error
+	for _, s := range p.slots {
+		s.mu.Lock()
+		pc := s.pc
+		s.mu.Unlock()
+		if pc == nil || pc.broken() {
+			continue // the redial path picks up the new credential
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		if tenant == "" {
+			// An anonymous credential cannot un-handshake a live
+			// connection; recycle it so the redial comes up anonymous.
+			pc.close()
+		} else {
+			status, payload, herr := pc.roundTrip(ctx, OpHello, tenant, []byte{HelloVersion})
+			switch {
+			case herr != nil:
+				err = herr
+			case status != StatusOK:
+				err = fmt.Errorf("transport: handshake as %q refused: %w", tenant, remoteError(status, payload))
+				pc.close() // never leave a conn on a stale tenant in rotation
+			}
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // live returns the slot's connection if it is usable. A poisoned
@@ -148,10 +245,13 @@ func (p *PoolClient) tryAddRedial() bool {
 	return true
 }
 
-// redial refills a vacant slot: dial, and on failure sleep a jittered
+// redial refills a vacant slot: dial (and handshake, when the pool
+// carries a tenant credential), and on failure sleep a jittered
 // exponential backoff (50% to 150% of the nominal delay, so a pool's
 // worth of redials does not stampede a recovering node in lockstep) and
-// try again until the pool is closed.
+// try again until the pool is closed. A node that accepts TCP but
+// refuses the handshake counts as a failed dial — a connection on the
+// wrong tenant never enters rotation.
 func (s *poolSlot) redial() {
 	defer s.pool.wg.Done()
 	backoff := s.pool.opts.redialBackoff()
@@ -160,9 +260,8 @@ func (s *poolSlot) redial() {
 			s.stopRedialing()
 			return
 		}
-		conn, err := net.Dial("tcp", s.pool.addr)
+		pc, err := s.pool.dialConn()
 		if err == nil {
-			pc := newPipeConn(conn, s.pool.opts.ResponseTimeout)
 			s.mu.Lock()
 			s.pc = pc
 			s.redialing = false
@@ -269,7 +368,7 @@ func (p *PoolClient) Get(ctx context.Context, key string) ([]byte, error) {
 		case StatusNotFound:
 			return ErrNotFound
 		default:
-			return fmt.Errorf("transport: remote error: %s", payload)
+			return remoteError(status, payload)
 		}
 	})
 	if err != nil {
@@ -295,7 +394,7 @@ func (p *PoolClient) simple(ctx context.Context, op byte, key string, payload []
 			return err
 		}
 		if status != StatusOK {
-			return fmt.Errorf("transport: remote error: %s", resp)
+			return remoteError(status, resp)
 		}
 		return nil
 	})
@@ -315,6 +414,22 @@ func (p *PoolClient) GetMany(ctx context.Context, keys []string) ([][]byte, erro
 	err := p.withConn(ctx, func(c *pipeConn) error {
 		var err error
 		out, err = getMany(ctx, c, keys)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StatMany reports, in one round-trip, which keys the node holds — the
+// presence-only enumeration primitive: one flag per key in order, no
+// block contents on the wire.
+func (p *PoolClient) StatMany(ctx context.Context, keys []string) ([]bool, error) {
+	var out []bool
+	err := p.withConn(ctx, func(c *pipeConn) error {
+		var err error
+		out, err = statMany(ctx, c, keys)
 		return err
 	})
 	if err != nil {

@@ -9,9 +9,14 @@
 //	response := status(1) payloadLen(4) payload
 //
 // Operations: OpGet fetches a block by key (payload empty), OpPut stores a
-// block, OpDel removes one. Status is StatusOK, StatusNotFound or
-// StatusError (payload carries the error text). Every request is framed and
-// independent; connections are persistent and serve any number of requests.
+// block, OpDel removes one; OpPutMany/OpGetMany move batches and
+// OpStatMany answers presence-only flags (see batch.go); OpHello is the
+// version-gated tenant handshake — the key names a tenant, and the rest
+// of the connection serves that tenant's namespace. Status is StatusOK,
+// StatusNotFound, StatusQuota (admission control refused a write) or
+// StatusError (payload carries the error text). Every request is framed
+// and independent; connections are persistent, serve any number of
+// requests, and default to the anonymous namespace until a handshake.
 package transport
 
 import (
@@ -37,6 +42,16 @@ const (
 	// in a single exchange.
 	OpPutMany byte = 4
 	OpGetMany byte = 5
+	// OpHello is the tenant handshake (see hello.go): the key carries a
+	// tenant ID, the payload a protocol version, and every later request
+	// on the connection runs against that tenant's namespace. Connections
+	// that never send it — every pre-handshake client — serve the default
+	// (anonymous) tenant, so old clients keep working against new nodes.
+	OpHello byte = 6
+	// OpStatMany answers presence-only held/not flags for a batch of keys
+	// (see batch.go): missing-block enumeration without shipping block
+	// contents that the enumerator would immediately discard.
+	OpStatMany byte = 7
 )
 
 // Response statuses.
@@ -44,7 +59,17 @@ const (
 	StatusOK       byte = 0
 	StatusNotFound byte = 1
 	StatusError    byte = 2
+	// StatusQuota reports a write refused by the node's admission
+	// control; clients surface it as store.ErrQuotaExceeded. Unlike
+	// StatusError it is typed so callers can stop retrying — the same
+	// write cannot succeed until space is freed.
+	StatusQuota byte = 3
 )
+
+// HelloVersion is the tenant handshake protocol version this build
+// speaks. A server refuses other versions with StatusError, so a future
+// incompatible handshake fails closed instead of half-working.
+const HelloVersion byte = 1
 
 // Limits protect both sides from malformed frames.
 const (
@@ -56,6 +81,24 @@ const (
 // repository-wide store.ErrNotFound sentinel, so errors.Is works with
 // either across every backend.
 var ErrNotFound = fmt.Errorf("transport: %w", store.ErrNotFound)
+
+// remoteError maps a non-OK response status to the caller-visible error,
+// preserving the typed quota sentinel across the wire.
+func remoteError(status byte, payload []byte) error {
+	if status == StatusQuota {
+		return fmt.Errorf("transport: %s: %w", payload, store.ErrQuotaExceeded)
+	}
+	return fmt.Errorf("transport: remote error: %s", payload)
+}
+
+// storeStatus maps a store write error to its response status: quota
+// refusals travel typed, everything else as generic errors.
+func storeStatus(err error) byte {
+	if errors.Is(err, store.ErrQuotaExceeded) {
+		return StatusQuota
+	}
+	return StatusError
+}
 
 // BlockStore is the storage a Server exposes; NewServer accepts any
 // implementation — the in-memory MemStore, the durable segstore.Store,
@@ -83,6 +126,24 @@ type BatchBlockStore interface {
 	// the batch and earlier entries may have been stored.
 	PutBatch(items []store.KV) error
 }
+
+// StatBlockStore is an optional BlockStore extension the server uses to
+// answer OpStatMany without materializing block contents. Stores without
+// it still serve the op — the server falls back to fetching and
+// discarding, which keeps the *wire* presence-only either way.
+type StatBlockStore interface {
+	BlockStore
+	// StatBatch returns one entry per key in order: the block's byte
+	// length when present, -1 when absent.
+	StatBatch(keys []string) []int
+}
+
+// TenantResolver maps a handshake's tenant ID to the store view that
+// connection should serve — typically a tenant registry handing out
+// namespaced, quota-enforcing views. Returning an error refuses the
+// handshake; wrap store.ErrQuotaExceeded to refuse it as a typed quota
+// condition (e.g. a strict node rejecting unknown tenants).
+type TenantResolver func(tenant string) (BlockStore, error)
 
 // MemStore is a trivial in-memory BlockStore.
 type MemStore struct {
@@ -166,6 +227,48 @@ func (s *MemStore) PutBatch(items []store.KV) error {
 	return nil
 }
 
+// StatBatch implements StatBlockStore: one entry per key in order, the
+// block's byte length when present, -1 otherwise — presence answered
+// without copying block contents.
+func (s *MemStore) StatBatch(keys []string) []int {
+	out := make([]int, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, key := range keys {
+		if b, ok := s.m[key]; ok {
+			out[i] = len(b)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Size reports the byte length of the block under key without copying
+// it.
+func (s *MemStore) Size(key string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.m[key]
+	if !ok {
+		return 0, false
+	}
+	return int64(len(b)), true
+}
+
+// Each walks every stored key with its size until fn returns false. The
+// walk holds the store's read lock: fn must not call back into the
+// store.
+func (s *MemStore) Each(fn func(key string, size int64) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for key, b := range s.m {
+		if !fn(key, int64(len(b))) {
+			return
+		}
+	}
+}
+
 // Len returns the number of stored blocks.
 func (s *MemStore) Len() int {
 	s.mu.RLock()
@@ -181,10 +284,28 @@ func (s *MemStore) Clear() {
 	s.m = make(map[string][]byte)
 }
 
-// Server serves a BlockStore over TCP.
-type Server struct {
+// connView is the store a single connection serves: the server default
+// until an OpHello handshake swaps in a tenant's view.
+type connView struct {
 	store BlockStore
 	batch BatchBlockStore // non-nil when store is batch-native
+	stat  StatBlockStore  // non-nil when store can stat
+}
+
+func viewOf(store BlockStore) connView {
+	v := connView{store: store}
+	if b, ok := store.(BatchBlockStore); ok {
+		v.batch = b
+	}
+	if st, ok := store.(StatBlockStore); ok {
+		v.stat = st
+	}
+	return v
+}
+
+// Server serves a BlockStore over TCP.
+type Server struct {
+	def connView // the default (anonymous-tenant) view
 
 	mu          sync.Mutex
 	listener    net.Listener
@@ -192,6 +313,7 @@ type Server struct {
 	wg          sync.WaitGroup
 	closed      bool
 	idleTimeout time.Duration
+	tenants     TenantResolver
 }
 
 // NewServer returns a server exposing store.
@@ -200,11 +322,18 @@ func NewServer(store BlockStore) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("transport: nil store")
 	}
-	s := &Server{store: store, conns: make(map[net.Conn]struct{})}
-	if b, ok := store.(BatchBlockStore); ok {
-		s.batch = b
-	}
-	return s, nil
+	return &Server{def: viewOf(store), conns: make(map[net.Conn]struct{})}, nil
+}
+
+// SetTenantResolver enables the tenant handshake: an OpHello naming a
+// tenant switches its connection to the resolver's view of that tenant.
+// Without a resolver (the default) the node is single-tenant — hellos
+// for the anonymous tenant still succeed (they are a no-op), any other
+// tenant is refused. Call before Listen.
+func (s *Server) SetTenantResolver(r TenantResolver) {
+	s.mu.Lock()
+	s.tenants = r
+	s.mu.Unlock()
 }
 
 // SetIdleTimeout makes the server drop connections that send no complete
@@ -270,6 +399,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	s.mu.Lock()
 	idle := s.idleTimeout
+	view := s.def
 	s.mu.Unlock()
 	for {
 		if idle > 0 {
@@ -281,24 +411,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch op {
 		case OpGet:
-			if b, ok := s.store.Get(key); ok {
+			if b, ok := view.store.Get(key); ok {
 				err = writeResponse(conn, StatusOK, b)
 			} else {
 				err = writeResponse(conn, StatusNotFound, nil)
 			}
 		case OpPut:
-			if perr := s.store.Put(key, payload); perr != nil {
-				err = writeResponse(conn, StatusError, []byte(perr.Error()))
+			if perr := view.store.Put(key, payload); perr != nil {
+				err = writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
 			} else {
 				err = writeResponse(conn, StatusOK, nil)
 			}
 		case OpDel:
-			s.store.Del(key)
+			view.store.Del(key)
 			err = writeResponse(conn, StatusOK, nil)
 		case OpPutMany:
-			err = s.servePutMany(conn, payload)
+			err = servePutMany(conn, view, payload)
 		case OpGetMany:
-			err = s.serveGetMany(conn, payload)
+			err = serveGetMany(conn, view, payload)
+		case OpStatMany:
+			err = serveStatMany(conn, view, payload)
+		case OpHello:
+			view, err = s.serveHello(conn, view, key, payload)
 		default:
 			err = writeResponse(conn, StatusError, []byte("unknown op"))
 		}
@@ -306,6 +440,54 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveHello handles one tenant handshake: validate the version, resolve
+// the tenant to its store view, and serve the rest of the connection
+// from it. The current view is returned unchanged on refusal — a failed
+// handshake downgrades to the tenant the connection already had, it
+// never grants a different one.
+func (s *Server) serveHello(conn net.Conn, cur connView, tenant string, payload []byte) (connView, error) {
+	version, err := parseHello(payload)
+	if err != nil {
+		return cur, writeResponse(conn, StatusError, []byte(err.Error()))
+	}
+	s.mu.Lock()
+	resolver := s.tenants
+	s.mu.Unlock()
+	if resolver == nil {
+		if tenant != "" {
+			return cur, writeResponse(conn, StatusError, []byte("transport: node does not serve tenants"))
+		}
+		// Anonymous hello against a single-tenant node: a no-op, so a
+		// credentialed client can still talk to an un-upgraded node when
+		// its credential is empty.
+		return cur, writeResponse(conn, StatusOK, []byte{version})
+	}
+	view, rerr := resolver(tenant)
+	if rerr != nil {
+		return cur, writeResponse(conn, storeStatus(rerr), []byte(rerr.Error()))
+	}
+	if view == nil {
+		return cur, writeResponse(conn, StatusError, []byte("transport: resolver returned no store"))
+	}
+	return viewOf(view), writeResponse(conn, StatusOK, []byte{version})
+}
+
+// parseHello validates an OpHello payload and returns the negotiated
+// version. The payload is version(1) followed by reserved bytes future
+// versions may define; version 1 must not carry any.
+func parseHello(payload []byte) (byte, error) {
+	if len(payload) < 1 {
+		return 0, errors.New("transport: empty handshake payload")
+	}
+	if payload[0] != HelloVersion {
+		return 0, fmt.Errorf("transport: unsupported handshake version %d", payload[0])
+	}
+	if len(payload) > 1 {
+		return 0, fmt.Errorf("transport: %d trailing bytes in v%d handshake", len(payload)-1, HelloVersion)
+	}
+	return payload[0], nil
 }
 
 // Close stops the server and waits for in-flight connections to finish. It
@@ -382,18 +564,20 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	case StatusNotFound:
 		return nil, ErrNotFound
 	default:
-		return nil, fmt.Errorf("transport: remote error: %s", payload)
+		return nil, remoteError(status, payload)
 	}
 }
 
-// Put stores a block.
+// Put stores a block. A write the node's admission control refused
+// returns an error wrapping store.ErrQuotaExceeded — permanent for this
+// write, do not retry.
 func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 	status, payload, err := c.roundTrip(ctx, OpPut, key, data)
 	if err != nil {
 		return err
 	}
 	if status != StatusOK {
-		return fmt.Errorf("transport: remote error: %s", payload)
+		return remoteError(status, payload)
 	}
 	return nil
 }
@@ -405,7 +589,23 @@ func (c *Client) Del(ctx context.Context, key string) error {
 		return err
 	}
 	if status != StatusOK {
-		return fmt.Errorf("transport: remote error: %s", payload)
+		return remoteError(status, payload)
+	}
+	return nil
+}
+
+// Hello performs the tenant handshake: every later request on this
+// client runs against the named tenant's namespace on the node. The
+// empty tenant is the anonymous namespace (a no-op on any server). A
+// refused handshake leaves the connection usable on whatever tenant it
+// already had.
+func (c *Client) Hello(ctx context.Context, tenant string) error {
+	status, payload, err := c.roundTrip(ctx, OpHello, tenant, []byte{HelloVersion})
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return remoteError(status, payload)
 	}
 	return nil
 }
