@@ -1,3 +1,13 @@
 module aecodes
 
 go 1.24
+
+// aelint is this module's own static-analysis suite (built on the
+// standard library's go/ast + go/types, no third-party analysis
+// framework), registered as a module tool so `go tool aelint ./...`
+// runs the exact analyzer code of the checkout — CI and local runs
+// cannot drift. The other CI analyzer, staticcheck, is version-pinned
+// in .github/workflows/ci.yml (STATICCHECK_VERSION); it cannot be a
+// tool dependency here without giving the module a third-party
+// requirement.
+tool aecodes/cmd/aelint

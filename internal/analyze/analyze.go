@@ -1,0 +1,249 @@
+// Package analyze is a minimal, dependency-free analysis framework in
+// the shape of golang.org/x/tools/go/analysis: analyzers receive a
+// type-checked package through a Pass and report position-anchored
+// diagnostics. It exists because this module carries no third-party
+// dependencies; the loader (load.go) and runner here stand in for
+// go/packages and the multichecker driver.
+//
+// Suppressions follow the staticcheck convention: a comment
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line, on the line above it, or on a function
+// declaration (suppressing the analyzer for the whole function)
+// silences a diagnostic. The runner reports malformed directives,
+// directives naming unknown analyzers, and directives that suppress
+// nothing, so stale justifications cannot accumulate.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant checked.
+	Doc string
+	// Run inspects pass's package, calling pass.Reportf for each
+	// violation. A returned error aborts the whole run (reserved for
+	// analyzer bugs, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Pos locates it in the source.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package, filters suppressed
+// findings, and returns the survivors plus directive-hygiene
+// diagnostics, sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	// The suite's full roster stays "known" even under -only, so a
+	// justification for a non-running analyzer isn't misreported as
+	// naming an unknown one.
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for name := range ran {
+		known[name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyze: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		dirs := collectDirectives(fset, pkg)
+		kept := applySuppressions(raw, dirs)
+		all = append(all, kept...)
+		all = append(all, directiveDiagnostics(dirs, ran, known)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// directive is one parsed //lint:ignore comment with the source range it
+// suppresses.
+type directive struct {
+	analyzer string // "" if malformed
+	reason   string
+	pos      token.Position // of the comment itself
+	file     string
+	fromLine int // suppressed range, inclusive
+	toLine   int
+	used     bool
+	whole    bool // attached to a FuncDecl: suppresses the entire body
+}
+
+// collectDirectives gathers //lint:ignore directives from the package,
+// computing each one's suppressed line range.
+func collectDirectives(fset *token.FileSet, pkg *Package) []*directive {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		// Directives attached to function declarations suppress the whole
+		// function; remember their comment groups so the generic pass
+		// below assigns the wider range.
+		wholeFunc := make(map[*ast.Comment]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				wholeFunc[c] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				d := &directive{pos: fset.Position(c.Slash)}
+				d.file = d.pos.Filename
+				name, reason, found := strings.Cut(text, " ")
+				if !found || name == "" || strings.TrimSpace(reason) == "" {
+					// Malformed: keep analyzer empty; reported later.
+					dirs = append(dirs, d)
+					continue
+				}
+				d.analyzer = name
+				d.reason = strings.TrimSpace(reason)
+				if fd, ok := wholeFunc[c]; ok {
+					d.whole = true
+					d.fromLine = fset.Position(fd.Pos()).Line
+					d.toLine = fset.Position(fd.End()).Line
+				} else {
+					// Same line (trailing comment) or the line below
+					// (comment on its own line above the code).
+					d.fromLine = d.pos.Line
+					d.toLine = d.pos.Line + 1
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// directiveText extracts the payload of a //lint:ignore comment, or
+// reports ok=false for other comments.
+func directiveText(comment string) (string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(comment, prefix) {
+		// Also treat a bare "//lint:ignore" (no payload) as a malformed
+		// directive rather than an ordinary comment.
+		if strings.TrimSpace(comment) == "//lint:ignore" {
+			return "", true
+		}
+		return "", false
+	}
+	return strings.TrimSpace(comment[len(prefix):]), true
+}
+
+// applySuppressions drops diagnostics covered by a matching directive,
+// marking the directives that fired.
+func applySuppressions(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line >= dir.fromLine && d.Pos.Line <= dir.toLine {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// directiveDiagnostics reports malformed, unknown-analyzer, and unused
+// directives. Unused is only reported when the named analyzer actually
+// ran, so `aelint -only=one` doesn't flag the others' justifications.
+func directiveDiagnostics(dirs []*directive, ran, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range dirs {
+		switch {
+		case dir.analyzer == "":
+			out = append(out, Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+			})
+		case !known[dir.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", dir.analyzer),
+			})
+		case ran[dir.analyzer] && !dir.used:
+			out = append(out, Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused //lint:ignore directive for %s", dir.analyzer),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package analyze
+
+// All returns the aelint suite in reporting order. The set is the
+// contract CI enforces; adding an analyzer here adds it to the gate.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		GoroLeak,
+		LockScope,
+		RetainedPut,
+		SentinelErr,
+	}
+}

@@ -1,0 +1,37 @@
+package analyze_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aecodes/internal/analyze"
+	"aecodes/internal/analyze/analyzetest"
+)
+
+func td(elem ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, elem...)...)
+}
+
+func TestRetainedPut(t *testing.T) {
+	analyzetest.Run(t, td("retainedput"), analyze.RetainedPut)
+}
+
+func TestCtxFlowBackground(t *testing.T) {
+	analyzetest.Run(t, td("ctxflow", "lib"), analyze.CtxFlow)
+}
+
+func TestCtxFlowChannels(t *testing.T) {
+	analyzetest.Run(t, td("ctxflow", "transport"), analyze.CtxFlow)
+}
+
+func TestLockScope(t *testing.T) {
+	analyzetest.Run(t, td("lockscope", "reg"), analyze.LockScope)
+}
+
+func TestSentinelErr(t *testing.T) {
+	analyzetest.Run(t, td("sentinelerr"), analyze.SentinelErr)
+}
+
+func TestGoroLeak(t *testing.T) {
+	analyzetest.Run(t, td("goroleak"), analyze.GoroLeak)
+}

@@ -1,0 +1,122 @@
+// Package analyzetest is the harness for aelint's analyzers, in the
+// shape of golang.org/x/tools/go/analysis/analysistest: a testdata
+// package annotates the lines it expects to be flagged with
+//
+//	b.m[key] = data // want `stores a caller slice`
+//
+// and Run checks the analyzer's diagnostics against those expectations
+// both ways — every want must be matched by a diagnostic on its line
+// and every diagnostic must be claimed by a want. The payload is one or
+// more Go string literals, each a regular expression matched against
+// the diagnostic message.
+package analyzetest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aecodes/internal/analyze"
+)
+
+// Run loads the package in dir and applies analyzers through the full
+// runner (suppression directives included), comparing diagnostics with
+// the package's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analyze.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := analyze.LoadDir(fset, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analyze.Run(fset, []*analyze.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants, err := collectWants(fset, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+// want is one expectation: a diagnostic on (file, line) whose message
+// matches re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(fset *token.FileSet, pkg *analyze.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				res, err := parseWantPatterns(strings.TrimSpace(text))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantPatterns splits a want payload into its quoted regexps.
+func parseWantPatterns(text string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for text != "" {
+		quoted, err := strconv.QuotedPrefix(text)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want payload %q: expected quoted regexp", text)
+		}
+		pattern, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %w", quoted, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %w", pattern, err)
+		}
+		res = append(res, re)
+		text = strings.TrimSpace(text[len(quoted):])
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return res, nil
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches, and reports whether one was found.
+func claim(wants []*want, d analyze.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isErrorType reports whether t is (or trivially implements) error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+// containsSlice reports whether values of type t share backing memory
+// with anything: a slice anywhere in the value (directly, in a struct
+// field, array element, or map value) means assigning t aliases rather
+// than copies.
+func containsSlice(t types.Type) bool {
+	return containsSliceSeen(t, make(map[types.Type]bool))
+}
+
+func containsSliceSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Pointer, *types.Map, *types.Chan:
+		// Reference types alias by construction; the copy-on-put
+		// contract is about slices specifically, and pointer/map
+		// parameters are not part of the Put* signatures, so treat
+		// them as aliasing too.
+		return true
+	case *types.Array:
+		return containsSliceSeen(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSliceSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps parens, stars, index and selector expressions down
+// to the base identifier, or nil when the base is not an identifier
+// (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selectorPath renders an expression like h.reg.mu as the path beyond
+// its root identifier ("reg.mu"), or ok=false when the expression is
+// not a pure ident/selector chain.
+func selectorPath(e ast.Expr) (root *ast.Ident, path string, ok bool) {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, strings.Join(parts, "."), true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// funcRecv returns the receiver variable's object, or nil.
+func funcRecv(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// namedOf unwraps pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation plumbing. Two rules:
+//
+//  1. In library code (not package main, not tests), calling
+//     context.Background() or context.TODO() while a context.Context
+//     parameter is in scope forks the cancellation tree: the caller's
+//     deadline and cancel signal silently stop applying.
+//  2. In packages named transport or cooperative — the layers whose
+//     goroutines outlive individual calls — a blocking channel send or
+//     receive in a function that has a ctx parameter must sit in a
+//     select (so a ctx.Done() arm can be added), or cancellation cannot
+//     unblock it. Channel ops that are a select's own comm clauses are
+//     exempt; so is receiving from ctx.Done() itself.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background/TODO with a ctx in scope, and ctx-deaf blocking channel ops in transport/cooperative",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	channelRule := pass.Pkg.Name == "transport" || pass.Pkg.Name == "cooperative"
+	for _, f := range pass.Pkg.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		// Channel ops appearing as a select's comm clause are already
+		// multiplexed; collect them so the flat walk below skips them.
+		exempt := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					markCommExempt(cc.Comm, exempt)
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkCtxFunc(pass, channelRule, exempt, fd.Type, fd.Body, false)
+			}
+		}
+	}
+	return nil
+}
+
+// markCommExempt records the send/receive nodes syntactically part of a
+// select comm statement.
+func markCommExempt(comm ast.Stmt, exempt map[ast.Node]bool) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		exempt[s] = true
+	case *ast.ExprStmt:
+		exempt[s.X] = true
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			exempt[r] = true
+		}
+	}
+}
+
+// walkCtxFunc visits one function body. ctxInScope carries whether any
+// enclosing function (this one included) declares a context.Context
+// parameter; function literals inherit it.
+func walkCtxFunc(pass *Pass, channelRule bool, exempt map[ast.Node]bool, ft *ast.FuncType, body *ast.BlockStmt, ctxInScope bool) {
+	ctxInScope = ctxInScope || funcHasCtxParam(pass, ft)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			walkCtxFunc(pass, channelRule, exempt, x.Type, x.Body, ctxInScope)
+			return false
+		case *ast.CallExpr:
+			if ctxInScope {
+				checkBackground(pass, x)
+			}
+		case *ast.SendStmt:
+			if channelRule && ctxInScope && !exempt[x] {
+				pass.Reportf(x.Pos(), "blocking channel send with ctx in scope; select on ctx.Done() so cancellation can unblock it")
+			}
+		case *ast.UnaryExpr:
+			if channelRule && ctxInScope && x.Op == token.ARROW && !exempt[x] && !isCtxDoneCall(pass, x.X) {
+				pass.Reportf(x.Pos(), "blocking channel receive with ctx in scope; select on ctx.Done() so cancellation can unblock it")
+			}
+		}
+		return true
+	})
+}
+
+func checkBackground(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Pkg.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "context" {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() with a ctx parameter in scope detaches this call from the caller's cancellation", sel.Sel.Name)
+}
+
+func funcHasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.Pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxDoneCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}

@@ -1,0 +1,69 @@
+package analyze_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aecodes/internal/analyze"
+)
+
+// TestDirectives covers the //lint:ignore machinery end to end: three
+// suppression placements (line above, trailing, whole function) silence
+// their findings, one live finding survives, and the three defective
+// directive shapes (unused, unknown analyzer, malformed) are reported.
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, err := analyze.LoadDir(fset, filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analyze.Run(fset, []*analyze.Package{pkg}, []*analyze.Analyzer{analyze.SentinelErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"comparison with sentinel error ErrGone",
+		"unused //lint:ignore directive for sentinelerr",
+		`//lint:ignore names unknown analyzer "nosuchanalyzer"`,
+		"malformed //lint:ignore directive",
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(wantSubstrings))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+	for _, want := range wantSubstrings {
+		n := 0
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("substring %q matched %d diagnostics, want 1", want, n)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository — the same
+// gate CI enforces — so a finding fails tier-1 locally too.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis is not short")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analyze.Load(fset, filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analyze.Run(fset, pkgs, analyze.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

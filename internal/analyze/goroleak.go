@@ -1,0 +1,172 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags `go` statements in library code whose spawned function
+// has no visible shutdown path. A goroutine that never observes a
+// context, WaitGroup, channel receive, or select has no way to learn
+// the component it serves was closed: it leaks, and under -race it is
+// the goroutine still touching freed state after Close returns. The
+// check is structural, not a proof — it looks for any of those
+// constructs in the spawned function (following same-package callees
+// two levels deep) and accepts the goroutine if one is present.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flags go statements in non-test library code with no reachable shutdown path (ctx, WaitGroup, channel receive, or select)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Pkg.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goHasShutdownPath(pass, decls, g.Call, 2) {
+				pass.Reportf(g.Pos(), "goroutine has no shutdown path: no ctx, WaitGroup, channel receive, or select reachable in the spawned function")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function and method
+// declarations by their defining object, so `go s.loop()` can be chased
+// into loop's body.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// goHasShutdownPath reports whether the function started by call shows a
+// shutdown construct, chasing same-package callees up to depth levels.
+func goHasShutdownPath(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr, depth int) bool {
+	var body *ast.BlockStmt
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fd := resolveFuncDecl(pass, decls, call.Fun)
+		if fd == nil {
+			// A callee we cannot see (another package, an interface
+			// method, a func value): give it the benefit of the doubt.
+			return true
+		}
+		body = fd.Body
+	}
+	// Arguments with shutdown machinery count: `go run(ctx, &wg)` hands
+	// the spawned function its exit signal even if resolution above
+	// failed to chase into run.
+	for _, arg := range call.Args {
+		if exprIsShutdownValue(pass, arg) {
+			return true
+		}
+	}
+	return bodyHasShutdownPath(pass, decls, body, depth)
+}
+
+func bodyHasShutdownPath(pass *Pass, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true // channel receive: something can signal it
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if exprIsShutdownValue(pass, x) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if depth > 0 {
+				if fd := resolveFuncDecl(pass, decls, x.Fun); fd != nil {
+					if bodyHasShutdownPath(pass, decls, fd.Body, depth-1) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprIsShutdownValue reports whether e is typed as shutdown machinery:
+// a context.Context or a sync.WaitGroup.
+func exprIsShutdownValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		if id, isIdent := e.(*ast.Ident); isIdent {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				return isShutdownType(obj.Type())
+			}
+		}
+		return false
+	}
+	return isShutdownType(tv.Type)
+}
+
+func isShutdownType(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// resolveFuncDecl maps a call target to a same-package FuncDecl, or nil.
+func resolveFuncDecl(pass *Pass, decls map[types.Object]*ast.FuncDecl, fun ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return decls[obj]
+}

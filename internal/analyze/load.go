@@ -1,0 +1,217 @@
+// Loading and type-checking without golang.org/x/tools: packages are
+// enumerated with `go list -export`, which compiles every dependency's
+// export data into the build cache, and each listed package is then
+// parsed and type-checked from source with the standard library's gc
+// importer reading that export data. The result is the same (Files,
+// Types, Info) triple go/analysis passes carry, obtained offline with a
+// zero-dependency module.
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit the analyzers
+// run over. In-package test files are included (the `p [p.test]` variant
+// go list -test reports), so invariants hold in test helpers too;
+// external `p_test` packages are loaded as their own Package.
+type Package struct {
+	// ImportPath is the bare import path ("aecodes/internal/tenant"),
+	// with any " [p.test]" variant suffix stripped.
+	ImportPath string
+	// Name is the package name ("tenant", "tenant_test").
+	Name string
+	// Dir holds the package's source files.
+	Dir string
+	// Files are the parsed source files, comments included.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ForTest    string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (relative to dir, "" meaning the current
+// directory), compiles export data for every dependency, and
+// type-checks each matched package from source. The returned packages
+// are sorted by import path, test-augmented variants replacing their
+// plain package.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export == "" {
+			continue
+		}
+		path := bareImportPath(p.ImportPath)
+		// Prefer the test-augmented export for the bare path: it is a
+		// superset of the plain package, and external test packages
+		// import their subject's augmented form.
+		if _, ok := exports[path]; !ok || p.ForTest != "" {
+			exports[path] = p.Export
+		}
+	}
+
+	// Pick the packages to analyze: in-module roots, preferring the
+	// test-augmented variant of each path when one was listed.
+	chosen := make(map[string]listedPackage)
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Module == nil || p.Name == "" {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // the synthesized test main
+		}
+		path := bareImportPath(p.ImportPath)
+		if prev, ok := chosen[path]; ok && prev.ForTest != "" {
+			continue // already have the augmented variant
+		}
+		chosen[path] = p
+	}
+	paths := make([]string, 0, len(chosen))
+	for path := range chosen {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := typeCheck(fset, chosen[path], path, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -test -export -deps -json` over patterns.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := []string{
+		"list", "-e", "-test", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,ForTest,DepOnly,Standard,Module,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyze: go list: %w\n%s", err, stderr.Bytes())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyze: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analyze: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// bareImportPath strips the " [p.test]" suffix go list -test appends to
+// test variants.
+func bareImportPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// typeCheck parses and type-checks one listed package, resolving imports
+// through the export data index.
+func typeCheck(fset *token.FileSet, p listedPackage, path string, exports map[string]string) (*Package, error) {
+	files, err := parseDirFiles(fset, p.Dir, p.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	typesPkg, info, err := checkFiles(fset, path, files, exports)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: path,
+		Name:       typesPkg.Name(),
+		Dir:        p.Dir,
+		Files:      files,
+		Types:      typesPkg,
+		Info:       info,
+	}, nil
+}
+
+// parseDirFiles parses the named files of one directory with comments.
+func parseDirFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkFiles type-checks one package's parsed files against the export
+// data index.
+func checkFiles(fset *token.FileSet, path string, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		file, ok := exports[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	typesPkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyze: type-checking %s: %w", path, err)
+	}
+	return typesPkg, info, nil
+}

@@ -1,0 +1,119 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LoadDir parses and type-checks the single package held in dir — a
+// testdata directory the go tool itself ignores — resolving its imports
+// through `go list -export` on demand. It exists for the analyzer test
+// harness: testdata packages are not part of the module build graph, so
+// Load's pattern expansion never sees them.
+func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
+	}
+	files, err := parseDirFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			imports[path] = true
+		}
+	}
+	exports, err := exportCache.resolve(imports)
+	if err != nil {
+		return nil, err
+	}
+	typesPkg, info, err := checkFiles(fset, dir, files, exports)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: dir,
+		Name:       typesPkg.Name(),
+		Dir:        dir,
+		Files:      files,
+		Types:      typesPkg,
+		Info:       info,
+	}, nil
+}
+
+// exportCache memoises import path → export data file across LoadDir
+// calls, so a test binary invokes `go list` once per distinct import
+// set, not once per testdata package.
+var exportCache = &exportIndex{files: make(map[string]string)}
+
+type exportIndex struct {
+	mu    sync.Mutex
+	files map[string]string
+}
+
+// resolve returns an export map covering imports (and, via -deps, their
+// transitive dependencies, which the gc importer may also request).
+func (x *exportIndex) resolve(imports map[string]bool) (map[string]string, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var missing []string
+	for path := range imports {
+		if _, ok := x.files[path]; !ok {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analyze: go list %s: %w\n%s", strings.Join(missing, " "), err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("analyze: decoding go list output: %w", err)
+			}
+			if p.Export != "" {
+				x.files[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(x.files))
+	for k, v := range x.files {
+		out[k] = v
+	}
+	return out, nil
+}

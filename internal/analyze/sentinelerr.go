@@ -1,0 +1,138 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelErr enforces the error-matching discipline the transport's
+// typed-status mapping depends on: sentinel errors (store.ErrNotFound,
+// io.EOF, ...) travel through wrapping layers, so `==` against them
+// silently stops matching the moment anyone adds context with %w. Two
+// rules:
+//
+//  1. Comparing an error expression to a package-level error variable
+//     with == or != (including switch cases) must be errors.Is.
+//  2. fmt.Errorf calls that pass an error argument but use no %w verb
+//     sever the Unwrap chain that rule 1's errors.Is rewrites rely on.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "flags ==/!= comparisons against sentinel error values and fmt.Errorf wraps that drop %w",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		// Sentinel comparisons are wrong in tests too (a wrapped error
+		// makes the assertion rot), but the %w rule only concerns
+		// library error chains: tests may stringify freely.
+		wrapRule := !pass.isTestFile(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					checkSentinelCompare(pass, x.X, x.Y, x.Pos())
+				}
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, x)
+			case *ast.CallExpr:
+				if wrapRule {
+					checkErrorfWrap(pass, x)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSentinelCompare(pass *Pass, x, y ast.Expr, pos token.Pos) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		if name, ok := sentinelErrorVar(pass, pair[0]); ok && isErrorExpr(pass, pair[1]) {
+			pass.Reportf(pos, "comparison with sentinel error %s breaks under wrapping; use errors.Is", name)
+			return
+		}
+	}
+}
+
+func checkSentinelSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass, sw.Tag) {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelErrorVar(pass, e); ok {
+				pass.Reportf(e.Pos(), "switch case compares sentinel error %s with ==; use errors.Is", name)
+			}
+		}
+	}
+}
+
+// sentinelErrorVar reports whether e names a package-level variable of
+// error type (a sentinel), returning its printable name.
+func sentinelErrorVar(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type) && !tv.IsNil()
+}
+
+// checkErrorfWrap flags fmt.Errorf("...", err) where the constant
+// format string has no %w: the error is stringified and the Unwrap
+// chain errors.Is needs is cut.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Pkg.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorExpr(pass, arg) {
+			pass.Reportf(call.Pos(), "fmt.Errorf stringifies an error argument without %%w, cutting the errors.Is chain")
+			return
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Testdata for ctxflow rule 1: context.Background/TODO with a ctx
+// parameter in scope.
+package lib
+
+import "context"
+
+func Detached(ctx context.Context) error {
+	sub := context.Background() // want `context.Background\(\) with a ctx parameter in scope`
+	_ = sub
+	return ctx.Err()
+}
+
+func DetachedTODO(ctx context.Context) {
+	_ = context.TODO() // want `context.TODO\(\) with a ctx parameter in scope`
+}
+
+// NestedLiteral inherits the ctx parameter from its enclosing function.
+func NestedLiteral(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `context.Background\(\) with a ctx parameter in scope`
+	}
+}
+
+// NoCtx has no context parameter: starting a fresh root is exactly what
+// Background is for.
+func NoCtx() context.Context {
+	return context.Background()
+}
+
+// Derived contexts are the fix; they must stay clean.
+func Derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

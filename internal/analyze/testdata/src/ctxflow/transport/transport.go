@@ -1,0 +1,43 @@
+// Testdata for ctxflow rule 2: blocking channel ops with a ctx in
+// scope, in a package named transport (the rule is scoped to the
+// transport and cooperative layers).
+package transport
+
+import "context"
+
+func SendBad(ctx context.Context, ch chan int) {
+	ch <- 1 // want `blocking channel send with ctx in scope`
+}
+
+func SendGood(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func RecvBad(ctx context.Context, ch chan int) int {
+	return <-ch // want `blocking channel receive with ctx in scope`
+}
+
+func RecvGood(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// NoCtx has no context parameter, so there is nothing to select on:
+// bare channel ops are this function's contract.
+func NoCtx(ch chan int) int {
+	ch <- 1
+	return <-ch
+}
+
+// WaitDone blocks on ctx.Done() itself — the idiom the rule demands,
+// never a violation.
+func WaitDone(ctx context.Context) {
+	<-ctx.Done()
+}

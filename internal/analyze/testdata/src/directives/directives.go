@@ -1,0 +1,49 @@
+// Testdata for the //lint:ignore machinery: suppressions on the same
+// line, the line above, and whole functions, plus the hygiene
+// diagnostics for unused, unknown, and malformed directives.
+package directives
+
+import "errors"
+
+var ErrGone = errors.New("directives: gone")
+
+// SuppressedAbove carries its justification on the line above the
+// violation.
+func SuppressedAbove(err error) bool {
+	//lint:ignore sentinelerr this test asserts identity on purpose
+	return err == ErrGone
+}
+
+// SuppressedTrailing carries it on the flagged line itself.
+func SuppressedTrailing(err error) bool {
+	return err == ErrGone //lint:ignore sentinelerr identity is the contract here
+}
+
+// SuppressedWhole silences the analyzer for the entire function via the
+// doc comment.
+//
+//lint:ignore sentinelerr every comparison below is deliberate
+func SuppressedWhole(err error) bool {
+	if err == ErrGone {
+		return true
+	}
+	return err != ErrGone
+}
+
+// Unsuppressed keeps one live finding so the run set is exercised.
+func Unsuppressed(err error) bool {
+	return err == ErrGone // want `comparison with sentinel error ErrGone`
+}
+
+// The remaining directives are defective in the three recognised ways.
+
+func hygiene() {
+	//lint:ignore sentinelerr nothing on the next line violates anything
+	_ = 0
+
+	//lint:ignore nosuchanalyzer the analyzer name is wrong
+	_ = 1
+
+	//lint:ignore
+	_ = 2
+}

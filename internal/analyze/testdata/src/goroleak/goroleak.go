@@ -1,0 +1,81 @@
+// Testdata for the goroleak analyzer: goroutines with and without a
+// reachable shutdown path.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+type Server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// StartBad spawns a loop nothing can stop.
+func (s *Server) StartBad() {
+	go func() { // want `goroutine has no shutdown path`
+		for {
+			work()
+		}
+	}()
+}
+
+// StartNamedBad resolves the named function and finds no shutdown path
+// there either.
+func (s *Server) StartNamedBad() {
+	go spin() // want `goroutine has no shutdown path`
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// StartWG is accountable to a WaitGroup.
+func (s *Server) StartWG() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// StartChan watches a close-signal channel.
+func (s *Server) StartChan() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// StartCtx hands the goroutine a context as an argument.
+func StartCtx(ctx context.Context) {
+	go loop(ctx)
+}
+
+func loop(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// StartIndirect reaches the shutdown path one call deep.
+func (s *Server) StartIndirect() {
+	go s.runInner()
+}
+
+func (s *Server) runInner() {
+	waitClosed(s.done)
+}
+
+func waitClosed(done chan struct{}) {
+	<-done
+}

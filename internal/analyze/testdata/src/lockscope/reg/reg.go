@@ -1,0 +1,129 @@
+// Testdata for the lockscope analyzer: a miniature tenant registry with
+// guarded-by annotations, exercising the quota-atomicity rules.
+package reg
+
+import (
+	"os"
+	"sync"
+)
+
+type Keyed interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+}
+
+type Registry struct {
+	backing Keyed // write-guarded by mu
+
+	mu    sync.Mutex
+	total int64 // guarded by mu
+}
+
+// PutGood is the quota-atomicity protocol: charge and write under one
+// critical section.
+func (r *Registry) PutGood(key string, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.backing.Put(key, data); err != nil {
+		return err
+	}
+	r.total += int64(len(data))
+	return nil
+}
+
+// PutBad charges under the lock but writes outside it: an eviction can
+// interleave between the two and the accounting no longer matches the
+// backing store.
+func (r *Registry) PutBad(key string, data []byte) error {
+	r.mu.Lock()
+	r.total += int64(len(data))
+	r.mu.Unlock()
+	return r.backing.Put(key, data) // want `Put on write-guarded field backing without holding mu`
+}
+
+// GetOutside is fine: write-guarded fields allow reads outside the lock.
+func (r *Registry) GetOutside(key string) ([]byte, error) {
+	return r.backing.Get(key)
+}
+
+func (r *Registry) TotalBad() int64 {
+	return r.total // want `read of guarded field total without holding mu`
+}
+
+// EarlyExit unlocks on the early-return path only; the fall-through
+// still holds the lock and must stay clean.
+func (r *Registry) EarlyExit() int64 {
+	r.mu.Lock()
+	if r.total < 0 {
+		r.mu.Unlock()
+		return 0
+	}
+	r.total++
+	t := r.total
+	r.mu.Unlock()
+	return t
+}
+
+// sizeLocked documents "caller holds mu" by its name.
+func (r *Registry) sizeLocked() int64 {
+	return r.total
+}
+
+func (r *Registry) CallLockedBad() int64 {
+	return r.sizeLocked() // want `call to sizeLocked without holding mu`
+}
+
+func (r *Registry) CallLockedGood() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sizeLocked()
+}
+
+// Cache exercises RWMutex modes: RLock admits reads, not writes.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (c *Cache) ReadOK(key string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[key]
+}
+
+func (c *Cache) WriteUnderRLock(key string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.m[key] = 1 // want `write to guarded field m without holding mu \(write lock; only RLock is held\)`
+}
+
+func (c *Cache) WriteOK(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = 1
+}
+
+// Flusher exercises the fsync-under-foreign-lock rule.
+type Flusher struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	w  *os.File
+}
+
+// FlushOwn syncs its own file under its own lock: the flush is the
+// lock's purpose, not a stall.
+func (f *Flusher) FlushOwn() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	return f.w.Sync()
+}
+
+// CrossSync flushes someone else's file while holding f's lock: every
+// waiter of f.mu now waits for a foreign disk flush.
+func CrossSync(f *Flusher, other *os.File) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	return other.Sync() // want `fsync while holding mu, a lock belonging to a different object`
+}

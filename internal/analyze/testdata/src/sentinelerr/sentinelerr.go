@@ -1,0 +1,53 @@
+// Testdata for the sentinelerr analyzer: identity comparisons against
+// sentinel errors and wraps that drop %w.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrNotFound = errors.New("sentinelerr: not found")
+
+func CompareBad(err error) bool {
+	return err == ErrNotFound // want `comparison with sentinel error ErrNotFound breaks under wrapping`
+}
+
+func CompareNeqBad(err error) bool {
+	return err != ErrNotFound // want `comparison with sentinel error ErrNotFound breaks under wrapping`
+}
+
+func CompareImportedBad(err error) bool {
+	return err == io.EOF // want `comparison with sentinel error EOF breaks under wrapping`
+}
+
+func SwitchBad(err error) string {
+	switch err {
+	case ErrNotFound: // want `switch case compares sentinel error ErrNotFound`
+		return "not found"
+	default:
+		return "other"
+	}
+}
+
+func WrapBad(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want `fmt.Errorf stringifies an error argument without %w`
+}
+
+func CompareGood(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+func NilCheckGood(err error) bool {
+	return err == nil
+}
+
+func WrapGood(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+// WrapNoError formats only non-error values; %v is correct.
+func WrapNoError(name string) error {
+	return fmt.Errorf("unknown key %v", name)
+}

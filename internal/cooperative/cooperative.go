@@ -478,10 +478,10 @@ func (b *Broker) BackupStream(ctx context.Context, r io.Reader) (positions []int
 	buf := make([]byte, b.blockSize)
 	for {
 		read, rerr := io.ReadFull(r, buf)
-		if rerr == io.EOF {
+		if errors.Is(rerr, io.EOF) {
 			return positions, n, nil
 		}
-		if rerr == io.ErrUnexpectedEOF {
+		if errors.Is(rerr, io.ErrUnexpectedEOF) {
 			for i := read; i < len(buf); i++ {
 				buf[i] = 0
 			}

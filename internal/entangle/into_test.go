@@ -2,6 +2,7 @@ package entangle
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -242,7 +243,7 @@ func TestRepairIntoVariants(t *testing.T) {
 	}
 	// No parities at all: nothing to XOR... except virtual-edge tuples near
 	// the origin, so probe a deep position.
-	if err := r.RepairDataInto(bg, dst, hopeless, 30); err != ErrUnrepairable {
+	if err := r.RepairDataInto(bg, dst, hopeless, 30); !errors.Is(err, ErrUnrepairable) {
 		t.Fatalf("err = %v, want ErrUnrepairable", err)
 	}
 	if !bytes.Equal(dst, marker) {

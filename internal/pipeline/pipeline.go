@@ -263,7 +263,16 @@ func EncodePooled(ctx context.Context, enc *entangle.Encoder, n int, fill func(s
 			if fill != nil {
 				fill(seq, buf)
 			}
-			ch <- buf
+			// Encode drains ch on failure, so the bare send could never
+			// deadlock — but without the Done arm a cancelled run would
+			// keep filling and handing over every remaining block before
+			// noticing. Stop at the first unwanted one instead.
+			select {
+			case ch <- buf:
+			case <-ctx.Done():
+				pool.Put(buf)
+				return
+			}
 		}
 	}()
 	return Encode(ctx, enc, ch, sink, opts)

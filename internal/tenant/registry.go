@@ -72,19 +72,19 @@ type usage struct {
 // registry lock so quota admission, the backing write and the accounting
 // update are one atomic step.
 type Registry struct {
-	backing Keyed
-	batch   KeyedBatch // nil when the backing is not batch-native
+	backing Keyed      // write-guarded by mu: mutations must stay atomic with quota accounting
+	batch   KeyedBatch // nil when the backing is not batch-native; write-guarded by mu
 	stat    KeyedStat  // nil when the backing cannot stat
 	sizer   Sizer      // nil when the backing cannot size
 	enum    Enumerable // nil when the backing cannot enumerate
 	cfg     Config
 
 	mu        sync.Mutex
-	tenants   map[string]*usage
-	handles   map[string]*Store
-	total     int64 // Σ tenants' bytes
-	clock     int64 // logical LRU clock
-	evictions int64 // tenants evicted so far
+	tenants   map[string]*usage // guarded by mu
+	handles   map[string]*Store // guarded by mu
+	total     int64             // Σ tenants' bytes; guarded by mu
+	clock     int64             // logical LRU clock; guarded by mu
+	evictions int64             // tenants evicted so far; guarded by mu
 }
 
 // NewRegistry wraps backing. When the backing is Enumerable the existing
@@ -92,6 +92,8 @@ type Registry struct {
 // durable segment store restores every tenant's usage without any side
 // file. A config with eviction enabled (HighWater > 0) requires an
 // Enumerable backing: eviction must be able to find a victim's keys.
+//
+//lint:ignore lockscope r is unpublished until NewRegistry returns; no other goroutine can hold mu yet
 func NewRegistry(backing Keyed, cfg Config) (*Registry, error) {
 	if backing == nil {
 		return nil, fmt.Errorf("tenant: nil backing store")

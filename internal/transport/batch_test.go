@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -257,7 +258,7 @@ func TestPoolClientOps(t *testing.T) {
 	if err != nil || !bytes.Equal(b, []byte("v")) {
 		t.Fatalf("Get = %q, %v", b, err)
 	}
-	if _, err := p.Get(bg, "nope"); err != ErrNotFound {
+	if _, err := p.Get(bg, "nope"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
 	}
 	if err := p.PutMany(bg, []KV{{Key: "x", Data: []byte("1")}, {Key: "y", Data: []byte("2")}}); err != nil {

@@ -512,6 +512,7 @@ type pipeConn struct {
 
 func newPipeConn(conn net.Conn, defaultTimeout time.Duration) *pipeConn {
 	c := &pipeConn{conn: conn, defaultTimeout: defaultTimeout}
+	//lint:ignore goroleak readLoop exits when close() or a fault tears down the socket: every Read then fails and fail() resolves all pending slots
 	go c.readLoop()
 	return c
 }

@@ -649,18 +649,18 @@ func (c *Client) exchange(ctx context.Context, write func() error) (byte, []byte
 	}
 	defer c.applyDeadline(ctx)()
 	if err := write(); err != nil {
-		return 0, nil, c.poison(err)
+		return 0, nil, c.poisonLocked(err)
 	}
 	status, payload, err := readResponse(c.conn)
 	if err != nil {
-		return 0, nil, c.poison(err)
+		return 0, nil, c.poisonLocked(err)
 	}
 	return status, payload, nil
 }
 
-// poison records the first fatal error and closes the socket. Callers
+// poisonLocked records the first fatal error and closes the socket. Callers
 // hold c.mu.
-func (c *Client) poison(err error) error {
+func (c *Client) poisonLocked(err error) error {
 	if c.err == nil {
 		c.err = fmt.Errorf("transport: connection broken: %w", err)
 		c.conn.Close()
