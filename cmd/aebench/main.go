@@ -52,7 +52,7 @@ func record(r benchfmt.Result) { recorder = append(recorder, r) }
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|transport|segstore|all")
+		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|transport|segstore|cluster|all")
 		blocks    = flag.Int("blocks", 1_000_000, "number of data blocks (paper: 1,000,000)")
 		locations = flag.Int("locations", 100, "number of storage locations (paper: 100)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -132,6 +132,11 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		}},
 		{"segstore", func(c sim.Config, _ int) error {
 			return segstoreBench(netConfig{blockSize: 64 << 10, blocks: 128, batches: 24})
+		}},
+		// Control-plane latencies: tiny frames and in-memory tables, so
+		// generous iteration counts still finish in well under a second.
+		{"cluster", func(c sim.Config, _ int) error {
+			return clusterBench(clusterConfig{fleet: 16, placements: 20000, lookups: 200000, heartbeats: 4000})
 		}},
 	}
 	timed := func(e experiment) error {

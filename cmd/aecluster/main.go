@@ -1,0 +1,80 @@
+// Command aecluster runs the cluster manager: the control plane that
+// shards users' lattices into volumes and places them across a fleet of
+// aestored nodes.
+//
+// Usage:
+//
+//	aecluster -addr 127.0.0.1:7700
+//	aecluster -addr 127.0.0.1:7700 -snapshot /var/lib/aecluster/state.json
+//	aecluster -addr 127.0.0.1:7700 -ttl 10s
+//
+// Nodes join by heartbeating to it (aestored -cluster <addr>); each
+// OpNodeStat frame carries the node's capacity, used bytes, segment
+// pressure and per-tenant usage. A node whose heartbeats stop for -ttl
+// is dead, and its volumes are re-placed onto live nodes with headroom
+// the next time a broker routes to them.
+//
+// The manager speaks the ordinary block protocol: brokers (and
+// operators, via any block client) read routing state from reserved
+// keys — "!cluster/table" for the full epoch-numbered volume→node
+// table, "!cluster/route/<volume>" for one placement (created on first
+// sight), "!cluster/stale/<epoch>/<volume>" to report a failed route
+// and fetch the fresh one, "!cluster/nodes" for fleet membership — all
+// as JSON. OpUsage answers fleet-wide per-tenant usage aggregated over
+// the last heartbeat round.
+//
+// With -snapshot, membership identities and the routing table survive
+// restarts via an atomically-replaced JSON file; restored nodes get one
+// TTL of grace to heartbeat again.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aecodes/internal/cluster"
+	"aecodes/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	snapshot := flag.String("snapshot", "", "state snapshot file (JSON, atomically replaced); empty = memory-only")
+	ttl := flag.Duration("ttl", 0, "node liveness window: a node silent this long is dead (0 = 10s default)")
+	flag.Parse()
+
+	m, err := cluster.NewManager(cluster.Options{TTL: *ttl, SnapshotPath: *snapshot})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aecluster:", err)
+		os.Exit(1)
+	}
+	srv, err := transport.NewServer(m.Store())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aecluster:", err)
+		os.Exit(1)
+	}
+	srv.SetClusterHandler(m)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aecluster:", err)
+		os.Exit(1)
+	}
+	if *snapshot != "" {
+		nodes := m.Nodes()
+		fmt.Printf("aecluster: restored %d nodes at epoch %d from %s\n", len(nodes), m.Epoch(), *snapshot)
+	}
+	fmt.Println("aecluster listening on", bound)
+
+	defer srv.Close()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("aecluster: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "aecluster:", err)
+		os.Exit(1)
+	}
+	fmt.Println("aecluster: bye")
+}

@@ -45,15 +45,28 @@
 // defaults to off: a reaped connection permanently poisons a plain
 // transport.Client (only the pool client redials), so only enable it
 // for nodes whose peers use transport.PoolClient.
+//
+// With -cluster set to a cluster manager's address, the node joins the
+// fleet: it announces itself to the manager with periodic OpNodeStat
+// heartbeats carrying capacity (-capacity), used bytes, segment-store
+// pressure and per-tenant usage, so the manager places volumes on it
+// and brokers route to it through the manager's table. -node names the
+// node's stable identity and -advertise the address peers dial (both
+// default to the bound listen address); -hbinterval tunes the announce
+// period. A cluster node also answers OpUsage queries from its own
+// tenant registry.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"aecodes/internal/cluster"
 	"aecodes/internal/segstore"
 	"aecodes/internal/tenant"
 	"aecodes/internal/transport"
@@ -70,7 +83,17 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "tenant config file (JSON; enables multi-tenancy)")
 	quota := flag.Int64("quota", 0, "default per-tenant byte quota (0 = unlimited; enables multi-tenancy)")
 	evictHW := flag.Int64("evicthw", 0, "eviction high-water mark in live bytes: shed cold tenant lattices above it (0 disables; enables multi-tenancy)")
+	clusterAddr := flag.String("cluster", "", "cluster manager address: join the fleet and heartbeat to it (empty = standalone)")
+	nodeID := flag.String("node", "", "stable node identity announced in heartbeats (default: the bound listen address; requires -cluster)")
+	advertise := flag.String("advertise", "", "address peers dial to reach this node (default: the bound listen address; requires -cluster)")
+	capacity := flag.Int64("capacity", 0, "advertised byte capacity for cluster placement (0 = unlimited; requires -cluster)")
+	hbInterval := flag.Duration("hbinterval", 0, "heartbeat interval (0 = a third of the manager's liveness TTL; requires -cluster)")
 	flag.Parse()
+
+	if *clusterAddr == "" && (*nodeID != "" || *advertise != "" || *capacity != 0 || *hbInterval != 0) {
+		fmt.Fprintln(os.Stderr, "aestored: -node, -advertise, -capacity and -hbinterval need -cluster")
+		os.Exit(1)
+	}
 
 	if *data == "" && (*sync || *segSize != 0 || *compactDead != 0 || *compactRatio != 0) {
 		fmt.Fprintln(os.Stderr, "aestored: -sync, -segsize, -compactdead and -compactratio need -data")
@@ -150,12 +173,46 @@ func main() {
 		})
 	}
 	srv.SetIdleTimeout(*idle)
+	if *clusterAddr != "" {
+		// A fleet node answers per-tenant usage queries itself (and
+		// refuses heartbeats — those flow node → manager only).
+		srv.SetClusterHandler(cluster.NodeUsage{Reg: reg})
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
 		os.Exit(1)
 	}
 	fmt.Println("aestored listening on", bound)
+
+	hbCtx, hbStop := context.WithCancel(context.Background())
+	defer hbStop()
+	if *clusterAddr != "" {
+		cfg := cluster.HeartbeatConfig{
+			ID:       *nodeID,
+			Addr:     *advertise,
+			Capacity: *capacity,
+			Seg:      seg,
+			Reg:      reg,
+			Interval: *hbInterval,
+		}
+		if cfg.ID == "" {
+			cfg.ID = bound
+		}
+		if cfg.Addr == "" {
+			cfg.Addr = bound
+		}
+		mgr, err := transport.DialPoolOptions(*clusterAddr, 1, transport.PoolOptions{
+			ResponseTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aestored: cluster manager:", err)
+			os.Exit(1)
+		}
+		defer mgr.Close()
+		go cluster.Heartbeat(hbCtx, mgr, cfg)
+		fmt.Printf("aestored: joined cluster %s as %s (advertising %s)\n", *clusterAddr, cfg.ID, cfg.Addr)
+	}
 
 	// Close is idempotent, so the deferred safety net and the signal path
 	// may race freely: a SIGTERM arriving during shutdown still exits 0.

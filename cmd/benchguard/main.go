@@ -12,13 +12,18 @@
 //
 // Measurements are matched by (experiment, name); when either file
 // carries several samples for one key (e.g. repeated repair runs) the
-// best MB/s wins, which filters scheduler noise in the direction that
-// avoids false alarms. A measurement is a regression when its current
-// MB/s drops below baseline × (1 - tolerance). Entries present only in
-// the current run are informational; entries present only in the
-// baseline mean the guard is blind to a committed metric (e.g. a renamed
-// experiment), so they are annotated and fail a -strict run. -github
-// renders findings as GitHub Actions workflow annotations.
+// best wins, which filters scheduler noise in the direction that avoids
+// false alarms. Throughput measurements (mb_s present) compare as MB/s,
+// best = highest, and regress when the current value drops below
+// baseline × (1 - tolerance). Latency-style measurements (ns_per_op
+// only — routing lookups, heartbeat round-trips, stat frames) compare
+// as ns/op under a "(ns/op)"-suffixed key, best = lowest, and regress
+// when the current value rises above baseline ÷ (1 - tolerance) — the
+// same relative change, mirrored. Entries present only in the current
+// run are informational; entries present only in the baseline mean the
+// guard is blind to a committed metric (e.g. a renamed experiment), so
+// they are annotated and fail a -strict run. -github renders findings
+// as GitHub Actions workflow annotations.
 package main
 
 import (
@@ -37,22 +42,57 @@ type finding struct {
 	Baseline   float64
 	Current    float64
 	Regression bool
+	// LowerBetter marks ns/op measurements, where a rise regresses; MB/s
+	// measurements fall back to the default higher-is-better direction.
+	LowerBetter bool
 }
 
-// bestByKey folds a document into best-MB/s-per-(experiment,name),
-// dropping entries with no throughput figure (wall-time-only records).
-func bestByKey(doc benchfmt.Document) map[string]float64 {
-	best := make(map[string]float64)
+// Unit names the finding's measurement unit for reports.
+func (f finding) Unit() string {
+	if f.LowerBetter {
+		return "ns/op"
+	}
+	return "MB/s"
+}
+
+// metric is one folded measurement with its comparison direction.
+type metric struct {
+	value       float64
+	lowerBetter bool
+}
+
+// bestByKey folds a document into the best sample per (experiment,
+// name): highest MB/s for throughput entries, lowest ns/op for
+// latency-only entries (keyed with a "(ns/op)" suffix so a unit change
+// surfaces as a coverage hole, never a nonsense comparison). Entries
+// with neither figure (wall-time-only records) are dropped.
+func bestByKey(doc benchfmt.Document) map[string]metric {
+	best := make(map[string]metric)
 	for _, r := range doc.Results {
-		if r.MBps <= 0 {
-			continue
-		}
 		key := r.Experiment + "/" + r.Name
-		if r.MBps > best[key] {
-			best[key] = r.MBps
+		switch {
+		case r.MBps > 0:
+			if m, ok := best[key]; !ok || r.MBps > m.value {
+				best[key] = metric{value: r.MBps}
+			}
+		case r.NsPerOp > 0:
+			key += " (ns/op)"
+			if m, ok := best[key]; !ok || r.NsPerOp < m.value {
+				best[key] = metric{value: r.NsPerOp, lowerBetter: true}
+			}
 		}
 	}
 	return best
+}
+
+// regressed applies the tolerance in the metric's direction: MB/s may
+// drop to baseline × (1 - tolerance), ns/op may rise to the mirrored
+// baseline ÷ (1 - tolerance).
+func regressed(baseline, current metric, tolerance float64) bool {
+	if baseline.lowerBetter {
+		return current.value > baseline.value/(1-tolerance)
+	}
+	return current.value < baseline.value*(1-tolerance)
 }
 
 // compare evaluates current against baseline with the given relative
@@ -68,10 +108,11 @@ func compare(baseline, current benchfmt.Document, tolerance float64) (findings [
 			continue
 		}
 		findings = append(findings, finding{
-			Key:        key,
-			Baseline:   b,
-			Current:    c,
-			Regression: c < b*(1-tolerance),
+			Key:         key,
+			Baseline:    b.value,
+			Current:     c.value,
+			Regression:  regressed(b, c, tolerance),
+			LowerBetter: b.lowerBetter,
 		})
 	}
 	for key := range cur {
@@ -135,8 +176,8 @@ func main() {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("  %-24s baseline %9.1f MB/s  current %9.1f MB/s  (%+.1f%%)  %s\n",
-			f.Key, f.Baseline, f.Current, (f.Current/f.Baseline-1)*100, verdict)
+		fmt.Printf("  %-32s baseline %11.1f %s  current %11.1f %s  (%+.1f%%)  %s\n",
+			f.Key, f.Baseline, f.Unit(), f.Current, f.Unit(), (f.Current/f.Baseline-1)*100, verdict)
 		if f.Regression && *github {
 			// Warn-only runs annotate as warnings; under -strict the job
 			// will fail, so the annotation matches at error level.
@@ -144,21 +185,25 @@ func main() {
 			if *strict {
 				level = "error"
 			}
-			fmt.Printf("::%s title=Benchmark regression::%s dropped to %.1f MB/s (baseline %.1f MB/s, tolerance %.0f%%)\n",
-				level, f.Key, f.Current, f.Baseline, *tolerance*100)
+			worsened := "dropped"
+			if f.LowerBetter {
+				worsened = "rose"
+			}
+			fmt.Printf("::%s title=Benchmark regression::%s %s to %.1f %s (baseline %.1f %s, tolerance %.0f%%)\n",
+				level, f.Key, worsened, f.Current, f.Unit(), f.Baseline, f.Unit(), *tolerance*100)
 		}
 	}
 	// A baseline metric the current run never measured is a hole in the
 	// guard (a renamed experiment would silently go unwatched), so it is
 	// annotated like a regression and fails a -strict run.
 	for _, key := range onlyBaseline {
-		fmt.Printf("  %-24s in baseline only (experiment not run)\n", key)
+		fmt.Printf("  %-32s in baseline only (experiment not run)\n", key)
 		if *github {
 			fmt.Printf("::warning title=Benchmark coverage::baseline metric %s was not measured by this run — regression guard is blind to it\n", key)
 		}
 	}
 	for _, key := range onlyCurrent {
-		fmt.Printf("  %-24s new measurement (no baseline)\n", key)
+		fmt.Printf("  %-32s new measurement (no baseline)\n", key)
 	}
 	if regressions == 0 && len(onlyBaseline) == 0 {
 		fmt.Println("benchguard: no regressions")

@@ -91,6 +91,85 @@ func TestCompareIgnoresWallOnlyEntries(t *testing.T) {
 	}
 }
 
+// TestCompareNsPerOpLowerIsBetter pins the latency comparison path:
+// ns/op-only entries compare under a suffixed key in the mirrored
+// direction — a rise regresses, a drop never does — at the same
+// relative tolerance as throughput.
+func TestCompareNsPerOpLowerIsBetter(t *testing.T) {
+	baseline := doc(
+		benchfmt.Result{Experiment: "cluster", Name: "route-lookup", NsPerOp: 100},
+		benchfmt.Result{Experiment: "cluster", Name: "heartbeat", NsPerOp: 50000},
+		benchfmt.Result{Experiment: "cluster", Name: "placement", NsPerOp: 4000},
+	)
+	current := doc(
+		benchfmt.Result{Experiment: "cluster", Name: "route-lookup", NsPerOp: 150}, // +50%: within 1/(1-0.5) = 2×
+		benchfmt.Result{Experiment: "cluster", Name: "heartbeat", NsPerOp: 150000}, // 3×: regression
+		benchfmt.Result{Experiment: "cluster", Name: "placement", NsPerOp: 1000},   // big improvement
+	)
+	findings, onlyB, onlyC := compare(baseline, current, 0.5)
+	if len(onlyB) != 0 || len(onlyC) != 0 {
+		t.Fatalf("unmatched keys: %v / %v", onlyB, onlyC)
+	}
+	byKey := map[string]finding{}
+	for _, f := range findings {
+		if !f.LowerBetter || f.Unit() != "ns/op" {
+			t.Errorf("%s not compared as ns/op: %+v", f.Key, f)
+		}
+		byKey[f.Key] = f
+	}
+	if byKey["cluster/route-lookup (ns/op)"].Regression {
+		t.Error("a rise within tolerance was flagged")
+	}
+	if !byKey["cluster/heartbeat (ns/op)"].Regression {
+		t.Error("a 3× latency rise was not flagged at 50% tolerance")
+	}
+	if byKey["cluster/placement (ns/op)"].Regression {
+		t.Error("a latency improvement was flagged")
+	}
+}
+
+// TestCompareBestSampleNsPerOp pins that repeated ns/op samples fold to
+// the LOWEST value on both sides — best-sample in the latency direction.
+func TestCompareBestSampleNsPerOp(t *testing.T) {
+	baseline := doc(
+		benchfmt.Result{Experiment: "cluster", Name: "route-lookup", NsPerOp: 120},
+		benchfmt.Result{Experiment: "cluster", Name: "route-lookup", NsPerOp: 80},
+	)
+	current := doc(
+		benchfmt.Result{Experiment: "cluster", Name: "route-lookup", NsPerOp: 500},
+		benchfmt.Result{Experiment: "cluster", Name: "route-lookup", NsPerOp: 90},
+	)
+	findings, _, _ := compare(baseline, current, 0.5)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.Baseline != 80 || f.Current != 90 {
+		t.Fatalf("best-sample folding wrong for ns/op: %+v", f)
+	}
+	if f.Regression {
+		t.Error("90 vs 80 ns/op at 50% tolerance flagged as regression")
+	}
+}
+
+// TestCompareUnitChangeIsCoverageHole pins that a key switching units
+// between runs surfaces as missing + new, never as a cross-unit
+// comparison.
+func TestCompareUnitChangeIsCoverageHole(t *testing.T) {
+	baseline := doc(benchfmt.Result{Experiment: "transport", Name: "statmany", MBps: 900})
+	current := doc(benchfmt.Result{Experiment: "transport", Name: "statmany", NsPerOp: 1200})
+	findings, onlyB, onlyC := compare(baseline, current, 0.5)
+	if len(findings) != 0 {
+		t.Fatalf("cross-unit comparison produced findings: %+v", findings)
+	}
+	if len(onlyB) != 1 || onlyB[0] != "transport/statmany" {
+		t.Fatalf("baseline MB/s key not reported missing: %v", onlyB)
+	}
+	if len(onlyC) != 1 || onlyC[0] != "transport/statmany (ns/op)" {
+		t.Fatalf("current ns/op key not reported new: %v", onlyC)
+	}
+}
+
 func TestCompareReportsNewMeasurements(t *testing.T) {
 	baseline := doc(benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 2000})
 	current := doc(

@@ -1,0 +1,119 @@
+// The storage-node side of the cluster: answering OpUsage from the
+// node's own tenant registry, and the heartbeat loop that announces the
+// node to the manager. A node refuses OpNodeStat — heartbeats flow node
+// → manager, never node → node — so a broker pointed at the wrong
+// address gets a typed refusal instead of silently feeding a peer.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"aecodes/internal/segstore"
+	"aecodes/internal/tenant"
+	"aecodes/internal/transport"
+)
+
+// NodeUsage is the ClusterHandler a storage node wires into its own
+// transport.Server: local per-tenant usage straight from the registry's
+// quota accounting, heartbeats refused.
+type NodeUsage struct {
+	// Reg is the node's tenant registry.
+	Reg *tenant.Registry
+}
+
+var _ transport.ClusterHandler = NodeUsage{}
+
+// NodeStat implements transport.ClusterHandler by refusing: storage
+// nodes report to the manager, they do not collect reports.
+func (NodeUsage) NodeStat(transport.NodeStat) error {
+	return errors.New("cluster: storage nodes do not accept heartbeats; send them to the manager")
+}
+
+// Usage implements transport.ClusterHandler: this node's per-tenant
+// usage. id "" means all tenants; a tenant the node has never seen
+// reports an empty list, matching the manager's behaviour.
+func (u NodeUsage) Usage(id string) ([]transport.TenantUsage, error) {
+	if u.Reg == nil {
+		return nil, errors.New("cluster: node has no tenant registry")
+	}
+	if id != "" {
+		usage, ok := u.Reg.Usage(id)
+		if !ok {
+			return nil, nil
+		}
+		return []transport.TenantUsage{{Tenant: id, Bytes: usage.Bytes, Blocks: usage.Blocks}}, nil
+	}
+	all := u.Reg.Usages()
+	out := make([]transport.TenantUsage, 0, len(all))
+	for _, iu := range all {
+		out = append(out, transport.TenantUsage{Tenant: iu.ID, Bytes: iu.Bytes, Blocks: iu.Blocks})
+	}
+	return out, nil
+}
+
+// HeartbeatConfig describes the node a heartbeat loop announces.
+type HeartbeatConfig struct {
+	// ID is the node's stable identity; Addr the address peers dial.
+	ID   string
+	Addr string
+	// Capacity is the advertised byte capacity; 0 means unlimited.
+	Capacity int64
+	// Seg is the node's segment store, for used-bytes and compaction
+	// pressure; nil reports zeros.
+	Seg *segstore.Store
+	// Reg is the node's tenant registry, for per-tenant signals; nil
+	// reports none.
+	Reg *tenant.Registry
+	// Interval between heartbeats; zero means DefaultHeartbeat.
+	Interval time.Duration
+}
+
+// DefaultHeartbeat is the announce interval when HeartbeatConfig.Interval
+// is zero — a third of the manager's DefaultTTL, so a node survives two
+// dropped frames before it is declared dead.
+const DefaultHeartbeat = DefaultTTL / 3
+
+// Stat samples the node's current signals into one heartbeat frame.
+func (c HeartbeatConfig) Stat() transport.NodeStat {
+	stat := transport.NodeStat{ID: c.ID, Addr: c.Addr, Capacity: c.Capacity}
+	if c.Seg != nil {
+		ss := c.Seg.Stats()
+		stat.Used = ss.LiveBytes
+		stat.Segments = int64(ss.Segments)
+		stat.DeadBytes = ss.DeadBytes
+	}
+	if c.Reg != nil {
+		for _, iu := range c.Reg.Usages() {
+			stat.Tenants = append(stat.Tenants, transport.TenantUsage{
+				Tenant: iu.ID, Bytes: iu.Bytes, Blocks: iu.Blocks,
+			})
+		}
+		if c.Seg == nil {
+			stat.Used = c.Reg.TotalBytes()
+		}
+	}
+	return stat
+}
+
+// Heartbeat announces the node to the manager every interval until ctx
+// is done. The first announce happens immediately; send failures are
+// retried at the next tick (the pool redials underneath), so a manager
+// restart costs missed beats, not a dead loop.
+func Heartbeat(ctx context.Context, mgr *transport.PoolClient, cfg HeartbeatConfig) error {
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultHeartbeat
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		mgr.NodeStat(ctx, cfg.Stat()) // best-effort; next tick retries
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -190,7 +190,7 @@ func TestMissingParitiesUnreachableNode(t *testing.T) {
 	}
 	for _, e := range missing.Parities {
 		key := b.parityKey(e)
-		if idx := b.placer.PlaceKey(key); idx != 1 {
+		if idx := flatIndex(t, b, key, e); idx != 1 {
 			t.Errorf("parity %v reported missing but lives on healthy node %d", e, idx)
 		}
 	}

@@ -34,7 +34,6 @@ import (
 	"aecodes/internal/blockstore"
 	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
-	"aecodes/internal/placement"
 	"aecodes/internal/store"
 	tenantpkg "aecodes/internal/tenant"
 )
@@ -305,29 +304,52 @@ func (n *InMemoryNode) Len() int {
 	return len(n.blocks)
 }
 
-// Broker is a user's encoding/decoding agent. Brokers are not safe for
-// concurrent use; serialise access externally if needed.
+// Broker is a user's encoding/decoding agent. The encoder pipeline is
+// not safe for concurrent use (serialise Backup/Read/Repair calls
+// externally), but the broker's block state is mutex-guarded so the
+// repair engine's concurrent planners can drive the netStore adapter
+// safely.
 type Broker struct {
 	user      string
-	tenant    string // credential announced to HelloNodeStore nodes
+	tenant    string // credential announced via SetCredential
 	params    lattice.Params
 	blockSize int
 	enc       *entangle.Encoder
 	rep       *entangle.Repairer
-	nodes     []NodeStore
-	placer    *placement.KeyHash
-	local     map[int][]byte // the user's own d-blocks
-	count     int            // blocks backed up so far
+	router    Router
+
+	// mu guards the broker's mutable block state. Never held across
+	// router, node, or repair-engine calls — the engine calls back into
+	// the netStore adapter, which takes it again.
+	mu    sync.RWMutex
+	local map[int][]byte // the user's own d-blocks; guarded by mu
+	count int            // blocks backed up so far; guarded by mu
 }
 
-// NewBroker returns a broker for one user's lattice over the given nodes.
-// user namespaces all keys so multiple lattices coexist in the system.
+// NewBroker returns a broker for one user's lattice over a fixed node
+// list with flat key-hash placement. user namespaces all keys so
+// multiple lattices coexist in the system.
 func NewBroker(user string, params lattice.Params, blockSize int, nodes []NodeStore) (*Broker, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cooperative: need at least one storage node")
+	}
+	router, err := newFlatRouter(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return NewRoutedBroker(user, params, blockSize, router)
+}
+
+// NewRoutedBroker returns a broker whose parity placement is delegated
+// to router — the constructor cluster deployments use, with the router
+// resolving volume→node through a cluster manager instead of hashing
+// over a flat list.
+func NewRoutedBroker(user string, params lattice.Params, blockSize int, router Router) (*Broker, error) {
 	if user == "" {
 		return nil, errors.New("cooperative: empty user")
 	}
-	if len(nodes) == 0 {
-		return nil, errors.New("cooperative: need at least one storage node")
+	if router == nil {
+		return nil, errors.New("cooperative: nil router")
 	}
 	enc, err := entangle.NewEncoder(params, blockSize)
 	if err != nil {
@@ -337,18 +359,13 @@ func NewBroker(user string, params lattice.Params, blockSize int, nodes []NodeSt
 	if err != nil {
 		return nil, err
 	}
-	placer, err := placement.NewKeyHash(len(nodes))
-	if err != nil {
-		return nil, err
-	}
 	return &Broker{
 		user:      user,
 		params:    params,
 		blockSize: blockSize,
 		enc:       enc,
 		rep:       rep,
-		nodes:     nodes,
-		placer:    placer,
+		router:    router,
 		local:     make(map[int][]byte),
 	}, nil
 }
@@ -371,19 +388,15 @@ func (b *Broker) SetCredential(ctx context.Context, tenant string) error {
 	if err := tenantpkg.ValidateID(tenant); err != nil {
 		return fmt.Errorf("cooperative: %w", err)
 	}
-	for i, n := range b.nodes {
-		hn, ok := n.(HelloNodeStore)
-		if !ok {
-			continue
+	cr, ok := b.router.(CredentialRouter)
+	if !ok {
+		if tenant == "" {
+			return nil // anonymous is every router's default
 		}
-		if err := hn.Hello(ctx, tenant); err != nil {
-			for j := 0; j < i; j++ {
-				if prev, ok := b.nodes[j].(HelloNodeStore); ok {
-					prev.Hello(ctx, b.tenant)
-				}
-			}
-			return fmt.Errorf("cooperative: announcing credential to node %d: %w", i, err)
-		}
+		return errors.New("cooperative: router does not support credentials")
+	}
+	if err := cr.SetCredential(ctx, tenant, b.tenant); err != nil {
+		return err
 	}
 	b.tenant = tenant
 	return nil
@@ -397,7 +410,11 @@ func (b *Broker) Tenant() string { return b.tenant }
 func (b *Broker) BlockSize() int { return b.blockSize }
 
 // Count returns the number of blocks backed up.
-func (b *Broker) Count() int { return b.count }
+func (b *Broker) Count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.count
+}
 
 // parityKey derives the system-wide block name: "a value derived from
 // the node id and the block position in the lattice" (§IV.A).
@@ -405,40 +422,88 @@ func (b *Broker) parityKey(e lattice.Edge) string {
 	return b.user + "/" + blockstore.ParityKey(e)
 }
 
-// nodeFor returns the storage node responsible for a key (Table III step
-// 3, "compute location key").
-func (b *Broker) nodeFor(key string) NodeStore {
-	return b.nodes[b.placer.PlaceKey(key)]
+// routeGroup is one routing group's pending transfer: the node the
+// router resolved, the items headed there, and a representative
+// edge/key so the group can be re-routed after an Invalidate.
+type routeGroup struct {
+	node   NodeStore
+	repE   lattice.Edge // any edge of the group, for re-routing
+	repKey string
+	items  []store.KV
 }
 
-// uploadGrouped ships key/block pairs grouped by their responsible node:
-// batch-capable nodes receive one PutMany frame per chunkEntries-sized
-// chunk (one frame per node for any realistic α or repair round), plain
-// nodes fall back to per-block Puts.
-func (b *Broker) uploadGrouped(ctx context.Context, byNode map[int][]store.KV) error {
-	idxs := make([]int, 0, len(byNode))
-	for idx := range byNode {
-		idxs = append(idxs, idx)
+// groupParity routes one parity into its group, creating the group on
+// first sight (Table III step 3, "compute location key").
+func (b *Broker) groupParity(ctx context.Context, groups map[string]*routeGroup, e lattice.Edge, data []byte) error {
+	key := b.parityKey(e)
+	node, gid, err := b.router.Route(ctx, key, e)
+	if err != nil {
+		return fmt.Errorf("cooperative: routing %s: %w", key, err)
 	}
-	sort.Ints(idxs) // deterministic upload order
-	for _, idx := range idxs {
-		items := byNode[idx]
-		node := b.nodes[idx]
-		bn, batched := node.(BatchNodeStore)
-		if !batched {
-			for _, it := range items {
-				if err := node.Put(ctx, it.Key, it.Data); err != nil {
-					return fmt.Errorf("cooperative: uploading %s: %w", it.Key, err)
-				}
+	g := groups[gid]
+	if g == nil {
+		g = &routeGroup{node: node, repE: e, repKey: key}
+		groups[gid] = g
+	}
+	g.items = append(g.items, store.KV{Key: key, Data: data})
+	return nil
+}
+
+// putGroup ships one group's items to node: batch-capable nodes receive
+// one PutMany frame per chunkEntries-sized chunk (one frame per node for
+// any realistic α or repair round), plain nodes fall back to per-block
+// Puts.
+func (b *Broker) putGroup(ctx context.Context, node NodeStore, items []store.KV) error {
+	bn, batched := node.(BatchNodeStore)
+	if !batched {
+		for _, it := range items {
+			if err := node.Put(ctx, it.Key, it.Data); err != nil {
+				return fmt.Errorf("cooperative: uploading %s: %w", it.Key, err)
 			}
+		}
+		return nil
+	}
+	step := chunkEntries(b.blockSize)
+	for start := 0; start < len(items); start += step {
+		chunk := items[start:min(start+step, len(items))]
+		if err := bn.PutMany(ctx, chunk); err != nil {
+			return fmt.Errorf("cooperative: uploading %d blocks: %w", len(chunk), err)
+		}
+	}
+	return nil
+}
+
+// uploadGrouped ships the groups in deterministic order. A group whose
+// node fails gets exactly one second chance through the router: when
+// Invalidate reports the route changed (the cluster manager re-placed
+// the volume off a dead node), the group is re-routed and retried on the
+// replacement node; a quota refusal is never retried — the same write
+// cannot succeed until space is freed.
+func (b *Broker) uploadGrouped(ctx context.Context, groups map[string]*routeGroup) error {
+	gids := make([]string, 0, len(groups))
+	for gid := range groups {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids) // deterministic upload order
+	for _, gid := range gids {
+		g := groups[gid]
+		err := b.putGroup(ctx, g.node, g.items)
+		if err == nil {
 			continue
 		}
-		step := chunkEntries(b.blockSize)
-		for start := 0; start < len(items); start += step {
-			chunk := items[start:min(start+step, len(items))]
-			if err := bn.PutMany(ctx, chunk); err != nil {
-				return fmt.Errorf("cooperative: uploading %d blocks to node %d: %w", len(chunk), idx, err)
-			}
+		if errors.Is(err, store.ErrQuotaExceeded) {
+			return err
+		}
+		moved, ierr := b.router.Invalidate(ctx, gid)
+		if ierr != nil || !moved {
+			return err
+		}
+		node, _, rerr := b.router.Route(ctx, g.repKey, g.repE)
+		if rerr != nil {
+			return fmt.Errorf("cooperative: re-routing group %s: %w (after %v)", gid, rerr, err)
+		}
+		if err := b.putGroup(ctx, node, g.items); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -456,19 +521,21 @@ func (b *Broker) Backup(ctx context.Context, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	byNode := make(map[int][]store.KV, len(ent.Parities))
+	groups := make(map[string]*routeGroup, len(ent.Parities))
 	for _, p := range ent.Parities {
-		key := b.parityKey(p.Edge)
-		idx := b.placer.PlaceKey(key)
-		byNode[idx] = append(byNode[idx], store.KV{Key: key, Data: p.Data})
+		if err := b.groupParity(ctx, groups, p.Edge, p.Data); err != nil {
+			return 0, err
+		}
 	}
-	if err := b.uploadGrouped(ctx, byNode); err != nil {
+	if err := b.uploadGrouped(ctx, groups); err != nil {
 		return 0, err
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	b.mu.Lock()
 	b.local[ent.Index] = cp
 	b.count = ent.Index
+	b.mu.Unlock()
 	return ent.Index, nil
 }
 
@@ -506,6 +573,8 @@ func (b *Broker) BackupStream(ctx context.Context, r io.Reader) (positions []int
 // DropLocal simulates the loss of the user's machine: local d-blocks are
 // forgotten and must be decoded from remote parities.
 func (b *Broker) DropLocal(positions ...int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if len(positions) == 0 {
 		b.local = make(map[int]([]byte))
 		return
@@ -520,46 +589,61 @@ func (b *Broker) DropLocal(positions ...int) {
 // decoding is not required"), otherwise decoded from remote parities via
 // the first complete pp-tuple, falling back to multi-round repair.
 func (b *Broker) Read(ctx context.Context, i int) ([]byte, error) {
-	if i < 1 || i > b.count {
-		return nil, fmt.Errorf("cooperative: position %d out of range [1,%d]", i, b.count)
-	}
-	if d, ok := b.local[i]; ok {
+	b.mu.RLock()
+	count := b.count
+	d, held := b.local[i]
+	if held {
 		out := make([]byte, len(d))
 		copy(out, d)
+		b.mu.RUnlock()
 		return out, nil
+	}
+	b.mu.RUnlock()
+	if i < 1 || i > count {
+		return nil, fmt.Errorf("cooperative: position %d out of range [1,%d]", i, count)
 	}
 	st := b.netStore()
 	if data, err := b.rep.RepairData(ctx, st, i); err == nil {
-		b.local[i] = data
 		out := make([]byte, len(data))
 		copy(out, data)
+		b.mu.Lock()
+		b.local[i] = data
+		b.mu.Unlock()
 		return out, nil
 	}
 	// Single XOR failed: run rounds over the whole lattice, then retry.
 	if _, err := b.rep.Repair(ctx, st, entangle.Options{}); err != nil {
 		return nil, err
 	}
-	if d, ok := b.local[i]; ok {
+	b.mu.RLock()
+	d, held = b.local[i]
+	if held {
 		out := make([]byte, len(d))
 		copy(out, d)
+		b.mu.RUnlock()
 		return out, nil
 	}
+	b.mu.RUnlock()
 	return nil, fmt.Errorf("cooperative: block %d is unrecoverable", i)
 }
 
 // RepairParity regenerates one parity block following the Table III steps
-// and re-uploads it. It returns the node index now holding the block.
-func (b *Broker) RepairParity(ctx context.Context, e lattice.Edge) (int, error) {
+// and re-uploads it. It returns the routing group (node ordinal in flat
+// mode, volume ID in cluster mode) now holding the block.
+func (b *Broker) RepairParity(ctx context.Context, e lattice.Edge) (string, error) {
 	data, err := b.rep.RepairParity(ctx, b.netStore(), e)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
 	key := b.parityKey(e)
-	idx := b.placer.PlaceKey(key)
-	if err := b.nodes[idx].Put(ctx, key, data); err != nil {
-		return 0, fmt.Errorf("cooperative: re-uploading %s: %w", key, err)
+	node, gid, err := b.router.Route(ctx, key, e)
+	if err != nil {
+		return "", fmt.Errorf("cooperative: routing %s: %w", key, err)
 	}
-	return idx, nil
+	if err := node.Put(ctx, key, data); err != nil {
+		return "", fmt.Errorf("cooperative: re-uploading %s: %w", key, err)
+	}
+	return gid, nil
 }
 
 // Missing reports the broker's current loss picture without repairing
@@ -588,6 +672,7 @@ func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) e
 	if count < 0 {
 		return fmt.Errorf("cooperative: negative count %d", count)
 	}
+	b.mu.Lock()
 	b.count = count
 	b.local = make(map[int][]byte, len(local))
 	for i, d := range local {
@@ -595,6 +680,7 @@ func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) e
 		copy(cp, d)
 		b.local[i] = cp
 	}
+	b.mu.Unlock()
 	next := count + 1
 	lat := b.enc.Lattice()
 	heads := make([]entangle.StrandHead, 0, b.params.StrandCount())
@@ -616,7 +702,11 @@ func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) e
 				return err
 			}
 			key := b.parityKey(out)
-			data, err := b.nodeFor(key).Get(ctx, key)
+			node, _, err := b.router.Route(ctx, key, out)
+			if err != nil {
+				return fmt.Errorf("cooperative: routing head %s: %w", key, err)
+			}
+			data, err := node.Get(ctx, key)
 			if err != nil {
 				return fmt.Errorf("cooperative: recovering head %s: %w", key, err)
 			}
@@ -635,11 +725,7 @@ func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) e
 // read locality lives in the engine's own round prefetch, which arrives
 // here as one GetMany over the round's working set.
 type netStore struct {
-	b *Broker
-	// mu guards the broker's local map so the repair engine's concurrent
-	// planners (and any pipeline sink use) can read and write through the
-	// adapter safely.
-	mu sync.RWMutex
+	b *Broker // block state accessed under b.mu (the broker's own lock)
 }
 
 var _ store.BlockStore = (*netStore)(nil)
@@ -648,8 +734,8 @@ func (b *Broker) netStore() *netStore { return &netStore{b: b} }
 
 // GetData implements store.Source: the user's local block store.
 func (s *netStore) GetData(ctx context.Context, i int) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.b.mu.RLock()
+	defer s.b.mu.RUnlock()
 	d, ok := s.b.local[i]
 	if !ok {
 		return nil, fmt.Errorf("cooperative: d%d: %w", i, store.ErrNotFound)
@@ -663,20 +749,27 @@ func (s *netStore) GetParity(ctx context.Context, e lattice.Edge) ([]byte, error
 	if e.IsVirtual() {
 		return store.ZeroBlock(s.b.blockSize), nil
 	}
-	if e.Left > s.b.count {
+	s.b.mu.RLock()
+	count := s.b.count
+	s.b.mu.RUnlock()
+	if e.Left > count {
 		return nil, fmt.Errorf("cooperative: parity %v never created: %w", e, store.ErrNotFound)
 	}
 	key := s.b.parityKey(e)
-	return s.b.nodeFor(key).Get(ctx, key)
+	node, _, err := s.b.router.Route(ctx, key, e)
+	if err != nil {
+		return nil, fmt.Errorf("cooperative: routing %s: %w", key, err)
+	}
+	return node.Get(ctx, key)
 }
 
 // PutData implements store.Single: repaired data returns to the user.
 func (s *netStore) PutData(ctx context.Context, i int, b []byte) error {
 	cp := make([]byte, len(b))
 	copy(cp, b)
-	s.mu.Lock()
+	s.b.mu.Lock()
 	s.b.local[i] = cp
-	s.mu.Unlock()
+	s.b.mu.Unlock()
 	return nil
 }
 
@@ -685,7 +778,11 @@ func (s *netStore) PutData(ctx context.Context, i int, b []byte) error {
 // callers may recycle the slice after return.
 func (s *netStore) PutParity(ctx context.Context, e lattice.Edge, data []byte) error {
 	key := s.b.parityKey(e)
-	return s.b.nodeFor(key).Put(ctx, key, data)
+	node, _, err := s.b.router.Route(ctx, key, e)
+	if err != nil {
+		return fmt.Errorf("cooperative: routing %s: %w", key, err)
+	}
+	return node.Put(ctx, key, data)
 }
 
 // fetchFromNode fetches keys from one node with the fewest possible
@@ -726,8 +823,20 @@ func (s *netStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, err
 		pos int // index into out
 		key string
 	}
-	byNode := make(map[int][]want)
-	s.mu.RLock()
+	type fetchGroup struct {
+		node   NodeStore
+		wanted []want
+	}
+	// Partition refs: local data and virtual parities answer under the
+	// lock, real parities collect for routing (the router may do I/O, so
+	// it runs outside the lock).
+	type pending struct {
+		pos  int
+		edge lattice.Edge
+	}
+	var remote []pending
+	s.b.mu.RLock()
+	count := s.b.count
 	for idx, r := range refs {
 		if !r.Parity {
 			if d, ok := s.b.local[r.Index]; ok {
@@ -739,21 +848,33 @@ func (s *netStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, err
 			out[idx] = store.ZeroBlock(s.b.blockSize)
 			continue
 		}
-		if r.Edge.Left > s.b.count {
+		if r.Edge.Left > count {
 			continue // never created
 		}
-		key := s.b.parityKey(r.Edge)
-		nidx := s.b.placer.PlaceKey(key)
-		byNode[nidx] = append(byNode[nidx], want{pos: idx, key: key})
+		remote = append(remote, pending{pos: idx, edge: r.Edge})
 	}
-	s.mu.RUnlock()
-	for nidx, wanted := range byNode {
-		keys := make([]string, len(wanted))
-		for j, w := range wanted {
+	s.b.mu.RUnlock()
+	byGroup := make(map[string]*fetchGroup)
+	for _, p := range remote {
+		key := s.b.parityKey(p.edge)
+		node, gid, err := s.b.router.Route(ctx, key, p.edge)
+		if err != nil {
+			continue // unroutable this round: the block stays missing
+		}
+		g := byGroup[gid]
+		if g == nil {
+			g = &fetchGroup{node: node}
+			byGroup[gid] = g
+		}
+		g.wanted = append(g.wanted, want{pos: p.pos, key: key})
+	}
+	for _, g := range byGroup {
+		keys := make([]string, len(g.wanted))
+		for j, w := range g.wanted {
 			keys[j] = w.key
 		}
-		blocks := s.fetchFromNode(ctx, s.b.nodes[nidx], keys)
-		for j, w := range wanted {
+		blocks := s.fetchFromNode(ctx, g.node, keys)
+		for j, w := range g.wanted {
 			out[w.pos] = blocks[j]
 		}
 	}
@@ -765,7 +886,7 @@ func (s *netStore) GetMany(ctx context.Context, refs []store.Ref) ([][]byte, err
 // re-uploaded as one batched frame per node — the commit half of the
 // one-frame-per-node-per-round traffic shape.
 func (s *netStore) PutMany(ctx context.Context, blocks []store.Block) error {
-	byNode := make(map[int][]store.KV)
+	groups := make(map[string]*routeGroup)
 	for _, blk := range blocks {
 		if !blk.Ref.Parity {
 			if err := s.PutData(ctx, blk.Ref.Index, blk.Data); err != nil {
@@ -773,15 +894,15 @@ func (s *netStore) PutMany(ctx context.Context, blocks []store.Block) error {
 			}
 			continue
 		}
-		key := s.b.parityKey(blk.Ref.Edge)
-		idx := s.b.placer.PlaceKey(key)
 		// blk.Data stays valid for the whole call (the engine recycles it
 		// only after PutMany returns), and the NodeStore contract has each
 		// node copy or transmit before its Put/PutMany returns — so no
 		// extra copy is needed here.
-		byNode[idx] = append(byNode[idx], store.KV{Key: key, Data: blk.Data})
+		if err := s.b.groupParity(ctx, groups, blk.Ref.Edge, blk.Data); err != nil {
+			return err
+		}
 	}
-	return s.b.uploadGrouped(ctx, byNode)
+	return s.b.uploadGrouped(ctx, groups)
 }
 
 // heldOnNode answers the enumeration question for one node — which of
@@ -825,38 +946,60 @@ func (s *netStore) Missing(ctx context.Context) (store.Missing, error) {
 		return store.Missing{}, err
 	}
 	var m store.Missing
-	s.mu.RLock()
-	for i := 1; i <= s.b.count; i++ {
+	s.b.mu.RLock()
+	count := s.b.count
+	for i := 1; i <= count; i++ {
 		if _, ok := s.b.local[i]; !ok {
 			m.Data = append(m.Data, i)
 		}
 	}
-	s.mu.RUnlock()
+	s.b.mu.RUnlock()
 
 	type expected struct {
 		edge lattice.Edge
 		key  string
 	}
+	type statGroup struct {
+		node   NodeStore
+		wanted []expected
+	}
 	lat := s.b.rep.Lattice()
-	byNode := make([][]expected, len(s.b.nodes))
-	for i := 1; i <= s.b.count; i++ {
+	byGroup := make(map[string]*statGroup)
+	for i := 1; i <= count; i++ {
 		for _, class := range lat.Classes() {
 			e, err := lat.OutEdge(class, i)
 			if err != nil {
 				continue
 			}
 			key := s.b.parityKey(e)
-			idx := s.b.placer.PlaceKey(key)
-			byNode[idx] = append(byNode[idx], expected{edge: e, key: key})
+			node, gid, rerr := s.b.router.Route(ctx, key, e)
+			if rerr != nil {
+				// Unroutable this round: report the parity missing so
+				// repair keeps trying once routes come back.
+				m.Parities = append(m.Parities, e)
+				continue
+			}
+			g := byGroup[gid]
+			if g == nil {
+				g = &statGroup{node: node}
+				byGroup[gid] = g
+			}
+			g.wanted = append(g.wanted, expected{edge: e, key: key})
 		}
 	}
-	for idx, wanted := range byNode {
-		keys := make([]string, len(wanted))
-		for j, w := range wanted {
+	gids := make([]string, 0, len(byGroup))
+	for gid := range byGroup {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids) // deterministic enumeration order
+	for _, gid := range gids {
+		g := byGroup[gid]
+		keys := make([]string, len(g.wanted))
+		for j, w := range g.wanted {
 			keys[j] = w.key
 		}
-		held := s.heldOnNode(ctx, s.b.nodes[idx], keys)
-		for j, w := range wanted {
+		held := s.heldOnNode(ctx, g.node, keys)
+		for j, w := range g.wanted {
 			// A false entry covers both "node answered: not held" and
 			// "node unreachable" — either way the block is missing this
 			// round.

@@ -3,6 +3,7 @@ package cooperative
 import (
 	"bytes"
 	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -12,6 +13,21 @@ import (
 var testParams = lattice.Params{Alpha: 3, S: 2, P: 5}
 
 const testBlockSize = 32
+
+// flatIndex resolves a parity's node ordinal through the broker's flat
+// router.
+func flatIndex(t *testing.T, b *Broker, key string, e lattice.Edge) int {
+	t.Helper()
+	_, gid, err := b.router.Route(bg, key, e)
+	if err != nil {
+		t.Fatalf("routing %s: %v", key, err)
+	}
+	idx, err := strconv.Atoi(gid)
+	if err != nil {
+		t.Fatalf("flat route group %q is not a node ordinal: %v", gid, err)
+	}
+	return idx
+}
 
 // newNetwork returns n in-memory storage nodes.
 func newNetwork(n int) ([]NodeStore, []*InMemoryNode) {
@@ -168,7 +184,7 @@ func TestRepairParityTableIIIFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := b.parityKey(e)
-	idx := b.placer.PlaceKey(key)
+	idx := flatIndex(t, b, key, e)
 	before, err := mems[idx].Get(bg, key)
 	if err != nil {
 		t.Fatalf("parity %s not on its node: %v", key, err)
@@ -179,12 +195,12 @@ func TestRepairParityTableIIIFlow(t *testing.T) {
 	// so bring it back first (recovered hardware) after deleting content.
 	mems[idx].SetDown(false)
 	mems[idx].blocks = map[string][]byte{}
-	gotIdx, err := b.RepairParity(bg, e)
+	gotGroup, err := b.RepairParity(bg, e)
 	if err != nil {
 		t.Fatalf("RepairParity: %v", err)
 	}
-	if gotIdx != idx {
-		t.Errorf("repaired parity stored on node %d, want %d", gotIdx, idx)
+	if gotGroup != strconv.Itoa(idx) {
+		t.Errorf("repaired parity stored on group %s, want node %d", gotGroup, idx)
 	}
 	after, err := mems[idx].Get(bg, key)
 	if err != nil {
@@ -291,12 +307,20 @@ func TestBrokerCrashRecovery(t *testing.T) {
 				t.Fatal(err)
 			}
 			bobKey := second.parityKey(e)
-			bobParity, err := second.nodeFor(bobKey).Get(bg, bobKey)
+			bobNode, _, err := second.router.Route(bg, bobKey, e)
+			if err != nil {
+				t.Fatalf("routing bob's parity %s: %v", bobKey, err)
+			}
+			bobParity, err := bobNode.Get(bg, bobKey)
 			if err != nil {
 				t.Fatalf("bob's parity %s missing: %v", bobKey, err)
 			}
 			aliceKey := ref.parityKey(e)
-			aliceParity, err := ref.nodeFor(aliceKey).Get(bg, aliceKey)
+			aliceNode, _, err := ref.router.Route(bg, aliceKey, e)
+			if err != nil {
+				t.Fatalf("routing alice's parity %s: %v", aliceKey, err)
+			}
+			aliceParity, err := aliceNode.Get(bg, aliceKey)
 			if err != nil {
 				t.Fatalf("alice's parity %s missing: %v", aliceKey, err)
 			}

@@ -1,0 +1,114 @@
+package placement
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Rendezvous is weighted highest-random-weight (HRW) hashing over a
+// named, weighted candidate set — the cluster manager's volume→node
+// policy. Each (volume, candidate) pair gets an independent uniform
+// score, stretched by the candidate's weight with the standard
+// -w/ln(u) transform, and the volume lands on the highest score. Two
+// properties make it the right shape for volume placement:
+//
+//   - Minimal disruption: adding a candidate steals only the volumes it
+//     now wins; removing one moves only the volumes it held. No other
+//     volume changes owner, so membership churn re-places a bounded
+//     fraction of the fleet (≈ its weight share) instead of reshuffling
+//     everything the way mod-N hashing does.
+//   - Weighted balance: a candidate's expected share of volumes is its
+//     share of total weight, so headroom-weighted placement follows
+//     directly from passing free bytes as weights.
+//
+// Rendezvous carries no state: every call scores the candidate slice it
+// is given, so the caller (the manager, under its own lock) decides
+// membership and weights per decision.
+type Rendezvous struct{}
+
+// Candidate is one weighted placement target.
+type Candidate struct {
+	// ID names the candidate; scores are derived from (key, ID) so IDs
+	// must be stable across calls.
+	ID string
+	// Weight scales the candidate's expected share of placements.
+	// Non-positive weights never win (but see PickWeighted on ties).
+	Weight float64
+}
+
+// Pick returns the index into candidates of the winner for key, or -1
+// when candidates is empty or no candidate has positive weight. The
+// choice is deterministic in (key, candidate IDs, weights) and
+// independent of candidate order.
+func (Rendezvous) Pick(key string, candidates []Candidate) int {
+	best, bestScore := -1, math.Inf(-1)
+	for i, c := range candidates {
+		if c.Weight <= 0 {
+			continue
+		}
+		s := hrwScore(key, c.ID, c.Weight)
+		// Ties break toward the lexically smaller ID so the winner stays
+		// order-independent.
+		if s > bestScore || (s == bestScore && best >= 0 && c.ID < candidates[best].ID) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Rank returns candidate indexes ordered best-first for key, skipping
+// non-positive weights — the manager's fallback chain when the winner
+// refuses a volume.
+func (r Rendezvous) Rank(key string, candidates []Candidate) []int {
+	type scored struct {
+		idx   int
+		score float64
+	}
+	ranked := make([]scored, 0, len(candidates))
+	for i, c := range candidates {
+		if c.Weight <= 0 {
+			continue
+		}
+		ranked = append(ranked, scored{i, hrwScore(key, c.ID, c.Weight)})
+	}
+	// Insertion sort: candidate sets are fleet-sized (tens), not
+	// block-sized, and this keeps the package dependency-free.
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && less(ranked[j-1], ranked[j], candidates); j-- {
+			ranked[j-1], ranked[j] = ranked[j], ranked[j-1]
+		}
+	}
+	out := make([]int, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.idx
+	}
+	return out
+}
+
+func less(a, b struct {
+	idx   int
+	score float64
+}, candidates []Candidate) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return candidates[a.idx].ID > candidates[b.idx].ID
+}
+
+// Name identifies the policy in reports.
+func (Rendezvous) Name() string { return "rendezvous-hrw" }
+
+// hrwScore is the weighted HRW score for (key, id): -weight/ln(u) with
+// u uniform in (0,1) derived from the pair's hash. Monotone in weight,
+// independent across candidates.
+func hrwScore(key, id string, weight float64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))   // never fails per hash.Hash contract
+	h.Write([]byte{0})    // separator: ("ab","c") must differ from ("a","bc")
+	h.Write([]byte(key))  // volume identity
+	x := mix64(h.Sum64()) // avalanche so near-equal inputs decorrelate
+	// Map to (0,1): the +1/+2 offsets keep u strictly inside the open
+	// interval, so ln(u) is finite and negative.
+	u := (float64(x>>11) + 1) / (float64(1<<53) + 2)
+	return -weight / math.Log(u)
+}

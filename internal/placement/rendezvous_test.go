@@ -1,0 +1,147 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func candidateSet(n int) []Candidate {
+	out := make([]Candidate, n)
+	for i := range out {
+		out[i] = Candidate{ID: fmt.Sprintf("node-%02d", i), Weight: 1}
+	}
+	return out
+}
+
+func volID(i int) string { return fmt.Sprintf("user-%d/vol-%d", i%97, i) }
+
+func TestRendezvousDeterministicAndOrderIndependent(t *testing.T) {
+	var r Rendezvous
+	nodes := candidateSet(8)
+	reversed := make([]Candidate, len(nodes))
+	for i, c := range nodes {
+		reversed[len(nodes)-1-i] = c
+	}
+	for i := 0; i < 500; i++ {
+		key := volID(i)
+		a := r.Pick(key, nodes)
+		b := r.Pick(key, nodes)
+		if a != b {
+			t.Fatalf("Pick(%q) not deterministic: %d vs %d", key, a, b)
+		}
+		if nodes[a].ID != reversed[r.Pick(key, reversed)].ID {
+			t.Fatalf("Pick(%q) depends on candidate order", key)
+		}
+	}
+	if got := r.Pick("v", nil); got != -1 {
+		t.Fatalf("Pick over no candidates = %d, want -1", got)
+	}
+	if got := r.Pick("v", []Candidate{{ID: "full", Weight: 0}}); got != -1 {
+		t.Fatalf("Pick over zero-weight candidates = %d, want -1", got)
+	}
+}
+
+// TestRendezvousMinimalDisruptionOnJoin pins the property the cluster
+// manager depends on: when a node joins, the only volumes that change
+// owner are the ones the new node wins — every other volume stays put —
+// and the stolen fraction is close to the newcomer's weight share.
+// Deterministic: HRW scores are pure functions of (key, id, weight), so
+// this test is seed-stable by construction.
+func TestRendezvousMinimalDisruptionOnJoin(t *testing.T) {
+	var r Rendezvous
+	const volumes = 4000
+	before := candidateSet(9)
+	after := candidateSet(10) // node-09 joins
+
+	moved := 0
+	for i := 0; i < volumes; i++ {
+		key := volID(i)
+		ownerBefore := before[r.Pick(key, before)].ID
+		ownerAfter := after[r.Pick(key, after)].ID
+		if ownerBefore != ownerAfter {
+			moved++
+			if ownerAfter != "node-09" {
+				t.Fatalf("volume %q moved %s→%s, not to the joining node", key, ownerBefore, ownerAfter)
+			}
+		}
+	}
+	// Expected share is 1/10 = 400 volumes; allow ±40% slack, which a
+	// uniform HRW meets with huge margin while still catching a policy
+	// that reshuffles mod-N style (~90% movement) or never rebalances.
+	share := float64(moved) / volumes
+	if share < 0.06 || share > 0.14 {
+		t.Fatalf("join moved %.1f%% of volumes, want ~10%%", share*100)
+	}
+}
+
+// TestRendezvousMinimalDisruptionOnLeave pins the converse: when a node
+// leaves, only its own volumes move; survivors keep everything they had.
+func TestRendezvousMinimalDisruptionOnLeave(t *testing.T) {
+	var r Rendezvous
+	const volumes = 4000
+	before := candidateSet(10)
+	after := candidateSet(9) // node-09 leaves
+
+	moved := 0
+	for i := 0; i < volumes; i++ {
+		key := volID(i)
+		ownerBefore := before[r.Pick(key, before)].ID
+		ownerAfter := after[r.Pick(key, after)].ID
+		if ownerBefore != ownerAfter {
+			moved++
+			if ownerBefore != "node-09" {
+				t.Fatalf("volume %q moved off surviving node %s", key, ownerBefore)
+			}
+		}
+	}
+	share := float64(moved) / volumes
+	if share < 0.06 || share > 0.14 {
+		t.Fatalf("leave moved %.1f%% of volumes, want ~10%%", share*100)
+	}
+}
+
+// TestRendezvousWeightedShare checks weights steer expected share: a
+// double-weight node should win about twice the volumes of a unit node.
+func TestRendezvousWeightedShare(t *testing.T) {
+	var r Rendezvous
+	nodes := candidateSet(5)
+	nodes[0].Weight = 2 // total weight 6, expected share 2/6
+
+	const volumes = 6000
+	wins := 0
+	for i := 0; i < volumes; i++ {
+		if nodes[r.Pick(volID(i), nodes)].ID == "node-00" {
+			wins++
+		}
+	}
+	share := float64(wins) / volumes
+	if share < 0.26 || share > 0.41 {
+		t.Fatalf("double-weight node won %.1f%% of volumes, want ~33%%", share*100)
+	}
+}
+
+func TestRendezvousRank(t *testing.T) {
+	var r Rendezvous
+	nodes := candidateSet(6)
+	nodes[3].Weight = 0 // full node: excluded from every rank
+	for i := 0; i < 200; i++ {
+		key := volID(i)
+		ranked := r.Rank(key, nodes)
+		if len(ranked) != 5 {
+			t.Fatalf("Rank returned %d candidates, want 5", len(ranked))
+		}
+		if ranked[0] != r.Pick(key, nodes) {
+			t.Fatalf("Rank(%q)[0] disagrees with Pick", key)
+		}
+		seen := map[int]bool{}
+		for _, idx := range ranked {
+			if idx == 3 {
+				t.Fatalf("Rank(%q) included zero-weight candidate", key)
+			}
+			if seen[idx] {
+				t.Fatalf("Rank(%q) repeated index %d", key, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

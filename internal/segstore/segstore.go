@@ -137,6 +137,10 @@ type Stats struct {
 	// active segment are not counted — only a later rotation makes them
 	// reclaimable.)
 	DeadBytes int64
+	// LiveBytes is the on-disk space live records occupy (payload plus
+	// record framing) — the used-bytes signal a node reports in cluster
+	// heartbeats.
+	LiveBytes int64
 	// TruncatedBytes is the torn tail removed from the active segment by
 	// the recovery scan of the last Open.
 	TruncatedBytes int64
@@ -444,10 +448,15 @@ func (s *Store) Has(key string) bool {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	var live int64
+	for _, n := range s.liveInSeg {
+		live += n
+	}
 	return Stats{
 		Blocks:         len(s.index),
 		Segments:       len(s.files),
 		DeadBytes:      s.deadBytesLocked(),
+		LiveBytes:      live,
 		TruncatedBytes: s.truncated,
 	}
 }

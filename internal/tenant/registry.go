@@ -2,6 +2,7 @@ package tenant
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -202,6 +203,27 @@ func (r *Registry) Usage(id string) (Usage, bool) {
 		return Usage{}, false
 	}
 	return Usage{Bytes: u.bytes, Blocks: u.blocks}, true
+}
+
+// IDUsage pairs a tenant ID with its footprint — the bulk-export shape
+// cluster heartbeats and the OpUsage stats op carry.
+type IDUsage struct {
+	// ID is the tenant ID ("" = anonymous).
+	ID string
+	Usage
+}
+
+// Usages returns every known tenant's current footprint, sorted by ID
+// so wire frames and snapshots are deterministic.
+func (r *Registry) Usages() []IDUsage {
+	r.mu.Lock()
+	out := make([]IDUsage, 0, len(r.tenants))
+	for id, u := range r.tenants {
+		out = append(out, IDUsage{ID: id, Usage: Usage{Bytes: u.bytes, Blocks: u.blocks}})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // TotalBytes returns the node-wide live payload bytes across tenants.

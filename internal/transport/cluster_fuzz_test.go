@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzNodeStatFrame feeds arbitrary node IDs and payloads to the
+// heartbeat decoder: it must never panic, never accept frames that
+// violate the declared limits, and anything it does accept must survive
+// an encode/decode round trip byte-identically — the cluster manager's
+// view of a node is exactly what the node sent, or an error.
+func FuzzNodeStatFrame(f *testing.F) {
+	// Well-formed seeds.
+	empty, err := EncodeNodeStat(NodeStat{ID: "n1", Addr: "127.0.0.1:7001"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("n1"), empty)
+	full, err := EncodeNodeStat(NodeStat{
+		ID: "n2", Addr: "10.0.0.2:7002", Capacity: 1 << 30, Used: 4096,
+		Segments: 7, DeadBytes: 512,
+		Tenants: []TenantUsage{{Tenant: "", Bytes: 1, Blocks: 1}, {Tenant: "acme", Bytes: 2048, Blocks: 4}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("n2"), full)
+	// Hostile seeds: wrong version, truncated counters, oversized usage
+	// count, "negative" (high-bit) counters, trailing garbage.
+	f.Add([]byte("n"), []byte{NodeStatVersion + 1})
+	f.Add([]byte("n"), []byte{NodeStatVersion, 0xFF, 0xFF})
+	f.Add([]byte("n"), append(append([]byte{}, full...), 0xAA))
+	f.Add([]byte(""), full)
+	f.Add([]byte("n"), []byte{NodeStatVersion, 0, 0,
+		0x80, 0, 0, 0, 0, 0, 0, 0, // capacity with the sign bit set
+	})
+
+	f.Fuzz(func(t *testing.T, id, payload []byte) {
+		stat, err := DecodeNodeStat(string(id), payload)
+		if err != nil {
+			return // malformed input must just error
+		}
+		if stat.ID != string(id) {
+			t.Fatalf("decoded ID %q from frame key %q", stat.ID, id)
+		}
+		if len(stat.Addr) > MaxKeyLen {
+			t.Fatalf("accepted oversized addr (%d bytes)", len(stat.Addr))
+		}
+		if len(stat.Tenants) > MaxBatchEntries {
+			t.Fatalf("accepted %d usage entries", len(stat.Tenants))
+		}
+		for _, v := range []int64{stat.Capacity, stat.Used, stat.Segments, stat.DeadBytes} {
+			if v < 0 {
+				t.Fatalf("accepted negative counter %d", v)
+			}
+		}
+		re, err := EncodeNodeStat(stat)
+		if err != nil {
+			t.Fatalf("re-encode of accepted heartbeat failed: %v", err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Fatal("heartbeat round trip not byte-stable")
+		}
+	})
+}
+
+// FuzzUsageFrame does the same for the usage-list codec shared by OpUsage
+// responses and heartbeat tenant sections.
+func FuzzUsageFrame(f *testing.F) {
+	empty, err := encodeUsages(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	full, err := encodeUsages([]TenantUsage{
+		{Tenant: "", Bytes: 0, Blocks: 0},
+		{Tenant: "acme", Bytes: 1 << 40, Blocks: 12345},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	// Hostile seeds: count over limit, truncated record, negative bytes,
+	// trailing garbage.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(full[:len(full)-1])
+	f.Add(append(append([]byte{}, full...), 0))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0x80, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		usages, err := decodeUsages(payload)
+		if err != nil {
+			return
+		}
+		if len(usages) > MaxBatchEntries {
+			t.Fatalf("accepted %d usage entries", len(usages))
+		}
+		for _, u := range usages {
+			if len(u.Tenant) > MaxKeyLen {
+				t.Fatalf("accepted oversized tenant id (%d bytes)", len(u.Tenant))
+			}
+			if u.Bytes < 0 || u.Blocks < 0 {
+				t.Fatalf("accepted negative usage %+v", u)
+			}
+		}
+		re, err := encodeUsages(usages)
+		if err != nil {
+			t.Fatalf("re-encode of accepted usage list failed: %v", err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Fatal("usage list round trip not byte-stable")
+		}
+		re2, err := decodeUsages(re)
+		if err != nil || !reflect.DeepEqual(re2, usages) {
+			t.Fatal("usage list re-decode not stable")
+		}
+	})
+}

@@ -52,6 +52,13 @@ const (
 	// (see batch.go): missing-block enumeration without shipping block
 	// contents that the enumerator would immediately discard.
 	OpStatMany byte = 7
+	// OpNodeStat is a storage node's heartbeat to a cluster manager (see
+	// cluster.go): the key names the node, the payload carries capacity,
+	// live bytes, segment pressure and per-tenant usage.
+	OpNodeStat byte = 8
+	// OpUsage answers per-tenant byte/block usage (see cluster.go): the
+	// key names a tenant ("" = all), the response lists usage records.
+	OpUsage byte = 9
 )
 
 // Response statuses.
@@ -314,6 +321,7 @@ type Server struct {
 	closed      bool
 	idleTimeout time.Duration
 	tenants     TenantResolver
+	cluster     ClusterHandler
 }
 
 // NewServer returns a server exposing store.
@@ -433,6 +441,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			err = serveStatMany(conn, view, payload)
 		case OpHello:
 			view, err = s.serveHello(conn, view, key, payload)
+		case OpNodeStat:
+			err = s.serveNodeStat(conn, key, payload)
+		case OpUsage:
+			err = s.serveUsage(conn, key, payload)
 		default:
 			err = writeResponse(conn, StatusError, []byte("unknown op"))
 		}
