@@ -1,0 +1,58 @@
+// The xor experiment measures every XOR kernel the dispatch ladder
+// offers on this machine — the assembly kernels' advertised speedup as
+// a guarded number rather than a claim in a comment.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aecodes/internal/benchfmt"
+	"aecodes/internal/xorblock"
+)
+
+// xorBench times each available kernel at the codec's hot shape: a
+// 3-source fold into a 64 KiB block, the inner loop of every entangle
+// and repair. Kernels come slowest-first from xorblock.Kernels(); the
+// runtime-selected one is marked active.
+func xorBench() error {
+	const (
+		blockSize = 64 << 10
+		nsrc      = 3
+		iters     = 2000
+	)
+	rng := rand.New(rand.NewSource(17))
+	srcs := make([][]byte, nsrc)
+	for i := range srcs {
+		srcs[i] = make([]byte, blockSize)
+		rng.Read(srcs[i])
+	}
+	dst := make([]byte, blockSize)
+	active := xorblock.Active().Name()
+	fmt.Printf("XOR kernels — %d-source fold into %d KiB blocks (active: %s)\n",
+		nsrc, blockSize>>10, active)
+	for _, k := range xorblock.Kernels() {
+		// One untimed pass warms the cache lines so the slowest kernel
+		// does not also pay the compulsory misses for everyone.
+		if err := k.XorManyInto(dst, srcs...); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := k.XorManyInto(dst, srcs...); err != nil {
+				return err
+			}
+		}
+		d := time.Since(start)
+		mbps := float64(iters) * blockSize / (1 << 20) / d.Seconds()
+		marker := ""
+		if k.Name() == active {
+			marker = "  (active)"
+		}
+		fmt.Printf("  %-10s %9.0f MB/s%s\n", k.Name(), mbps, marker)
+		record(benchfmt.Result{Experiment: "xor", Name: "many3/" + k.Name(),
+			NsPerOp: float64(d.Nanoseconds()) / iters, MBps: mbps})
+	}
+	return nil
+}

@@ -9,8 +9,10 @@
 //	aebench -exp encode,transport,segstore -json > BENCH.json   # perf record
 //
 // Experiments: table4, fig8, fig9, fig10, fig11, fig12, fig13, table6,
-// placement, mirror, raid, ablation, encode, transport, segstore, all.
-// -exp accepts a comma-separated list.
+// placement, mirror, raid, ablation, encode, xor, transport, segstore,
+// cluster, all. -exp accepts a comma-separated list. -cpu repeats the
+// selected experiments at several GOMAXPROCS values in one run (and one
+// JSON document), e.g. -cpu 1,2.
 //
 // With -json the human-readable tables are suppressed and a single JSON
 // document is written to stdout: one entry per measurement (ns/op and
@@ -27,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,11 +51,19 @@ import (
 // lives in internal/benchfmt, shared with cmd/benchguard.
 var recorder []benchfmt.Result
 
-func record(r benchfmt.Result) { recorder = append(recorder, r) }
+// record stamps each measurement with the GOMAXPROCS it ran at — with
+// -cpu one document carries the same experiments at several parallelism
+// levels, and benchguard keys its comparisons on the pair.
+func record(r benchfmt.Result) {
+	if r.GoMaxProcs == 0 {
+		r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
+	recorder = append(recorder, r)
+}
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|transport|segstore|cluster|all")
+		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|xor|transport|segstore|cluster|all")
 		blocks    = flag.Int("blocks", 1_000_000, "number of data blocks (paper: 1,000,000)")
 		locations = flag.Int("locations", 100, "number of storage locations (paper: 100)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -60,8 +71,14 @@ func main() {
 		blockSize = flag.Int("blocksize", 1<<20, "block size in bytes for the encode experiment")
 		encBlocks = flag.Int("encblocks", 256, "blocks per measurement in the encode experiment")
 		jsonOut   = flag.Bool("json", false, "emit one JSON document of measurements instead of tables")
+		cpuList   = flag.String("cpu", "", "comma-separated GOMAXPROCS values to repeat the experiments at (default: current setting only)")
 	)
 	flag.Parse()
+	procs, err := parseCPUList(*cpuList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aebench:", err)
+		os.Exit(1)
+	}
 	realStdout := os.Stdout
 	if *jsonOut {
 		// The experiments print their tables via fmt.Printf; with -json the
@@ -75,15 +92,23 @@ func main() {
 		os.Stdout = devnull
 	}
 	encCfg := encodeConfig{blockSize: *blockSize, blocks: *encBlocks}
-	if err := run(*exp, sim.Config{DataBlocks: *blocks, Locations: *locations, Seed: *seed}, *trials, encCfg); err != nil {
-		fmt.Fprintln(os.Stderr, "aebench:", err)
-		os.Exit(1)
+	ambient := runtime.GOMAXPROCS(0)
+	for _, n := range procs {
+		runtime.GOMAXPROCS(n)
+		if len(procs) > 1 {
+			fmt.Printf("==== gomaxprocs %d ====\n\n", n)
+		}
+		if err := run(*exp, sim.Config{DataBlocks: *blocks, Locations: *locations, Seed: *seed}, *trials, encCfg); err != nil {
+			fmt.Fprintln(os.Stderr, "aebench:", err)
+			os.Exit(1)
+		}
 	}
+	runtime.GOMAXPROCS(ambient)
 	if *jsonOut {
 		os.Stdout = realStdout
 		doc := benchfmt.Document{
 			Timestamp:  time.Now().UTC().Format(time.RFC3339),
-			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoMaxProcs: ambient,
 			Results:    recorder,
 		}
 		enc := json.NewEncoder(realStdout)
@@ -93,6 +118,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseCPUList parses the -cpu flag: a comma-separated list of positive
+// GOMAXPROCS values; empty means "just the current setting".
+func parseCPUList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cpu: %q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
@@ -124,6 +166,7 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		{"raid", func(c sim.Config, _ int) error { return raid() }},
 		{"ablation", func(c sim.Config, _ int) error { return ablations(c) }},
 		{"encode", func(c sim.Config, _ int) error { return encodeBench(encCfg) }},
+		{"xor", func(c sim.Config, _ int) error { return xorBench() }},
 		// The node-facing hot paths, sized so one run stays in CI budget:
 		// 64 KiB blocks keep per-entry framing overhead realistic while a
 		// batch stays far under the 64 MiB frame cap.
@@ -478,7 +521,13 @@ func repairRoundBench() error {
 	}
 	fmt.Printf("Repair round latency — %s, %d blocks of %d KiB, 30%% failures\n",
 		params, n, blockSize>>10)
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	// At GOMAXPROCS=1 the parallel setting IS the serial setting: skip it
+	// so the document never carries two results under one name.
+	workerSettings := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerSettings = append(workerSettings, n)
+	}
+	for _, workers := range workerSettings {
 		store, err := build()
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"aecodes/internal/benchfmt"
+	"aecodes/internal/hotpath"
 	"aecodes/internal/segstore"
 	"aecodes/internal/store"
 	"aecodes/internal/transport"
@@ -27,6 +28,21 @@ type netConfig struct {
 // mbps converts blocks moved in a duration to MB/s.
 func (c netConfig) mbps(batches int, d time.Duration) float64 {
 	return float64(batches) * float64(c.blocks) * float64(c.blockSize) / (1 << 20) / d.Seconds()
+}
+
+// copyMeter snapshots the process-wide hotpath copy counter so each
+// measured phase can report block-payload bytes copied per block moved
+// — the zero-copy path's guarded number.
+type copyMeter struct{ start uint64 }
+
+func startCopyMeter() copyMeter { return copyMeter{start: hotpath.CopiedBytes()} }
+
+// perBlock returns copied bytes per block for n blocks moved since the
+// snapshot, as a pointer because a measured zero must be recorded (and
+// guarded), not omitted.
+func (m copyMeter) perBlock(n int) *float64 {
+	v := float64(hotpath.CopiedBytes()-m.start) / float64(n)
+	return &v
 }
 
 // transportBench measures the batch ops end to end over a real TCP
@@ -62,6 +78,7 @@ func transportBench(cfg netConfig) error {
 	fmt.Printf("Transport batch round-trips — loopback TCP, %d batches of %d × %d KiB\n",
 		cfg.batches, cfg.blocks, cfg.blockSize>>10)
 
+	putMeter := startCopyMeter()
 	start := time.Now()
 	for b := 0; b < cfg.batches; b++ {
 		if err := pool.PutMany(ctx, items); err != nil {
@@ -69,7 +86,9 @@ func transportBench(cfg netConfig) error {
 		}
 	}
 	put := time.Since(start)
+	putCopied := putMeter.perBlock(cfg.batches * cfg.blocks)
 
+	getMeter := startCopyMeter()
 	start = time.Now()
 	for b := 0; b < cfg.batches; b++ {
 		blocks, err := pool.GetMany(ctx, keys)
@@ -81,6 +100,7 @@ func transportBench(cfg netConfig) error {
 		}
 	}
 	get := time.Since(start)
+	getCopied := getMeter.perBlock(cfg.batches * cfg.blocks)
 
 	// StatMany moves ~1 byte per key either way: report round-trips/s
 	// via ns/op instead of a (meaningless) MB/s.
@@ -97,13 +117,17 @@ func transportBench(cfg netConfig) error {
 	}
 	stat := time.Since(start)
 
-	fmt.Printf("  putmany:  %8.1f MB/s (%v)\n", cfg.mbps(cfg.batches, put), put.Round(time.Millisecond))
-	fmt.Printf("  getmany:  %8.1f MB/s (%v)\n", cfg.mbps(cfg.batches, get), get.Round(time.Millisecond))
+	fmt.Printf("  putmany:  %8.1f MB/s (%v, %.0f bytes copied/block)\n",
+		cfg.mbps(cfg.batches, put), put.Round(time.Millisecond), *putCopied)
+	fmt.Printf("  getmany:  %8.1f MB/s (%v, %.0f bytes copied/block)\n",
+		cfg.mbps(cfg.batches, get), get.Round(time.Millisecond), *getCopied)
 	fmt.Printf("  statmany: %8.0f ns/frame of %d keys\n", float64(stat.Nanoseconds())/statBatches, len(keys))
 	record(benchfmt.Result{Experiment: "transport", Name: "putmany",
-		NsPerOp: float64(put.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, put)})
+		NsPerOp: float64(put.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, put),
+		BytesBlock: putCopied})
 	record(benchfmt.Result{Experiment: "transport", Name: "getmany",
-		NsPerOp: float64(get.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, get)})
+		NsPerOp: float64(get.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, get),
+		BytesBlock: getCopied})
 	record(benchfmt.Result{Experiment: "transport", Name: "statmany",
 		NsPerOp: float64(stat.Nanoseconds()) / statBatches})
 	return nil
@@ -127,13 +151,27 @@ func segstoreBench(cfg netConfig) error {
 	fmt.Printf("Segstore append/recovery — %d batches of %d × %d KiB\n",
 		cfg.batches, cfg.blocks, cfg.blockSize>>10)
 
+	// Payloads and keys are generated outside the timed loop: the append
+	// measurement should price the store, not the PRNG. One batch worth
+	// of blocks is reused across batches under fresh keys.
+	data := make([][]byte, cfg.blocks)
+	for i := range data {
+		data[i] = make([]byte, cfg.blockSize)
+		rng.Read(data[i])
+	}
+	batchKeys := make([][]string, cfg.batches)
+	for b := range batchKeys {
+		batchKeys[b] = make([]string, cfg.blocks)
+		for i := range batchKeys[b] {
+			batchKeys[b][i] = fmt.Sprintf("b%02d-k%04d", b, i)
+		}
+	}
 	items := make([]store.KV, cfg.blocks)
+	appendMeter := startCopyMeter()
 	start := time.Now()
 	for b := 0; b < cfg.batches; b++ {
 		for i := range items {
-			data := make([]byte, cfg.blockSize)
-			rng.Read(data)
-			items[i] = store.KV{Key: fmt.Sprintf("b%02d-k%04d", b, i), Data: data}
+			items[i] = store.KV{Key: batchKeys[b][i], Data: data[i]}
 		}
 		if err := s.PutBatch(items); err != nil {
 			s.Close()
@@ -141,6 +179,7 @@ func segstoreBench(cfg netConfig) error {
 		}
 	}
 	appendD := time.Since(start)
+	appendCopied := appendMeter.perBlock(cfg.batches * cfg.blocks)
 	if err := s.Close(); err != nil {
 		return err
 	}
@@ -159,11 +198,13 @@ func segstoreBench(cfg netConfig) error {
 		return fmt.Errorf("aebench: recovery found %d blocks, want %d", blocks, cfg.batches*cfg.blocks)
 	}
 
-	fmt.Printf("  append:  %8.1f MB/s (%v)\n", cfg.mbps(cfg.batches, appendD), appendD.Round(time.Millisecond))
+	fmt.Printf("  append:  %8.1f MB/s (%v, %.0f bytes copied/block)\n",
+		cfg.mbps(cfg.batches, appendD), appendD.Round(time.Millisecond), *appendCopied)
 	fmt.Printf("  recover: %8.1f MB/s (%v for %d blocks)\n",
 		cfg.mbps(cfg.batches, recoverD), recoverD.Round(time.Millisecond), blocks)
 	record(benchfmt.Result{Experiment: "segstore", Name: "append",
-		NsPerOp: float64(appendD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, appendD)})
+		NsPerOp: float64(appendD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, appendD),
+		BytesBlock: appendCopied})
 	record(benchfmt.Result{Experiment: "segstore", Name: "recover",
 		NsPerOp: float64(recoverD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, recoverD)})
 	return nil

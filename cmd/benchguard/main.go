@@ -10,16 +10,21 @@
 //	benchguard -baseline BENCH_2026-07-28.json -current current.json
 //	benchguard -baseline BENCH_*.json -current current.json -tolerance 0.5 -github
 //
-// Measurements are matched by (experiment, name); when either file
-// carries several samples for one key (e.g. repeated repair runs) the
-// best wins, which filters scheduler noise in the direction that avoids
-// false alarms. Throughput measurements (mb_s present) compare as MB/s,
-// best = highest, and regress when the current value drops below
-// baseline × (1 - tolerance). Latency-style measurements (ns_per_op
-// only — routing lookups, heartbeat round-trips, stat frames) compare
-// as ns/op under a "(ns/op)"-suffixed key, best = lowest, and regress
-// when the current value rises above baseline ÷ (1 - tolerance) — the
-// same relative change, mirrored. Entries present only in the current
+// Measurements are matched by (experiment, name, gomaxprocs) — the
+// parallelism rides in the key as "@procs=N", so a 2-proc run is never
+// compared against a 1-proc baseline; when either file carries several
+// samples for one key (e.g. repeated repair runs) the best wins, which
+// filters scheduler noise in the direction that avoids false alarms.
+// Throughput measurements (mb_s present) compare as MB/s, best =
+// highest, and regress when the current value drops below baseline ×
+// (1 - tolerance). Latency-style measurements (ns_per_op only — routing
+// lookups, heartbeat round-trips, stat frames) compare as ns/op under a
+// "(ns/op)"-suffixed key, best = lowest, and regress when the current
+// value rises above baseline ÷ (1 - tolerance) — the same relative
+// change, mirrored. Copy-budget measurements (bytes_block present)
+// compare the same lower-is-better way under a "(bytes/block)" suffix;
+// a zero baseline tolerates nothing — any copy appearing on a zero-copy
+// path is a regression. Entries present only in the current
 // run are informational; entries present only in the baseline mean the
 // guard is blind to a committed metric (e.g. a renamed experiment), so
 // they are annotated and fail a -strict run. -github renders findings
@@ -42,43 +47,57 @@ type finding struct {
 	Baseline   float64
 	Current    float64
 	Regression bool
-	// LowerBetter marks ns/op measurements, where a rise regresses; MB/s
-	// measurements fall back to the default higher-is-better direction.
+	// LowerBetter marks ns/op and bytes/block measurements, where a rise
+	// regresses; MB/s measurements use the default higher-is-better
+	// direction.
 	LowerBetter bool
-}
-
-// Unit names the finding's measurement unit for reports.
-func (f finding) Unit() string {
-	if f.LowerBetter {
-		return "ns/op"
-	}
-	return "MB/s"
+	// Unit names the measurement unit for reports.
+	Unit string
 }
 
 // metric is one folded measurement with its comparison direction.
 type metric struct {
 	value       float64
 	lowerBetter bool
+	unit        string
 }
 
 // bestByKey folds a document into the best sample per (experiment,
-// name): highest MB/s for throughput entries, lowest ns/op for
-// latency-only entries (keyed with a "(ns/op)" suffix so a unit change
-// surfaces as a coverage hole, never a nonsense comparison). Entries
-// with neither figure (wall-time-only records) are dropped.
+// name, gomaxprocs): highest MB/s for throughput entries, lowest ns/op
+// for latency-only entries, lowest bytes/block for copy-budget entries
+// (the latter two keyed with a unit suffix so a unit change surfaces as
+// a coverage hole, never a nonsense comparison). Results carry their
+// GOMAXPROCS in the key as "@procs=N" — aebench -cpu measures several
+// parallelism levels in one document, and a 2-proc run must never be
+// compared against a 1-proc baseline; results without the per-result
+// field (older documents) inherit the document-level value. Entries
+// with no figure at all (wall-time-only records) are dropped.
 func bestByKey(doc benchfmt.Document) map[string]metric {
 	best := make(map[string]metric)
 	for _, r := range doc.Results {
 		key := r.Experiment + "/" + r.Name
+		procs := r.GoMaxProcs
+		if procs == 0 {
+			procs = doc.GoMaxProcs
+		}
+		if procs > 0 {
+			key += fmt.Sprintf("@procs=%d", procs)
+		}
+		if r.BytesBlock != nil {
+			bk := key + " (bytes/block)"
+			if m, ok := best[bk]; !ok || *r.BytesBlock < m.value {
+				best[bk] = metric{value: *r.BytesBlock, lowerBetter: true, unit: "bytes/block"}
+			}
+		}
 		switch {
 		case r.MBps > 0:
 			if m, ok := best[key]; !ok || r.MBps > m.value {
-				best[key] = metric{value: r.MBps}
+				best[key] = metric{value: r.MBps, unit: "MB/s"}
 			}
 		case r.NsPerOp > 0:
 			key += " (ns/op)"
 			if m, ok := best[key]; !ok || r.NsPerOp < m.value {
-				best[key] = metric{value: r.NsPerOp, lowerBetter: true}
+				best[key] = metric{value: r.NsPerOp, lowerBetter: true, unit: "ns/op"}
 			}
 		}
 	}
@@ -87,7 +106,9 @@ func bestByKey(doc benchfmt.Document) map[string]metric {
 
 // regressed applies the tolerance in the metric's direction: MB/s may
 // drop to baseline × (1 - tolerance), ns/op may rise to the mirrored
-// baseline ÷ (1 - tolerance).
+// baseline ÷ (1 - tolerance). A lower-is-better baseline of zero (a
+// zero-copy bytes/block entry) gets no headroom at all: any copy
+// appearing on a path that had none is a regression.
 func regressed(baseline, current metric, tolerance float64) bool {
 	if baseline.lowerBetter {
 		return current.value > baseline.value/(1-tolerance)
@@ -113,6 +134,7 @@ func compare(baseline, current benchfmt.Document, tolerance float64) (findings [
 			Current:     c.value,
 			Regression:  regressed(b, c, tolerance),
 			LowerBetter: b.lowerBetter,
+			Unit:        b.unit,
 		})
 	}
 	for key := range cur {
@@ -176,8 +198,12 @@ func main() {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("  %-32s baseline %11.1f %s  current %11.1f %s  (%+.1f%%)  %s\n",
-			f.Key, f.Baseline, f.Unit(), f.Current, f.Unit(), (f.Current/f.Baseline-1)*100, verdict)
+		delta := "n/a" // a zero baseline (zero-copy bytes/block) has no relative change
+		if f.Baseline != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (f.Current/f.Baseline-1)*100)
+		}
+		fmt.Printf("  %-44s baseline %11.1f %s  current %11.1f %s  (%s)  %s\n",
+			f.Key, f.Baseline, f.Unit, f.Current, f.Unit, delta, verdict)
 		if f.Regression && *github {
 			// Warn-only runs annotate as warnings; under -strict the job
 			// will fail, so the annotation matches at error level.
@@ -190,20 +216,20 @@ func main() {
 				worsened = "rose"
 			}
 			fmt.Printf("::%s title=Benchmark regression::%s %s to %.1f %s (baseline %.1f %s, tolerance %.0f%%)\n",
-				level, f.Key, worsened, f.Current, f.Unit(), f.Baseline, f.Unit(), *tolerance*100)
+				level, f.Key, worsened, f.Current, f.Unit, f.Baseline, f.Unit, *tolerance*100)
 		}
 	}
 	// A baseline metric the current run never measured is a hole in the
 	// guard (a renamed experiment would silently go unwatched), so it is
 	// annotated like a regression and fails a -strict run.
 	for _, key := range onlyBaseline {
-		fmt.Printf("  %-32s in baseline only (experiment not run)\n", key)
+		fmt.Printf("  %-44s in baseline only (experiment not run)\n", key)
 		if *github {
 			fmt.Printf("::warning title=Benchmark coverage::baseline metric %s was not measured by this run — regression guard is blind to it\n", key)
 		}
 	}
 	for _, key := range onlyCurrent {
-		fmt.Printf("  %-32s new measurement (no baseline)\n", key)
+		fmt.Printf("  %-44s new measurement (no baseline)\n", key)
 	}
 	if regressions == 0 && len(onlyBaseline) == 0 {
 		fmt.Println("benchguard: no regressions")

@@ -112,7 +112,7 @@ func TestCompareNsPerOpLowerIsBetter(t *testing.T) {
 	}
 	byKey := map[string]finding{}
 	for _, f := range findings {
-		if !f.LowerBetter || f.Unit() != "ns/op" {
+		if !f.LowerBetter || f.Unit != "ns/op" {
 			t.Errorf("%s not compared as ns/op: %+v", f.Key, f)
 		}
 		byKey[f.Key] = f
@@ -167,6 +167,66 @@ func TestCompareUnitChangeIsCoverageHole(t *testing.T) {
 	}
 	if len(onlyC) != 1 || onlyC[0] != "transport/statmany (ns/op)" {
 		t.Fatalf("current ns/op key not reported new: %v", onlyC)
+	}
+}
+
+// TestCompareKeysByGoMaxProcs pins the like-for-like rule: results are
+// matched per GOMAXPROCS, a result without the per-result field inherits
+// the document level, and a parallelism level present on only one side
+// is a coverage gap, never a cross-procs comparison.
+func TestCompareKeysByGoMaxProcs(t *testing.T) {
+	baseline := benchfmt.Document{
+		GoMaxProcs: 1,
+		Results:    []benchfmt.Result{{Experiment: "transport", Name: "putmany", MBps: 600}},
+	}
+	current := benchfmt.Document{
+		GoMaxProcs: 2,
+		Results: []benchfmt.Result{
+			{Experiment: "transport", Name: "putmany", GoMaxProcs: 1, MBps: 900},
+			{Experiment: "transport", Name: "putmany", GoMaxProcs: 2, MBps: 1500},
+		},
+	}
+	findings, onlyB, onlyC := compare(baseline, current, 0.5)
+	if len(findings) != 1 || findings[0].Key != "transport/putmany@procs=1" {
+		t.Fatalf("procs=1 entries not matched like-for-like: %+v", findings)
+	}
+	if findings[0].Baseline != 600 || findings[0].Current != 900 {
+		t.Fatalf("doc-level gomaxprocs fallback wrong: %+v", findings[0])
+	}
+	if len(onlyB) != 0 {
+		t.Fatalf("phantom baseline keys: %v", onlyB)
+	}
+	if len(onlyC) != 1 || onlyC[0] != "transport/putmany@procs=2" {
+		t.Fatalf("new parallelism level not reported: %v", onlyC)
+	}
+}
+
+// TestCompareBytesBlockZeroTolerance pins the copy-budget guard: a
+// zero-copy baseline (bytes/block = 0) tolerates no copies at all, while
+// staying zero is never flagged.
+func TestCompareBytesBlockZeroTolerance(t *testing.T) {
+	zero, alsoZero, leaked := 0.0, 0.0, 64.0
+	baseline := doc(benchfmt.Result{Experiment: "segstore", Name: "append", MBps: 200, BytesBlock: &zero})
+	clean := doc(benchfmt.Result{Experiment: "segstore", Name: "append", MBps: 210, BytesBlock: &alsoZero})
+	findings, _, _ := compare(baseline, clean, 0.5)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want MB/s + bytes/block", len(findings))
+	}
+	for _, f := range findings {
+		if f.Regression {
+			t.Errorf("unchanged zero-copy path flagged: %+v", f)
+		}
+	}
+	dirty := doc(benchfmt.Result{Experiment: "segstore", Name: "append", MBps: 210, BytesBlock: &leaked})
+	findings, _, _ = compare(baseline, dirty, 0.5)
+	var flagged bool
+	for _, f := range findings {
+		if f.Unit == "bytes/block" && f.Regression {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("a copy appearing on a zero-copy path was not flagged")
 	}
 }
 

@@ -7,8 +7,13 @@ import (
 )
 
 // RetainedPut enforces the copy-on-put contract from the store dialect:
-// a Put, PutMany, or PutBatch implementation must copy caller-provided
-// slices before returning, never retain them. The check is a forward
+// a Put, PutMany, PutBatch, or PutBatchOwned implementation must consume
+// caller-provided slices before returning — copy them or write them out —
+// never retain them. PutBatchOwned is the ownership-transfer seam
+// (transport.OwnedBatchStore): callers recycle the backing frame buffer
+// the moment it returns, which turns a retained alias from a memory leak
+// into silent corruption — so the seam's implementations are checked
+// like every other put method, with no suppressions. The check is a forward
 // taint walk over the method body — parameters whose types carry slices
 // start tainted; assignments, range variables, field selections, slice
 // expressions, and composite literals propagate taint; copies (fresh
@@ -18,14 +23,15 @@ import (
 // variable — is a violation.
 var RetainedPut = &Analyzer{
 	Name: "retainedput",
-	Doc:  "flags Put/PutMany/PutBatch implementations that store a caller slice without copying",
+	Doc:  "flags Put/PutMany/PutBatch/PutBatchOwned implementations that store a caller slice without copying",
 	Run:  runRetainedPut,
 }
 
 var putMethodNames = map[string]bool{
-	"Put":      true,
-	"PutMany":  true,
-	"PutBatch": true,
+	"Put":           true,
+	"PutMany":       true,
+	"PutBatch":      true,
+	"PutBatchOwned": true,
 }
 
 func runRetainedPut(pass *Pass) error {

@@ -8,16 +8,28 @@ package benchfmt
 // Result is one measurement: ns/op and MB/s where meaningful, wall time
 // per experiment.
 type Result struct {
-	Experiment string  `json:"experiment"`
-	Name       string  `json:"name"`
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	// GoMaxProcs is the GOMAXPROCS the measurement ran at. aebench -cpu
+	// runs the same experiments at several values in one document, so the
+	// parallelism belongs to the result, not the run; 0 (older documents)
+	// means "the document-level gomaxprocs".
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
 	NsPerOp    float64 `json:"ns_op,omitempty"`
 	MBps       float64 `json:"mb_s,omitempty"`
-	WallNs     int64   `json:"wall_ns,omitempty"`
+	// BytesBlock is block-payload bytes copied in user space per block
+	// moved (internal/hotpath), the zero-copy path's guarded number. A
+	// pointer so that a measured zero — the whole point of the vectored
+	// write path — is recorded and guarded rather than omitted as empty.
+	BytesBlock *float64 `json:"bytes_block,omitempty"`
+	WallNs     int64    `json:"wall_ns,omitempty"`
 }
 
 // Document is one `aebench -json` run, archived as BENCH_*.json.
 type Document struct {
-	Timestamp  string   `json:"timestamp"`
+	Timestamp string `json:"timestamp"`
+	// GoMaxProcs is the run's ambient GOMAXPROCS — the default for
+	// results that predate the per-result field.
 	GoMaxProcs int      `json:"gomaxprocs"`
 	Results    []Result `json:"results"`
 }

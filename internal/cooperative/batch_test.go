@@ -25,6 +25,33 @@ func buildBrokerSystem(t *testing.T, b *Broker, n int, seed int64) [][]byte {
 	return originals
 }
 
+// TestBackupReusesParityFrame pins the steady-state upload path: Backup
+// entangles into one broker-owned frame arena and recycles it on the
+// next call — no per-block parity allocation — and, because every node
+// consumes blocks before returning, recycling cannot corrupt parities
+// uploaded earlier.
+func TestBackupReusesParityFrame(t *testing.T) {
+	b, err := NewBroker("alice", lattice.Params{Alpha: 3, S: 2, P: 5}, 32, []NodeStore{NewInMemoryNode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &b.parityArena()[0][0]
+	originals := buildBrokerSystem(t, b, 40, 7)
+	if &b.parityArena()[0][0] != first {
+		t.Error("Backup reallocated the parity frame arena")
+	}
+	// The arena was overwritten 40 times; parities uploaded on round one
+	// must still repair block 3 exactly.
+	b.DropLocal(3)
+	got, err := b.Read(bg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, originals[3]) {
+		t.Error("early parities corrupted by later frame reuse")
+	}
+}
+
 // TestRepairRoundBatchesPerNode asserts the transport shape of round-based
 // repair over batch-capable nodes: every round's reads arrive via GetMany
 // — at most one batched request per node per round — and zero single-block

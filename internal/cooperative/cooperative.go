@@ -49,7 +49,9 @@ type NodeStore interface {
 	// Get fetches a block; implementations return ErrNotFound (or any
 	// error) when the block is unavailable.
 	Get(ctx context.Context, key string) ([]byte, error)
-	// Put stores a block.
+	// Put stores a block. Implementations must copy or transmit data
+	// before returning — never retain it: the broker recycles its
+	// upload frame buffers across calls.
 	Put(ctx context.Context, key string, data []byte) error
 }
 
@@ -318,6 +320,14 @@ type Broker struct {
 	rep       *entangle.Repairer
 	router    Router
 
+	// parityBufs is the upload frame arena: α blockSize buffers that
+	// Backup entangles into and ships, then reuses on the next call.
+	// Reuse is safe because the encoder pipeline is externally
+	// serialised and the NodeStore contract has every node copy or
+	// transmit a block before its Put/PutMany returns — by the time
+	// uploadGrouped comes back, no node holds an alias into the arena.
+	parityBufs [][]byte
+
 	// mu guards the broker's mutable block state. Never held across
 	// router, node, or repair-engine calls — the engine calls back into
 	// the netStore adapter, which takes it again.
@@ -509,15 +519,30 @@ func (b *Broker) uploadGrouped(ctx context.Context, groups map[string]*routeGrou
 	return nil
 }
 
+// parityArena returns the broker's reusable α-buffer upload frame,
+// allocating it on first use as one contiguous backing slab.
+func (b *Broker) parityArena() [][]byte {
+	if b.parityBufs == nil {
+		backing := make([]byte, b.params.Alpha*b.blockSize)
+		b.parityBufs = make([][]byte, b.params.Alpha)
+		for k := range b.parityBufs {
+			b.parityBufs[k] = backing[k*b.blockSize : (k+1)*b.blockSize]
+		}
+	}
+	return b.parityBufs
+}
+
 // Backup entangles one data block: the block stays local, its α parities
 // are uploaded to their responsible nodes — grouped so every storage node
 // receives at most one batched frame per Backup call. It returns the
-// lattice position.
+// lattice position. The parities are encoded into the broker's reusable
+// frame arena and recycled after upload, so steady-state backup does not
+// allocate per block.
 func (b *Broker) Backup(ctx context.Context, data []byte) (int, error) {
 	if len(data) != b.blockSize {
 		return 0, fmt.Errorf("cooperative: block has %d bytes, want %d", len(data), b.blockSize)
 	}
-	ent, err := b.enc.Entangle(data)
+	ent, err := b.enc.EntangleInto(data, b.parityArena())
 	if err != nil {
 		return 0, err
 	}

@@ -46,6 +46,7 @@ import (
 	"strings"
 	"sync"
 
+	"aecodes/internal/hotpath"
 	"aecodes/internal/store"
 )
 
@@ -164,6 +165,7 @@ type Store struct {
 	active     uint64               // highest segment id; appends go here; guarded by mu
 	w          *os.File             // == files[active]; guarded by mu
 	woff       int64                // append offset in the active segment; guarded by mu
+	batchArena []byte               // reusable header+key scratch for putBatchLocked; guarded by mu
 	truncated  int64                // torn tail removed by the last Open; guarded by mu
 	compactErr error                // first auto-compaction failure; guarded by mu
 }
@@ -543,23 +545,11 @@ func (s *Store) readRecordLocked(buf []byte, loc recordLoc, key string) ([]byte,
 
 // Put stores a block under key, appending one record to the active
 // segment. The data slice is written before Put returns, never retained.
+// It rides the vectored batch path as a batch of one, so even a single
+// put gathers header and payload straight to the file without staging.
 func (s *Store) Put(key string, data []byte) error {
-	if err := checkRecord(key, data); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("segstore: store closed")
-	}
-	if err := s.appendLocked(key, data, false); err != nil {
-		return err
-	}
-	if err := s.maybeSyncLocked(); err != nil {
-		return err
-	}
-	s.maybeCompactLocked()
-	return nil
+	items := [1]store.KV{{Key: key, Data: data}}
+	return s.PutBatch(items[:])
 }
 
 // Del removes a block by appending a tombstone record. Deleting a
@@ -630,8 +620,12 @@ func (s *Store) StatBatch(keys []string) []int {
 }
 
 // PutBatch stores all items in order under one lock acquisition and (with
-// Options.Sync) one fsync for the whole batch. The first failing append
-// aborts the batch; earlier items are stored.
+// Options.Sync) one fsync for the whole batch. The first failing write
+// aborts the batch; items in earlier flushed chunks are stored. Records
+// are laid out as scatter/gather segments and land with one vectored
+// write per rotation-bounded chunk — block payloads go from the caller's
+// slices to the file without a user-space staging copy on platforms with
+// pwritev (see writevAt).
 func (s *Store) PutBatch(items []store.KV) error {
 	for _, it := range items {
 		if err := checkRecord(it.Key, it.Data); err != nil {
@@ -643,16 +637,112 @@ func (s *Store) PutBatch(items []store.KV) error {
 	if s.closed {
 		return errors.New("segstore: store closed")
 	}
-	for _, it := range items {
-		if err := s.appendLocked(it.Key, it.Data, false); err != nil {
-			return err
-		}
+	if err := s.putBatchLocked(items); err != nil {
+		return err
 	}
 	if err := s.maybeSyncLocked(); err != nil {
 		return err
 	}
 	s.maybeCompactLocked()
 	return nil
+}
+
+// PutBatchOwned is the ownership-transfer variant of PutBatch
+// (transport.OwnedBatchStore / tenant.KeyedOwnedBatch). Every Data slice
+// is written to the active segment before the call returns — the batch
+// path consumes the caller's buffers by construction — so the two
+// variants share one implementation.
+func (s *Store) PutBatchOwned(items []store.KV) error {
+	return s.PutBatch(items)
+}
+
+// putBatchLocked appends all items with one vectored write per
+// rotation-bounded chunk. Record headers and keys are assembled into a
+// reusable arena (sized up front — segments alias into it, so it must
+// never reallocate mid-chunk); block payloads are gathered straight from
+// the caller's slices. The index is applied per flushed chunk, so a
+// failing write aborts the batch with earlier chunks stored and the
+// active segment truncated back to the chunk start — the same torn-tail
+// discipline as the single-record path. Callers hold s.mu and have
+// validated every item.
+func (s *Store) putBatchLocked(items []store.KV) error {
+	need := 0
+	for _, it := range items {
+		need += recHeaderLen + 2 + len(it.Key)
+	}
+	if cap(s.batchArena) < need {
+		s.batchArena = make([]byte, 0, need)
+	}
+	arena := s.batchArena[:0]
+
+	type pendingRec struct {
+		key string
+		loc recordLoc
+	}
+	var (
+		vecs       [][]byte
+		pending    []pendingRec
+		payload    int64 // block-payload bytes in the current chunk
+		chunkStart = s.woff
+	)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := writevAt(s.w, vecs, chunkStart); err != nil {
+			// A partial chunk is a torn tail in the making: cut the file
+			// and the in-memory offset back to the chunk start so they
+			// agree again. Records of earlier chunks stay applied.
+			s.w.Truncate(chunkStart)
+			s.woff = chunkStart
+			return fmt.Errorf("segstore: appending to segment %d: %w", s.active, err)
+		}
+		if writevCopies {
+			hotpath.CountCopy(int(payload))
+		}
+		for _, p := range pending {
+			s.applyRecord(p.key, false, p.loc)
+		}
+		vecs, pending, payload = vecs[:0], pending[:0], 0
+		chunkStart = s.woff
+		return nil
+	}
+	for _, it := range items {
+		recLen := int64(recHeaderLen + 2 + len(it.Key) + len(it.Data))
+		if s.woff > 0 && s.woff+recLen > s.opts.segmentSize() {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := s.rotateLocked(); err != nil {
+				return err
+			}
+			chunkStart = s.woff
+		}
+		hdrStart := len(arena)
+		word0 := uint32(len(it.Data)) | recVersion
+		arena = binary.BigEndian.AppendUint32(arena, word0)
+		arena = binary.BigEndian.AppendUint32(arena, 0) // CRC placeholder
+		arena = binary.BigEndian.AppendUint16(arena, uint16(len(it.Key)))
+		arena = append(arena, it.Key...)
+		hdr := arena[hdrStart:]
+		crc := crc32.Checksum(hdr[0:4], castagnoli)
+		crc = crc32.Update(crc, castagnoli, hdr[recHeaderLen:])
+		crc = crc32.Update(crc, castagnoli, it.Data)
+		binary.BigEndian.PutUint32(hdr[4:8], crc)
+		vecs = append(vecs, hdr)
+		if len(it.Data) > 0 {
+			vecs = append(vecs, it.Data)
+		}
+		pending = append(pending, pendingRec{it.Key, recordLoc{
+			seg: s.active, off: s.woff,
+			keyLen: uint16(len(it.Key)), dataLen: uint32(len(it.Data)),
+		}})
+		payload += int64(len(it.Data))
+		s.woff += recLen
+	}
+	err := flush()
+	s.batchArena = arena[:0]
+	return err
 }
 
 // maybeCompactLocked runs the auto-compaction trigger after a completed

@@ -259,6 +259,45 @@ func TestBatchOps(t *testing.T) {
 	}
 }
 
+// TestPutBatchOwnedConsumesBuffers pins the ownership-transfer contract
+// on the durable store: the vectored write path must have the payload
+// fully on its way to the log before PutBatchOwned returns, so a caller
+// recycling (scribbling over) the frame buffer immediately afterwards —
+// as the transport server does — cannot corrupt what was stored, even
+// across a reopen.
+func TestPutBatchOwnedConsumesBuffers(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segstore.Options{SegmentSize: 4096})
+	arena := make([]byte, 96)
+	for i := range arena {
+		arena[i] = byte(i + 1)
+	}
+	want := append([]byte(nil), arena...)
+	items := []store.KV{
+		{Key: "a", Data: arena[:48]},
+		{Key: "b", Data: arena[48:]},
+	}
+	if err := s.PutBatchOwned(items); err != nil {
+		t.Fatal(err)
+	}
+	for i := range arena {
+		arena[i] = 0xEE
+	}
+	check := func(st *segstore.Store, label string) {
+		t.Helper()
+		a, okA := st.Get("a")
+		b, okB := st.Get("b")
+		if !okA || !okB || !bytes.Equal(a, want[:48]) || !bytes.Equal(b, want[48:]) {
+			t.Fatalf("%s: stored blocks reflect the recycled arena", label)
+		}
+	}
+	check(s, "in-memory")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(openStore(t, dir, segstore.Options{SegmentSize: 4096}), "after reopen")
+}
+
 func TestConcurrentPutGet(t *testing.T) {
 	s := openStore(t, t.TempDir(), segstore.Options{SegmentSize: 4096})
 	var wg sync.WaitGroup

@@ -155,6 +155,62 @@ func Run(t *testing.T, h Harness) {
 		}
 	})
 
+	t.Run("PutManyBufferReuse", func(t *testing.T) {
+		// The consume-before-return contract behind the zero-copy frame
+		// path: the moment PutMany returns, the caller may reuse the very
+		// same buffers for the next batch — exactly what a pooled
+		// transport arena does. Two generations through one set of
+		// buffers must both read back intact.
+		s := h.New(t)
+		bufs := [][]byte{h.block(1), h.block(2)}
+		gen1 := []store.Block{
+			{Ref: store.DataRef(1), Data: bufs[0]},
+			{Ref: store.DataRef(2), Data: bufs[1]},
+		}
+		if err := s.PutMany(ctx, gen1); err != nil {
+			t.Fatal(err)
+		}
+		copy(bufs[0], h.block(3))
+		copy(bufs[1], h.block(4))
+		e := h.realEdge(t, lat)
+		gen2 := []store.Block{
+			{Ref: store.ParityRef(e), Data: bufs[0]},
+		}
+		if err := s.PutMany(ctx, gen2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GetMany(ctx, []store.Ref{store.DataRef(1), store.DataRef(2), store.ParityRef(e)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []int{1, 2, 3} {
+			if !bytes.Equal(got[i], h.block(want)) {
+				t.Errorf("entry %d corrupted by buffer reuse: store retained the caller's slice", i)
+			}
+		}
+	})
+
+	t.Run("GetManyStableAfterOverwrite", func(t *testing.T) {
+		// The read-side mirror: blocks GetMany hands out belong to the
+		// caller and must not alias store internals — overwriting the
+		// position afterwards must not mutate the previously returned
+		// slice under the repair engine's feet.
+		s := h.New(t)
+		if err := s.PutData(ctx, 1, h.block(1)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.GetMany(ctx, []store.Ref{store.DataRef(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutData(ctx, 1, h.block(9)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[0], h.block(1)) {
+			t.Error("GetMany result changed after overwrite: store handed out an aliased internal buffer")
+		}
+	})
+
 	t.Run("MissingAgreesWithGetMany", func(t *testing.T) {
 		s := h.New(t)
 		h.fillAll(t, s, lat)

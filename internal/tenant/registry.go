@@ -15,7 +15,9 @@ import (
 type Keyed interface {
 	// Get returns the block and whether it exists.
 	Get(key string) ([]byte, bool)
-	// Put stores a block.
+	// Put stores a block. Implementations must not retain data after
+	// returning — copy it or write it out (the repo-wide store write
+	// contract, enforced by the retainedput analyzer).
 	Put(key string, data []byte) error
 	// Del removes a block; deleting a missing key is not an error.
 	Del(key string)
@@ -26,6 +28,15 @@ type Keyed interface {
 type KeyedBatch interface {
 	GetBatch(keys []string) [][]byte
 	PutBatch(items []store.KV) error
+}
+
+// KeyedOwnedBatch is the optional ownership-transfer variant of the
+// batch write — the keyed mirror of transport.OwnedBatchStore. The
+// caller promises the Data slices are dead after the call returns, so
+// the backing may consume them in place (alias them into its own
+// write path) instead of treating them as borrowed.
+type KeyedOwnedBatch interface {
+	PutBatchOwned(items []store.KV) error
 }
 
 // KeyedStat is the optional presence probe: one entry per key, the
@@ -73,11 +84,12 @@ type usage struct {
 // registry lock so quota admission, the backing write and the accounting
 // update are one atomic step.
 type Registry struct {
-	backing Keyed      // write-guarded by mu: mutations must stay atomic with quota accounting
-	batch   KeyedBatch // nil when the backing is not batch-native; write-guarded by mu
-	stat    KeyedStat  // nil when the backing cannot stat
-	sizer   Sizer      // nil when the backing cannot size
-	enum    Enumerable // nil when the backing cannot enumerate
+	backing Keyed           // write-guarded by mu: mutations must stay atomic with quota accounting
+	batch   KeyedBatch      // nil when the backing is not batch-native; write-guarded by mu
+	owned   KeyedOwnedBatch // nil when the backing has no ownership-transfer seam; write-guarded by mu
+	stat    KeyedStat       // nil when the backing cannot stat
+	sizer   Sizer           // nil when the backing cannot size
+	enum    Enumerable      // nil when the backing cannot enumerate
 	cfg     Config
 
 	mu        sync.Mutex
@@ -104,6 +116,9 @@ func NewRegistry(backing Keyed, cfg Config) (*Registry, error) {
 		cfg:     cfg,
 		tenants: make(map[string]*usage),
 		handles: make(map[string]*Store),
+	}
+	if o, ok := backing.(KeyedOwnedBatch); ok {
+		r.owned = o
 	}
 	if b, ok := backing.(KeyedBatch); ok {
 		r.batch = b
@@ -514,6 +529,22 @@ func (h *Store) GetBatch(keys []string) [][]byte {
 // backing itself follow the backing's partial-application contract; the
 // tenant's accounting is rebuilt from the store on that path.
 func (h *Store) PutBatch(items []store.KV) error {
+	return h.putBatch(items, false)
+}
+
+// PutBatchOwned is the ownership-transfer variant of PutBatch
+// (transport.OwnedBatchStore): the caller's Data slices are dead after
+// the call, so the consume flag passes straight through to a backing
+// that declares the same seam. On a backing without it the plain batch
+// path is already consume-clean — the Keyed write contract forbids
+// retaining put buffers — so the promise holds either way, and quota
+// admission, the backing write and the accounting update remain one
+// atomic step under the registry lock exactly as for PutBatch.
+func (h *Store) PutBatchOwned(items []store.KV) error {
+	return h.putBatch(items, true)
+}
+
+func (h *Store) putBatch(items []store.KV, owned bool) error {
 	r := h.reg
 	full := make([]store.KV, len(items))
 	for i, it := range items {
@@ -550,9 +581,12 @@ func (h *Store) PutBatch(items []store.KV) error {
 		return err
 	}
 	var err error
-	if r.batch != nil {
+	switch {
+	case owned && r.owned != nil:
+		err = r.owned.PutBatchOwned(full)
+	case r.batch != nil:
 		err = r.batch.PutBatch(full)
-	} else {
+	default:
 		for _, it := range full {
 			if err = r.backing.Put(it.Key, it.Data); err != nil {
 				break

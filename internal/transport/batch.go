@@ -50,41 +50,42 @@ func (c *Client) PutMany(ctx context.Context, items []KV) error {
 }
 
 func putMany(ctx context.Context, rt roundTripper, items []KV) error {
-	segs, err := putManySegments(items)
+	segs, arena, err := putManySegments(items)
 	if err != nil {
 		return err
 	}
 	status, resp, err := rt.roundTripSegments(ctx, segs)
+	// The write has completed (or failed) by the time the round-trip
+	// returns, so the header arena can rejoin the frame pool either way.
+	putBuf(arena)
 	if err != nil {
 		return err
 	}
-	if status != StatusOK {
-		return remoteError(status, resp)
-	}
-	return nil
+	return ackError(status, resp)
 }
 
 // putManySegments lays out an OpPutMany frame as scatter/gather segments:
-// all headers live in one exactly-sized arena, and every item's data slice
-// is referenced in place. The arena never reallocates, so the returned
-// segments stay valid.
-func putManySegments(items []KV) (net.Buffers, error) {
+// all headers live in one exactly-sized pooled arena, and every item's
+// data slice is referenced in place. The arena never reallocates, so the
+// returned segments stay valid; it is returned alongside them so the
+// caller can recycle it once the frame has been written.
+func putManySegments(items []KV) (net.Buffers, []byte, error) {
 	if err := checkBatchCount(len(items)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	payload := 4
 	hdrSize := 1 + 2 + 4 + 4 // op, empty key, payload length, batch count
 	for _, it := range items {
 		if len(it.Key) > MaxKeyLen {
-			return nil, fmt.Errorf("transport: key too long (%d bytes)", len(it.Key))
+			return nil, nil, fmt.Errorf("transport: key too long (%d bytes)", len(it.Key))
 		}
 		payload += 2 + len(it.Key) + 4 + len(it.Data)
 		hdrSize += 2 + len(it.Key) + 4
 	}
 	if payload > MaxPayloadLen {
-		return nil, fmt.Errorf("transport: batch payload too large (%d bytes)", payload)
+		return nil, nil, fmt.Errorf("transport: batch payload too large (%d bytes)", payload)
 	}
-	arena := make([]byte, 0, hdrSize)
+	arena := getBuf(hdrSize)[:0]
 	segs := make(net.Buffers, 0, 1+2*len(items))
 	mark := 0
 	seal := func() {
@@ -105,7 +106,7 @@ func putManySegments(items []KV) (net.Buffers, error) {
 			segs = append(segs, it.Data)
 		}
 	}
-	return segs, nil
+	return segs, arena, nil
 }
 
 // GetMany fetches all keys in one round-trip. The result has one entry per
@@ -137,22 +138,31 @@ func getMany(ctx context.Context, rt roundTripper, keys []string) ([][]byte, err
 	return blocks, nil
 }
 
-// servePutMany handles one OpPutMany frame on the server: one PutBatch
-// call on a batch-native store, one Put per item otherwise.
+// servePutMany handles one OpPutMany frame on the server: one
+// PutBatchOwned call on a consume-safe store (the decoded items alias
+// the pooled receive buffer, which serveConn recycles the moment the
+// call returns), one PutBatch on a batch-native store, one Put per item
+// otherwise. decodePutMany never copies block data in any case — the
+// difference is only who owns the buffer afterwards.
 func servePutMany(conn net.Conn, view connView, payload []byte) error {
 	items, err := decodePutMany(payload)
 	if err != nil {
 		return writeResponse(conn, StatusError, []byte(err.Error()))
 	}
-	if view.batch != nil {
+	switch {
+	case view.owned != nil:
+		if perr := view.owned.PutBatchOwned(items); perr != nil {
+			return writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
+		}
+	case view.batch != nil:
 		if perr := view.batch.PutBatch(items); perr != nil {
 			return writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
 		}
-		return writeResponse(conn, StatusOK, nil)
-	}
-	for _, it := range items {
-		if perr := view.store.Put(it.Key, it.Data); perr != nil {
-			return writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
+	default:
+		for _, it := range items {
+			if perr := view.store.Put(it.Key, it.Data); perr != nil {
+				return writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
+			}
 		}
 	}
 	return writeResponse(conn, StatusOK, nil)
@@ -189,7 +199,7 @@ func serveGetMany(conn net.Conn, view connView, payload []byte) error {
 			[]byte(fmt.Sprintf("transport: batch payload too large (%d bytes)", respPayload)))
 	}
 	hdrSize := 1 + 4 + 4 + len(blocks)*(1+4)
-	arena := make([]byte, 0, hdrSize)
+	arena := getBuf(hdrSize)[:0]
 	segs := make(net.Buffers, 0, 1+2*len(blocks))
 	mark := 0
 	seal := func() {
@@ -215,6 +225,7 @@ func serveGetMany(conn net.Conn, view connView, payload []byte) error {
 		}
 	}
 	_, err = segs.WriteTo(conn)
+	putBuf(arena) // the vectored write has consumed the header segments
 	return err
 }
 
@@ -273,9 +284,15 @@ func statMany(ctx context.Context, rt roundTripper, keys []string) ([]bool, erro
 		return nil, err
 	}
 	if status != StatusOK {
-		return nil, remoteError(status, resp)
+		rerr := remoteError(status, resp)
+		putBuf(resp)
+		return nil, rerr
 	}
 	held, err := decodeStatManyResp(resp)
+	// decodeStatManyResp copies the flags out, so the response frame can
+	// rejoin the pool even on a decode error (the error text is formatted
+	// from counts, not aliases).
+	putBuf(resp)
 	if err != nil {
 		return nil, err
 	}

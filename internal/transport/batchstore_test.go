@@ -14,10 +14,11 @@ import (
 // operation takes.
 type countingBatchStore struct {
 	*MemStore
-	gets       atomic.Int64
-	puts       atomic.Int64
-	getBatches atomic.Int64
-	putBatches atomic.Int64
+	gets           atomic.Int64
+	puts           atomic.Int64
+	getBatches     atomic.Int64
+	putBatches     atomic.Int64
+	putBatchOwneds atomic.Int64
 }
 
 func (c *countingBatchStore) Get(key string) ([]byte, bool) {
@@ -38,6 +39,11 @@ func (c *countingBatchStore) GetBatch(keys []string) [][]byte {
 func (c *countingBatchStore) PutBatch(items []store.KV) error {
 	c.putBatches.Add(1)
 	return c.MemStore.PutBatch(items)
+}
+
+func (c *countingBatchStore) PutBatchOwned(items []store.KV) error {
+	c.putBatchOwneds.Add(1)
+	return c.MemStore.PutBatchOwned(items)
 }
 
 // TestServerUsesNativeBatchStore pins that a batch frame served over a
@@ -69,8 +75,14 @@ func TestServerUsesNativeBatchStore(t *testing.T) {
 	if err := c.PutMany(ctx, items); err != nil {
 		t.Fatal(err)
 	}
-	if got := cbs.putBatches.Load(); got != 1 {
-		t.Errorf("PutMany frame made %d PutBatch calls, want 1", got)
+	// The store declares the ownership-transfer contract (via the
+	// embedded MemStore), so the server must prefer the owned seam —
+	// still exactly one store call for the whole frame.
+	if got := cbs.putBatchOwneds.Load(); got != 1 {
+		t.Errorf("PutMany frame made %d PutBatchOwned calls, want 1", got)
+	}
+	if got := cbs.putBatches.Load(); got != 0 {
+		t.Errorf("PutMany frame made %d direct PutBatch calls, want 0", got)
 	}
 	if got := cbs.puts.Load(); got != 0 {
 		t.Errorf("PutMany frame fell back to %d single Puts", got)
@@ -102,6 +114,35 @@ func TestServerUsesNativeBatchStore(t *testing.T) {
 	}
 	if got := cbs.gets.Load(); got != 1 {
 		t.Errorf("single Get made %d store Gets, want 1", got)
+	}
+}
+
+// TestPutBatchOwnedConsumesBuffers pins the ownership-transfer seam at
+// the store level: the moment PutBatchOwned returns, the caller may
+// scribble over (and recycle) every Data slice — exactly what the
+// server does with its pooled receive arena — without disturbing what
+// was stored.
+func TestPutBatchOwnedConsumesBuffers(t *testing.T) {
+	s := NewMemStore()
+	arena := make([]byte, 64)
+	items := []store.KV{
+		{Key: "a", Data: arena[:32]},
+		{Key: "b", Data: arena[32:]},
+	}
+	for i := range arena {
+		arena[i] = byte(i)
+	}
+	want := append([]byte(nil), arena...)
+	if err := s.PutBatchOwned(items); err != nil {
+		t.Fatal(err)
+	}
+	for i := range arena {
+		arena[i] = 0xEE
+	}
+	a, _ := s.Get("a")
+	b, _ := s.Get("b")
+	if !bytes.Equal(a, want[:32]) || !bytes.Equal(b, want[32:]) {
+		t.Error("PutBatchOwned retained the caller's arena: stored blocks changed after recycle-scribble")
 	}
 }
 

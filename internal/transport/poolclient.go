@@ -393,10 +393,7 @@ func (p *PoolClient) simple(ctx context.Context, op byte, key string, payload []
 		if err != nil {
 			return err
 		}
-		if status != StatusOK {
-			return remoteError(status, resp)
-		}
-		return nil
+		return ackError(status, resp)
 	})
 }
 

@@ -20,6 +20,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -29,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"aecodes/internal/hotpath"
 	"aecodes/internal/store"
 )
 
@@ -98,6 +100,19 @@ func remoteError(status byte, payload []byte) error {
 	return fmt.Errorf("transport: remote error: %s", payload)
 }
 
+// ackError consumes an acknowledgement-style response whose payload
+// never escapes to the caller: a non-OK status is formatted into the
+// returned error (copying the text out of the frame), and the response
+// buffer rejoins the frame pool either way.
+func ackError(status byte, resp []byte) error {
+	var err error
+	if status != StatusOK {
+		err = remoteError(status, resp)
+	}
+	putBuf(resp)
+	return err
+}
+
 // storeStatus maps a store write error to its response status: quota
 // refusals travel typed, everything else as generic errors.
 func storeStatus(err error) byte {
@@ -132,6 +147,31 @@ type BatchBlockStore interface {
 	// PutBatch stores all items in order; the first failing entry aborts
 	// the batch and earlier entries may have been stored.
 	PutBatch(items []store.KV) error
+}
+
+// OwnedBatchStore is the ownership-transfer variant of the batch-store
+// seam, the contract that lets the server serve writes without copying:
+// a store declaring it promises that every write call — PutBatchOwned,
+// PutBatch and single Put alike — has fully consumed the caller's data
+// slices by the time it returns, either by copying them (MemStore) or by
+// writing them out (segstore appends to the segment file before
+// returning). The server then decodes OpPut/OpPutMany items as aliases
+// into a pooled receive buffer and recycles that buffer the moment the
+// call returns; a store that retained an alias would read recycled
+// garbage. Stores without the declaration still work — they get the old
+// behaviour, a garbage-collected buffer per frame — so a decorator or
+// test double that stashes items is safe by default and must opt in
+// explicitly for the zero-copy path (aelint's retainedput analyzer
+// proves the no-retention half for every in-repo implementation, and
+// storetest's buffer-reuse leg exercises it at runtime).
+type OwnedBatchStore interface {
+	BatchBlockStore
+	// PutBatchOwned stores all items exactly like PutBatch, under the
+	// consume-before-return promise above. The caller transfers
+	// ownership of every Data slice for the duration of the call and
+	// reclaims it at return, typically to recycle the backing frame
+	// buffer immediately.
+	PutBatchOwned(items []store.KV) error
 }
 
 // StatBlockStore is an optional BlockStore extension the server uses to
@@ -173,6 +213,7 @@ func (s *MemStore) Get(key string) ([]byte, bool) {
 	}
 	out := make([]byte, len(b))
 	copy(out, b)
+	hotpath.CountCopy(len(b))
 	return out, true
 }
 
@@ -180,6 +221,7 @@ func (s *MemStore) Get(key string) ([]byte, bool) {
 func (s *MemStore) Put(key string, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	hotpath.CountCopy(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[key] = cp
@@ -212,6 +254,7 @@ func (s *MemStore) GetBatch(keys []string) [][]byte {
 		}
 		cp := make([]byte, len(b))
 		copy(cp, b)
+		hotpath.CountCopy(len(b))
 		out[i] = cp
 	}
 	return out
@@ -224,6 +267,7 @@ func (s *MemStore) PutBatch(items []store.KV) error {
 	for i, it := range items {
 		cp := make([]byte, len(it.Data))
 		copy(cp, it.Data)
+		hotpath.CountCopy(len(it.Data))
 		copies[i] = cp
 	}
 	s.mu.Lock()
@@ -233,6 +277,12 @@ func (s *MemStore) PutBatch(items []store.KV) error {
 	}
 	return nil
 }
+
+// PutBatchOwned implements OwnedBatchStore: PutBatch already copies every
+// item before returning, so the consume-before-return promise holds
+// as-is and frame buffers behind the items may be recycled by the
+// caller.
+func (s *MemStore) PutBatchOwned(items []store.KV) error { return s.PutBatch(items) }
 
 // StatBatch implements StatBlockStore: one entry per key in order, the
 // block's byte length when present, -1 otherwise — presence answered
@@ -296,6 +346,7 @@ func (s *MemStore) Clear() {
 type connView struct {
 	store BlockStore
 	batch BatchBlockStore // non-nil when store is batch-native
+	owned OwnedBatchStore // non-nil when writes may consume pooled frames
 	stat  StatBlockStore  // non-nil when store can stat
 }
 
@@ -303,6 +354,9 @@ func viewOf(store BlockStore) connView {
 	v := connView{store: store}
 	if b, ok := store.(BatchBlockStore); ok {
 		v.batch = b
+	}
+	if o, ok := store.(OwnedBatchStore); ok {
+		v.owned = o
 	}
 	if st, ok := store.(StatBlockStore); ok {
 		v.stat = st
@@ -409,14 +463,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	idle := s.idleTimeout
 	view := s.def
 	s.mu.Unlock()
+	// Frame heads and keys are tiny; buffering them cuts the per-request
+	// read syscalls while large payload reads still bypass the buffer
+	// (bufio reads straight into a destination at least its own size).
+	br := bufio.NewReaderSize(conn, 32<<10)
 	for {
 		if idle > 0 {
 			conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		op, key, payload, err := readRequest(conn)
+		op, key, payload, err := readRequest(br)
 		if err != nil {
 			return // client went away, idled out or sent garbage; drop it
 		}
+		// The request payload came from the frame pool. Handlers decode it
+		// by aliasing, so it can be recycled only once no alias survives:
+		// always for reads and control ops (their handlers copy whatever
+		// they keep), for writes only under the store's consume-before-
+		// return promise (OwnedBatchStore). Without that promise the buffer
+		// is left to the garbage collector, exactly as before pooling.
+		recycle := true
 		switch op {
 		case OpGet:
 			if b, ok := view.store.Get(key); ok {
@@ -425,6 +490,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				err = writeResponse(conn, StatusNotFound, nil)
 			}
 		case OpPut:
+			recycle = view.owned != nil
 			if perr := view.store.Put(key, payload); perr != nil {
 				err = writeResponse(conn, storeStatus(perr), []byte(perr.Error()))
 			} else {
@@ -434,6 +500,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			view.store.Del(key)
 			err = writeResponse(conn, StatusOK, nil)
 		case OpPutMany:
+			recycle = view.owned != nil
 			err = servePutMany(conn, view, payload)
 		case OpGetMany:
 			err = serveGetMany(conn, view, payload)
@@ -447,6 +514,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			err = s.serveUsage(conn, key, payload)
 		default:
 			err = writeResponse(conn, StatusError, []byte("unknown op"))
+		}
+		if recycle {
+			putBuf(payload)
 		}
 		if err != nil {
 			return
@@ -588,10 +658,7 @@ func (c *Client) Put(ctx context.Context, key string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	if status != StatusOK {
-		return remoteError(status, payload)
-	}
-	return nil
+	return ackError(status, payload)
 }
 
 // Del removes a block.
@@ -600,10 +667,7 @@ func (c *Client) Del(ctx context.Context, key string) error {
 	if err != nil {
 		return err
 	}
-	if status != StatusOK {
-		return remoteError(status, payload)
-	}
-	return nil
+	return ackError(status, payload)
 }
 
 // Hello performs the tenant handshake: every later request on this
@@ -616,10 +680,7 @@ func (c *Client) Hello(ctx context.Context, tenant string) error {
 	if err != nil {
 		return err
 	}
-	if status != StatusOK {
-		return remoteError(status, payload)
-	}
-	return nil
+	return ackError(status, payload)
 }
 
 // Close closes the connection.
@@ -702,13 +763,14 @@ func writeRequest(w io.Writer, op byte, key string, payload []byte) error {
 	if len(payload) > MaxPayloadLen {
 		return fmt.Errorf("transport: payload too large (%d bytes)", len(payload))
 	}
-	buf := make([]byte, 0, 1+2+len(key)+4+len(payload))
+	buf := getBuf(1 + 2 + len(key) + 4 + len(payload))[:0]
 	buf = append(buf, op)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
 	buf = append(buf, key...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	putBuf(buf)
 	return err
 }
 
@@ -734,7 +796,7 @@ func readRequest(r io.Reader) (op byte, key string, payload []byte, err error) {
 	if payloadLen > MaxPayloadLen {
 		return 0, "", nil, fmt.Errorf("transport: payload length %d exceeds limit", payloadLen)
 	}
-	payload = make([]byte, payloadLen)
+	payload = getBuf(int(payloadLen))
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, "", nil, err
 	}
@@ -745,11 +807,12 @@ func writeResponse(w io.Writer, status byte, payload []byte) error {
 	if len(payload) > MaxPayloadLen {
 		return fmt.Errorf("transport: payload too large (%d bytes)", len(payload))
 	}
-	buf := make([]byte, 0, 1+4+len(payload))
+	buf := getBuf(1 + 4 + len(payload))[:0]
 	buf = append(buf, status)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	putBuf(buf)
 	return err
 }
 
@@ -763,9 +826,25 @@ func readResponse(r io.Reader) (status byte, payload []byte, err error) {
 	if payloadLen > MaxPayloadLen {
 		return 0, nil, fmt.Errorf("transport: payload length %d exceeds limit", payloadLen)
 	}
-	payload = make([]byte, payloadLen)
+	// Small responses (acks, errors, stat bitmaps) are decoded and
+	// recycled by the caller, so they come from the frame pool. Large
+	// responses are Get/GetMany payloads whose blocks escape to the
+	// caller and are never recycled — an exact-size plain allocation
+	// beats a pooled power-of-two bucket that would round an 8 MB frame
+	// up to 16 MB of zeroing with no second use.
+	if payloadLen > maxPooledResponse {
+		payload = make([]byte, payloadLen)
+	} else {
+		payload = getBuf(int(payloadLen))
+	}
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
 	return status, payload, nil
 }
+
+// maxPooledResponse bounds which response payloads readResponse draws
+// from the frame pool; anything larger is assumed to escape (block
+// payloads) and takes an exact-size allocation instead. putBuf refuses
+// non-bucket capacities, so the two kinds can meet it safely.
+const maxPooledResponse = 64 << 10

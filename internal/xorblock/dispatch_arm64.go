@@ -1,0 +1,71 @@
+//go:build !purego
+
+package xorblock
+
+import "os"
+
+// Runtime kernel dispatch for arm64. Advanced SIMD (NEON) is baseline
+// on aarch64, so there is no feature probe: the ladder is neon →
+// unsafe8x → generic and only the AECODES_XORKERNEL override moves the
+// selection off the top rung.
+
+func init() { selectKernel(os.Getenv(KernelEnv)) }
+
+// selectKernel installs the NEON kernel unless force names a lower
+// rung. Unknown names (including the amd64-only "avx2"/"avx512") keep
+// the best available, so one CI env setting works across architectures.
+func selectKernel(force string) {
+	switch force {
+	case "generic":
+		install(genericKernel)
+	case "unsafe8x":
+		install(unsafeKernel)
+	default:
+		install(neonKernel)
+	}
+}
+
+func availableKernels() []Kernel {
+	return []Kernel{genericKernel, unsafeKernel, neonKernel}
+}
+
+var neonKernel = Kernel{name: "neon", words: xorWordsNEONFull, many: xorManyNEONFull}
+
+// Assembly entry points (kernel_arm64.s). n must be a positive multiple
+// of chunkNEON.
+
+//go:noescape
+func xorWordsNEON(dst, a, b *byte, n int)
+
+//go:noescape
+func xorManyNEON(dst *byte, srcs **byte, nsrc, n int)
+
+const chunkNEON = 64 // 4 × 16-byte vector registers per loop iteration
+
+func xorWordsNEONFull(dst, a, b []byte) {
+	n := len(a)
+	m := n &^ (chunkNEON - 1)
+	if m > 0 {
+		xorWordsNEON(&dst[0], &a[0], &b[0], m)
+	}
+	if m < n {
+		xorWordsUnsafe(dst[m:], a[m:], b[m:])
+	}
+}
+
+func xorManyNEONFull(dst []byte, srcs [][]byte) {
+	n := len(dst)
+	m := n &^ (chunkNEON - 1)
+	if m == 0 || len(srcs) > maxFold {
+		xorManyUnsafe(dst, srcs)
+		return
+	}
+	var ptrs [maxFold]*byte
+	for i := range srcs {
+		ptrs[i] = &srcs[i][0]
+	}
+	xorManyNEON(&dst[0], &ptrs[0], len(srcs), m)
+	if m < n {
+		xorManyTail(dst, srcs, m)
+	}
+}

@@ -1,0 +1,42 @@
+//go:build !purego && (amd64 || arm64)
+
+package xorblock
+
+import "testing"
+
+// TestSelectKernelLadder exercises the runtime dispatch ladder: every
+// forced name must land on a kernel from the available set, forcing a
+// rung the CPU lacks must degrade rather than fail, and the empty
+// override must pick the top rung. The installed kernel is restored
+// afterwards so test order doesn't matter.
+func TestSelectKernelLadder(t *testing.T) {
+	restore := Active()
+	defer install(restore)
+
+	avail := map[string]bool{}
+	for _, k := range Kernels() {
+		avail[k.Name()] = true
+	}
+	for _, force := range []string{"", "generic", "unsafe8x", "avx2", "avx512", "neon", "bogus"} {
+		selectKernel(force)
+		if !avail[kernelName] {
+			t.Fatalf("selectKernel(%q) installed %q, not an available kernel", force, kernelName)
+		}
+		if force != "" && avail[force] && kernelName != force {
+			t.Fatalf("selectKernel(%q) installed %q although %q is available", force, kernelName, force)
+		}
+		// The installed kernel must actually work.
+		dst := make([]byte, 1000)
+		a := make([]byte, 1000)
+		b := make([]byte, 1000)
+		for i := range a {
+			a[i], b[i] = byte(i), byte(i*3+1)
+		}
+		xorWords(dst, a, b)
+		for i := range dst {
+			if dst[i] != a[i]^b[i] {
+				t.Fatalf("selectKernel(%q): kernel %q wrong at byte %d", force, kernelName, i)
+			}
+		}
+	}
+}

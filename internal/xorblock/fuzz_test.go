@@ -1,0 +1,72 @@
+package xorblock
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzXorKernels cross-checks every kernel on this machine (asm rungs,
+// unsafe8x, and the dispatched default) against the generic reference
+// over fuzzer-chosen sizes, base-pointer misalignments, and source
+// counts. The buffers are built deterministically from the seed bytes so
+// any divergence reproduces from the corpus entry alone.
+func FuzzXorKernels(f *testing.F) {
+	f.Add([]byte{0xa5}, uint16(1), uint8(2), uint8(0))
+	f.Add([]byte("chunk-boundary"), uint16(256), uint8(3), uint8(1))
+	f.Add([]byte("ragged"), uint16(300), uint8(5), uint8(7))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(4099), uint8(9), uint8(3))
+	f.Fuzz(func(t *testing.T, seed []byte, sizeRaw uint16, nsrcRaw, offRaw uint8) {
+		size := int(sizeRaw) % 5000
+		nsrc := 2 + int(nsrcRaw)%8
+		off := int(offRaw) % 9
+		if len(seed) == 0 {
+			seed = []byte{0x5a}
+		}
+
+		// Each source lives at byte offset `off` inside its own backing
+		// array, so asm kernels see genuinely unaligned base pointers.
+		srcs := make([][]byte, nsrc)
+		for si := range srcs {
+			backing := make([]byte, off+size)
+			for i := range backing {
+				backing[i] = seed[i%len(seed)] + byte(si*131+i)
+			}
+			srcs[si] = backing[off:]
+		}
+
+		want := make([]byte, size)
+		if nsrc > 1 {
+			xorManyGeneric(want, srcs)
+		} else {
+			copy(want, srcs[0])
+		}
+
+		for _, k := range Kernels() {
+			got := make([]byte, off+size)
+			if err := k.XorManyInto(got[off:], srcs...); err != nil {
+				t.Fatalf("kernel %s: %v", k.Name(), err)
+			}
+			if !bytes.Equal(got[off:], want) {
+				t.Fatalf("kernel %s XorManyInto diverges from generic (size=%d nsrc=%d off=%d)", k.Name(), size, nsrc, off)
+			}
+
+			// Two-operand form, plus the aliased accumulate shape.
+			pair := make([]byte, size)
+			if err := k.XorInto(pair, srcs[0], srcs[1]); err != nil {
+				t.Fatalf("kernel %s: %v", k.Name(), err)
+			}
+			wantPair := make([]byte, size)
+			xorWordsGeneric(wantPair, srcs[0], srcs[1])
+			if !bytes.Equal(pair, wantPair) {
+				t.Fatalf("kernel %s XorInto diverges from generic (size=%d off=%d)", k.Name(), size, off)
+			}
+			if err := k.XorInto(pair, pair, srcs[1]); err != nil {
+				t.Fatalf("kernel %s: %v", k.Name(), err)
+			}
+			xorWordsGeneric(wantPair, wantPair, srcs[1])
+			if !bytes.Equal(pair, wantPair) {
+				t.Fatalf("kernel %s aliased XorInto diverges from generic (size=%d off=%d)", k.Name(), size, off)
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// SIMD XOR kernels for amd64, dispatched at runtime by
+// dispatch_amd64.go. Every function takes base pointers plus a byte
+// count n that the Go wrappers have already rounded down to a whole
+// positive number of chunks (128 B for AVX2, 256 B for AVX-512); the
+// ragged tail never reaches assembly. All loads and stores are the
+// unaligned-tolerant forms (VMOVDQU/VMOVDQU64), so callers owe no
+// alignment either.
+//
+// The many-kernels keep XorManyInto's one-pass-over-dst shape: a chunk
+// of srcs[0] is loaded into registers, every remaining source is folded
+// in with in-register XORs, and only then is the chunk stored to dst —
+// dst is written exactly once regardless of the source count, and
+// aliasing dst with any source at identical offsets stays safe because
+// all reads of a chunk precede its store.
+
+// func xorWordsAVX2(dst, a, b *byte, n int)
+TEXT ·xorWordsAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+avx2words:
+	VMOVDQU (SI)(AX*1), Y0
+	VMOVDQU 32(SI)(AX*1), Y1
+	VMOVDQU 64(SI)(AX*1), Y2
+	VMOVDQU 96(SI)(AX*1), Y3
+	VPXOR   (DX)(AX*1), Y0, Y0
+	VPXOR   32(DX)(AX*1), Y1, Y1
+	VPXOR   64(DX)(AX*1), Y2, Y2
+	VPXOR   96(DX)(AX*1), Y3, Y3
+	VMOVDQU Y0, (DI)(AX*1)
+	VMOVDQU Y1, 32(DI)(AX*1)
+	VMOVDQU Y2, 64(DI)(AX*1)
+	VMOVDQU Y3, 96(DI)(AX*1)
+	ADDQ    $128, AX
+	CMPQ    AX, CX
+	JB      avx2words
+	VZEROUPPER
+	RET
+
+// func xorManyAVX2(dst *byte, srcs **byte, nsrc, n int)
+TEXT ·xorManyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ srcs+8(FP), SI
+	MOVQ nsrc+16(FP), R8
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+avx2chunk:
+	MOVQ    (SI), BX
+	VMOVDQU (BX)(AX*1), Y0
+	VMOVDQU 32(BX)(AX*1), Y1
+	VMOVDQU 64(BX)(AX*1), Y2
+	VMOVDQU 96(BX)(AX*1), Y3
+	MOVQ    $1, R9
+
+avx2src:
+	CMPQ  R9, R8
+	JGE   avx2store
+	MOVQ  (SI)(R9*8), BX
+	VPXOR (BX)(AX*1), Y0, Y0
+	VPXOR 32(BX)(AX*1), Y1, Y1
+	VPXOR 64(BX)(AX*1), Y2, Y2
+	VPXOR 96(BX)(AX*1), Y3, Y3
+	INCQ  R9
+	JMP   avx2src
+
+avx2store:
+	VMOVDQU Y0, (DI)(AX*1)
+	VMOVDQU Y1, 32(DI)(AX*1)
+	VMOVDQU Y2, 64(DI)(AX*1)
+	VMOVDQU Y3, 96(DI)(AX*1)
+	ADDQ    $128, AX
+	CMPQ    AX, CX
+	JB      avx2chunk
+	VZEROUPPER
+	RET
+
+// func xorWordsAVX512(dst, a, b *byte, n int)
+TEXT ·xorWordsAVX512(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+avx512words:
+	VMOVDQU64 (SI)(AX*1), Z0
+	VMOVDQU64 64(SI)(AX*1), Z1
+	VMOVDQU64 128(SI)(AX*1), Z2
+	VMOVDQU64 192(SI)(AX*1), Z3
+	VPXORQ    (DX)(AX*1), Z0, Z0
+	VPXORQ    64(DX)(AX*1), Z1, Z1
+	VPXORQ    128(DX)(AX*1), Z2, Z2
+	VPXORQ    192(DX)(AX*1), Z3, Z3
+	VMOVDQU64 Z0, (DI)(AX*1)
+	VMOVDQU64 Z1, 64(DI)(AX*1)
+	VMOVDQU64 Z2, 128(DI)(AX*1)
+	VMOVDQU64 Z3, 192(DI)(AX*1)
+	ADDQ      $256, AX
+	CMPQ      AX, CX
+	JB        avx512words
+	VZEROUPPER
+	RET
+
+// func xorManyAVX512(dst *byte, srcs **byte, nsrc, n int)
+TEXT ·xorManyAVX512(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ srcs+8(FP), SI
+	MOVQ nsrc+16(FP), R8
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+
+avx512chunk:
+	MOVQ      (SI), BX
+	VMOVDQU64 (BX)(AX*1), Z0
+	VMOVDQU64 64(BX)(AX*1), Z1
+	VMOVDQU64 128(BX)(AX*1), Z2
+	VMOVDQU64 192(BX)(AX*1), Z3
+	MOVQ      $1, R9
+
+avx512src:
+	CMPQ   R9, R8
+	JGE    avx512store
+	MOVQ   (SI)(R9*8), BX
+	VPXORQ (BX)(AX*1), Z0, Z0
+	VPXORQ 64(BX)(AX*1), Z1, Z1
+	VPXORQ 128(BX)(AX*1), Z2, Z2
+	VPXORQ 192(BX)(AX*1), Z3, Z3
+	INCQ   R9
+	JMP    avx512src
+
+avx512store:
+	VMOVDQU64 Z0, (DI)(AX*1)
+	VMOVDQU64 Z1, 64(DI)(AX*1)
+	VMOVDQU64 Z2, 128(DI)(AX*1)
+	VMOVDQU64 Z3, 192(DI)(AX*1)
+	ADDQ      $256, AX
+	CMPQ      AX, CX
+	JB        avx512chunk
+	VZEROUPPER
+	RET
+
+// func cpuidex(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

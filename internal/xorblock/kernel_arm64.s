@@ -1,0 +1,64 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// NEON XOR kernels for arm64, dispatched by dispatch_arm64.go. As on
+// amd64, n is pre-rounded by the Go wrappers to a whole positive number
+// of 64-byte chunks and the ragged tail never reaches assembly; NEON
+// VLD1/VST1 tolerate unaligned addresses. The many-kernel folds every
+// source into registers before the single store of each dst chunk,
+// preserving XorManyInto's one-pass-over-dst shape.
+
+// func xorWordsNEON(dst, a, b *byte, n int)
+TEXT ·xorWordsNEON(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD n+24(FP), R3
+
+neonwords:
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1.P 64(R2), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VEOR   V6.B16, V2.B16, V2.B16
+	VEOR   V7.B16, V3.B16, V3.B16
+	VST1.P [V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	SUBS   $64, R3, R3
+	BNE    neonwords
+	RET
+
+// func xorManyNEON(dst *byte, srcs **byte, nsrc, n int)
+TEXT ·xorManyNEON(SB), NOSPLIT, $0-32
+	MOVD dst+0(FP), R0
+	MOVD srcs+8(FP), R1
+	MOVD nsrc+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD $0, R4                               // byte offset into every buffer
+
+neonchunk:
+	MOVD (R1), R5                             // srcs[0]
+	ADD  R4, R5, R5
+	VLD1 (R5), [V0.B16, V1.B16, V2.B16, V3.B16]
+	MOVD $1, R6                               // source index
+
+neonsrc:
+	CMP  R2, R6
+	BGE  neonstore
+	MOVD (R1)(R6<<3), R5                      // srcs[i]
+	ADD  R4, R5, R5
+	VLD1 (R5), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VEOR V4.B16, V0.B16, V0.B16
+	VEOR V5.B16, V1.B16, V1.B16
+	VEOR V6.B16, V2.B16, V2.B16
+	VEOR V7.B16, V3.B16, V3.B16
+	ADD  $1, R6, R6
+	B    neonsrc
+
+neonstore:
+	ADD  R4, R0, R5
+	VST1 [V0.B16, V1.B16, V2.B16, V3.B16], (R5)
+	ADD  $64, R4, R4
+	CMP  R3, R4
+	BLT  neonchunk
+	RET

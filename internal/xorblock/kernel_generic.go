@@ -4,7 +4,9 @@ package xorblock
 
 // Generic kernel selection: the portable encoding/binary path. Chosen by
 // the `purego` build tag, or on architectures where unaligned 64-bit
-// loads are not guaranteed safe.
+// loads are not guaranteed safe. There is no runtime ladder in this
+// build, so the kernel name is a constant and the Kernels API reports a
+// single rung.
 
 // kernelName identifies the active kernel in benchmark output.
 const kernelName = "generic"
@@ -12,3 +14,7 @@ const kernelName = "generic"
 func xorWords(dst, a, b []byte) { xorWordsGeneric(dst, a, b) }
 
 func xorMany(dst []byte, srcs [][]byte) { xorManyGeneric(dst, srcs) }
+
+func availableKernels() []Kernel { return []Kernel{genericKernel} }
+
+func activeKernel() Kernel { return genericKernel }

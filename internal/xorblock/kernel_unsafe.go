@@ -4,19 +4,86 @@ package xorblock
 
 import "unsafe"
 
-// Unsafe kernel selection: 8×-unrolled 64-bit XOR via unsafe pointers.
+// Unsafe kernel and shared dispatch plumbing for the assembly builds.
 // Restricted to amd64 and arm64, where unaligned 64-bit loads are
 // architecturally safe, and opted out with the `purego` build tag (which
 // falls back to the encoding/binary path in kernel_generic.go).
 //
-// The unroll processes 64 bytes per iteration — eight word loads per
-// operand, eight stores — which removes the per-word bounds checks and
-// lets the compiler keep the accumulators in registers. Aliasing is safe
-// for the identical-offset case the package API produces (dst == a or
-// dst == b): every word is fully read before its slot is written.
+// The 8×-unrolled unsafe kernel below is the portable floor of the asm
+// ladder: the per-arch dispatch files (dispatch_amd64.go,
+// dispatch_arm64.go) install a SIMD kernel over it when the CPU supports
+// one, and every SIMD wrapper falls back here for short buffers and
+// ragged tails. The unroll processes 64 bytes per iteration — eight word
+// loads per operand, eight stores — which removes the per-word bounds
+// checks and lets the compiler keep the accumulators in registers.
+// Aliasing is safe for the identical-offset case the package API
+// produces (dst == a or dst == b): every word is fully read before its
+// slot is written.
 
-// kernelName identifies the active kernel in benchmark output.
-const kernelName = "unsafe8x"
+// kernelName identifies the active kernel in benchmark output. It is a
+// variable here (unlike the generic build) because the dispatch files
+// choose the kernel at process start from CPUID and the AECODES_XORKERNEL
+// override.
+var kernelName = "unsafe8x"
+
+// xorWordsImpl and xorManyImpl are the installed kernel entry points.
+// They default to the unsafe kernel so the package is usable even before
+// the arch init runs; selectKernel replaces them during init.
+var (
+	xorWordsImpl = xorWordsUnsafe
+	xorManyImpl  = xorManyUnsafe
+)
+
+func xorWords(dst, a, b []byte) { xorWordsImpl(dst, a, b) }
+
+func xorMany(dst []byte, srcs [][]byte) { xorManyImpl(dst, srcs) }
+
+// install makes k the kernel behind the package-level helpers.
+func install(k Kernel) {
+	kernelName = k.name
+	xorWordsImpl = k.words
+	xorManyImpl = k.many
+}
+
+func activeKernel() Kernel {
+	for _, k := range availableKernels() {
+		if k.name == kernelName {
+			return k
+		}
+	}
+	return genericKernel
+}
+
+// maxFold bounds the stack array of source base pointers handed to the
+// asm many-kernels. XorManyInto calls with more sources (alpha is 3;
+// exceeding this would take an extreme hand-built lattice) fall back to
+// the unsafe kernel rather than allocating.
+const maxFold = 32
+
+// xorManyTail finishes dst[from:] in Go after an asm kernel has consumed
+// the whole-chunk prefix: word loop via the unsafe helpers, then bytes.
+// Kept separate so the SIMD wrappers need no per-call slice reslicing.
+func xorManyTail(dst []byte, srcs [][]byte, from int) {
+	n := len(dst)
+	i := from
+	for ; i+wordSize <= n; i += wordSize {
+		acc := word(srcs[0], i)
+		for _, src := range srcs[1:] {
+			acc ^= word(src, i)
+		}
+		put(dst, i, acc)
+	}
+	for ; i < n; i++ {
+		acc := srcs[0][i]
+		for _, src := range srcs[1:] {
+			acc ^= src[i]
+		}
+		dst[i] = acc
+	}
+}
+
+// unsafeKernel exposes the 8×-unrolled kernel through the Kernels API.
+var unsafeKernel = Kernel{name: "unsafe8x", words: xorWordsUnsafe, many: xorManyUnsafe}
 
 // unrollBytes is the bytes consumed per unrolled step: 8 words of 8.
 const unrollBytes = 64
@@ -31,7 +98,7 @@ func put(b []byte, i int, w uint64) {
 	*(*uint64)(unsafe.Pointer(&b[i])) = w
 }
 
-func xorWords(dst, a, b []byte) {
+func xorWordsUnsafe(dst, a, b []byte) {
 	n := len(a)
 	i := 0
 	for ; i+unrollBytes <= n; i += unrollBytes {
@@ -55,7 +122,7 @@ func xorWords(dst, a, b []byte) {
 	}
 }
 
-func xorMany(dst []byte, srcs [][]byte) {
+func xorManyUnsafe(dst []byte, srcs [][]byte) {
 	n := len(dst)
 	i := 0
 	for ; i+unrollBytes <= n; i += unrollBytes {
@@ -77,18 +144,5 @@ func xorMany(dst []byte, srcs [][]byte) {
 		d[0], d[1], d[2], d[3] = a0, a1, a2, a3
 		d[4], d[5], d[6], d[7] = a4, a5, a6, a7
 	}
-	for ; i+wordSize <= n; i += wordSize {
-		acc := word(srcs[0], i)
-		for _, src := range srcs[1:] {
-			acc ^= word(src, i)
-		}
-		put(dst, i, acc)
-	}
-	for ; i < n; i++ {
-		acc := srcs[0][i]
-		for _, src := range srcs[1:] {
-			acc ^= src[i]
-		}
-		dst[i] = acc
-	}
+	xorManyTail(dst, srcs, i)
 }

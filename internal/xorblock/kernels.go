@@ -1,0 +1,69 @@
+package xorblock
+
+import "fmt"
+
+// Kernel is a handle on one concrete XOR kernel implementation. The
+// package-level helpers (XorInto, XorManyInto, ...) always dispatch to
+// the fastest kernel the machine supports; Kernels exposes every rung of
+// the ladder so benchmarks and differential tests can drive each one
+// directly.
+type Kernel struct {
+	name  string
+	words func(dst, a, b []byte)
+	many  func(dst []byte, srcs [][]byte)
+}
+
+// Name returns the kernel's stable identifier: "generic", "unsafe8x",
+// "avx2", "avx512" or "neon".
+func (k Kernel) Name() string { return k.name }
+
+// XorInto computes dst = a XOR b with this kernel. Same contract as the
+// package-level XorInto.
+func (k Kernel) XorInto(dst, a, b []byte) error {
+	if len(a) != len(b) || len(dst) != len(a) {
+		return fmt.Errorf("xorblock: length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b))
+	}
+	k.words(dst, a, b)
+	return nil
+}
+
+// XorManyInto computes dst = srcs[0] XOR srcs[1] XOR ... with this
+// kernel. Same contract as the package-level XorManyInto.
+func (k Kernel) XorManyInto(dst []byte, srcs ...[]byte) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("xorblock: no sources")
+	}
+	n := len(dst)
+	for si, s := range srcs {
+		if len(s) != n {
+			return fmt.Errorf("xorblock: length mismatch dst=%d srcs[%d]=%d", n, si, len(s))
+		}
+	}
+	if len(srcs) == 1 {
+		copy(dst, srcs[0])
+		return nil
+	}
+	k.many(dst, srcs)
+	return nil
+}
+
+// genericKernel wraps the always-compiled portable kernel; it is the
+// reference implementation every other kernel is tested against.
+var genericKernel = Kernel{name: "generic", words: xorWordsGeneric, many: xorManyGeneric}
+
+// Kernels returns every kernel usable on this machine and build, ordered
+// slowest to fastest (generic first, then unsafe8x, then any SIMD rungs
+// CPUID reports usable). The dispatch default is the last entry unless
+// KernelEnv overrides it.
+func Kernels() []Kernel { return availableKernels() }
+
+// Active returns the kernel the package-level helpers currently dispatch
+// to.
+func Active() Kernel { return activeKernel() }
+
+// KernelEnv is the environment variable consulted at process start to
+// pin the dispatched kernel ("generic", "unsafe8x", "avx2", "avx512",
+// "neon"). Naming a kernel the CPU or build cannot run falls back down
+// the ladder rather than failing, so CI can force feature subsets (e.g.
+// disable AVX-512) with one setting across heterogeneous runners.
+const KernelEnv = "AECODES_XORKERNEL"

@@ -1,0 +1,123 @@
+package xorblock
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAllKernelsMatchGeneric runs every kernel the machine supports —
+// not just the dispatched one — against the generic reference, over
+// sizes straddling each kernel's chunk boundary (64, 128, 256) and
+// unaligned base offsets.
+func TestAllKernelsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{0, 1, 8, 63, 64, 65, 127, 128, 129, 255, 256, 257, 300, 511, 512, 1000, 4096, 4099}
+	for _, k := range Kernels() {
+		for _, size := range sizes {
+			for _, offset := range []int{0, 1, 5} {
+				a := make([]byte, size+offset)
+				b := make([]byte, size+offset)
+				rng.Read(a)
+				rng.Read(b)
+				av, bv := a[offset:], b[offset:]
+
+				want := make([]byte, size)
+				xorWordsGeneric(want, av, bv)
+				got := make([]byte, size)
+				if err := k.XorInto(got, av, bv); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("kernel %s XorInto size %d offset %d diverges from generic", k.Name(), size, offset)
+				}
+
+				for _, nsrc := range []int{1, 2, 3, 5, 9} {
+					srcs := make([][]byte, nsrc)
+					for i := range srcs {
+						s := make([]byte, size+offset)
+						rng.Read(s)
+						srcs[i] = s[offset:]
+					}
+					wantM := make([]byte, size)
+					copy(wantM, srcs[0])
+					if nsrc > 1 {
+						xorManyGeneric(wantM, srcs)
+					}
+					gotM := make([]byte, size)
+					if err := k.XorManyInto(gotM, srcs...); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotM, wantM) {
+						t.Fatalf("kernel %s XorManyInto size %d offset %d nsrc %d diverges", k.Name(), size, offset, nsrc)
+					}
+
+					// Aliased: dst == srcs[0], the in-place accumulate shape.
+					aliased := make([]byte, size)
+					copy(aliased, srcs[0])
+					save := srcs[0]
+					srcs[0] = aliased
+					if err := k.XorManyInto(aliased, srcs...); err != nil {
+						t.Fatal(err)
+					}
+					srcs[0] = save
+					if !bytes.Equal(aliased, wantM) {
+						t.Fatalf("kernel %s aliased XorManyInto size %d offset %d nsrc %d diverges", k.Name(), size, offset, nsrc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsListedAndActive pins the Kernels/Active API shape: generic
+// is always present, names are unique, and the dispatched kernel is one
+// of the listed rungs.
+func TestKernelsListedAndActive(t *testing.T) {
+	ks := Kernels()
+	if len(ks) == 0 || ks[0].Name() != "generic" {
+		t.Fatalf("Kernels() must start with generic, got %v", names(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[k.Name()] {
+			t.Fatalf("duplicate kernel name %q in %v", k.Name(), names(ks))
+		}
+		seen[k.Name()] = true
+	}
+	if !seen[Active().Name()] {
+		t.Fatalf("active kernel %q not in Kernels() %v", Active().Name(), names(ks))
+	}
+	if Active().Name() != kernelName {
+		t.Fatalf("Active()=%q but kernelName=%q", Active().Name(), kernelName)
+	}
+}
+
+func names(ks []Kernel) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.Name()
+	}
+	return out
+}
+
+// BenchmarkKernels reports MB/s for every rung of the ladder side by
+// side at the α=3 fan-in the encoder uses.
+func BenchmarkKernels(b *testing.B) {
+	const size = 64 << 10
+	srcs := make([][]byte, 3)
+	for i := range srcs {
+		srcs[i] = make([]byte, size)
+		rand.New(rand.NewSource(int64(i))).Read(srcs[i])
+	}
+	dst := make([]byte, size)
+	for _, k := range Kernels() {
+		b.Run(fmt.Sprintf("many3/%s", k.Name()), func(b *testing.B) {
+			b.SetBytes(int64(size) * 3)
+			for i := 0; i < b.N; i++ {
+				k.many(dst, srcs)
+			}
+		})
+	}
+}
