@@ -56,6 +56,7 @@ import (
 
 	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
+	"aecodes/internal/maintain"
 	"aecodes/internal/mep"
 	"aecodes/internal/store"
 )
@@ -152,12 +153,58 @@ type MemoryStore = entangle.MemoryStore
 // size.
 func NewMemoryStore(blockSize int) *MemoryStore { return entangle.NewMemoryStore(blockSize) }
 
-// RepairOptions configures round-based repair.
+// RepairOptions configures repair: round counts, worker fan-out, and —
+// shared with background maintenance — the RateLimit, Priority, Scope
+// and Targets knobs. The zero value runs whole-lattice rounds to
+// fixpoint, unmetered.
 type RepairOptions = entangle.Options
 
 // RepairStats summarises a Repair run: rounds, blocks repaired per round,
-// and what remained unrepairable.
+// bytes read to plan the repairs, and what remained unrepairable.
 type RepairStats = entangle.Stats
+
+// RepairScope selects how much of the lattice one Repair call works on:
+// whole-lattice rounds, exactly the listed targets, or targets plus the
+// tuple companions needed to complete them.
+type RepairScope = entangle.Scope
+
+// The repair scopes.
+const (
+	ScopeLattice = entangle.ScopeLattice
+	ScopeBlock   = entangle.ScopeBlock
+	ScopeTuple   = entangle.ScopeTuple
+)
+
+// RepairPriority tags a repair run for schedulers sharing one rate
+// budget; higher runs first.
+type RepairPriority = entangle.Priority
+
+// The repair priorities.
+const (
+	PriorityBackground = entangle.PriorityBackground
+	PriorityNormal     = entangle.PriorityNormal
+	PriorityUrgent     = entangle.PriorityUrgent
+)
+
+// RepairLimiter is the rate-limit contract metered repair draws from;
+// NewRateLimiter returns the standard token-bucket implementation.
+type RepairLimiter = entangle.Limiter
+
+// RateLimiter is a token bucket with bytes/s and ops/s budgets (zero
+// disables a dimension), the limiter background maintenance shares
+// across its scrub, heal and drain tasks.
+type RateLimiter = maintain.Bucket
+
+// NewRateLimiter returns a RateLimiter refilling bytesPerSec and
+// opsPerSec tokens per second.
+func NewRateLimiter(bytesPerSec, opsPerSec float64) *RateLimiter {
+	return maintain.NewBucket(bytesPerSec, opsPerSec)
+}
+
+// LatticeHealth is one lattice's repair-urgency snapshot: what is
+// missing, how many repair tuples each missing block still has, and an
+// urgency score weighting nearly-unrecoverable blocks highest.
+type LatticeHealth = entangle.Health
 
 // AuditResult reports a block's consistency against its α strands.
 type AuditResult = entangle.AuditResult
@@ -256,6 +303,13 @@ func (c *Code) RepairParity(ctx context.Context, src Source, e Edge) ([]byte, er
 // batch-native store moves whole rounds in one exchange per location.
 func (c *Code) Repair(ctx context.Context, st BlockStore, opts RepairOptions) (RepairStats, error) {
 	return c.rep.Repair(ctx, st, opts)
+}
+
+// Health probes st's repair urgency with one Missing enumeration plus
+// lattice geometry: no block contents move. blocks is the expected
+// data-block count.
+func (c *Code) Health(ctx context.Context, st SingleStore, blocks int) (LatticeHealth, error) {
+	return c.rep.Health(ctx, st, blocks)
 }
 
 // Audit verifies data block i against each of its α strands; a block that

@@ -104,6 +104,11 @@ func parseArchiveBlock(raw []byte, blockSize int) (payload []byte, last bool, ve
 // ArchiveOptions tunes the streaming archive reader and writer.
 type ArchiveOptions struct {
 	// Context cancels in-flight encode or read work; nil means Background.
+	//
+	// Deprecated: contexts belong in call signatures, not option structs.
+	// Use NewArchiveWriterContext / OpenArchiveContext, which take the
+	// context first; the field is ignored when one of those supplied a
+	// non-nil context.
 	Context context.Context
 	// Workers is the number of encode pipeline workers (writer only);
 	// values < 1 default to GOMAXPROCS capped at the strand count.
@@ -161,8 +166,21 @@ var _ io.WriteCloser = (*ArchiveWriter)(nil)
 // NewArchiveWriter returns a writer streaming into st through code. The
 // codec must be fresh (nothing entangled yet): the archive occupies
 // lattice positions 1..Blocks(). Storage obeys the BlockStore contract —
-// blocks are copied or transmitted before Put returns.
+// blocks are copied or transmitted before Put returns. Cancellation
+// comes from the deprecated opts.Context field; new code should call
+// NewArchiveWriterContext.
 func NewArchiveWriter(code *Code, st BlockStore, opts ArchiveOptions) (*ArchiveWriter, error) {
+	return NewArchiveWriterContext(opts.context(), code, st, opts)
+}
+
+// NewArchiveWriterContext is NewArchiveWriter with the cancellation
+// context in the signature, where it belongs: ctx cancels the encode
+// pipeline feeding st. A nil ctx falls back to the deprecated
+// opts.Context field (then Background).
+func NewArchiveWriterContext(ctx context.Context, code *Code, st BlockStore, opts ArchiveOptions) (*ArchiveWriter, error) {
+	if ctx == nil {
+		ctx = opts.context()
+	}
 	if code == nil {
 		return nil, errors.New("aecodes: nil code")
 	}
@@ -182,7 +200,6 @@ func NewArchiveWriter(code *Code, st BlockStore, opts ArchiveOptions) (*ArchiveW
 		ch:   make(chan []byte),
 		done: make(chan struct{}),
 	}
-	ctx := opts.context()
 	go func() {
 		defer close(w.done)
 		w.encStats, w.encErr = pipeline.Encode(ctx, code.enc, w.ch, st, pipeline.Options{
@@ -323,13 +340,25 @@ func OpenArchive(code *Code, st BlockStore) *ArchiveReader {
 	return OpenArchiveOptions(code, st, ArchiveOptions{})
 }
 
-// OpenArchiveOptions is OpenArchive with explicit options (context and
-// prefetch window).
+// OpenArchiveOptions is OpenArchive with explicit options. Cancellation
+// comes from the deprecated opts.Context field; new code should call
+// OpenArchiveContext.
 func OpenArchiveOptions(code *Code, st BlockStore, opts ArchiveOptions) *ArchiveReader {
+	return OpenArchiveContext(opts.context(), code, st, opts)
+}
+
+// OpenArchiveContext is OpenArchive with the cancellation context in the
+// signature, where it belongs: ctx cancels prefetches and degraded
+// reads issued by Read. A nil ctx falls back to the deprecated
+// opts.Context field (then Background).
+func OpenArchiveContext(ctx context.Context, code *Code, st BlockStore, opts ArchiveOptions) *ArchiveReader {
+	if ctx == nil {
+		ctx = opts.context()
+	}
 	return &ArchiveReader{
 		code:   code,
 		st:     st,
-		ctx:    opts.context(),
+		ctx:    ctx,
 		window: opts.window(),
 		next:   1,
 	}

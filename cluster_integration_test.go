@@ -10,6 +10,7 @@ import (
 
 	"aecodes/internal/cluster"
 	"aecodes/internal/cooperative"
+	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
 	"aecodes/internal/transport"
 )
@@ -219,7 +220,7 @@ func TestClusterEndToEnd(t *testing.T) {
 	// manager re-places those volumes on survivors, and the regenerated
 	// parities land there — all through the refreshed epoch.
 	epochBefore := router.Epoch()
-	stats, err := b.RepairLattice(ctx)
+	stats, err := b.Repair(ctx, entangle.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,7 @@ import (
 	"aecodes/internal/pipeline"
 	"aecodes/internal/raidae"
 	"aecodes/internal/sim"
+	"aecodes/internal/store"
 	"aecodes/internal/writeperf"
 	"aecodes/internal/xorblock"
 )
@@ -63,7 +64,7 @@ func record(r benchfmt.Result) {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|xor|transport|segstore|cluster|all")
+		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|xor|transport|segstore|cluster|repair|all")
 		blocks    = flag.Int("blocks", 1_000_000, "number of data blocks (paper: 1,000,000)")
 		locations = flag.Int("locations", 100, "number of storage locations (paper: 100)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -181,6 +182,7 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 		{"cluster", func(c sim.Config, _ int) error {
 			return clusterBench(clusterConfig{fleet: 16, placements: 20000, lookups: 200000, heartbeats: 4000})
 		}},
+		{"repair", func(c sim.Config, _ int) error { return repairBench() }},
 	}
 	timed := func(e experiment) error {
 		start := time.Now()
@@ -404,9 +406,9 @@ type encodeConfig struct {
 	blocks    int
 }
 
-// encodeBench measures the codec hot paths end to end: sequential vs
-// pipelined encode throughput for AE(3,5,5), and serial vs parallel repair
-// round latency for AE(3,2,5).
+// encodeBench measures the codec hot path end to end: sequential vs
+// pipelined encode throughput for AE(3,5,5). (Repair latency and
+// bandwidth live in the repair experiment.)
 func encodeBench(cfg encodeConfig) error {
 	params := lattice.Params{Alpha: 3, S: 5, P: 5}
 	fmt.Printf("Encode throughput — %s, %d blocks of %d KiB, %d cores\n",
@@ -457,7 +459,17 @@ func encodeBench(cfg encodeConfig) error {
 	record(benchfmt.Result{Experiment: "encode", Name: "pipelined",
 		NsPerOp: float64(pip.Nanoseconds()) / float64(cfg.blocks), MBps: mbps(pip)})
 
-	return repairRoundBench()
+	return nil
+}
+
+// repairBench covers the repair engine: whole-lattice round latency and
+// repair bandwidth (bytes moved per repaired block, tuple-scoped vs
+// round-based).
+func repairBench() error {
+	if err := repairRoundBench(); err != nil {
+		return err
+	}
+	return repairBandwidthBench()
 }
 
 // repairRoundBench times one whole-lattice repair, serial vs parallel
@@ -553,6 +565,95 @@ func repairRoundBench() error {
 		}
 	}
 	return nil
+}
+
+// repairBandwidthBench measures bytes moved per repaired block: repairing
+// each lost block through one minimal repair tuple (the maintenance
+// scheduler's healing path) vs a default whole-lattice round pass, over
+// identical data-only damage. Tuple repair should sit near two block
+// reads per repair; the round engine prefetches every candidate parity
+// for the round and lands far higher.
+func repairBandwidthBench() error {
+	const (
+		n         = 512
+		blockSize = 64 << 10
+	)
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	build := func() (*entangle.MemoryStore, []int, error) {
+		enc, err := entangle.NewEncoder(params, blockSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := entangle.NewMemoryStore(blockSize)
+		rng := rand.New(rand.NewSource(7))
+		data := make([]byte, blockSize)
+		for i := 1; i <= n; i++ {
+			rng.Read(data)
+			ent, err := enc.Entangle(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := st.PutData(context.Background(), ent.Index, data); err != nil {
+				return nil, nil, err
+			}
+			for _, p := range ent.Parities {
+				if err := st.PutParity(context.Background(), p.Edge, p.Data); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		// Data-only damage keeps every repair a single surviving tuple
+		// away, so both paths repair the same block set and the ratio
+		// isolates traffic, not repairability.
+		dmg := rand.New(rand.NewSource(99))
+		var lost []int
+		for i := 1; i <= n; i++ {
+			if dmg.Float64() < 0.15 {
+				st.LoseData(i)
+				lost = append(lost, i)
+			}
+		}
+		return st, lost, nil
+	}
+	rep, err := entangle.NewRepairer(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Repair bandwidth — %s, %d blocks of %d KiB, 15%% data-only failures\n",
+		params, n, blockSize>>10)
+	measure := func(name string, opts entangle.Options) error {
+		st, lost, err := build()
+		if err != nil {
+			return err
+		}
+		if opts.Scope != entangle.ScopeLattice {
+			for _, i := range lost {
+				opts.Targets = append(opts.Targets, store.DataRef(i))
+			}
+		}
+		start := time.Now()
+		stats, err := rep.Repair(context.Background(), st, opts)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		repairs := stats.DataRepaired + stats.ParityRepaired
+		if repairs == 0 {
+			return fmt.Errorf("repair bandwidth (%s): nothing repaired", name)
+		}
+		perBlock := float64(stats.BytesRead) / float64(repairs)
+		fmt.Printf("  %-6s %6.2f blocks read per repair (%d repairs, %.1f MiB moved, %v)\n",
+			name, perBlock/blockSize, repairs, float64(stats.BytesRead)/(1<<20),
+			elapsed.Round(time.Millisecond))
+		record(benchfmt.Result{Experiment: "repair", Name: name,
+			NsPerOp:    float64(elapsed.Nanoseconds()) / float64(repairs),
+			BytesBlock: &perBlock, WallNs: elapsed.Nanoseconds()})
+		return nil
+	}
+	if err := measure("tuple", entangle.Options{Scope: entangle.ScopeBlock}); err != nil {
+		return err
+	}
+	return measure("round", entangle.Options{})
 }
 
 func ablations(cfg sim.Config) error {

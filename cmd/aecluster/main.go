@@ -26,16 +26,26 @@
 // With -snapshot, membership identities and the routing table survive
 // restarts via an atomically-replaced JSON file; restored nodes get one
 // TTL of grace to heartbeat again.
+//
+// With -drain, the named nodes (comma-separated ids) are marked
+// draining: they stop receiving new placements immediately, and a
+// background task migrates their volumes onto the rest of the fleet a
+// bounded batch at a time — repair regenerates the blocks on the new
+// homes, exactly as it would after a node death, but ahead of one.
+// Draining marks persist in the snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"aecodes/internal/cluster"
+	"aecodes/internal/maintain"
 	"aecodes/internal/transport"
 )
 
@@ -43,12 +53,25 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	snapshot := flag.String("snapshot", "", "state snapshot file (JSON, atomically replaced); empty = memory-only")
 	ttl := flag.Duration("ttl", 0, "node liveness window: a node silent this long is dead (0 = 10s default)")
+	drain := flag.String("drain", "", "comma-separated node ids to decommission: re-place their volumes in the background")
 	flag.Parse()
 
 	m, err := cluster.NewManager(cluster.Options{TTL: *ttl, SnapshotPath: *snapshot})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aecluster:", err)
 		os.Exit(1)
+	}
+	if *drain != "" {
+		for _, id := range strings.Split(*drain, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if err := m.SetDraining(id, true); err != nil {
+				fmt.Fprintln(os.Stderr, "aecluster:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	srv, err := transport.NewServer(m.Store())
 	if err != nil {
@@ -67,11 +90,35 @@ func main() {
 	}
 	fmt.Println("aecluster listening on", bound)
 
+	// Drain runs whenever any node is marked draining — from -drain now
+	// or restored from the snapshot — moving a bounded batch of volumes
+	// per step so routing churn stays smooth.
+	maintCtx, maintStop := context.WithCancel(context.Background())
+	defer maintStop()
+	var maintDone chan struct{}
+	if draining := m.Draining(); len(draining) > 0 {
+		fmt.Printf("aecluster: draining %s\n", strings.Join(draining, ", "))
+		sched := maintain.NewScheduler(maintain.Options{
+			OnEvent: func(format string, args ...any) {
+				fmt.Printf("aecluster: "+format+"\n", args...)
+			},
+		}, &maintain.DrainTask{Mgr: m, Limit: maintain.NewBucket(0, 64)})
+		maintDone = make(chan struct{})
+		go func() {
+			defer close(maintDone)
+			sched.Run(maintCtx)
+		}()
+	}
+
 	defer srv.Close()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("aecluster: shutting down")
+	maintStop()
+	if maintDone != nil {
+		<-maintDone
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "aecluster:", err)
 		os.Exit(1)

@@ -98,7 +98,7 @@ func cmdEncode(args []string) error {
 
 	// The file streams through the pipeline: io.Copy hands the writer one
 	// bounded buffer at a time, never the whole payload.
-	w, err := aecodes.NewArchiveWriter(code, aecodes.NewBatchAdapter(store), aecodes.ArchiveOptions{
+	w, err := aecodes.NewArchiveWriterContext(context.Background(), code, aecodes.NewBatchAdapter(store), aecodes.ArchiveOptions{
 		Workers: *workers,
 		Depth:   *depth,
 	})
@@ -216,7 +216,7 @@ func cmdDecode(args []string) error {
 	}
 	defer f.Close()
 
-	r := aecodes.OpenArchiveOptions(code, aecodes.NewBatchAdapter(store), aecodes.ArchiveOptions{
+	r := aecodes.OpenArchiveContext(context.Background(), code, aecodes.NewBatchAdapter(store), aecodes.ArchiveOptions{
 		Window: *window,
 	})
 	n, err := io.Copy(f, r)
@@ -239,12 +239,22 @@ func cmdStatus(args []string) error {
 		return err
 	}
 	m := store.Manifest()
-	missing, err := store.Missing(context.Background())
+	code, err := aecodes.New(m.Params(), m.BlockSize)
+	if err != nil {
+		return err
+	}
+	h, err := code.Health(context.Background(), store, m.Blocks)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("archive %s: %v, block %dB, %d data blocks, %d payload bytes\n",
 		*dir, m.Params(), m.BlockSize, m.Blocks, m.PayloadLen)
-	fmt.Printf("missing: %d data blocks, %d parities\n", len(missing.Data), len(missing.Parities))
+	fmt.Printf("missing: %d data blocks, %d parities (health score %.2f)\n",
+		h.MissingData(), h.MissingParities(), h.Score)
+	for _, i := range h.FragileFirst() {
+		if h.IntactTuples[i] <= 1 {
+			fmt.Printf("  d%d: %d intact repair tuple(s) left — repair soon\n", i, h.IntactTuples[i])
+		}
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"aecodes/internal/cooperative"
+	"aecodes/internal/entangle"
 	"aecodes/internal/lattice"
 	"aecodes/internal/store"
 	"aecodes/internal/tenant"
@@ -187,7 +188,7 @@ func TestMultiTenantAestored(t *testing.T) {
 		}
 	}
 	bob.DropLocal(bobDropped...)
-	stats, err := bob.RepairLattice(ctx)
+	stats, err := bob.Repair(ctx, entangle.Options{})
 	if err != nil {
 		t.Fatalf("bob's repair next to an exhausted tenant: %v", err)
 	}
@@ -206,12 +207,12 @@ func TestMultiTenantAestored(t *testing.T) {
 	coldBlocks := backupN(cold, rng, 8)
 
 	// Every cold parity is currently held.
-	missing, err := cold.Missing(ctx)
+	health, err := cold.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(missing.Parities) != 0 {
-		t.Fatalf("cold lattice already missing %d parities before pressure", len(missing.Parities))
+	if !health.Healthy() {
+		t.Fatalf("cold lattice already missing %d parities before pressure", health.MissingParities())
 	}
 
 	// The writer pushes the node over the 6000-byte high-water mark;
@@ -222,17 +223,17 @@ func TestMultiTenantAestored(t *testing.T) {
 			t.Fatalf("writer put %d: %v", i, err)
 		}
 	}
-	missing, err = cold.Missing(ctx)
+	health, err = cold.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(missing.Parities) == 0 {
+	if health.MissingParities() == 0 {
 		t.Fatal("pressure never evicted the cold lattice")
 	}
 
 	// Cooperative repair regenerates the evicted lattice from the
 	// user's surviving local data.
-	stats, err = cold.RepairLattice(ctx)
+	stats, err = cold.Repair(ctx, entangle.Options{})
 	if err != nil {
 		t.Fatalf("repairing the evicted lattice: %v", err)
 	}

@@ -40,6 +40,14 @@
 // served as the anonymous tenant from the raw keyspace, so old clients
 // keep working unchanged.
 //
+// With -scrubrate and/or -healrate set (bytes per second; both require
+// -data), the node runs background maintenance under a shared token
+// bucket: a continuous CRC scrub walks the log in key order dropping
+// corrupt records, and a healing task repairs the store's lattice
+// most-fragile blocks first through minimal repair tuples. Maintenance
+// pauses whenever foreground requests are in flight and resumes when
+// the node goes idle, so it never competes with clients for the log.
+//
 // With -idletimeout set, connections idle longer than that are dropped
 // so abandoned broker connections cannot pin sockets forever. It
 // defaults to off: a reaped connection permanently poisons a plain
@@ -67,6 +75,8 @@ import (
 	"time"
 
 	"aecodes/internal/cluster"
+	"aecodes/internal/entangle"
+	"aecodes/internal/maintain"
 	"aecodes/internal/segstore"
 	"aecodes/internal/tenant"
 	"aecodes/internal/transport"
@@ -83,6 +93,8 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "tenant config file (JSON; enables multi-tenancy)")
 	quota := flag.Int64("quota", 0, "default per-tenant byte quota (0 = unlimited; enables multi-tenancy)")
 	evictHW := flag.Int64("evicthw", 0, "eviction high-water mark in live bytes: shed cold tenant lattices above it (0 disables; enables multi-tenancy)")
+	scrubRate := flag.Int64("scrubrate", 0, "background CRC scrub rate in bytes/s (0 disables; requires -data)")
+	healRate := flag.Int64("healrate", 0, "background lattice healing rate in bytes/s (0 disables; requires -data)")
 	clusterAddr := flag.String("cluster", "", "cluster manager address: join the fleet and heartbeat to it (empty = standalone)")
 	nodeID := flag.String("node", "", "stable node identity announced in heartbeats (default: the bound listen address; requires -cluster)")
 	advertise := flag.String("advertise", "", "address peers dial to reach this node (default: the bound listen address; requires -cluster)")
@@ -97,6 +109,10 @@ func main() {
 
 	if *data == "" && (*sync || *segSize != 0 || *compactDead != 0 || *compactRatio != 0) {
 		fmt.Fprintln(os.Stderr, "aestored: -sync, -segsize, -compactdead and -compactratio need -data")
+		os.Exit(1)
+	}
+	if *data == "" && (*scrubRate != 0 || *healRate != 0) {
+		fmt.Fprintln(os.Stderr, "aestored: -scrubrate and -healrate need -data")
 		os.Exit(1)
 	}
 
@@ -214,6 +230,51 @@ func main() {
 		fmt.Printf("aestored: joined cluster %s as %s (advertising %s)\n", *clusterAddr, cfg.ID, cfg.Addr)
 	}
 
+	// Background maintenance: a rate-limited scrub walks the log
+	// verifying CRCs (corrupt records are dropped, which surfaces them as
+	// missing), and a healing task repairs the store's lattice most-fragile
+	// blocks first — both under one token bucket, paused whenever foreground
+	// requests are in flight.
+	maintCtx, maintStop := context.WithCancel(context.Background())
+	defer maintStop()
+	var maintDone chan struct{}
+	if *scrubRate > 0 || *healRate > 0 {
+		bucket := maintain.NewBucket(float64(*scrubRate+*healRate), 0)
+		var tasks []maintain.Task
+		if *scrubRate > 0 {
+			tasks = append(tasks, &maintain.ScrubTask{Store: seg, Limit: bucket})
+		}
+		if *healRate > 0 {
+			tasks = append(tasks, &maintain.HealTask{
+				Open: func(ctx context.Context) (maintain.HealTarget, error) {
+					lat, err := segstore.OpenLattice(seg)
+					if err != nil {
+						return nil, err // wraps store.ErrNotFound until a shape is archived
+					}
+					rep, err := entangle.NewRepairer(lat.Shape().Params)
+					if err != nil {
+						return nil, err
+					}
+					return maintain.NewStoreTarget(rep, lat, lat.Shape().Blocks), nil
+				},
+				Opts: entangle.Options{RateLimit: bucket},
+			})
+		}
+		sched := maintain.NewScheduler(maintain.Options{
+			Limit:    bucket,
+			Pressure: func() bool { return srv.Inflight() > 0 },
+			OnEvent: func(format string, args ...any) {
+				fmt.Printf("aestored: "+format+"\n", args...)
+			},
+		}, tasks...)
+		maintDone = make(chan struct{})
+		go func() {
+			defer close(maintDone)
+			sched.Run(maintCtx)
+		}()
+		fmt.Printf("aestored: background maintenance on (scrub %d B/s, heal %d B/s)\n", *scrubRate, *healRate)
+	}
+
 	// Close is idempotent, so the deferred safety net and the signal path
 	// may race freely: a SIGTERM arriving during shutdown still exits 0.
 	defer srv.Close()
@@ -232,6 +293,12 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "aestored:", err)
 		os.Exit(1)
+	}
+	// Stop maintenance before closing the store: a scrub or heal step must
+	// not race seg.Close.
+	maintStop()
+	if maintDone != nil {
+		<-maintDone
 	}
 	if seg != nil {
 		// Sync and release the log only after the listener has drained, so

@@ -109,7 +109,7 @@ func main() {
 	// re-uploads them.
 	lost := stores[2].Len()
 	stores[2].Clear()
-	stats, err := broker.RepairLattice(ctx)
+	stats, err := broker.Repair(ctx, aecodes.RepairOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func main() {
 	for i := 1; i <= 40; i++ {
 		local[i] = originals[i]
 	}
-	if err := recovered.Recover(ctx, 40, local); err != nil {
+	if err := recovered.RecoverState(ctx, cooperative.RecoverOptions{Count: 40, Local: local}); err != nil {
 		log.Fatal(err)
 	}
 	extra := make([]byte, blockSize)

@@ -39,8 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	w, err := aecodes.NewArchiveWriter(code, store, aecodes.ArchiveOptions{
-		Context: ctx,
+	w, err := aecodes.NewArchiveWriterContext(ctx, code, store, aecodes.ArchiveOptions{
 		Workers: 4,
 		Depth:   4, // in-flight window: ≤ 4×4+2 blocks live at once
 	})

@@ -7,6 +7,7 @@ import (
 
 	"aecodes"
 	"aecodes/internal/cooperative"
+	"aecodes/internal/entangle"
 	"aecodes/internal/transport"
 )
 
@@ -85,7 +86,7 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 	// Storage node disk loss: regenerate its parities remotely.
 	lost := stores[1].Len()
 	stores[1].Clear()
-	stats, err := broker.RepairLattice(bg)
+	stats, err := broker.Repair(bg, entangle.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestIntegrationCooperativeOverTCP(t *testing.T) {
 	for i := 1; i <= 50; i++ {
 		local[i] = originals[i]
 	}
-	if err := resumed.Recover(bg, 50, local); err != nil {
+	if err := resumed.RecoverState(bg, cooperative.RecoverOptions{Count: 50, Local: local}); err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
 	extra := make([]byte, blockSize)

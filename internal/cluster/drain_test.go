@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestDrainingNodeGetsNoNewPlacements(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestManager(t, clk, "")
+	beat(t, m, "n1", 0, 0)
+	beat(t, m, "n2", 0, 0)
+	if err := m.SetDraining("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ri, err := m.Route(fmt.Sprintf("u/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Node == "n1" {
+			t.Fatalf("volume u/%d placed on draining node", i)
+		}
+	}
+	// Undraining restores the node to the placement pool.
+	if err := m.SetDraining("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	onN1 := 0
+	for i := 0; i < 40; i++ {
+		ri, err := m.Route(fmt.Sprintf("v/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Node == "n1" {
+			onN1++
+		}
+	}
+	if onN1 == 0 {
+		t.Fatal("undrained node never got a placement again")
+	}
+	if err := m.SetDraining("", true); err == nil {
+		t.Fatal("SetDraining with empty id succeeded")
+	}
+}
+
+func TestDrainStepMovesVolumesOff(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestManager(t, clk, "")
+	beat(t, m, "n1", 0, 0)
+	beat(t, m, "n2", 0, 0)
+	beat(t, m, "n3", 0, 0)
+	const vols = 30
+	onN1 := 0
+	for i := 0; i < vols; i++ {
+		ri, err := m.Route(fmt.Sprintf("u/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Node == "n1" {
+			onN1++
+		}
+	}
+	if onN1 == 0 {
+		t.Skip("rendezvous placement put nothing on n1")
+	}
+	if err := m.SetDraining("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	epoch := m.Epoch()
+
+	// Bounded batches: each step moves at most max volumes, and the walk
+	// terminates with everything off the draining node.
+	total := 0
+	for steps := 0; ; steps++ {
+		if steps > vols {
+			t.Fatal("drain never finished")
+		}
+		moved, err := m.DrainStep(4)
+		if err != nil {
+			t.Fatalf("DrainStep: %v", err)
+		}
+		if moved > 4 {
+			t.Fatalf("DrainStep moved %d > batch of 4", moved)
+		}
+		total += moved
+		if moved == 0 {
+			break
+		}
+	}
+	if total != onN1 {
+		t.Fatalf("drained %d volumes, want %d", total, onN1)
+	}
+	if m.Epoch() <= epoch {
+		t.Fatal("re-placements did not advance the epoch")
+	}
+	for i := 0; i < vols; i++ {
+		ri, err := m.Route(fmt.Sprintf("u/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Node == "n1" {
+			t.Fatalf("volume u/%d still routed to the drained node", i)
+		}
+	}
+}
+
+func TestDrainStepNoTargetsReportsErrNoNodes(t *testing.T) {
+	clk := newFakeClock()
+	m := newTestManager(t, clk, "")
+	beat(t, m, "n1", 0, 0)
+	if _, err := m.Route("u/0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDraining("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	// The only node is draining: nothing has headroom to receive.
+	if _, err := m.DrainStep(8); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("DrainStep with no destinations: %v, want ErrNoNodes", err)
+	}
+}
+
+func TestDrainingSurvivesSnapshotRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	clk := newFakeClock()
+	m := newTestManager(t, clk, path)
+	beat(t, m, "n1", 0, 0)
+	beat(t, m, "n2", 0, 0)
+	if err := m.SetDraining("n1", true); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, clk, path)
+	got := m2.Draining()
+	if len(got) != 1 || got[0] != "n1" {
+		t.Fatalf("Draining() after restart = %v, want [n1]", got)
+	}
+	for _, n := range m2.Nodes() {
+		if n.ID == "n1" && !n.Draining {
+			t.Fatal("NodeInfo for n1 lost its draining mark across restart")
+		}
+	}
+}

@@ -74,10 +74,11 @@ type Manager struct {
 	snapshotPath string
 	placer       placement.Rendezvous
 
-	mu     sync.Mutex
-	nodes  map[string]*nodeState // fleet membership; guarded by mu
-	routes map[string]string     // volume → node ID; guarded by mu
-	epoch  uint64                // routing-table version, bumped on every route change; guarded by mu
+	mu       sync.Mutex
+	nodes    map[string]*nodeState // fleet membership; guarded by mu
+	routes   map[string]string     // volume → node ID; guarded by mu
+	epoch    uint64                // routing-table version, bumped on every route change; guarded by mu
+	draining map[string]bool       // decommissioning nodes: weigh zero, DrainStep empties them; guarded by mu
 }
 
 // NewManager returns a manager, restoring state from the snapshot at
@@ -91,6 +92,7 @@ func NewManager(opts Options) (*Manager, error) {
 		snapshotPath: opts.SnapshotPath,
 		nodes:        make(map[string]*nodeState),
 		routes:       make(map[string]string),
+		draining:     make(map[string]bool),
 	}
 	if m.ttl <= 0 {
 		m.ttl = DefaultTTL
@@ -184,6 +186,7 @@ type NodeInfo struct {
 	ID        string    `json:"id"`
 	Addr      string    `json:"addr"`
 	Alive     bool      `json:"alive"`
+	Draining  bool      `json:"draining,omitempty"`
 	LastSeen  time.Time `json:"lastSeen"`
 	Capacity  int64     `json:"capacity"`
 	Used      int64     `json:"used"`
@@ -197,10 +200,10 @@ func (m *Manager) aliveLocked(id string) bool {
 }
 
 // headroomLocked is a node's placement weight: free bytes, or
-// unboundedHeadroom for capacity-unlimited nodes. Dead and full nodes
-// weigh zero and are never chosen.
+// unboundedHeadroom for capacity-unlimited nodes. Dead, full, and
+// draining nodes weigh zero and are never chosen.
 func (m *Manager) headroomLocked(id string) float64 {
-	if !m.aliveLocked(id) {
+	if !m.aliveLocked(id) || m.draining[id] {
 		return 0
 	}
 	st := m.nodes[id].stat
@@ -318,6 +321,7 @@ func (m *Manager) Nodes() []NodeInfo {
 			ID:        id,
 			Addr:      n.stat.Addr,
 			Alive:     m.aliveLocked(id),
+			Draining:  m.draining[id],
 			LastSeen:  n.lastSeen,
 			Capacity:  n.stat.Capacity,
 			Used:      n.stat.Used,
@@ -336,13 +340,89 @@ func (m *Manager) Epoch() uint64 {
 	return m.epoch
 }
 
+// SetDraining marks node id as decommissioning (or clears the mark). A
+// draining node keeps serving reads but weighs zero for placement, and
+// DrainStep progressively re-places its volumes. Unknown ids are
+// accepted — an operator can mark a node before its first heartbeat.
+// The mark persists in the snapshot.
+func (m *Manager) SetDraining(id string, draining bool) error {
+	if id == "" {
+		return errors.New("cluster: empty node id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if draining {
+		m.draining[id] = true
+	} else {
+		delete(m.draining, id)
+	}
+	return m.saveSnapshotLocked()
+}
+
+// Draining returns the draining node ids, sorted.
+func (m *Manager) Draining() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.draining))
+	for id := range m.draining {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DrainStep re-places up to max volumes currently routed to draining
+// nodes (lowest volume IDs first, for deterministic progress) and
+// reports how many moved. Only the routes move: cooperative repair
+// regenerates each volume's blocks on its new home exactly as after a
+// node death, so the drain is the proactive version of that path.
+// (0, nil) means nothing is left to move. When no live node has
+// headroom the step stops early and returns ErrNoNodes with whatever
+// progress it made; the caller retries later.
+func (m *Manager) DrainStep(max int) (int, error) {
+	if max <= 0 {
+		max = 16
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.draining) == 0 {
+		return 0, nil
+	}
+	var vols []string
+	for vol, node := range m.routes {
+		if m.draining[node] {
+			vols = append(vols, vol)
+		}
+	}
+	sort.Strings(vols)
+	moved := 0
+	var stepErr error
+	for _, vol := range vols {
+		if moved >= max {
+			break
+		}
+		if _, err := m.placeLocked(vol); err != nil {
+			stepErr = err // no live node with headroom: stop, retry later
+			break
+		}
+		moved++
+	}
+	if moved > 0 {
+		if err := m.saveSnapshotLocked(); err != nil && stepErr == nil {
+			stepErr = err
+		}
+	}
+	return moved, stepErr
+}
+
 // snapshot is the persisted manager state: membership identities and
 // the routing table. Heartbeat pressure signals are deliberately left
 // out — they rebuild from the next heartbeat round.
 type snapshot struct {
-	Epoch  uint64            `json:"epoch"`
-	Routes map[string]string `json:"routes"`
-	Nodes  []snapshotNode    `json:"nodes"`
+	Epoch    uint64            `json:"epoch"`
+	Routes   map[string]string `json:"routes"`
+	Nodes    []snapshotNode    `json:"nodes"`
+	Draining []string          `json:"draining,omitempty"`
 }
 
 type snapshotNode struct {
@@ -365,6 +445,12 @@ func (m *Manager) saveSnapshotLocked() error {
 	for _, id := range ids {
 		snap.Nodes = append(snap.Nodes, snapshotNode{ID: id, Addr: m.nodes[id].stat.Addr})
 	}
+	drains := make([]string, 0, len(m.draining))
+	for id := range m.draining {
+		drains = append(drains, id)
+	}
+	sort.Strings(drains)
+	snap.Draining = drains
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("cluster: encoding snapshot: %w", err)
@@ -412,6 +498,9 @@ func (m *Manager) loadSnapshot() error {
 		if _, ok := m.nodes[node]; ok {
 			m.routes[vol] = node
 		}
+	}
+	for _, id := range snap.Draining {
+		m.draining[id] = true
 	}
 	return nil
 }

@@ -680,20 +680,59 @@ func (b *Broker) Missing(ctx context.Context) (store.Missing, error) {
 	return b.netStore().Missing(ctx)
 }
 
-// RepairLattice runs round-based repair over the user's whole lattice,
-// regenerating every reachable missing data and parity block ("all users
-// will be interested in the regeneration of their lattices to maintain the
-// same level of redundancy", §IV.A). It returns the engine statistics.
-func (b *Broker) RepairLattice(ctx context.Context) (entangle.Stats, error) {
-	return b.rep.Repair(ctx, b.netStore(), entangle.Options{})
+// Repair is the broker's unified repair entrypoint: it drives the
+// engine over the broker's network view with the caller's options —
+// whole-lattice rounds by default, or scoped tuple repair with a rate
+// limit when background maintenance calls ("all users will be
+// interested in the regeneration of their lattices to maintain the same
+// level of redundancy", §IV.A). It returns the engine statistics.
+func (b *Broker) Repair(ctx context.Context, opts entangle.Options) (entangle.Stats, error) {
+	return b.rep.Repair(ctx, b.netStore(), opts)
 }
 
-// Recover rebuilds a broker's encoder state after a crash: the strand
-// heads are re-fetched from the storage nodes (§IV.A: "it only needs to
-// retrieve the p-blocks from the remote nodes"). count tells the recovered
-// broker how many blocks had been backed up; local data blocks are those
-// still present on the user's machine.
+// Health is the broker's single health probe: one Missing enumeration
+// scored by lattice geometry (missing blocks, intact repair tuples per
+// missing block, urgency score). It replaces ad-hoc Missing+Count
+// pairs — cheap enough to poll, since no block contents move.
+func (b *Broker) Health(ctx context.Context) (entangle.Health, error) {
+	b.mu.RLock()
+	count := b.count
+	b.mu.RUnlock()
+	return b.rep.Health(ctx, b.netStore(), count)
+}
+
+// RepairLattice runs round-based repair over the user's whole lattice.
+//
+// Deprecated: use Repair with zero entangle.Options, which also admits
+// rate limits and scoped targets.
+func (b *Broker) RepairLattice(ctx context.Context) (entangle.Stats, error) {
+	return b.Repair(ctx, entangle.Options{})
+}
+
+// RecoverOptions configures RecoverState.
+type RecoverOptions struct {
+	// Count is how many blocks had been backed up before the crash.
+	Count int
+	// Local holds the data blocks still present on the user's machine,
+	// keyed by position. The broker copies them.
+	Local map[int][]byte
+}
+
+// Recover rebuilds a broker's encoder state after a crash.
+//
+// Deprecated: use RecoverState, which takes the same values as an
+// options struct shared with the other repair entrypoints.
 func (b *Broker) Recover(ctx context.Context, count int, local map[int][]byte) error {
+	return b.RecoverState(ctx, RecoverOptions{Count: count, Local: local})
+}
+
+// RecoverState rebuilds a broker's encoder state after a crash: the
+// strand heads are re-fetched from the storage nodes (§IV.A: "it only
+// needs to retrieve the p-blocks from the remote nodes"). opts.Count
+// tells the recovered broker how many blocks had been backed up;
+// opts.Local holds the data blocks still present on the user's machine.
+func (b *Broker) RecoverState(ctx context.Context, opts RecoverOptions) error {
+	count, local := opts.Count, opts.Local
 	if count < 0 {
 		return fmt.Errorf("cooperative: negative count %d", count)
 	}

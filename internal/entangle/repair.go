@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"aecodes/internal/hotpath"
 	"aecodes/internal/lattice"
 	"aecodes/internal/store"
 	"aecodes/internal/xorblock"
@@ -174,6 +175,22 @@ type Options struct {
 	// microseconds. Zero defaults to 50ms — on the order of the
 	// transport's first redial backoff; negative disables the pause.
 	RetryDelay time.Duration
+	// RateLimit, when non-nil, meters the run's I/O: the engine charges
+	// every fetched and committed block against it and stalls when the
+	// budget is spent. Background maintenance shares one limiter across
+	// all of its tasks so foreground traffic keeps its p99.
+	RateLimit Limiter
+	// Priority tags the run for schedulers sharing a rate budget; the
+	// engine records it but does not act on it.
+	Priority Priority
+	// Scope selects the repair surface: whole-lattice rounds (the
+	// default, ScopeLattice), exactly Targets (ScopeBlock), or Targets
+	// plus the missing tuple companions needed to complete them
+	// (ScopeTuple). See the Scope constants.
+	Scope Scope
+	// Targets lists the blocks scoped repair rebuilds; ignored under
+	// ScopeLattice.
+	Targets []store.Ref
 }
 
 // retryDelay resolves the option's default.
@@ -210,6 +227,11 @@ type Stats struct {
 	// missing at fixpoint (irrecoverable under the current availability).
 	UnrepairedData     []int
 	UnrepairedParities []lattice.Edge
+	// BytesRead counts block bytes the engine fetched to plan repairs —
+	// the numerator of bytes-moved-per-repaired-block. Scoped repair
+	// reads only the tuples it probes (≈2 blocks per repaired block);
+	// whole-lattice rounds prefetch the full working set.
+	BytesRead int64
 }
 
 // DataLoss returns the number of data blocks the engine failed to repair —
@@ -230,6 +252,9 @@ func (s Stats) DataLoss() int { return len(s.UnrepairedData) }
 // backend. The prefetch freezes the pre-round state: every planner reads
 // the same snapshot whatever the worker count.
 func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, error) {
+	if opts.Scope != ScopeLattice {
+		return r.repairScoped(ctx, st, opts)
+	}
 	var stats Stats
 	// final remembers the last enumeration when nothing was committed
 	// after it, so the usual exits (lattice healthy, fixpoint) do not pay
@@ -262,7 +287,7 @@ func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, e
 		// this round: Patience treats it like a zero-progress round (the
 		// next enumeration starts over), and only when Patience is
 		// exhausted does it surface as the run's error.
-		cache, err := r.prefetchRound(ctx, st, missing.Data, missingPar, opts.retryDelay())
+		cache, err := r.prefetchRound(ctx, st, missing.Data, missingPar, opts, &stats)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return stats, cerr
@@ -302,11 +327,22 @@ func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, e
 		// pooled buffers can be recycled as soon as the commit returns,
 		// keeping whole-round repair allocation-free in steady state.
 		commit := make([]store.Block, 0, len(dataFixes)+len(parFixes))
+		var commitBytes int64
 		for _, f := range dataFixes {
 			commit = append(commit, store.Block{Ref: store.DataRef(f.pos), Data: f.buf})
+			commitBytes += int64(len(f.buf))
 		}
 		for _, f := range parFixes {
 			commit = append(commit, store.Block{Ref: store.ParityRef(f.edge), Data: f.buf})
+			commitBytes += int64(len(f.buf))
+		}
+		if opts.RateLimit != nil {
+			if lerr := opts.RateLimit.Acquire(ctx, len(commit), commitBytes); lerr != nil {
+				for _, b := range commit {
+					xorblock.PoolFor(len(b.Data)).Put(b.Data)
+				}
+				return stats, lerr
+			}
 		}
 		err = st.PutMany(ctx, commit)
 		for _, b := range commit {
@@ -440,7 +476,10 @@ func (r *Repairer) workingSet(missingData []int, missingPar []lattice.Edge) ([]s
 // retried a bounded number of times with delay between attempts (flaky
 // backends burst; pools need their redial backoff to land); nil entries
 // — blocks the store cannot serve — are recorded as known-missing.
-func (r *Repairer) prefetchRound(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge, delay time.Duration) (*roundCache, error) {
+// Fetched bytes are counted into stats and charged against the rate
+// limiter after the batch lands (the debt model: the engine only learns
+// sizes by reading).
+func (r *Repairer) prefetchRound(ctx context.Context, st Store, missingData []int, missingPar []lattice.Edge, opts Options, stats *Stats) (*roundCache, error) {
 	refs, err := r.workingSet(missingData, missingPar)
 	if err != nil {
 		return nil, err
@@ -464,22 +503,35 @@ func (r *Repairer) prefetchRound(ctx context.Context, st Store, missingData []in
 		if attempt >= prefetchAttempts {
 			return nil, fmt.Errorf("entangle: working-set prefetch failed after %d attempts: %w", attempt, err)
 		}
-		if serr := store.SleepCtx(ctx, delay); serr != nil {
+		if serr := store.SleepCtx(ctx, opts.retryDelay()); serr != nil {
 			return nil, serr
 		}
 	}
 	if len(blocks) != len(refs) {
 		return nil, fmt.Errorf("entangle: working-set prefetch returned %d entries, want %d", len(blocks), len(refs))
 	}
+	var fetched int64
+	served := 0
 	for idx, ref := range refs {
 		b := blocks[idx]
-		if b != nil && cache.blockSize == 0 {
-			cache.blockSize = len(b)
+		if b != nil {
+			if cache.blockSize == 0 {
+				cache.blockSize = len(b)
+			}
+			fetched += int64(len(b))
+			served++
 		}
 		if ref.Parity {
 			cache.par[keyOf(ref.Edge)] = b
 		} else {
 			cache.data[ref.Index] = b
+		}
+	}
+	stats.BytesRead += fetched
+	hotpath.CountRepairRead(int(fetched))
+	if opts.RateLimit != nil {
+		if err := opts.RateLimit.Acquire(ctx, served, fetched); err != nil {
+			return nil, err
 		}
 	}
 	return cache, nil

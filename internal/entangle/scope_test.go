@@ -1,0 +1,235 @@
+package entangle
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"aecodes/internal/lattice"
+	"aecodes/internal/store"
+)
+
+// loseTuple breaks one pp-tuple of data block i by removing the given
+// real edge of it.
+func loseEdge(t *testing.T, st *MemoryStore, e lattice.Edge) {
+	t.Helper()
+	if e.IsVirtual() {
+		t.Fatalf("test setup: edge %v is virtual, cannot lose it", e)
+	}
+	st.LoseParity(e)
+}
+
+func TestScopeBlockRepairsOnlyTargets(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, originals := buildSystem(t, params, 120, 64, 11)
+	r := mustRepairer(t, params)
+
+	st.LoseData(60)
+	st.LoseData(61)
+	stats, err := r.Repair(bg, st, Options{Scope: ScopeBlock, Targets: []store.Ref{store.DataRef(60)}})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.DataRepaired != 1 || stats.ParityRepaired != 0 {
+		t.Fatalf("stats = %d data, %d parity repaired; want exactly the target", stats.DataRepaired, stats.ParityRepaired)
+	}
+	got, ok := st.Data(60)
+	if !ok || !bytes.Equal(got, originals[60]) {
+		t.Errorf("target block 60 not restored correctly")
+	}
+	if _, ok := st.Data(61); ok {
+		t.Errorf("block 61 was repaired, but scoped repair must touch only its targets")
+	}
+	// A single-tuple repair of an interior block reads exactly the two
+	// parities of one pp-tuple — the minimal-bandwidth property the
+	// maintenance scheduler relies on.
+	if want := int64(2 * 64); stats.BytesRead != want {
+		t.Errorf("BytesRead = %d, want %d (two tuple parities)", stats.BytesRead, want)
+	}
+}
+
+func TestScopeBlockDoesNotCascade(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, _ := buildSystem(t, params, 120, 64, 12)
+	r := mustRepairer(t, params)
+	lat := r.Lattice()
+
+	// Break every pp-tuple of block 60 by removing one parity from each.
+	tuples, err := lat.Tuples(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.LoseData(60)
+	for _, tup := range tuples {
+		loseEdge(t, st, tup.In)
+	}
+	stats, err := r.Repair(bg, st, Options{Scope: ScopeBlock, Targets: []store.Ref{store.DataRef(60)}})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.DataRepaired != 0 || len(stats.UnrepairedData) != 1 || stats.UnrepairedData[0] != 60 {
+		t.Fatalf("ScopeBlock with no intact tuple: stats = %+v, want block 60 unrepaired", stats)
+	}
+}
+
+func TestScopeTupleHealsCompanionParity(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, originals := buildSystem(t, params, 120, 64, 13)
+	r := mustRepairer(t, params)
+	lat := r.Lattice()
+
+	// Same damage as above: no pp-tuple of 60 is complete. ScopeTuple may
+	// rebuild one missing companion parity from its own dp-tuple, which
+	// unlocks the target.
+	tuples, err := lat.Tuples(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.LoseData(60)
+	for _, tup := range tuples {
+		loseEdge(t, st, tup.In)
+	}
+	stats, err := r.Repair(bg, st, Options{Scope: ScopeTuple, Targets: []store.Ref{store.DataRef(60)}})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.DataRepaired != 1 {
+		t.Fatalf("stats.DataRepaired = %d, want 1 (companion cascade should unlock the target)", stats.DataRepaired)
+	}
+	if stats.ParityRepaired < 1 {
+		t.Errorf("stats.ParityRepaired = %d, want >= 1 (the healed companion commits too)", stats.ParityRepaired)
+	}
+	got, ok := st.Data(60)
+	if !ok || !bytes.Equal(got, originals[60]) {
+		t.Errorf("target block 60 not restored correctly through the cascade")
+	}
+}
+
+func TestScopedRepairSkipsPresentTargets(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, _ := buildSystem(t, params, 120, 64, 14)
+	r := mustRepairer(t, params)
+
+	stats, err := r.Repair(bg, st, Options{Scope: ScopeBlock, Targets: []store.Ref{store.DataRef(7), store.DataRef(8)}})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.DataRepaired != 0 || stats.Rounds != 0 {
+		t.Errorf("present targets repaired: %+v", stats)
+	}
+}
+
+// acquireLog records every Limiter charge.
+type acquireLog struct {
+	ops   int
+	bytes int64
+	calls int
+	fail  error
+}
+
+func (l *acquireLog) Acquire(ctx context.Context, ops int, bytes int64) error {
+	if l.fail != nil {
+		return l.fail
+	}
+	l.calls++
+	l.ops += ops
+	l.bytes += bytes
+	return nil
+}
+
+func TestScopedRepairChargesLimiter(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, _ := buildSystem(t, params, 120, 64, 15)
+	r := mustRepairer(t, params)
+
+	st.LoseData(60)
+	lim := &acquireLog{}
+	stats, err := r.Repair(bg, st, Options{Scope: ScopeBlock, Targets: []store.Ref{store.DataRef(60)}, RateLimit: lim})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	// Every metered read and the final commit must charge the bucket:
+	// reads (BytesRead) plus one repaired block written back.
+	want := stats.BytesRead + 64
+	if lim.bytes != want {
+		t.Errorf("limiter charged %d bytes, want %d (reads %d + one committed block)", lim.bytes, want, stats.BytesRead)
+	}
+	if lim.calls < 2 {
+		t.Errorf("limiter charged %d times, want at least a read and a commit charge", lim.calls)
+	}
+}
+
+func TestRoundRepairMetersAndCharges(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, _ := buildSystem(t, params, 120, 64, 16)
+	r := mustRepairer(t, params)
+
+	st.LoseData(30)
+	st.LoseData(90)
+	lim := &acquireLog{}
+	stats, err := r.Repair(bg, st, Options{RateLimit: lim})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.DataRepaired != 2 {
+		t.Fatalf("DataRepaired = %d, want 2", stats.DataRepaired)
+	}
+	if stats.BytesRead <= 0 {
+		t.Errorf("round repair did not meter BytesRead")
+	}
+	if lim.bytes < stats.BytesRead {
+		t.Errorf("limiter charged %d bytes < %d metered reads; commit must add more", lim.bytes, stats.BytesRead)
+	}
+}
+
+func TestHealthScoresFragility(t *testing.T) {
+	params := lattice.Params{Alpha: 3, S: 2, P: 5}
+	st, _ := buildSystem(t, params, 120, 64, 17)
+	r := mustRepairer(t, params)
+	lat := r.Lattice()
+
+	h, err := r.Health(bg, st, 120)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if !h.Healthy() || h.Score != 0 {
+		t.Fatalf("undamaged lattice: Healthy=%v Score=%v", h.Healthy(), h.Score)
+	}
+
+	// Block 60: plain loss, all α tuples intact. Block 90: loss with every
+	// tuple broken — one failure from permanent.
+	st.LoseData(60)
+	st.LoseData(90)
+	tuples, err := lat.Tuples(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		loseEdge(t, st, tup.In)
+	}
+	h, err = r.Health(bg, st, 120)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Healthy() {
+		t.Fatal("damaged lattice reported healthy")
+	}
+	if got := h.IntactTuples[60]; got != params.Alpha {
+		t.Errorf("IntactTuples[60] = %d, want %d", got, params.Alpha)
+	}
+	if got := h.IntactTuples[90]; got != 0 {
+		t.Errorf("IntactTuples[90] = %d, want 0", got)
+	}
+	order := h.FragileFirst()
+	if len(order) != 2 || order[0] != 90 || order[1] != 60 {
+		t.Errorf("FragileFirst() = %v, want [90 60] (fewest intact tuples first)", order)
+	}
+	// Scoring: 90 contributes 1/(1+0)=1, 60 contributes 1/(1+α), each
+	// missing parity at most 0.5 — so the score must exceed 1 but stay
+	// bounded by the parts.
+	minScore := 1.0 + 1.0/float64(1+params.Alpha)
+	maxScore := minScore + 0.5*float64(len(h.Missing.Parities))
+	if h.Score < minScore || h.Score > maxScore {
+		t.Errorf("Score = %v, want within [%v, %v]", h.Score, minScore, maxScore)
+	}
+}

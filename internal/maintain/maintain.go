@@ -1,0 +1,327 @@
+// Package maintain is the background task center: it turns repair from
+// client-driven into self-driving. A Scheduler round-robins a set of
+// Tasks — CRC scrub over segstore records, proactive lattice healing
+// ordered by health score, cluster drain — inside aestored and
+// aecluster, with every task drawing from one shared token-bucket rate
+// limiter (bytes/s + ops/s) so foreground traffic keeps its p99. The
+// scheduler pauses the bucket while the server reports foreground
+// pressure and resumes when it clears.
+package maintain
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"aecodes/internal/entangle"
+)
+
+// Bucket is a token-bucket rate limiter with two coupled budgets, bytes
+// per second and operations per second (zero means that dimension is
+// unlimited). It uses a debt model: Acquire admits a caller whenever
+// both balances are non-negative and then subtracts the charge, so a
+// caller that only learns the real transfer size after the I/O charges
+// it afterwards, driving the balance negative; the bucket refills before
+// admitting the next caller and measured rates converge on the
+// configured ones. Burst is capped at one second of each rate.
+//
+// A paused bucket blocks every Acquire until Resume (or the caller's ctx
+// cancels) — the scheduler's foreground-pressure brake.
+type Bucket struct {
+	bytesRate float64 // tokens/s; immutable after NewBucket
+	opsRate   float64 // tokens/s; immutable after NewBucket
+
+	mu     sync.Mutex
+	bytes  float64   // byte-token balance, may be negative (debt); guarded by mu
+	ops    float64   // op-token balance, may be negative (debt); guarded by mu
+	last   time.Time // last refill instant; guarded by mu
+	paused bool      // foreground-pressure brake; guarded by mu
+
+	// now and sleep are the clock; tests substitute both. sleep must
+	// honor ctx cancellation.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewBucket returns a bucket refilling bytesPerSec byte tokens and
+// opsPerSec operation tokens per second; zero (or negative) disables
+// that dimension. A bucket with both dimensions disabled admits
+// everything immediately.
+func NewBucket(bytesPerSec, opsPerSec float64) *Bucket {
+	return &Bucket{
+		bytesRate: bytesPerSec,
+		opsRate:   opsPerSec,
+		last:      time.Now(),
+		now:       time.Now,
+		sleep:     sleepCtx,
+	}
+}
+
+var _ entangle.Limiter = (*Bucket)(nil)
+
+// pausePoll is how often a paused Acquire rechecks for Resume.
+const pausePoll = 50 * time.Millisecond
+
+// Acquire blocks until the caller may spend ops operations and bytes
+// bytes, or returns ctx's error. The charge lands even when it exceeds
+// the current balance (debt): admission only requires the previous debt
+// to be repaid.
+func (b *Bucket) Acquire(ctx context.Context, ops int, bytes int64) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.mu.Lock()
+		b.refillLocked()
+		if !b.paused && b.bytes >= 0 && b.ops >= 0 {
+			if b.bytesRate > 0 {
+				b.bytes -= float64(bytes)
+			}
+			if b.opsRate > 0 {
+				b.ops -= float64(ops)
+			}
+			b.mu.Unlock()
+			return nil
+		}
+		wait := b.waitLocked()
+		b.mu.Unlock()
+		if err := b.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// Pause makes every Acquire block until Resume — the foreground-pressure
+// brake. Pausing an already-paused bucket is a no-op.
+func (b *Bucket) Pause() {
+	b.mu.Lock()
+	b.paused = true
+	b.mu.Unlock()
+}
+
+// Resume lifts Pause.
+func (b *Bucket) Resume() {
+	b.mu.Lock()
+	b.paused = false
+	b.mu.Unlock()
+}
+
+// refillLocked advances the balances by the elapsed wall time, capping
+// accumulated burst at one second of each rate.
+func (b *Bucket) refillLocked() {
+	now := b.now()
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	if b.bytesRate > 0 {
+		b.bytes = min(b.bytes+dt*b.bytesRate, b.bytesRate)
+	}
+	if b.opsRate > 0 {
+		b.ops = min(b.ops+dt*b.opsRate, b.opsRate)
+	}
+}
+
+// waitLocked estimates how long until the debt is repaid (or how long to
+// wait before rechecking a pause).
+func (b *Bucket) waitLocked() time.Duration {
+	if b.paused {
+		return pausePoll
+	}
+	wait := time.Millisecond
+	if b.bytesRate > 0 && b.bytes < 0 {
+		wait = max(wait, time.Duration(-b.bytes/b.bytesRate*float64(time.Second)))
+	}
+	if b.opsRate > 0 && b.ops < 0 {
+		wait = max(wait, time.Duration(-b.ops/b.opsRate*float64(time.Second)))
+	}
+	return wait
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Progress is what one task step accomplished.
+type Progress struct {
+	// Ops and Bytes are the step's I/O footprint (records scanned,
+	// blocks moved) — informational; tasks charge the shared bucket
+	// themselves.
+	Ops   int
+	Bytes int64
+	// Found counts problems discovered (corrupt records, missing
+	// blocks); Repaired counts problems fixed.
+	Found    int
+	Repaired int
+	// Idle reports that the task had nothing to do; when every task in a
+	// pass is idle the scheduler backs off IdleDelay before the next.
+	Idle bool
+}
+
+// Task is one background maintenance job. RunOnce performs one bounded
+// step — small enough that interleaving tasks keeps each one low-rate —
+// and reports what it did. RunOnce is always called from the scheduler's
+// single goroutine, so tasks may keep unsynchronized cursor state.
+type Task interface {
+	Name() string
+	RunOnce(ctx context.Context) (Progress, error)
+}
+
+// Options tunes a Scheduler.
+type Options struct {
+	// Limit is the shared token bucket the scheduler pauses under
+	// foreground pressure. Tasks charge it themselves; nil disables the
+	// pressure brake (tasks may still carry their own limiters).
+	Limit *Bucket
+	// Pressure reports foreground load. While it returns true the
+	// scheduler stops dispatching steps, pauses Limit (stalling any
+	// in-flight Acquire inside a task), and polls every PressureDelay.
+	Pressure func() bool
+	// IdleDelay is the backoff after a pass in which every task was idle
+	// or errored; zero defaults to 1s.
+	IdleDelay time.Duration
+	// PressureDelay is the recheck interval under pressure; zero
+	// defaults to 100ms.
+	PressureDelay time.Duration
+	// OnEvent receives one line per notable event (a scrub finding, a
+	// heal, a task error); nil discards them.
+	OnEvent func(format string, args ...any)
+}
+
+func (o Options) idleDelay() time.Duration {
+	if o.IdleDelay <= 0 {
+		return time.Second
+	}
+	return o.IdleDelay
+}
+
+func (o Options) pressureDelay() time.Duration {
+	if o.PressureDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.PressureDelay
+}
+
+// TaskStats is one task's cumulative accounting.
+type TaskStats struct {
+	Runs     int
+	Errors   int
+	Ops      int
+	Bytes    int64
+	Found    int
+	Repaired int
+}
+
+// Scheduler round-robins a fixed set of tasks under one rate budget.
+type Scheduler struct {
+	opts  Options
+	tasks []Task
+
+	mu    sync.Mutex
+	stats map[string]TaskStats // cumulative per task name; guarded by mu
+}
+
+// NewScheduler returns a scheduler driving tasks in the given order.
+func NewScheduler(opts Options, tasks ...Task) *Scheduler {
+	return &Scheduler{opts: opts, tasks: tasks, stats: make(map[string]TaskStats)}
+}
+
+// Stats returns a snapshot of the cumulative per-task accounting.
+func (s *Scheduler) Stats() map[string]TaskStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]TaskStats, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Run drives the tasks until ctx is cancelled: one RunOnce per task per
+// pass, pausing under foreground pressure and backing off when a whole
+// pass was idle. Task errors are reported through OnEvent and counted;
+// they never stop the loop (the store they touch may simply not be
+// ready yet).
+func (s *Scheduler) Run(ctx context.Context) {
+	pressured := false
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		p := s.opts.Pressure != nil && s.opts.Pressure()
+		if p != pressured {
+			pressured = p
+			if s.opts.Limit != nil {
+				if p {
+					s.opts.Limit.Pause()
+				} else {
+					s.opts.Limit.Resume()
+				}
+			}
+		}
+		if pressured {
+			if sleepCtx(ctx, s.opts.pressureDelay()) != nil {
+				return
+			}
+			continue
+		}
+		allIdle := true
+		for _, t := range s.tasks {
+			if ctx.Err() != nil {
+				return
+			}
+			prog, err := t.RunOnce(ctx)
+			s.record(t.Name(), prog, err)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				s.event("maintain: %s: %v", t.Name(), err)
+				continue // errored tasks count as idle: no hot error loops
+			}
+			if prog.Found > 0 || prog.Repaired > 0 {
+				s.event("maintain: %s: found %d, repaired %d", t.Name(), prog.Found, prog.Repaired)
+			}
+			if !prog.Idle {
+				allIdle = false
+			}
+		}
+		if allIdle {
+			if sleepCtx(ctx, s.opts.idleDelay()) != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Scheduler) record(name string, prog Progress, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats[name]
+	st.Runs++
+	if err != nil {
+		st.Errors++
+	}
+	st.Ops += prog.Ops
+	st.Bytes += prog.Bytes
+	st.Found += prog.Found
+	st.Repaired += prog.Repaired
+	s.stats[name] = st
+}
+
+func (s *Scheduler) event(format string, args ...any) {
+	if s.opts.OnEvent != nil {
+		s.opts.OnEvent(format, args...)
+	}
+}

@@ -1,0 +1,68 @@
+package segstore
+
+import "sort"
+
+// ScrubResult reports one bounded step of the background CRC scrub.
+type ScrubResult struct {
+	// Next is the cursor to pass as `after` on the following step; empty
+	// when the walk wrapped (every live key at or before the end of the
+	// key space has been verified this cycle).
+	Next string
+	// Scanned counts records read and CRC-verified this step.
+	Scanned int
+	// Bytes counts record bytes read (header + key + payload) — what the
+	// scrub's rate limiter should charge.
+	Bytes int64
+	// Corrupt lists keys whose records failed verification. They have
+	// already been dropped from the index, so missing-block enumeration
+	// (segstore.Lattice.Missing) reports them and healing regenerates
+	// the blocks; the corrupt record bytes themselves are reclaimed by
+	// the next compaction like any other dead record.
+	Corrupt []string
+}
+
+// ScrubStep reads and CRC-verifies live records in key order, starting
+// strictly after the `after` cursor, until maxBytes of records have been
+// read or the key space is exhausted. Corrupt records are dropped from
+// the index (per-read CRC already makes them unreadable; dropping makes
+// the damage visible to Missing without waiting for a read). The step
+// holds the store's write lock throughout, so callers should keep
+// maxBytes modest — it bounds the stall foreground traffic can see.
+func (s *Store) ScrubStep(after string, maxBytes int64) ScrubResult {
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res ScrubResult
+	if s.closed {
+		return res
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		if k > after {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var scratch []byte
+	for _, key := range keys {
+		loc := s.index[key]
+		n := loc.recLen()
+		if int64(cap(scratch)) < n {
+			scratch = make([]byte, n)
+		}
+		if _, ok := s.readRecordLocked(scratch[:n], loc, key); !ok {
+			res.Corrupt = append(res.Corrupt, key)
+			s.dropLiveLocked(key)
+		}
+		res.Scanned++
+		res.Bytes += n
+		res.Next = key
+		if res.Bytes >= maxBytes {
+			return res
+		}
+	}
+	res.Next = "" // wrapped: the next step restarts from the top
+	return res
+}

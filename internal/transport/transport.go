@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aecodes/internal/hotpath"
@@ -376,6 +377,10 @@ type Server struct {
 	idleTimeout time.Duration
 	tenants     TenantResolver
 	cluster     ClusterHandler
+
+	// inflight counts requests currently being served — the foreground-
+	// pressure signal background maintenance watches to yield.
+	inflight atomic.Int64
 }
 
 // NewServer returns a server exposing store.
@@ -475,6 +480,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // client went away, idled out or sent garbage; drop it
 		}
+		s.inflight.Add(1)
 		// The request payload came from the frame pool. Handlers decode it
 		// by aliasing, so it can be recycled only once no alias survives:
 		// always for reads and control ops (their handlers copy whatever
@@ -518,10 +524,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		if recycle {
 			putBuf(payload)
 		}
+		s.inflight.Add(-1)
 		if err != nil {
 			return
 		}
 	}
+}
+
+// Inflight returns the number of requests currently being served.
+// Background maintenance treats a non-zero value as foreground pressure
+// and pauses its rate bucket until the server drains.
+func (s *Server) Inflight() int {
+	return int(s.inflight.Load())
 }
 
 // serveHello handles one tenant handshake: validate the version, resolve
