@@ -10,7 +10,7 @@
 //
 // Experiments: table4, fig8, fig9, fig10, fig11, fig12, fig13, table6,
 // placement, mirror, raid, ablation, encode, xor, transport, segstore,
-// cluster, all. -exp accepts a comma-separated list. -cpu repeats the
+// cluster, repair, obs, all. -exp accepts a comma-separated list. -cpu repeats the
 // selected experiments at several GOMAXPROCS values in one run (and one
 // JSON document), e.g. -cpu 1,2.
 //
@@ -64,7 +64,7 @@ func record(r benchfmt.Result) {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|xor|transport|segstore|cluster|repair|all")
+		exp       = flag.String("exp", "all", "experiments, comma separated: table4|fig8|fig9|fig10|fig11|fig12|fig13|table6|placement|mirror|raid|ablation|encode|xor|transport|segstore|cluster|repair|obs|all")
 		blocks    = flag.Int("blocks", 1_000_000, "number of data blocks (paper: 1,000,000)")
 		locations = flag.Int("locations", 100, "number of storage locations (paper: 100)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -183,6 +183,7 @@ func run(exp string, cfg sim.Config, trials int, encCfg encodeConfig) error {
 			return clusterBench(clusterConfig{fleet: 16, placements: 20000, lookups: 200000, heartbeats: 4000})
 		}},
 		{"repair", func(c sim.Config, _ int) error { return repairBench() }},
+		{"obs", func(c sim.Config, _ int) error { return obsBench() }},
 	}
 	timed := func(e experiment) error {
 		start := time.Now()

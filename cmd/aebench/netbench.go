@@ -13,10 +13,33 @@ import (
 
 	"aecodes/internal/benchfmt"
 	"aecodes/internal/hotpath"
+	"aecodes/internal/obs"
 	"aecodes/internal/segstore"
 	"aecodes/internal/store"
 	"aecodes/internal/transport"
 )
+
+// latMeter collects per-iteration latencies into a private obs
+// histogram — the same log-scale buckets production metrics use — and
+// surfaces the interpolated tails for the benchmark document, so the
+// guard watches p99/p999 with exactly the resolution operators get.
+type latMeter struct{ h *obs.Histogram }
+
+func newLatMeter() latMeter { return latMeter{h: obs.NewHistogram()} }
+
+// time runs fn and records its wall time.
+func (m latMeter) time(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	m.h.Record(time.Since(start).Nanoseconds())
+	return err
+}
+
+// tails returns the recorded p99 and p999 in nanoseconds.
+func (m latMeter) tails() (p99, p999 float64) {
+	snap := m.h.Snapshot()
+	return snap.P99(), snap.P999()
+}
 
 // netConfig sizes the transport and segstore experiments.
 type netConfig struct {
@@ -78,58 +101,75 @@ func transportBench(cfg netConfig) error {
 	fmt.Printf("Transport batch round-trips — loopback TCP, %d batches of %d × %d KiB\n",
 		cfg.batches, cfg.blocks, cfg.blockSize>>10)
 
-	putMeter := startCopyMeter()
+	putMeter, putLat := startCopyMeter(), newLatMeter()
 	start := time.Now()
 	for b := 0; b < cfg.batches; b++ {
-		if err := pool.PutMany(ctx, items); err != nil {
+		if err := putLat.time(func() error { return pool.PutMany(ctx, items) }); err != nil {
 			return err
 		}
 	}
 	put := time.Since(start)
 	putCopied := putMeter.perBlock(cfg.batches * cfg.blocks)
+	putP99, putP999 := putLat.tails()
 
-	getMeter := startCopyMeter()
+	getMeter, getLat := startCopyMeter(), newLatMeter()
 	start = time.Now()
 	for b := 0; b < cfg.batches; b++ {
-		blocks, err := pool.GetMany(ctx, keys)
+		err := getLat.time(func() error {
+			blocks, err := pool.GetMany(ctx, keys)
+			if err != nil {
+				return err
+			}
+			if len(blocks) != len(keys) || blocks[0] == nil {
+				return fmt.Errorf("aebench: GetMany returned a damaged batch")
+			}
+			return nil
+		})
 		if err != nil {
 			return err
-		}
-		if len(blocks) != len(keys) || blocks[0] == nil {
-			return fmt.Errorf("aebench: GetMany returned a damaged batch")
 		}
 	}
 	get := time.Since(start)
 	getCopied := getMeter.perBlock(cfg.batches * cfg.blocks)
+	getP99, getP999 := getLat.tails()
 
 	// StatMany moves ~1 byte per key either way: report round-trips/s
 	// via ns/op instead of a (meaningless) MB/s.
 	const statBatches = 200
+	statLat := newLatMeter()
 	start = time.Now()
 	for b := 0; b < statBatches; b++ {
-		flags, err := pool.StatMany(ctx, keys)
+		err := statLat.time(func() error {
+			flags, err := pool.StatMany(ctx, keys)
+			if err != nil {
+				return err
+			}
+			if len(flags) != len(keys) || !flags[0] {
+				return fmt.Errorf("aebench: StatMany returned a damaged batch")
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		if len(flags) != len(keys) || !flags[0] {
-			return fmt.Errorf("aebench: StatMany returned a damaged batch")
-		}
 	}
 	stat := time.Since(start)
+	statP99, statP999 := statLat.tails()
 
-	fmt.Printf("  putmany:  %8.1f MB/s (%v, %.0f bytes copied/block)\n",
-		cfg.mbps(cfg.batches, put), put.Round(time.Millisecond), *putCopied)
-	fmt.Printf("  getmany:  %8.1f MB/s (%v, %.0f bytes copied/block)\n",
-		cfg.mbps(cfg.batches, get), get.Round(time.Millisecond), *getCopied)
-	fmt.Printf("  statmany: %8.0f ns/frame of %d keys\n", float64(stat.Nanoseconds())/statBatches, len(keys))
+	fmt.Printf("  putmany:  %8.1f MB/s (%v, %.0f bytes copied/block, batch p99 %s)\n",
+		cfg.mbps(cfg.batches, put), put.Round(time.Millisecond), *putCopied, time.Duration(putP99))
+	fmt.Printf("  getmany:  %8.1f MB/s (%v, %.0f bytes copied/block, batch p99 %s)\n",
+		cfg.mbps(cfg.batches, get), get.Round(time.Millisecond), *getCopied, time.Duration(getP99))
+	fmt.Printf("  statmany: %8.0f ns/frame of %d keys (p99 %s)\n",
+		float64(stat.Nanoseconds())/statBatches, len(keys), time.Duration(statP99))
 	record(benchfmt.Result{Experiment: "transport", Name: "putmany",
 		NsPerOp: float64(put.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, put),
-		BytesBlock: putCopied})
+		BytesBlock: putCopied, P99Ns: putP99, P999Ns: putP999})
 	record(benchfmt.Result{Experiment: "transport", Name: "getmany",
 		NsPerOp: float64(get.Nanoseconds()) / float64(cfg.batches*cfg.blocks), MBps: cfg.mbps(cfg.batches, get),
-		BytesBlock: getCopied})
+		BytesBlock: getCopied, P99Ns: getP99, P999Ns: getP999})
 	record(benchfmt.Result{Experiment: "transport", Name: "statmany",
-		NsPerOp: float64(stat.Nanoseconds()) / statBatches})
+		NsPerOp: float64(stat.Nanoseconds()) / statBatches, P99Ns: statP99, P999Ns: statP999})
 	return nil
 }
 
@@ -167,18 +207,19 @@ func segstoreBench(cfg netConfig) error {
 		}
 	}
 	items := make([]store.KV, cfg.blocks)
-	appendMeter := startCopyMeter()
+	appendMeter, appendLat := startCopyMeter(), newLatMeter()
 	start := time.Now()
 	for b := 0; b < cfg.batches; b++ {
 		for i := range items {
 			items[i] = store.KV{Key: batchKeys[b][i], Data: data[i]}
 		}
-		if err := s.PutBatch(items); err != nil {
+		if err := appendLat.time(func() error { return s.PutBatch(items) }); err != nil {
 			s.Close()
 			return err
 		}
 	}
 	appendD := time.Since(start)
+	appendP99, appendP999 := appendLat.tails()
 	appendCopied := appendMeter.perBlock(cfg.batches * cfg.blocks)
 	if err := s.Close(); err != nil {
 		return err
@@ -198,13 +239,13 @@ func segstoreBench(cfg netConfig) error {
 		return fmt.Errorf("aebench: recovery found %d blocks, want %d", blocks, cfg.batches*cfg.blocks)
 	}
 
-	fmt.Printf("  append:  %8.1f MB/s (%v, %.0f bytes copied/block)\n",
-		cfg.mbps(cfg.batches, appendD), appendD.Round(time.Millisecond), *appendCopied)
+	fmt.Printf("  append:  %8.1f MB/s (%v, %.0f bytes copied/block, batch p99 %s)\n",
+		cfg.mbps(cfg.batches, appendD), appendD.Round(time.Millisecond), *appendCopied, time.Duration(appendP99))
 	fmt.Printf("  recover: %8.1f MB/s (%v for %d blocks)\n",
 		cfg.mbps(cfg.batches, recoverD), recoverD.Round(time.Millisecond), blocks)
 	record(benchfmt.Result{Experiment: "segstore", Name: "append",
 		NsPerOp: float64(appendD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, appendD),
-		BytesBlock: appendCopied})
+		BytesBlock: appendCopied, P99Ns: appendP99, P999Ns: appendP999})
 	record(benchfmt.Result{Experiment: "segstore", Name: "recover",
 		NsPerOp: float64(recoverD.Nanoseconds()) / float64(blocks), MBps: cfg.mbps(cfg.batches, recoverD)})
 	return nil

@@ -1,0 +1,73 @@
+// The obs experiment prices the metrics subsystem itself: a counter
+// add, a gauge delta, and a histogram record on the hot path, serial
+// and from all cores at once. Instrumentation rides inside serveConn
+// and segstore's append path, so its cost budget (~20 ns/op, see
+// internal/obs) is a guarded number like any other hot-path figure —
+// if sharding ever breaks and records start contending, this
+// experiment's ns/op explodes and the bench guard catches it.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"aecodes/internal/benchfmt"
+	"aecodes/internal/obs"
+)
+
+// obsBench measures the record-side cost of the obs primitives against
+// a private registry (the process-global one stays clean).
+func obsBench() error {
+	const iters = 2_000_000
+	reg := obs.NewRegistry()
+	sc := reg.Scope("bench")
+	counter := sc.Counter("counter")
+	gauge := sc.Gauge("gauge")
+	hist := sc.Histogram("hist")
+
+	fmt.Printf("Metrics record overhead — %d ops per primitive, %d cores\n",
+		iters, runtime.GOMAXPROCS(0))
+
+	serial := func(name string, fn func(i int64)) float64 {
+		start := time.Now()
+		for i := int64(0); i < iters; i++ {
+			fn(i)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / iters
+		fmt.Printf("  %-18s %6.1f ns/op\n", name+":", ns)
+		record(benchfmt.Result{Experiment: "obs", Name: name, NsPerOp: ns})
+		return ns
+	}
+	serial("counter-add", func(i int64) { counter.Add(1) })
+	serial("gauge-add", func(i int64) { gauge.Add(1) })
+	serial("hist-record", func(i int64) { hist.Record(i) })
+
+	// The parallel setting is the one sharding exists for: every core
+	// hammering the same handles. ns/op here is wall time × cores ÷ ops,
+	// i.e. CPU cost per record — flat relative to serial means no
+	// contention; at GOMAXPROCS=1 it duplicates serial, so skip it.
+	if procs := runtime.GOMAXPROCS(0); procs > 1 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < procs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := int64(0); i < iters; i++ {
+					counter.Add(1)
+					hist.Record(i)
+				}
+			}()
+		}
+		wg.Wait()
+		ns := float64(time.Since(start).Nanoseconds()) * float64(procs) / (iters * float64(procs) * 2)
+		fmt.Printf("  %-18s %6.1f ns/op (counter+hist from %d goroutines)\n", "parallel:", ns, procs)
+		record(benchfmt.Result{Experiment: "obs", Name: "parallel-record", NsPerOp: ns})
+	}
+	if counter.Value() < iters {
+		return fmt.Errorf("aebench: obs counter lost updates (%d)", counter.Value())
+	}
+	return nil
+}

@@ -27,6 +27,11 @@
 // restarts via an atomically-replaced JSON file; restored nodes get one
 // TTL of grace to heartbeat again.
 //
+// With -metricsaddr set, the manager serves its metrics registry over
+// HTTP on that address ("/" and "/metrics" plain text, "/metrics.json"
+// JSON): routing epoch, live/dead/draining node counts, placement and
+// heartbeat rates, drain-task progress.
+//
 // With -drain, the named nodes (comma-separated ids) are marked
 // draining: they stop receiving new placements immediately, and a
 // background task migrates their volumes onto the rest of the fleet a
@@ -39,6 +44,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +52,7 @@ import (
 
 	"aecodes/internal/cluster"
 	"aecodes/internal/maintain"
+	"aecodes/internal/obs"
 	"aecodes/internal/transport"
 )
 
@@ -54,6 +61,7 @@ func main() {
 	snapshot := flag.String("snapshot", "", "state snapshot file (JSON, atomically replaced); empty = memory-only")
 	ttl := flag.Duration("ttl", 0, "node liveness window: a node silent this long is dead (0 = 10s default)")
 	drain := flag.String("drain", "", "comma-separated node ids to decommission: re-place their volumes in the background")
+	metricsAddr := flag.String("metricsaddr", "", "serve metrics over HTTP on this address: / and /metrics plain text, /metrics.json JSON (empty disables)")
 	flag.Parse()
 
 	m, err := cluster.NewManager(cluster.Options{TTL: *ttl, SnapshotPath: *snapshot})
@@ -89,6 +97,18 @@ func main() {
 		fmt.Printf("aecluster: restored %d nodes at epoch %d from %s\n", len(nodes), m.Epoch(), *snapshot)
 	}
 	fmt.Println("aecluster listening on", bound)
+
+	obsCtx, obsStop := context.WithCancel(context.Background())
+	defer obsStop()
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aecluster: metrics listener:", err)
+			os.Exit(1)
+		}
+		go obs.Serve(obsCtx, mln, obs.Default)
+		fmt.Println("aecluster metrics on", mln.Addr())
+	}
 
 	// Drain runs whenever any node is marked draining — from -drain now
 	// or restored from the snapshot — moving a bounded batch of volumes

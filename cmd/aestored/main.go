@@ -48,6 +48,14 @@
 // pauses whenever foreground requests are in flight and resumes when
 // the node goes idle, so it never competes with clients for the log.
 //
+// With -metricsaddr set, the node serves its metrics registry over
+// HTTP on that address: "/" and "/metrics" render sorted plain-text
+// lines (one metric per line, histograms as count/mean/p50/p90/p99/
+// p999), "/metrics.json" the versioned JSON snapshot — the same
+// document the OpMetrics transport frame carries, so curl and
+// Client.Metrics always agree. The announcement line is "aestored
+// metrics on <addr>".
+//
 // With -idletimeout set, connections idle longer than that are dropped
 // so abandoned broker connections cannot pin sockets forever. It
 // defaults to off: a reaped connection permanently poisons a plain
@@ -74,9 +82,12 @@ import (
 	"syscall"
 	"time"
 
+	"net"
+
 	"aecodes/internal/cluster"
 	"aecodes/internal/entangle"
 	"aecodes/internal/maintain"
+	"aecodes/internal/obs"
 	"aecodes/internal/segstore"
 	"aecodes/internal/tenant"
 	"aecodes/internal/transport"
@@ -100,6 +111,7 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers dial to reach this node (default: the bound listen address; requires -cluster)")
 	capacity := flag.Int64("capacity", 0, "advertised byte capacity for cluster placement (0 = unlimited; requires -cluster)")
 	hbInterval := flag.Duration("hbinterval", 0, "heartbeat interval (0 = a third of the manager's liveness TTL; requires -cluster)")
+	metricsAddr := flag.String("metricsaddr", "", "serve metrics over HTTP on this address: / and /metrics plain text, /metrics.json JSON (empty disables)")
 	flag.Parse()
 
 	if *clusterAddr == "" && (*nodeID != "" || *advertise != "" || *capacity != 0 || *hbInterval != 0) {
@@ -200,6 +212,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("aestored listening on", bound)
+
+	obsCtx, obsStop := context.WithCancel(context.Background())
+	defer obsStop()
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aestored: metrics listener:", err)
+			os.Exit(1)
+		}
+		go obs.Serve(obsCtx, mln, obs.Default)
+		fmt.Println("aestored metrics on", mln.Addr())
+	}
 
 	hbCtx, hbStop := context.WithCancel(context.Background())
 	defer hbStop()

@@ -24,7 +24,11 @@
 // change, mirrored. Copy-budget measurements (bytes_block present)
 // compare the same lower-is-better way under a "(bytes/block)" suffix;
 // a zero baseline tolerates nothing — any copy appearing on a zero-copy
-// path is a regression. Entries present only in the current
+// path is a regression. Tail-latency measurements (p99_ns / p999_ns
+// present) also compare lower-is-better, under "(p99 ns)" / "(p999 ns)"
+// suffixes: an operation can hold its MB/s while its tail collapses,
+// and the tail is guarded separately so the average cannot hide it.
+// Entries present only in the current
 // run are informational; entries present only in the baseline mean the
 // guard is blind to a committed metric (e.g. a renamed experiment), so
 // they are annotated and fail a -strict run. -github renders findings
@@ -87,6 +91,22 @@ func bestByKey(doc benchfmt.Document) map[string]metric {
 			bk := key + " (bytes/block)"
 			if m, ok := best[bk]; !ok || *r.BytesBlock < m.value {
 				best[bk] = metric{value: *r.BytesBlock, lowerBetter: true, unit: "bytes/block"}
+			}
+		}
+		// Tail latencies guard lower-is-better under their own unit
+		// suffixes, alongside whatever throughput figure the result
+		// carries: an op can keep its MB/s while its p99 collapses, and
+		// that collapse must not hide behind the average.
+		if r.P99Ns > 0 {
+			pk := key + " (p99 ns)"
+			if m, ok := best[pk]; !ok || r.P99Ns < m.value {
+				best[pk] = metric{value: r.P99Ns, lowerBetter: true, unit: "p99 ns"}
+			}
+		}
+		if r.P999Ns > 0 {
+			pk := key + " (p999 ns)"
+			if m, ok := best[pk]; !ok || r.P999Ns < m.value {
+				best[pk] = metric{value: r.P999Ns, lowerBetter: true, unit: "p999 ns"}
 			}
 		}
 		switch {

@@ -230,6 +230,44 @@ func TestCompareBytesBlockZeroTolerance(t *testing.T) {
 	}
 }
 
+// TestCompareP99LowerIsBetter pins the tail-latency guard: p99/p999
+// ride under their own suffixed keys next to the same result's MB/s, a
+// tail rise regresses even while throughput holds, and a baseline with
+// tails that the current run never measured is a coverage hole.
+func TestCompareP99LowerIsBetter(t *testing.T) {
+	baseline := doc(benchfmt.Result{Experiment: "transport", Name: "putmany", MBps: 900, P99Ns: 1e6, P999Ns: 2e6})
+	current := doc(benchfmt.Result{Experiment: "transport", Name: "putmany", MBps: 920, P99Ns: 5e6, P999Ns: 2.1e6})
+	findings, onlyB, onlyC := compare(baseline, current, 0.5)
+	if len(onlyB) != 0 || len(onlyC) != 0 {
+		t.Fatalf("unmatched keys: %v / %v", onlyB, onlyC)
+	}
+	byKey := map[string]finding{}
+	for _, f := range findings {
+		byKey[f.Key] = f
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want MB/s + p99 + p999: %+v", len(findings), findings)
+	}
+	if byKey["transport/putmany"].Regression {
+		t.Error("steady throughput flagged")
+	}
+	p99 := byKey["transport/putmany (p99 ns)"]
+	if !p99.Regression || !p99.LowerBetter {
+		t.Errorf("a 5x p99 rise at 50%% tolerance not flagged: %+v", p99)
+	}
+	if byKey["transport/putmany (p999 ns)"].Regression {
+		t.Error("a p999 rise within tolerance was flagged")
+	}
+
+	// A current run without tail figures leaves the guard blind: the
+	// suffixed keys must surface as baseline-only coverage holes.
+	blind := doc(benchfmt.Result{Experiment: "transport", Name: "putmany", MBps: 920})
+	_, onlyB, _ = compare(baseline, blind, 0.5)
+	if len(onlyB) != 2 {
+		t.Fatalf("missing tail measurements not reported as coverage holes: %v", onlyB)
+	}
+}
+
 func TestCompareReportsNewMeasurements(t *testing.T) {
 	baseline := doc(benchfmt.Result{Experiment: "encode", Name: "sequential", MBps: 2000})
 	current := doc(

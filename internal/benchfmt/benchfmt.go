@@ -22,7 +22,14 @@ type Result struct {
 	// pointer so that a measured zero — the whole point of the vectored
 	// write path — is recorded and guarded rather than omitted as empty.
 	BytesBlock *float64 `json:"bytes_block,omitempty"`
-	WallNs     int64    `json:"wall_ns,omitempty"`
+	// P99Ns / P999Ns are tail latencies per operation, interpolated from
+	// the per-op obs histogram the experiment recorded into (log-scale
+	// buckets, so the figure is exact to within a factor of two — plenty
+	// to catch a tail collapse). Zero means the experiment did not record
+	// latencies.
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
+	WallNs int64   `json:"wall_ns,omitempty"`
 }
 
 // Document is one `aebench -json` run, archived as BENCH_*.json.

@@ -122,6 +122,8 @@ func (m *Manager) NodeStat(stat transport.NodeStat) error {
 	}
 	n.stat = stat
 	n.lastSeen = m.now()
+	obsHeartbeats.Inc()
+	m.updateObsLocked()
 	var err error
 	if durable {
 		err = m.saveSnapshotLocked()
@@ -235,6 +237,8 @@ func (m *Manager) placeLocked(vol string) (string, error) {
 	}
 	m.routes[vol] = candidates[win].ID
 	m.epoch++
+	obsPlacements.Inc()
+	m.updateObsLocked()
 	return candidates[win].ID, nil
 }
 
@@ -275,6 +279,7 @@ func (m *Manager) MarkStale(vol string, epoch uint64) (RouteInfo, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	obsStaleHints.Inc()
 	node, ok := m.routes[vol]
 	if ok && epoch >= m.epoch && !m.aliveLocked(node) {
 		ok = false // current hint against a dead node: re-place below
@@ -356,6 +361,7 @@ func (m *Manager) SetDraining(id string, draining bool) error {
 	} else {
 		delete(m.draining, id)
 	}
+	m.updateObsLocked()
 	return m.saveSnapshotLocked()
 }
 

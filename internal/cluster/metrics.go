@@ -1,0 +1,42 @@
+// Observability: the control plane's handles into the process-global
+// obs registry under the "cluster" scope. Membership gauges are
+// set-style and written only under m.mu (single writer); they refresh
+// on every heartbeat and routing mutation, so liveness counts are at
+// most one heartbeat stale. placements counts every route assignment —
+// first-sight placement, dead-node re-placement, and drain moves alike
+// — which is the fleet's churn rate.
+package cluster
+
+import "aecodes/internal/obs"
+
+var (
+	clusterScope = obs.Default.Scope("cluster")
+
+	obsEpoch         = clusterScope.Gauge("epoch")
+	obsNodesLive     = clusterScope.Gauge("nodes.live")
+	obsNodesDead     = clusterScope.Gauge("nodes.dead")
+	obsNodesDraining = clusterScope.Gauge("nodes.draining")
+	obsVolumes       = clusterScope.Gauge("volumes")
+
+	obsPlacements = clusterScope.Counter("placements")
+	obsHeartbeats = clusterScope.Counter("heartbeats")
+	obsStaleHints = clusterScope.Counter("stale_hints")
+)
+
+// updateObsLocked refreshes the membership gauges from current state.
+// Callers hold m.mu.
+func (m *Manager) updateObsLocked() {
+	var live, dead int64
+	for id := range m.nodes {
+		if m.aliveLocked(id) {
+			live++
+		} else {
+			dead++
+		}
+	}
+	obsEpoch.Set(int64(m.epoch))
+	obsNodesLive.Set(live)
+	obsNodesDead.Set(dead)
+	obsNodesDraining.Set(int64(len(m.draining)))
+	obsVolumes.Set(int64(len(m.routes)))
+}

@@ -252,9 +252,19 @@ func (s Stats) DataLoss() int { return len(s.UnrepairedData) }
 // backend. The prefetch freezes the pre-round state: every planner reads
 // the same snapshot whatever the worker count.
 func (r *Repairer) Repair(ctx context.Context, st Store, opts Options) (Stats, error) {
+	var stats Stats
+	var err error
 	if opts.Scope != ScopeLattice {
-		return r.repairScoped(ctx, st, opts)
+		stats, err = r.repairScoped(ctx, st, opts)
+	} else {
+		stats, err = r.repairLattice(ctx, st, opts)
 	}
+	recordRepairObs(opts, stats, err)
+	return stats, err
+}
+
+// repairLattice is the whole-lattice ScopeLattice engine behind Repair.
+func (r *Repairer) repairLattice(ctx context.Context, st Store, opts Options) (Stats, error) {
 	var stats Stats
 	// final remembers the last enumeration when nothing was committed
 	// after it, so the usual exits (lattice healthy, fixpoint) do not pay

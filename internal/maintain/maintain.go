@@ -31,11 +31,12 @@ type Bucket struct {
 	bytesRate float64 // tokens/s; immutable after NewBucket
 	opsRate   float64 // tokens/s; immutable after NewBucket
 
-	mu     sync.Mutex
-	bytes  float64   // byte-token balance, may be negative (debt); guarded by mu
-	ops    float64   // op-token balance, may be negative (debt); guarded by mu
-	last   time.Time // last refill instant; guarded by mu
-	paused bool      // foreground-pressure brake; guarded by mu
+	mu       sync.Mutex
+	bytes    float64   // byte-token balance, may be negative (debt); guarded by mu
+	ops      float64   // op-token balance, may be negative (debt); guarded by mu
+	last     time.Time // last refill instant; guarded by mu
+	paused   bool      // foreground-pressure brake; guarded by mu
+	pausedAt time.Time // instant of the last Pause; guarded by mu
 
 	// now and sleep are the clock; tests substitute both. sleep must
 	// honor ctx cancellation.
@@ -80,11 +81,16 @@ func (b *Bucket) Acquire(ctx context.Context, ops int, bytes int64) error {
 			if b.opsRate > 0 {
 				b.ops -= float64(ops)
 			}
+			b.publishDebtLocked()
 			b.mu.Unlock()
 			return nil
 		}
+		debtWait := !b.paused // pause polls accrue to pause_ns, not wait_ns
 		wait := b.waitLocked()
 		b.mu.Unlock()
+		if debtWait {
+			chargeWait(wait)
+		}
 		if err := b.sleep(ctx, wait); err != nil {
 			return err
 		}
@@ -95,14 +101,22 @@ func (b *Bucket) Acquire(ctx context.Context, ops int, bytes int64) error {
 // brake. Pausing an already-paused bucket is a no-op.
 func (b *Bucket) Pause() {
 	b.mu.Lock()
-	b.paused = true
+	if !b.paused {
+		b.paused = true
+		b.pausedAt = b.now()
+		obsBucketPaused.Add(1)
+	}
 	b.mu.Unlock()
 }
 
 // Resume lifts Pause.
 func (b *Bucket) Resume() {
 	b.mu.Lock()
-	b.paused = false
+	if b.paused {
+		b.paused = false
+		obsBucketPaused.Sub(1)
+		obsBucketPauseNs.Add(b.now().Sub(b.pausedAt).Nanoseconds())
+	}
 	b.mu.Unlock()
 }
 
@@ -228,13 +242,19 @@ type Scheduler struct {
 	opts  Options
 	tasks []Task
 
-	mu    sync.Mutex
-	stats map[string]TaskStats // cumulative per task name; guarded by mu
+	mu       sync.Mutex
+	stats    map[string]TaskStats    // cumulative per task name; guarded by mu
+	obsTasks map[string]*taskHandles // per-task obs counters, lazily resolved; guarded by mu
 }
 
 // NewScheduler returns a scheduler driving tasks in the given order.
 func NewScheduler(opts Options, tasks ...Task) *Scheduler {
-	return &Scheduler{opts: opts, tasks: tasks, stats: make(map[string]TaskStats)}
+	return &Scheduler{
+		opts:     opts,
+		tasks:    tasks,
+		stats:    make(map[string]TaskStats),
+		obsTasks: make(map[string]*taskHandles),
+	}
 }
 
 // Stats returns a snapshot of the cumulative per-task accounting.
@@ -318,6 +338,15 @@ func (s *Scheduler) record(name string, prog Progress, err error) {
 	st.Found += prog.Found
 	st.Repaired += prog.Repaired
 	s.stats[name] = st
+	h := s.handlesLocked(name)
+	h.runs.Inc()
+	if err != nil {
+		h.errors.Inc()
+	}
+	h.ops.Add(int64(prog.Ops))
+	h.bytes.Add(prog.Bytes)
+	h.found.Add(int64(prog.Found))
+	h.repaired.Add(int64(prog.Repaired))
 }
 
 func (s *Scheduler) event(format string, args ...any) {

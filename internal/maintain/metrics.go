@@ -1,0 +1,82 @@
+// Observability: the maintenance layer's handles into the
+// process-global obs registry under the "maintain" scope. This is
+// where the Scheduler's per-task TaskStats — collected since the
+// scheduler existed but never surfaced — become visible: every record
+// call mirrors the step into per-task counters, so scrub/heal/drain
+// progress shows up in OpMetrics and -metricsaddr without a debugger.
+// Bucket pressure is visible too: how many buckets are currently
+// paused, total paused time, total debt-sleep time, and the current
+// debt balances.
+package maintain
+
+import (
+	"time"
+
+	"aecodes/internal/obs"
+)
+
+var (
+	maintainScope = obs.Default.Scope("maintain")
+
+	// Bucket pressure. obsBucketPaused is delta-style (+1 on Pause, -1
+	// on Resume) so it counts currently-paused buckets across the
+	// process; pause_ns and wait_ns accumulate time spent braked and
+	// time spent sleeping off debt. The debt gauges are last-writer
+	// snapshots of the most recently charged bucket's balances — with
+	// several buckets they are a pressure indicator, not a sum.
+	obsBucketPaused    = maintainScope.Gauge("bucket.paused")
+	obsBucketPauseNs   = maintainScope.Counter("bucket.pause_ns")
+	obsBucketWaitNs    = maintainScope.Counter("bucket.wait_ns")
+	obsBucketDebtBytes = maintainScope.Gauge("bucket.debt.bytes")
+	obsBucketDebtOps   = maintainScope.Gauge("bucket.debt.ops")
+)
+
+// taskHandles is one task's counter set, resolved once per task name.
+type taskHandles struct {
+	runs     *obs.Counter
+	errors   *obs.Counter
+	ops      *obs.Counter
+	bytes    *obs.Counter
+	found    *obs.Counter
+	repaired *obs.Counter
+}
+
+func newTaskHandles(name string) *taskHandles {
+	p := "task." + name + "."
+	return &taskHandles{
+		runs:     maintainScope.Counter(p + "runs"),
+		errors:   maintainScope.Counter(p + "errors"),
+		ops:      maintainScope.Counter(p + "ops"),
+		bytes:    maintainScope.Counter(p + "bytes"),
+		found:    maintainScope.Counter(p + "found"),
+		repaired: maintainScope.Counter(p + "repaired"),
+	}
+}
+
+// handlesLocked returns (resolving on first use) the counter set for a
+// task name. Callers hold s.mu.
+func (s *Scheduler) handlesLocked(name string) *taskHandles {
+	h, ok := s.obsTasks[name]
+	if !ok {
+		h = newTaskHandles(name)
+		s.obsTasks[name] = h
+	}
+	return h
+}
+
+// publishDebtLocked snapshots the bucket's current debt into the debt
+// gauges. Callers hold b.mu.
+func (b *Bucket) publishDebtLocked() {
+	var db, do int64
+	if b.bytes < 0 {
+		db = int64(-b.bytes)
+	}
+	if b.ops < 0 {
+		do = int64(-b.ops)
+	}
+	obsBucketDebtBytes.Set(db)
+	obsBucketDebtOps.Set(do)
+}
+
+// chargeWait accounts one debt-sleep (not pause polling) in Acquire.
+func chargeWait(d time.Duration) { obsBucketWaitNs.Add(d.Nanoseconds()) }

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucket layout: zero (and negatives)
+// land in bucket 0, each power of two opens a new bucket, and huge
+// values clamp into the overflow bucket instead of indexing out of
+// range.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11},
+		{1 << 40, 41},
+		{1<<62 - 1, 62},
+		{1 << 62, 63},       // first overflow value
+		{math.MaxInt64, 63}, // clamped
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustive consistency: every positive sample must fall inside
+	// [bucketLo, bucketHi) of its own bucket.
+	for shift := 0; shift < 62; shift++ {
+		for _, v := range []int64{1 << shift, 1<<shift + 1, 1<<(shift+1) - 1} {
+			i := bucketIndex(v)
+			lo, hi := uint64(1)<<(i-1), uint64(1)<<uint(i) // integer bucket bounds, exact
+			if i == NumBuckets-1 {
+				hi = math.MaxUint64 // overflow bucket is unbounded above
+			}
+			if uint64(v) < lo || uint64(v) >= hi {
+				t.Fatalf("v=%d in bucket %d outside [%d,%d)", v, i, lo, hi)
+			}
+		}
+	}
+	if bits.Len64(uint64(math.MaxInt64)) != 63 {
+		t.Fatal("layout assumption broken")
+	}
+}
+
+// TestMergeAssociativity checks (a·b)·c == a·(b·c) == c·(b·a) for
+// random snapshots — counts, sums, and every bucket.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func() HistSnapshot {
+		h := NewHistogram()
+		for i := 0; i < 1000; i++ {
+			h.Record(rng.Int63n(1 << 30))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(), mk(), mk()
+
+	ab := clone(a)
+	ab.Merge(b)
+	abc1 := clone(ab)
+	abc1.Merge(c)
+
+	bc := clone(b)
+	bc.Merge(c)
+	abc2 := clone(a)
+	abc2.Merge(bc)
+
+	ba := clone(b)
+	ba.Merge(a)
+	abc3 := clone(c)
+	abc3.Merge(ba)
+
+	for _, o := range []HistSnapshot{abc2, abc3} {
+		if o.Count != abc1.Count || o.Sum != abc1.Sum {
+			t.Fatalf("merge order changed count/sum: %+v vs %+v", o, abc1)
+		}
+		for i := range abc1.Buckets {
+			if o.Buckets[i] != abc1.Buckets[i] {
+				t.Fatalf("bucket %d differs across merge orders", i)
+			}
+		}
+	}
+	if abc1.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", abc1.Count, a.Count+b.Count+c.Count)
+	}
+}
+
+func clone(s HistSnapshot) HistSnapshot {
+	out := s
+	out.Buckets = append([]uint64(nil), s.Buckets...)
+	return out
+}
+
+// TestQuantileVsExact records random samples and compares interpolated
+// quantiles against the exact order statistic. The histogram's
+// resolution is one power-of-two bucket, so the interpolated value
+// must agree within a factor of two (and is usually far closer).
+func TestQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, gen := range []struct {
+		name string
+		next func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1_000_000) }},
+		{"exponentialish", func() int64 { return int64(math.Exp(rng.Float64()*18) + 1) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 50_000_000 + rng.Int63n(1_000_000)
+			}
+			return 1000 + rng.Int63n(1000)
+		}},
+	} {
+		h := NewHistogram()
+		samples := make([]int64, 20_000)
+		for i := range samples {
+			samples[i] = gen.next()
+			h.Record(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(len(samples)) {
+			t.Fatalf("%s: count %d, want %d", gen.name, snap.Count, len(samples))
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			exact := float64(samples[int(q*float64(len(samples)-1))])
+			got := snap.Quantile(q)
+			if exact == 0 {
+				continue
+			}
+			ratio := got / exact
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("%s: q%.3f = %g, exact %g (ratio %.2f outside [0.5,2])",
+					gen.name, q, got, exact, ratio)
+			}
+		}
+	}
+}
+
+// TestQuantileEdges pins degenerate inputs: empty snapshot, single
+// sample, all-identical samples, out-of-range q.
+func TestQuantileEdges(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	h := NewHistogram()
+	h.Record(1500)
+	snap := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := snap.Quantile(q)
+		if got < 1024 || got >= 2048 {
+			t.Fatalf("single-sample quantile(%g) = %g outside sample's bucket", q, got)
+		}
+	}
+	h2 := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h2.Record(4096)
+	}
+	s2 := h2.Snapshot()
+	if p50, p999 := s2.P50(), s2.P999(); p50 < 4096 || p50 >= 8192 || p999 < 4096 || p999 >= 8192 {
+		t.Fatalf("identical samples: p50=%g p999=%g outside [4096,8192)", p50, p999)
+	}
+	if mean := s2.Mean(); mean != 4096 {
+		t.Fatalf("mean = %g, want exact 4096", mean)
+	}
+}
+
+// TestConcurrentRecord hammers one histogram and one counter from many
+// goroutines; run under -race this proves record paths are data-race
+// free, and the final snapshot must account for every sample exactly.
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	c := newCounter()
+	g := newGauge()
+	const workers = 8
+	const perWorker = 10_000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1 << 20))
+				c.Inc()
+				g.Add(1)
+				g.Sub(1)
+			}
+		}(int64(w))
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if snap := h.Snapshot(); snap.Count != workers*perWorker {
+		t.Fatalf("histogram lost samples: %d, want %d", snap.Count, workers*perWorker)
+	}
+	if v := c.Value(); v != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", v, workers*perWorker)
+	}
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %d, want 0", v)
+	}
+}

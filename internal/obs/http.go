@@ -1,0 +1,50 @@
+// HTTP exposure for -metricsaddr: a plain-text endpoint for humans and
+// a JSON endpoint for tooling, both serving the same Snapshot. Kept in
+// obs (net/http is stdlib) so both daemons share one implementation.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving r's snapshot:
+//
+//	GET /metrics       text/plain, one metric per line
+//	GET /metrics.json  application/json Snapshot
+//	GET /              same as /metrics
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	text := func(w http.ResponseWriter, _ *http.Request) {
+		snap := r.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	}
+	mux.HandleFunc("/", text)
+	mux.HandleFunc("/metrics", text)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		snap := r.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+	return mux
+}
+
+// Serve runs the metrics HTTP server on ln until ctx is cancelled,
+// then closes it. Blocks; callers run it in a goroutine — the ctx
+// parameter is the shutdown path.
+func Serve(ctx context.Context, ln net.Listener, r *Registry) {
+	srv := &http.Server{Handler: Handler(r)}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		_ = srv.Close()
+	}()
+	defer close(done)
+	_ = srv.Serve(ln)
+}

@@ -1,0 +1,132 @@
+// Snapshot: the read side of the registry. One struct, JSON-friendly,
+// flattened to "scope/name" keys, rendered two ways — encoding/json
+// for the OpMetrics frame and machine consumers, and a stable
+// line-oriented plain text for humans hitting -metricsaddr with curl.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SnapshotVersion is the layout version stamped into Snapshot. Readers
+// fail closed on versions they do not understand (the OpMetrics frame
+// adds its own wire-level version byte on top).
+const SnapshotVersion = 1
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+// Keys are "scope/name" (e.g. "transport/get.latency").
+type Snapshot struct {
+	Version  int                     `json:"version"`
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// Snapshot walks every scope and copies out current values. It holds
+// each scope's lock only long enough to collect handle pointers, so
+// writers are never blocked on the (comparatively slow) shard sums.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Version:  SnapshotVersion,
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	r.mu.Lock()
+	scopes := make([]*Scope, 0, len(r.scopes))
+	for _, s := range r.scopes {
+		scopes = append(scopes, s)
+	}
+	r.mu.Unlock()
+	for _, s := range scopes {
+		type namedCounter struct {
+			key string
+			c   *Counter
+		}
+		type namedGauge struct {
+			key string
+			g   *Gauge
+		}
+		type namedHist struct {
+			key string
+			h   *Histogram
+		}
+		var cs []namedCounter
+		var gs []namedGauge
+		var hs []namedHist
+		s.mu.Lock()
+		for name, c := range s.counters {
+			cs = append(cs, namedCounter{s.name + "/" + name, c})
+		}
+		for name, g := range s.gauges {
+			gs = append(gs, namedGauge{s.name + "/" + name, g})
+		}
+		for name, h := range s.hists {
+			hs = append(hs, namedHist{s.name + "/" + name, h})
+		}
+		s.mu.Unlock()
+		for _, nc := range cs {
+			snap.Counters[nc.key] = nc.c.Value()
+		}
+		for _, ng := range gs {
+			snap.Gauges[ng.key] = ng.g.Value()
+		}
+		for _, nh := range hs {
+			snap.Hists[nh.key] = nh.h.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Merge folds other into s: counters and gauges add, histograms merge
+// bucket-wise. Used for multi-node rollups; both snapshots must carry
+// the same version.
+func (s *Snapshot) Merge(other Snapshot) {
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, h := range other.Hists {
+		cur := s.Hists[k]
+		cur.Merge(h)
+		s.Hists[k] = cur
+	}
+}
+
+// WriteText renders the snapshot as sorted "key value" lines, with
+// histograms expanded into count/mean/p50/p90/p99/p999. The format is
+// stable: one metric per line, space-separated, keys sorted, so shell
+// pipelines (grep, awk, watch) work without a JSON parser.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	keys := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	for k := range s.Hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if v, ok := s.Counters[k]; ok {
+			fmt.Fprintf(&b, "%s %d\n", k, v)
+		}
+		if v, ok := s.Gauges[k]; ok {
+			fmt.Fprintf(&b, "%s %d\n", k, v)
+		}
+		if h, ok := s.Hists[k]; ok {
+			fmt.Fprintf(&b, "%s count=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f p999=%.0f\n",
+				k, h.Count, h.Mean(), h.P50(), h.P90(), h.P99(), h.P999())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

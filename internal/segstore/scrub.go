@@ -35,6 +35,11 @@ func (s *Store) ScrubStep(after string, maxBytes int64) ScrubResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var res ScrubResult
+	defer func() {
+		obsScrubScanned.Add(int64(res.Scanned))
+		obsScrubBytes.Add(res.Bytes)
+		obsScrubCorrupt.Add(int64(len(res.Corrupt)))
+	}()
 	if s.closed {
 		return res
 	}

@@ -45,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"aecodes/internal/hotpath"
 	"aecodes/internal/store"
@@ -422,7 +423,7 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return errors.New("segstore: store closed")
 	}
-	return s.w.Sync()
+	return s.timedSyncLocked()
 }
 
 // Dir returns the directory holding the segment files.
@@ -505,9 +506,15 @@ func (s *Store) Each(fn func(key string, size int64) bool) {
 // reads as missing, so the caller's repair machinery regenerates the
 // block instead of receiving bad bytes.
 func (s *Store) Get(key string) ([]byte, bool) {
+	start := time.Now()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.getLocked(key)
+	b, ok := s.getLocked(key)
+	s.mu.RUnlock()
+	obsReadLatency.Record(time.Since(start).Nanoseconds())
+	if ok {
+		obsReadBytes.Add(int64(len(b)))
+	}
+	return b, ok
 }
 
 func (s *Store) getLocked(key string) ([]byte, bool) {
@@ -568,23 +575,29 @@ func (s *Store) Del(key string) {
 	if err := s.appendLocked(key, nil, true); err == nil {
 		s.maybeSyncLocked()
 		s.maybeCompactLocked()
+		s.updateShapeLocked()
 	}
 }
 
 // GetBatch returns one entry per key in order under a single lock
 // acquisition; entries for missing (or corrupt-at-rest) keys are nil.
 func (s *Store) GetBatch(keys []string) [][]byte {
+	start := time.Now()
 	out := make([][]byte, len(keys))
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	var bytes int64
 	for i, key := range keys {
 		if b, ok := s.getLocked(key); ok {
 			if b == nil {
 				b = []byte{}
 			}
 			out[i] = b
+			bytes += int64(len(b))
 		}
 	}
+	s.mu.RUnlock()
+	obsReadLatency.Record(time.Since(start).Nanoseconds())
+	obsReadBytes.Add(bytes)
 	return out
 }
 
@@ -627,11 +640,14 @@ func (s *Store) StatBatch(keys []string) []int {
 // slices to the file without a user-space staging copy on platforms with
 // pwritev (see writevAt).
 func (s *Store) PutBatch(items []store.KV) error {
+	var payload int64
 	for _, it := range items {
 		if err := checkRecord(it.Key, it.Data); err != nil {
 			return err
 		}
+		payload += int64(len(it.Data))
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -644,6 +660,10 @@ func (s *Store) PutBatch(items []store.KV) error {
 		return err
 	}
 	s.maybeCompactLocked()
+	obsAppendLatency.Record(time.Since(start).Nanoseconds())
+	obsAppendBytes.Add(payload)
+	obsAppendBlocks.Add(int64(len(items)))
+	s.updateShapeLocked()
 	return nil
 }
 
@@ -769,7 +789,7 @@ func (s *Store) maybeCompactLocked() {
 	if physical <= 0 || float64(dead)/float64(physical) < ratio {
 		return
 	}
-	s.compactErr = s.compactLocked()
+	s.compactErr = s.timedCompactLocked()
 }
 
 // CompactErr returns the error that disabled auto-compaction, or nil
@@ -831,13 +851,13 @@ func (s *Store) maybeSyncLocked() error {
 	if !s.opts.Sync {
 		return nil
 	}
-	return s.w.Sync()
+	return s.timedSyncLocked()
 }
 
 // rotateLocked seals the active segment and starts the next one. The
 // sealed file stays open for ReadAt; appends move to the new segment.
 func (s *Store) rotateLocked() error {
-	if err := s.w.Sync(); err != nil {
+	if err := s.timedSyncLocked(); err != nil {
 		return fmt.Errorf("segstore: sealing segment %d: %w", s.active, err)
 	}
 	id := s.active + 1
@@ -877,7 +897,7 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return errors.New("segstore: store closed")
 	}
-	err := s.compactLocked()
+	err := s.timedCompactLocked()
 	if err == nil {
 		s.compactErr = nil // a clean explicit run re-arms the auto-trigger
 	}

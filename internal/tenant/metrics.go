@@ -1,0 +1,46 @@
+// Observability: the registry's handles into the process-global obs
+// registry under the "tenant" scope. Quota refusals and evictions are
+// counters; the footprint gauges (node total plus one pair per tenant)
+// are set-style and written only under the registry lock, so the
+// single-writer rule holds. Per-tenant gauge names embed the tenant ID
+// — the one deliberate cardinality exception in the naming scheme,
+// bounded by the registry's tenant population exactly like OpUsage
+// frames are.
+package tenant
+
+import "aecodes/internal/obs"
+
+var (
+	tenantScope = obs.Default.Scope("tenant")
+
+	// obsQuotaRefused counts writes refused by quota admission — the
+	// back-pressure signal operators alert on before tenants do.
+	obsQuotaRefused = tenantScope.Counter("quota.refused")
+
+	// obsEvictions / obsEvictedBytes count whole-lattice evictions and
+	// the payload bytes they shed.
+	obsEvictions    = tenantScope.Counter("evictions")
+	obsEvictedBytes = tenantScope.Counter("evicted.bytes")
+
+	// Node-wide footprint.
+	obsTotalBytes = tenantScope.Gauge("total_bytes")
+	obsTenants    = tenantScope.Gauge("tenants")
+)
+
+// usageGauges resolves one tenant's footprint gauges. Called once per
+// tenant (from useLocked) — never on the per-write path.
+func usageGauges(id string) (bytes, blocks *obs.Gauge) {
+	name := id
+	if name == Anonymous {
+		name = "anonymous"
+	}
+	return tenantScope.Gauge("usage.bytes." + name), tenantScope.Gauge("usage.blocks." + name)
+}
+
+// publishUsageLocked refreshes a tenant's footprint gauges and the node
+// total after an accounting change. Callers hold r.mu.
+func (r *Registry) publishUsageLocked(u *usage) {
+	u.gBytes.Set(u.bytes)
+	u.gBlocks.Set(u.blocks)
+	obsTotalBytes.Set(r.total)
+}

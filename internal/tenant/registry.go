@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"aecodes/internal/obs"
 	"aecodes/internal/store"
 )
 
@@ -76,6 +77,12 @@ type usage struct {
 	bytes   int64
 	blocks  int64
 	lastUse int64 // registry logical clock; larger = hotter
+
+	// gBytes and gBlocks are the tenant's footprint gauges, resolved
+	// once at record creation so accounting updates never format
+	// strings; written only under the registry lock.
+	gBytes  *obs.Gauge
+	gBlocks *obs.Gauge
 }
 
 // Registry multiplexes one backing store between tenants: it hands out
@@ -180,7 +187,9 @@ func (r *Registry) useLocked(id string) *usage {
 			q = r.cfg.Default
 		}
 		u = &usage{quota: q}
+		u.gBytes, u.gBlocks = usageGauges(id)
 		r.tenants[id] = u
+		obsTenants.Set(int64(len(r.tenants)))
 	}
 	return u
 }
@@ -294,10 +303,12 @@ func (r *Registry) touch(id string) {
 // fit. Callers hold r.mu.
 func (r *Registry) admitLocked(u *usage, id string, dBytes, dBlocks int64) error {
 	if u.quota.MaxBytes > 0 && u.bytes+dBytes > u.quota.MaxBytes {
+		obsQuotaRefused.Inc()
 		return fmt.Errorf("tenant: %s over byte quota (%d + %d > %d): %w",
 			displayID(id), u.bytes, dBytes, u.quota.MaxBytes, store.ErrQuotaExceeded)
 	}
 	if u.quota.MaxBlocks > 0 && u.blocks+dBlocks > u.quota.MaxBlocks {
+		obsQuotaRefused.Inc()
 		return fmt.Errorf("tenant: %s over block quota (%d + %d > %d): %w",
 			displayID(id), u.blocks, dBlocks, u.quota.MaxBlocks, store.ErrQuotaExceeded)
 	}
@@ -319,6 +330,7 @@ func (r *Registry) applyLocked(u *usage, dBytes, dBlocks int64) {
 	r.total += dBytes
 	r.clock++
 	u.lastUse = r.clock
+	r.publishUsageLocked(u)
 }
 
 // maybeEvictLocked sheds cold tenant lattices after a write pushed the
@@ -368,9 +380,12 @@ func (r *Registry) evictTenantLocked(id string, u *usage) {
 	for _, k := range keys {
 		r.backing.Del(k)
 	}
+	obsEvictedBytes.Add(u.bytes)
+	obsEvictions.Inc()
 	r.total -= u.bytes
 	u.bytes, u.blocks = 0, 0
 	r.evictions++
+	r.publishUsageLocked(u)
 }
 
 // recountLocked rebuilds one tenant's accounting from the backing store
@@ -389,6 +404,7 @@ func (r *Registry) recountLocked(id string, u *usage) {
 		return true
 	})
 	r.total += u.bytes
+	r.publishUsageLocked(u)
 }
 
 // Store is one tenant's namespaced, quota-enforcing view of the backing

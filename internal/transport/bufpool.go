@@ -41,11 +41,14 @@ func getBuf(n int) []byte {
 		b = minBufBits
 	}
 	if n <= 0 || b > maxBufBits {
+		obsPoolUnpooled.Inc()
 		return make([]byte, n)
 	}
 	if v := framePools[b-minBufBits].Get(); v != nil {
+		obsPoolHit.Inc()
 		return (*(v.(*[]byte)))[:n]
 	}
+	obsPoolMiss.Inc()
 	return make([]byte, n, 1<<b)
 }
 

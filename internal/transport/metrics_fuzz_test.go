@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"aecodes/internal/obs"
+)
+
+// FuzzMetricsFrame feeds arbitrary payloads to the OpMetrics decoder: it
+// must never panic, reject anything outside the versioned JSON layout
+// (fail closed, like the heartbeat codec), and anything it accepts must
+// survive an encode/decode round trip semantically intact. Byte
+// stability is deliberately NOT asserted — JSON map key order is
+// unspecified — but decode(encode(decode(x))) must equal decode(x).
+func FuzzMetricsFrame(f *testing.F) {
+	// Well-formed seeds: empty registry, counters+gauges, histograms.
+	empty, err := EncodeMetrics(obs.NewRegistry().Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	reg := obs.NewRegistry()
+	sc := reg.Scope("transport")
+	sc.Counter("get.count").Add(42)
+	sc.Gauge("inflight").Set(-3)
+	h := sc.Histogram("get.latency")
+	for i := int64(1); i < 1<<20; i <<= 1 {
+		h.Record(i)
+	}
+	full, err := EncodeMetrics(reg.Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	// Hostile seeds: empty frame, wrong wire version, truncated JSON,
+	// non-JSON body, wrong layout version, oversized bucket array,
+	// trailing garbage after the JSON document.
+	f.Add([]byte{})
+	f.Add([]byte{MetricsVersion + 1})
+	f.Add(full[:len(full)/2])
+	f.Add([]byte{MetricsVersion, 'n', 'o', 't', ' ', 'j', 's', 'o', 'n'})
+	f.Add([]byte(string(MetricsVersion) + `{"version":99}`))
+	f.Add([]byte(string(MetricsVersion) + `{"version":1,"hists":{"x":{"count":1,"buckets":[` +
+		func() string {
+			s := "0"
+			for i := 0; i < obs.NumBuckets+4; i++ {
+				s += ",0"
+			}
+			return s
+		}() + `]}}}`))
+	f.Add(append(append([]byte{}, full...), '}'))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		snap, err := DecodeMetrics(payload)
+		if err != nil {
+			return // malformed input must just error
+		}
+		if snap.Version != obs.SnapshotVersion {
+			t.Fatalf("accepted layout version %d", snap.Version)
+		}
+		for k, h := range snap.Hists {
+			if len(h.Buckets) > obs.NumBuckets {
+				t.Fatalf("accepted %d buckets for %q", len(h.Buckets), k)
+			}
+		}
+		re, err := EncodeMetrics(snap)
+		if err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		snap2, err := DecodeMetrics(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(snap), normalize(snap2)) {
+			t.Fatalf("metrics round trip not stable:\n  first:  %+v\n  second: %+v", snap, snap2)
+		}
+	})
+}
+
+// normalize maps empty and nil collections onto one shape, since
+// encoding/json's omitempty erases the distinction by design.
+func normalize(s obs.Snapshot) obs.Snapshot {
+	if len(s.Counters) == 0 {
+		s.Counters = nil
+	}
+	if len(s.Gauges) == 0 {
+		s.Gauges = nil
+	}
+	if len(s.Hists) == 0 {
+		s.Hists = nil
+	}
+	for k, h := range s.Hists {
+		if len(h.Buckets) == 0 {
+			h.Buckets = nil
+			s.Hists[k] = h
+		}
+	}
+	return s
+}

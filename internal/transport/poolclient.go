@@ -223,6 +223,7 @@ func (s *poolSlot) live() *pipeConn {
 		}
 		s.pc.close() // already poisoned; release the socket and timer
 		s.pc = nil
+		obsPoolPoisoned.Inc()
 	}
 	if !s.redialing && s.pool.tryAddRedial() {
 		s.redialing = true
@@ -262,6 +263,7 @@ func (s *poolSlot) redial() {
 		}
 		pc, err := s.pool.dialConn()
 		if err == nil {
+			obsPoolRedials.Inc()
 			s.mu.Lock()
 			s.pc = pc
 			s.redialing = false
@@ -271,6 +273,7 @@ func (s *poolSlot) redial() {
 			}
 			return
 		}
+		obsPoolRedialFail.Inc()
 		jittered := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
 		timer := time.NewTimer(jittered)
 		select {
@@ -349,6 +352,7 @@ func (p *PoolClient) withConn(ctx context.Context, op func(*pipeConn) error) err
 		if ctx.Err() != nil || !errors.Is(err, errConnFault) {
 			return err
 		}
+		obsPoolRetries.Inc()
 	}
 	return lastErr
 }
@@ -644,6 +648,7 @@ func (c *pipeConn) onTimeout() {
 	}
 	c.err = fmt.Errorf("%w: %w", errConnFault, errResponseTimeout)
 	c.mu.Unlock()
+	obsPoolTimeouts.Inc()
 	c.conn.Close()
 }
 

@@ -481,6 +481,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // client went away, idled out or sent garbage; drop it
 		}
 		s.inflight.Add(1)
+		obsInflight.Add(1)
+		start := time.Now()
 		// The request payload came from the frame pool. Handlers decode it
 		// by aliasing, so it can be recycled only once no alias survives:
 		// always for reads and control ops (their handlers copy whatever
@@ -518,13 +520,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			err = s.serveNodeStat(conn, key, payload)
 		case OpUsage:
 			err = s.serveUsage(conn, key, payload)
+		case OpMetrics:
+			err = s.serveMetrics(conn, key, payload)
 		default:
 			err = writeResponse(conn, StatusError, []byte("unknown op"))
 		}
+		recordServed(op, len(key)+len(payload), start, err)
 		if recycle {
 			putBuf(payload)
 		}
 		s.inflight.Add(-1)
+		obsInflight.Sub(1)
 		if err != nil {
 			return
 		}
